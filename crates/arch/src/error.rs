@@ -1,0 +1,74 @@
+//! Error type for architecture construction.
+
+use std::fmt;
+
+use simphony_netlist::NetlistError;
+
+/// Convenience alias for results whose error is [`ArchError`].
+pub type Result<T> = std::result::Result<T, ArchError>;
+
+/// Error returned by architecture builders and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// An architecture parameter is out of range (zero tiles, zero core size, …).
+    InvalidParameters {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The underlying netlist construction failed.
+    Netlist(NetlistError),
+    /// A named sub-architecture was not found in a heterogeneous system.
+    UnknownSubArchitecture {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidParameters { reason } => {
+                write!(f, "invalid architecture parameters: {reason}")
+            }
+            ArchError::Netlist(err) => write!(f, "netlist error: {err}"),
+            ArchError::UnknownSubArchitecture { name } => {
+                write!(f, "unknown sub-architecture `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchError::Netlist(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for ArchError {
+    fn from(err: NetlistError) -> Self {
+        ArchError::Netlist(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlist_errors_are_wrapped_with_a_source() {
+        let err = ArchError::from(NetlistError::EmptyNetlist);
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("netlist"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = ArchError::UnknownSubArchitecture {
+            name: "tempo".into(),
+        };
+        assert!(err.to_string().contains("tempo"));
+    }
+}

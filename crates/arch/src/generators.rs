@@ -1,0 +1,442 @@
+//! Parametric generators for the PTC architectures evaluated in the paper.
+//!
+//! Each generator builds the node-level netlist of one PTC family, attaches the
+//! symbolic scaling rules from the paper's case studies (Fig. 3) and wraps the
+//! result in a [`PtcArchitecture`]. All device names refer to the standard
+//! [`DeviceLibrary`](simphony_devlib::DeviceLibrary).
+
+use simphony_netlist::{ArchParams, Instance, NetlistBuilder, ScaleExpr};
+use simphony_units::{Frequency, Time};
+
+use crate::error::Result;
+use crate::ptc::{PtcArchitecture, PtcFamily};
+use crate::taxonomy::PtcTaxonomy;
+
+/// Approximate number of cascaded 1×2 splitter stages needed to fan out to `n`
+/// destinations (log₂, at least one stage for n > 1).
+fn splitter_stages(n: usize) -> f64 {
+    if n <= 1 {
+        1.0
+    } else {
+        (n as f64).log2().ceil()
+    }
+}
+
+/// Dynamic array-style TeMPO tensor core (paper case study 1, Fig. 3a).
+///
+/// * operand A (one matrix operand) is encoded by `R·H` input MZM/DAC groups
+///   and broadcast to the tiles;
+/// * operand B is encoded per node (`R·C·H·W`);
+/// * the outputs of the `C` cores of a tile are accumulated in the analog
+///   domain, so integrators/ADCs are shared and scale by `C·H·W`;
+/// * MZM (and laser) counts additionally scale with the number of wavelengths,
+///   which is why their energy stays constant in the wavelength sweep of
+///   Fig. 9(a) while everything else speeds up.
+///
+/// # Errors
+///
+/// Propagates netlist-construction and parameter-validation errors.
+pub fn tempo(params: ArchParams, clock_ghz: f64) -> Result<PtcArchitecture> {
+    let mut b = NetlistBuilder::new("tempo_node");
+    let laser = b.add_scaled("laser", "laser_cw", "LAMBDA")?;
+    let coupling = b.add_scaled("coupling", "edge_coupler", "LAMBDA")?;
+    let dac_a = b.add_scaled("dac_a", "dac_8b_10gsps", "R*H")?;
+    let mzm_a = b.add_scaled("mzm_a", "mzm_eo", "R*H*LAMBDA")?;
+    let ybranch_a = b.add_instance(
+        Instance::new("y_branch_a", "y_branch")
+            .with_count_rule(ScaleExpr::parse("R*H*LAMBDA")?)
+            .with_il_multiplicity(ScaleExpr::constant(splitter_stages(
+                params.cores_per_tile() * params.core_width(),
+            ))),
+    )?;
+    let dac_b = b.add_scaled("dac_b", "dac_8b_10gsps", "R*C*H*W")?;
+    let mzm_b = b.add_scaled("mzm_b", "mzm_eo", "R*C*H*W*LAMBDA")?;
+    let crossing = b.add_instance(
+        Instance::new("crossing", "crossing")
+            .with_count_rule(ScaleExpr::parse("R*C*H*W")?)
+            .with_il_multiplicity(ScaleExpr::parse("max(C*W-1, 0)")?),
+    )?;
+    let mmi = b.add_scaled("mmi", "mmi_1x2", "R*C*H")?;
+    let pd = b.add_scaled("pd", "photodetector", "R*C*H*W")?;
+    let tia = b.add_scaled("tia", "tia", "C*H*W")?;
+    let integrator = b.add_scaled("integrator", "integrator", "C*H*W")?;
+    let adc = b.add_scaled("adc", "adc_8b_10gsps", "C*H*W")?;
+    b.chain(&[
+        laser, coupling, ybranch_a, mzm_a, mzm_b, crossing, mmi, pd, tia, integrator, adc,
+    ])?;
+    b.connect(dac_a, mzm_a)?;
+    b.connect(dac_b, mzm_b)?;
+    let netlist = b.build()?;
+    PtcArchitecture::new(
+        "tempo",
+        PtcFamily::Tempo,
+        PtcTaxonomy::tempo(),
+        netlist,
+        params,
+        Frequency::from_gigahertz(clock_ghz),
+        Time::from_picoseconds(25.0),
+        "mzm_eo",
+        "mzm_eo",
+    )
+}
+
+/// Static Clements-style MZI mesh (paper case study 2, Fig. 3b).
+///
+/// Weights are encoded by singular value decomposition: two unitary triangular
+/// meshes of `H(H−1)/2` (resp. `W(W−1)/2`) MZIs and a diagonal of `min(H, W)`
+/// attenuating MZIs per core. Input encoders are shared across the `R` tiles
+/// and the readout chain across the `C` cores of a tile, exactly as the paper's
+/// scaling rules state — a structure array-based simulators cannot express.
+///
+/// # Errors
+///
+/// Propagates netlist-construction and parameter-validation errors.
+pub fn mzi_mesh(params: ArchParams, clock_ghz: f64) -> Result<PtcArchitecture> {
+    let mut b = NetlistBuilder::new("mzi_mesh_node");
+    let laser = b.add_scaled("laser", "laser_cw", "1")?;
+    let coupling = b.add_scaled("coupling", "edge_coupler", "1")?;
+    let dac_in = b.add_scaled("dac_in", "dac_8b_10gsps", "C*H")?;
+    let mzm_in = b.add_scaled("mzm_in", "mzm_eo", "C*H")?;
+    let mzi_u = b.add_instance(
+        Instance::new("mzi_u", "mzi_thermal")
+            .with_count_rule(ScaleExpr::parse("R*C*H*(H-1)/2")?)
+            .with_il_multiplicity(ScaleExpr::parse("H")?),
+    )?;
+    let mzi_sigma = b.add_scaled("mzi_sigma", "mzi_thermal", "R*C*min(H,W)")?;
+    let mzi_v = b.add_instance(
+        Instance::new("mzi_v", "mzi_thermal")
+            .with_count_rule(ScaleExpr::parse("R*C*W*(W-1)/2")?)
+            .with_il_multiplicity(ScaleExpr::parse("W")?),
+    )?;
+    let pd = b.add_scaled("pd", "photodetector", "R*H")?;
+    let tia = b.add_scaled("tia", "tia", "R*H")?;
+    let adc = b.add_scaled("adc", "adc_8b_10gsps", "R*H")?;
+    b.chain(&[laser, coupling, mzm_in, mzi_u, mzi_sigma, mzi_v, pd, tia, adc])?;
+    b.connect(dac_in, mzm_in)?;
+    let netlist = b.build()?;
+    PtcArchitecture::new(
+        "mzi_mesh",
+        PtcFamily::MziMesh,
+        PtcTaxonomy::mzi_array(),
+        netlist,
+        params,
+        Frequency::from_gigahertz(clock_ghz),
+        Time::from_microseconds(10.0),
+        "mzi_thermal",
+        "mzm_eo",
+    )
+}
+
+/// Incoherent micro-ring weight bank.
+///
+/// Weights are programmed into MRR transmissions (`R·C·H·W` rings), inputs are
+/// wavelength-multiplexed MZM-encoded intensities, and each output photodetector
+/// sums a whole WDM bus.
+///
+/// # Errors
+///
+/// Propagates netlist-construction and parameter-validation errors.
+pub fn mrr_bank(params: ArchParams, clock_ghz: f64) -> Result<PtcArchitecture> {
+    let mut b = NetlistBuilder::new("mrr_bank_node");
+    let laser = b.add_scaled("laser", "laser_cw", "LAMBDA")?;
+    let coupling = b.add_scaled("coupling", "edge_coupler", "1")?;
+    let dac_in = b.add_scaled("dac_in", "dac_8b_10gsps", "R*H")?;
+    let mzm_in = b.add_scaled("mzm_in", "mzm_eo", "R*H*LAMBDA")?;
+    let dac_w = b.add_scaled("dac_w", "dac_8b_10gsps", "R*C*H*W")?;
+    let mrr = b.add_instance(
+        Instance::new("mrr_w", "mrr_weight")
+            .with_count_rule(ScaleExpr::parse("R*C*H*W")?)
+            .with_il_multiplicity(ScaleExpr::parse("W")?),
+    )?;
+    let pd = b.add_scaled("pd", "photodetector", "C*H*W")?;
+    let tia = b.add_scaled("tia", "tia", "C*H*W")?;
+    let adc = b.add_scaled("adc", "adc_8b_10gsps", "C*H*W")?;
+    b.chain(&[laser, coupling, mzm_in, mrr, pd, tia, adc])?;
+    b.connect(dac_in, mzm_in)?;
+    b.connect(dac_w, mrr)?;
+    let netlist = b.build()?;
+    PtcArchitecture::new(
+        "mrr_bank",
+        PtcFamily::MrrBank,
+        PtcTaxonomy::mrr_array(),
+        netlist,
+        params,
+        Frequency::from_gigahertz(clock_ghz),
+        Time::from_nanoseconds(10.0),
+        "mrr_weight",
+        "mzm_eo",
+    )
+}
+
+/// Subspace butterfly mesh (compact FFT-like interconnect of MZIs).
+///
+/// A butterfly core of height `H` uses `H/2 · log₂H` MZIs instead of the
+/// `H(H−1)/2` of a full Clements mesh, trading expressivity for area/loss.
+///
+/// # Errors
+///
+/// Propagates netlist-construction and parameter-validation errors.
+pub fn butterfly(params: ArchParams, clock_ghz: f64) -> Result<PtcArchitecture> {
+    let h = params.core_height().max(2);
+    let stages = (h as f64).log2().ceil();
+    let mzis_per_core = (h as f64 / 2.0) * stages;
+    let mut b = NetlistBuilder::new("butterfly_node");
+    let laser = b.add_scaled("laser", "laser_cw", "1")?;
+    let coupling = b.add_scaled("coupling", "edge_coupler", "1")?;
+    let dac_in = b.add_scaled("dac_in", "dac_8b_10gsps", "C*H")?;
+    let mzm_in = b.add_scaled("mzm_in", "mzm_eo", "C*H")?;
+    let mzi_bfly = b.add_instance(
+        Instance::new("mzi_bfly", "mzi_thermal")
+            .with_count_rule(ScaleExpr::Mul(
+                Box::new(ScaleExpr::parse("R*C")?),
+                Box::new(ScaleExpr::constant(mzis_per_core)),
+            ))
+            .with_il_multiplicity(ScaleExpr::constant(stages)),
+    )?;
+    let crossing = b.add_instance(
+        Instance::new("crossing", "crossing")
+            .with_count_rule(ScaleExpr::Mul(
+                Box::new(ScaleExpr::parse("R*C*H")?),
+                Box::new(ScaleExpr::constant(stages)),
+            ))
+            .with_il_multiplicity(ScaleExpr::constant(stages)),
+    )?;
+    let pd = b.add_scaled("pd", "photodetector", "R*H")?;
+    let tia = b.add_scaled("tia", "tia", "R*H")?;
+    let adc = b.add_scaled("adc", "adc_8b_10gsps", "R*H")?;
+    b.chain(&[laser, coupling, mzm_in, mzi_bfly, crossing, pd, tia, adc])?;
+    b.connect(dac_in, mzm_in)?;
+    let netlist = b.build()?;
+    PtcArchitecture::new(
+        "butterfly",
+        PtcFamily::Butterfly,
+        PtcTaxonomy::butterfly_mesh(),
+        netlist,
+        params,
+        Frequency::from_gigahertz(clock_ghz),
+        Time::from_microseconds(10.0),
+        "mzi_thermal",
+        "mzm_eo",
+    )
+}
+
+/// Non-volatile phase-change-material crossbar.
+///
+/// Weights are written into PCM cells (zero static hold power, >100 ns writes);
+/// both operands are intensity-encoded, so four forwards are needed per
+/// full-range output (Table I).
+///
+/// # Errors
+///
+/// Propagates netlist-construction and parameter-validation errors.
+pub fn pcm_crossbar(params: ArchParams, clock_ghz: f64) -> Result<PtcArchitecture> {
+    let mut b = NetlistBuilder::new("pcm_crossbar_node");
+    let laser = b.add_scaled("laser", "laser_cw", "LAMBDA")?;
+    let coupling = b.add_scaled("coupling", "edge_coupler", "1")?;
+    let dac_in = b.add_scaled("dac_in", "dac_8b_10gsps", "R*H")?;
+    let mzm_in = b.add_scaled("mzm_in", "mzm_eo", "R*H")?;
+    let pcm = b.add_instance(
+        Instance::new("pcm", "pcm_cell")
+            .with_count_rule(ScaleExpr::parse("R*C*H*W")?)
+            .with_il_multiplicity(ScaleExpr::parse("W")?),
+    )?;
+    let crossing = b.add_instance(
+        Instance::new("crossing", "crossing")
+            .with_count_rule(ScaleExpr::parse("R*C*H*W")?)
+            .with_il_multiplicity(ScaleExpr::parse("max(W-1, 0)")?),
+    )?;
+    let pd = b.add_scaled("pd", "photodetector", "C*H*W")?;
+    let tia = b.add_scaled("tia", "tia", "C*H*W")?;
+    let adc = b.add_scaled("adc", "adc_8b_10gsps", "C*H*W")?;
+    b.chain(&[laser, coupling, mzm_in, pcm, crossing, pd, tia, adc])?;
+    b.connect(dac_in, mzm_in)?;
+    let netlist = b.build()?;
+    PtcArchitecture::new(
+        "pcm_crossbar",
+        PtcFamily::PcmCrossbar,
+        PtcTaxonomy::pcm_crossbar(),
+        netlist,
+        params,
+        Frequency::from_gigahertz(clock_ghz),
+        Time::from_nanoseconds(100.0),
+        "pcm_cell",
+        "mzm_eo",
+    )
+}
+
+/// SCATTER: algorithm-circuit co-sparse weight-static core with thermally
+/// programmed phase-shifter weights and in-situ light redistribution.
+///
+/// Weight values directly set each phase shifter's power, which is what makes
+/// the data-aware energy modeling of Fig. 10(b) matter; pruned weights are
+/// power-gated.
+///
+/// # Errors
+///
+/// Propagates netlist-construction and parameter-validation errors.
+pub fn scatter(params: ArchParams, clock_ghz: f64) -> Result<PtcArchitecture> {
+    scatter_with_weight_device(params, clock_ghz, "ps_thermal")
+}
+
+/// SCATTER variant whose weight phase shifters use the measurement-backed power
+/// table (`ps_thermal_measured`) instead of the analytical `Pπ` model.
+///
+/// # Errors
+///
+/// Propagates netlist-construction and parameter-validation errors.
+pub fn scatter_measured(params: ArchParams, clock_ghz: f64) -> Result<PtcArchitecture> {
+    scatter_with_weight_device(params, clock_ghz, "ps_thermal_measured")
+}
+
+fn scatter_with_weight_device(
+    params: ArchParams,
+    clock_ghz: f64,
+    weight_device: &str,
+) -> Result<PtcArchitecture> {
+    let mut b = NetlistBuilder::new("scatter_node");
+    let laser = b.add_scaled("laser", "laser_cw", "LAMBDA")?;
+    let coupling = b.add_scaled("coupling", "edge_coupler", "1")?;
+    let dac_in = b.add_scaled("dac_in", "dac_8b_10gsps", "R*H")?;
+    let mzm_in = b.add_scaled("mzm_in", "mzm_eo", "R*H*LAMBDA")?;
+    let ybranch = b.add_instance(
+        Instance::new("y_branch", "y_branch")
+            .with_count_rule(ScaleExpr::parse("R*C*H*W")?)
+            .with_il_multiplicity(ScaleExpr::constant(splitter_stages(
+                params.cores_per_tile() * params.core_width(),
+            ))),
+    )?;
+    let ps_w = b.add_instance(
+        Instance::new("ps_w", weight_device)
+            .with_count_rule(ScaleExpr::parse("R*C*H*W")?)
+            .with_il_multiplicity(ScaleExpr::parse("W")?),
+    )?;
+    let crossing = b.add_instance(
+        Instance::new("crossing", "crossing")
+            .with_count_rule(ScaleExpr::parse("R*C*H*W")?)
+            .with_il_multiplicity(ScaleExpr::parse("max(W-1, 0)")?),
+    )?;
+    let pd = b.add_scaled("pd", "photodetector", "C*H*W")?;
+    let tia = b.add_scaled("tia", "tia", "C*H*W")?;
+    let integrator = b.add_scaled("integrator", "integrator", "C*H*W")?;
+    let adc = b.add_scaled("adc", "adc_8b_10gsps", "C*H*W")?;
+    b.chain(&[
+        laser, coupling, mzm_in, ybranch, ps_w, crossing, pd, tia, integrator, adc,
+    ])?;
+    b.connect(dac_in, mzm_in)?;
+    let netlist = b.build()?;
+    PtcArchitecture::new(
+        "scatter",
+        PtcFamily::Scatter,
+        PtcTaxonomy::scatter(),
+        netlist,
+        params,
+        Frequency::from_gigahertz(clock_ghz),
+        Time::from_microseconds(10.0),
+        weight_device,
+        "mzm_eo",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simphony_devlib::DeviceLibrary;
+
+    fn default_params() -> ArchParams {
+        ArchParams::new(2, 2, 4, 4)
+    }
+
+    #[test]
+    fn tempo_scaling_rules_match_the_case_study() {
+        let tempo = tempo(default_params(), 5.0).unwrap();
+        let counts = tempo.instance_counts().unwrap();
+        assert_eq!(counts["dac_a"], 8); // R*H
+        assert_eq!(counts["dac_b"], 64); // R*C*H*W
+        assert_eq!(counts["adc"], 32); // shared: C*H*W
+        assert_eq!(counts["integrator"], 32);
+        assert_eq!(counts["pd"], 64);
+    }
+
+    #[test]
+    fn tempo_mzm_count_scales_with_wavelengths() {
+        let base = tempo(default_params(), 5.0).unwrap();
+        let wdm = tempo(default_params().with_wavelengths(3), 5.0).unwrap();
+        let a = base.instance_counts().unwrap();
+        let b = wdm.instance_counts().unwrap();
+        assert_eq!(b["mzm_b"], 3 * a["mzm_b"]);
+        assert_eq!(b["adc"], a["adc"], "ADCs do not scale with wavelengths");
+    }
+
+    #[test]
+    fn mzi_mesh_uses_triangular_mzi_counts() {
+        let mesh = mzi_mesh(ArchParams::new(1, 1, 3, 3), 5.0).unwrap();
+        let counts = mesh.instance_counts().unwrap();
+        assert_eq!(counts["mzi_u"], 3); // H*(H-1)/2 = 3
+        assert_eq!(counts["mzi_v"], 3);
+        assert_eq!(counts["mzi_sigma"], 3); // min(H, W)
+    }
+
+    #[test]
+    fn every_generator_produces_an_acyclic_positive_loss_circuit() {
+        let lib = DeviceLibrary::standard();
+        let archs = [
+            tempo(default_params(), 5.0).unwrap(),
+            mzi_mesh(default_params(), 5.0).unwrap(),
+            mrr_bank(default_params(), 5.0).unwrap(),
+            butterfly(default_params(), 5.0).unwrap(),
+            pcm_crossbar(default_params(), 5.0).unwrap(),
+            scatter(default_params(), 5.0).unwrap(),
+        ];
+        for arch in &archs {
+            let (path, il) = arch.critical_insertion_loss(&lib).unwrap();
+            assert!(
+                il.db() > 0.5,
+                "{} critical path IL {} suspiciously small",
+                arch.name(),
+                il
+            );
+            assert!(path.len() >= 4, "{} path too short", arch.name());
+        }
+    }
+
+    #[test]
+    fn mesh_loss_grows_with_core_size() {
+        let lib = DeviceLibrary::standard();
+        let small = mzi_mesh(ArchParams::new(1, 1, 4, 4), 5.0).unwrap();
+        let large = mzi_mesh(ArchParams::new(1, 1, 16, 16), 5.0).unwrap();
+        let (_, il_small) = small.critical_insertion_loss(&lib).unwrap();
+        let (_, il_large) = large.critical_insertion_loss(&lib).unwrap();
+        assert!(il_large.db() > il_small.db());
+    }
+
+    #[test]
+    fn pcm_and_scatter_have_reconfiguration_penalties() {
+        let pcm = pcm_crossbar(default_params(), 5.0).unwrap();
+        assert_eq!(pcm.reconfig_cycle_penalty(), 500); // 100 ns at 5 GHz
+        let sc = scatter(default_params(), 5.0).unwrap();
+        assert_eq!(sc.reconfig_cycle_penalty(), 50_000); // 10 us at 5 GHz
+        assert_eq!(pcm.full_range_iterations(), 4);
+        assert_eq!(sc.full_range_iterations(), 1);
+    }
+
+    #[test]
+    fn scatter_variants_differ_only_in_the_weight_device() {
+        let analytical = scatter(default_params(), 5.0).unwrap();
+        let measured = scatter_measured(default_params(), 5.0).unwrap();
+        assert_eq!(analytical.weight_device(), "ps_thermal");
+        assert_eq!(measured.weight_device(), "ps_thermal_measured");
+        assert_eq!(
+            analytical.instance_counts().unwrap()["ps_w"],
+            measured.instance_counts().unwrap()["ps_w"]
+        );
+    }
+
+    #[test]
+    fn lightening_transformer_setting_builds() {
+        // LT validation setting: 4 tiles, 2 cores/tile, 12x12 cores, 12 wavelengths, 5 GHz.
+        let lt = tempo(ArchParams::new(4, 2, 12, 12).with_wavelengths(12), 5.0).unwrap();
+        assert_eq!(lt.macs_per_cycle(), 4 * 2 * 12 * 12 * 12);
+        let counts = lt.device_counts().unwrap();
+        assert!(counts["adc_8b_10gsps"] > 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! SimPhony-Arch: hierarchical, parametric heterogeneous EPIC architecture builder.
+//!
+//! This crate turns netlist-level circuit descriptions into full architecture
+//! descriptions the simulator can analyse:
+//!
+//! * [`PtcTaxonomy`] — the paper's Table-I classification (operand ranges,
+//!   reconfiguration speeds, forwards per full-range output);
+//! * [`PtcArchitecture`] — a parametric multi-tile/multi-core architecture with
+//!   its node netlist, scaling rules, clock and reconfiguration behaviour;
+//! * [`generators`] — ready-made builders for the evaluated designs: TeMPO,
+//!   Clements MZI meshes, MRR weight banks, butterfly meshes, PCM crossbars and
+//!   SCATTER.
+//!
+//! # Examples
+//!
+//! ```
+//! use simphony_arch::{generators, PtcTaxonomy};
+//! use simphony_netlist::ArchParams;
+//!
+//! // The paper's default use-case setting: 4x4 cores, 2 tiles x 2 cores, 5 GHz.
+//! let tempo = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0)?;
+//! assert_eq!(tempo.full_range_iterations(), 1);
+//! assert!(tempo.taxonomy().supports_dynamic_products());
+//! # Ok::<(), simphony_arch::ArchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod generators;
+mod ptc;
+mod taxonomy;
+
+pub use error::{ArchError, Result};
+pub use ptc::{PtcArchitecture, PtcFamily};
+pub use taxonomy::{ComputeMethod, Expressivity, OperandRange, PtcTaxonomy, ReconfigSpeed};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PtcArchitecture>();
+        assert_send_sync::<PtcTaxonomy>();
+        assert_send_sync::<ArchError>();
+    }
+}

@@ -1,0 +1,309 @@
+//! The parametric photonic-tensor-core architecture description.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use simphony_devlib::DeviceLibrary;
+use simphony_netlist::{ArchParams, InstanceId, Netlist};
+use simphony_units::{Decibels, Frequency, Time};
+
+use crate::error::{ArchError, Result};
+use crate::taxonomy::PtcTaxonomy;
+
+/// The PTC families shipped with SimPhony-RS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PtcFamily {
+    /// Dynamic array-style time-multiplexed tensor core (TeMPO / Lightening-Transformer).
+    Tempo,
+    /// Static Clements-style MZI mesh (SVD-decomposed weights).
+    MziMesh,
+    /// Incoherent micro-ring weight bank.
+    MrrBank,
+    /// Subspace butterfly mesh.
+    Butterfly,
+    /// Non-volatile PCM crossbar.
+    PcmCrossbar,
+    /// SCATTER algorithm-circuit co-sparse weight-static core.
+    Scatter,
+    /// A user-defined design.
+    Custom,
+}
+
+impl fmt::Display for PtcFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            PtcFamily::Tempo => "TeMPO",
+            PtcFamily::MziMesh => "MZI mesh",
+            PtcFamily::MrrBank => "MRR bank",
+            PtcFamily::Butterfly => "Butterfly",
+            PtcFamily::PcmCrossbar => "PCM crossbar",
+            PtcFamily::Scatter => "SCATTER",
+            PtcFamily::Custom => "custom",
+        };
+        write!(f, "{label}")
+    }
+}
+
+/// A fully parameterised multi-tile, multi-core photonic tensor architecture.
+///
+/// Instances are produced by the generators in [`crate::generators`] (or built
+/// manually from a [`Netlist`]) and consumed by the analyzers in the `simphony`
+/// crate.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_arch::{generators, PtcFamily};
+/// use simphony_devlib::DeviceLibrary;
+/// use simphony_netlist::ArchParams;
+///
+/// let tempo = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0)?;
+/// assert_eq!(tempo.family(), PtcFamily::Tempo);
+/// let counts = tempo.device_counts()?;
+/// assert!(counts["mzm_eo"] > 0);
+/// let (_, il) = tempo.critical_insertion_loss(&DeviceLibrary::standard())?;
+/// assert!(il.db() > 0.0);
+/// # Ok::<(), simphony_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PtcArchitecture {
+    name: String,
+    family: PtcFamily,
+    taxonomy: PtcTaxonomy,
+    netlist: Netlist,
+    params: ArchParams,
+    clock: Frequency,
+    weight_reconfig_time: Time,
+    weight_device: String,
+    input_device: String,
+}
+
+impl PtcArchitecture {
+    /// Assembles an architecture description from its parts.
+    ///
+    /// `weight_device` / `input_device` name the library devices that encode
+    /// operand A (weights) and operand B (inputs); the energy analyzer uses them
+    /// to decide which instances get data-aware power modeling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameters`] for a zero-sized architecture
+    /// or a non-positive clock.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        family: PtcFamily,
+        taxonomy: PtcTaxonomy,
+        netlist: Netlist,
+        params: ArchParams,
+        clock: Frequency,
+        weight_reconfig_time: Time,
+        weight_device: impl Into<String>,
+        input_device: impl Into<String>,
+    ) -> Result<Self> {
+        if params.total_nodes() == 0 {
+            return Err(ArchError::InvalidParameters {
+                reason: "architecture has zero dot-product nodes".into(),
+            });
+        }
+        clock
+            .validated("clock frequency")
+            .map_err(|e| ArchError::InvalidParameters {
+                reason: e.to_string(),
+            })?;
+        Ok(Self {
+            name: name.into(),
+            family,
+            taxonomy,
+            netlist,
+            params,
+            clock,
+            weight_reconfig_time,
+            weight_device: weight_device.into(),
+            input_device: input_device.into(),
+        })
+    }
+
+    /// Architecture name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which PTC family this architecture belongs to.
+    pub fn family(&self) -> PtcFamily {
+        self.family
+    }
+
+    /// The Table-I taxonomy row of this design.
+    pub fn taxonomy(&self) -> PtcTaxonomy {
+        self.taxonomy
+    }
+
+    /// The node-level netlist with its scaling rules.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The architecture parameters (tiles, cores, core size, wavelengths).
+    pub fn params(&self) -> &ArchParams {
+        &self.params
+    }
+
+    /// PTC operating clock frequency.
+    pub fn clock(&self) -> Frequency {
+        self.clock
+    }
+
+    /// Time needed to reprogram the stationary operand.
+    pub fn weight_reconfig_time(&self) -> Time {
+        self.weight_reconfig_time
+    }
+
+    /// Library device encoding operand A (weights).
+    pub fn weight_device(&self) -> &str {
+        &self.weight_device
+    }
+
+    /// Library device encoding operand B (inputs).
+    pub fn input_device(&self) -> &str {
+        &self.input_device
+    }
+
+    /// Number of forward passes needed per full-range output (`I` in the paper).
+    pub fn full_range_iterations(&self) -> usize {
+        self.taxonomy.forwards_required()
+    }
+
+    /// Multiply-accumulate operations performed per clock cycle:
+    /// `R·C·H·W·λ` parallel multiplications with analog accumulation.
+    pub fn macs_per_cycle(&self) -> u64 {
+        (self.params.total_nodes() * self.params.wavelengths()) as u64
+    }
+
+    /// Cycle penalty incurred every time the stationary operand is rewritten.
+    ///
+    /// Zero when reprogramming fits within one clock cycle (dynamic designs).
+    pub fn reconfig_cycle_penalty(&self) -> u64 {
+        let cycles = self.weight_reconfig_time.cycles_at(self.clock);
+        if cycles <= 1 {
+            0
+        } else {
+            cycles
+        }
+    }
+
+    /// Scaled physical device counts (hardware sharing applied).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaling-rule evaluation errors.
+    pub fn device_counts(&self) -> Result<BTreeMap<String, usize>> {
+        Ok(self.netlist.device_counts(&self.params)?)
+    }
+
+    /// Per-instance scaled counts keyed by instance name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaling-rule evaluation errors.
+    pub fn instance_counts(&self) -> Result<BTreeMap<String, usize>> {
+        Ok(self.netlist.instance_counts(&self.params)?)
+    }
+
+    /// Critical-path insertion loss and the instances along it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device lookup and graph errors.
+    pub fn critical_insertion_loss(
+        &self,
+        library: &DeviceLibrary,
+    ) -> Result<(Vec<InstanceId>, Decibels)> {
+        Ok(self.netlist.critical_insertion_loss(library, &self.params)?)
+    }
+
+    /// Returns a copy with different architecture parameters (same circuit).
+    pub fn with_params(&self, params: ArchParams) -> Result<Self> {
+        Self::new(
+            self.name.clone(),
+            self.family,
+            self.taxonomy,
+            self.netlist.clone(),
+            params,
+            self.clock,
+            self.weight_reconfig_time,
+            self.weight_device.clone(),
+            self.input_device.clone(),
+        )
+    }
+
+    /// Returns a copy with a different clock frequency.
+    pub fn with_clock(&self, clock: Frequency) -> Result<Self> {
+        Self::new(
+            self.name.clone(),
+            self.family,
+            self.taxonomy,
+            self.netlist.clone(),
+            self.params.clone(),
+            clock,
+            self.weight_reconfig_time,
+            self.weight_device.clone(),
+            self.input_device.clone(),
+        )
+    }
+}
+
+impl fmt::Display for PtcArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} @ {} ({} MAC/cycle)",
+            self.name,
+            self.family,
+            self.params,
+            self.clock,
+            self.macs_per_cycle()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn zero_sized_architectures_are_rejected() {
+        let tempo = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let err = tempo.with_params(ArchParams::new(0, 2, 4, 4));
+        assert!(matches!(err, Err(ArchError::InvalidParameters { .. })));
+    }
+
+    #[test]
+    fn macs_per_cycle_scale_with_wavelengths() {
+        let base = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let wdm = base
+            .with_params(ArchParams::new(2, 2, 4, 4).with_wavelengths(4))
+            .unwrap();
+        assert_eq!(wdm.macs_per_cycle(), 4 * base.macs_per_cycle());
+    }
+
+    #[test]
+    fn dynamic_designs_have_no_reconfig_penalty() {
+        let tempo = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        assert_eq!(tempo.reconfig_cycle_penalty(), 0);
+        let mesh = generators::mzi_mesh(ArchParams::new(1, 1, 8, 8), 5.0).unwrap();
+        assert!(mesh.reconfig_cycle_penalty() > 1_000);
+    }
+
+    #[test]
+    fn display_mentions_family_and_clock() {
+        let tempo = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let text = tempo.to_string();
+        assert!(text.contains("TeMPO"));
+        assert!(text.contains("GHz"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Photonic tensor core taxonomy (paper Table I).
+//!
+//! PTC designs differ in the numerical range each operand can encode, how fast
+//! each operand can be reconfigured, and how full-range outputs are obtained.
+//! Those properties determine the number of forward passes needed per
+//! full-range result (`I`), whether the core can execute dynamic tensor
+//! products (self-attention), and whether weight loading incurs a
+//! reconfiguration latency penalty.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numerical range an operand encoding supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandRange {
+    /// Full-range real values (positive and negative).
+    Real,
+    /// Non-negative real values only (incoherent intensity encoding).
+    NonNegativeReal,
+    /// Complex values (coherent subspace encodings such as butterfly meshes).
+    Complex,
+}
+
+impl OperandRange {
+    /// How many differential computations are needed to recover full-range
+    /// results from this operand encoding alone.
+    pub fn forwards_factor(self) -> usize {
+        match self {
+            OperandRange::Real | OperandRange::Complex => 1,
+            OperandRange::NonNegativeReal => 2,
+        }
+    }
+}
+
+impl fmt::Display for OperandRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            OperandRange::Real => "R",
+            OperandRange::NonNegativeReal => "R+",
+            OperandRange::Complex => "C",
+        };
+        write!(f, "{label}")
+    }
+}
+
+/// How quickly an operand can be reprogrammed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReconfigSpeed {
+    /// Reprogrammed at the computation clock rate (high-speed modulators).
+    Dynamic,
+    /// Reprogrammed slowly (thermo-optic tuning, PCM writes); effectively
+    /// stationary within a tile of computation.
+    Static,
+}
+
+impl fmt::Display for ReconfigSpeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigSpeed::Dynamic => write!(f, "Dynamic"),
+            ReconfigSpeed::Static => write!(f, "Static"),
+        }
+    }
+}
+
+/// How full-range outputs are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputeMethod {
+    /// The core computes the result directly.
+    Direct,
+    /// The core computes positive and negative parts that are combined
+    /// differentially (subspace coherent designs).
+    PosNeg,
+}
+
+impl fmt::Display for ComputeMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputeMethod::Direct => write!(f, "Direct"),
+            ComputeMethod::PosNeg => write!(f, "Pos-Neg"),
+        }
+    }
+}
+
+/// Expressivity of the matrix a PTC can realise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expressivity {
+    /// Arbitrary matrices.
+    Universal,
+    /// A restricted (structured) subspace of linear transforms.
+    Subspace,
+}
+
+impl fmt::Display for Expressivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expressivity::Universal => write!(f, "universal"),
+            Expressivity::Subspace => write!(f, "subspace"),
+        }
+    }
+}
+
+/// The Table-I row describing one PTC design.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_arch::PtcTaxonomy;
+///
+/// assert_eq!(PtcTaxonomy::pcm_crossbar().forwards_required(), 4);
+/// assert_eq!(PtcTaxonomy::tempo().forwards_required(), 1);
+/// assert!(PtcTaxonomy::tempo().supports_dynamic_products());
+/// assert!(!PtcTaxonomy::mzi_array().supports_dynamic_products());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PtcTaxonomy {
+    /// Range of the streaming operand A (inputs).
+    pub operand_a_range: OperandRange,
+    /// Reconfiguration speed of operand A.
+    pub operand_a_reconfig: ReconfigSpeed,
+    /// Range of the stationary operand B (weights).
+    pub operand_b_range: OperandRange,
+    /// Reconfiguration speed of operand B.
+    pub operand_b_reconfig: ReconfigSpeed,
+    /// How full-range outputs are formed.
+    pub method: ComputeMethod,
+    /// Expressivity of the realisable matrices.
+    pub expressivity: Expressivity,
+}
+
+impl PtcTaxonomy {
+    /// Thermo-optic MZI array (Shen et al.): full-range coherent, weight-stationary.
+    pub fn mzi_array() -> Self {
+        Self {
+            operand_a_range: OperandRange::Real,
+            operand_a_reconfig: ReconfigSpeed::Dynamic,
+            operand_b_range: OperandRange::Real,
+            operand_b_reconfig: ReconfigSpeed::Static,
+            method: ComputeMethod::Direct,
+            expressivity: Expressivity::Universal,
+        }
+    }
+
+    /// Butterfly-mesh subspace PTC: complex static weights, pos-neg readout.
+    pub fn butterfly_mesh() -> Self {
+        Self {
+            operand_a_range: OperandRange::Real,
+            operand_a_reconfig: ReconfigSpeed::Dynamic,
+            operand_b_range: OperandRange::Complex,
+            operand_b_reconfig: ReconfigSpeed::Static,
+            method: ComputeMethod::PosNeg,
+            expressivity: Expressivity::Subspace,
+        }
+    }
+
+    /// MRR weight bank: incoherent (non-negative inputs), dynamic weights.
+    pub fn mrr_array() -> Self {
+        Self {
+            operand_a_range: OperandRange::NonNegativeReal,
+            operand_a_reconfig: ReconfigSpeed::Dynamic,
+            operand_b_range: OperandRange::Real,
+            operand_b_reconfig: ReconfigSpeed::Dynamic,
+            method: ComputeMethod::Direct,
+            expressivity: Expressivity::Universal,
+        }
+    }
+
+    /// Non-volatile PCM crossbar: non-negative inputs and weights.
+    pub fn pcm_crossbar() -> Self {
+        Self {
+            operand_a_range: OperandRange::NonNegativeReal,
+            operand_a_reconfig: ReconfigSpeed::Dynamic,
+            operand_b_range: OperandRange::NonNegativeReal,
+            operand_b_reconfig: ReconfigSpeed::Static,
+            method: ComputeMethod::Direct,
+            expressivity: Expressivity::Universal,
+        }
+    }
+
+    /// TeMPO dynamic time-multiplexed tensor core: full-range, both operands dynamic.
+    pub fn tempo() -> Self {
+        Self {
+            operand_a_range: OperandRange::Real,
+            operand_a_reconfig: ReconfigSpeed::Dynamic,
+            operand_b_range: OperandRange::Real,
+            operand_b_reconfig: ReconfigSpeed::Dynamic,
+            method: ComputeMethod::Direct,
+            expressivity: Expressivity::Universal,
+        }
+    }
+
+    /// SCATTER weight-static core: full-range dynamic inputs, thermally
+    /// programmed (static) full-range weights.
+    pub fn scatter() -> Self {
+        Self {
+            operand_a_range: OperandRange::Real,
+            operand_a_reconfig: ReconfigSpeed::Dynamic,
+            operand_b_range: OperandRange::Real,
+            operand_b_reconfig: ReconfigSpeed::Static,
+            method: ComputeMethod::Direct,
+            expressivity: Expressivity::Universal,
+        }
+    }
+
+    /// Number of forward passes (`I`) needed to obtain a full-range output.
+    ///
+    /// Each operand restricted to non-negative values doubles the count, as the
+    /// paper describes (up to 4× for PCM crossbars); differential (pos-neg)
+    /// readout is already counted as a single forward by the designs that use it.
+    pub fn forwards_required(&self) -> usize {
+        self.operand_a_range.forwards_factor() * self.operand_b_range.forwards_factor()
+    }
+
+    /// `true` when both operands are reconfigured at the clock rate, enabling
+    /// dynamic tensor products (e.g. attention score matrices).
+    pub fn supports_dynamic_products(&self) -> bool {
+        self.operand_a_reconfig == ReconfigSpeed::Dynamic
+            && self.operand_b_reconfig == ReconfigSpeed::Dynamic
+    }
+
+    /// `true` when the weight operand is stationary, making the design subject
+    /// to reconfiguration latency penalties when weights change.
+    pub fn is_weight_stationary(&self) -> bool {
+        self.operand_b_reconfig == ReconfigSpeed::Static
+    }
+}
+
+impl fmt::Display for PtcTaxonomy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "A: {}/{}, B: {}/{}, {}, {} forward(s)",
+            self.operand_a_range,
+            self.operand_a_reconfig,
+            self.operand_b_range,
+            self.operand_b_reconfig,
+            self.method,
+            self.forwards_required()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_forward_counts_match_the_paper() {
+        assert_eq!(PtcTaxonomy::mzi_array().forwards_required(), 1);
+        assert_eq!(PtcTaxonomy::butterfly_mesh().forwards_required(), 1);
+        assert_eq!(PtcTaxonomy::mrr_array().forwards_required(), 2);
+        assert_eq!(PtcTaxonomy::pcm_crossbar().forwards_required(), 4);
+        assert_eq!(PtcTaxonomy::tempo().forwards_required(), 1);
+    }
+
+    #[test]
+    fn only_fully_dynamic_designs_support_attention() {
+        assert!(PtcTaxonomy::tempo().supports_dynamic_products());
+        assert!(PtcTaxonomy::mrr_array().supports_dynamic_products());
+        assert!(!PtcTaxonomy::mzi_array().supports_dynamic_products());
+        assert!(!PtcTaxonomy::pcm_crossbar().supports_dynamic_products());
+        assert!(!PtcTaxonomy::scatter().supports_dynamic_products());
+    }
+
+    #[test]
+    fn weight_stationary_designs_are_flagged() {
+        assert!(PtcTaxonomy::mzi_array().is_weight_stationary());
+        assert!(PtcTaxonomy::scatter().is_weight_stationary());
+        assert!(!PtcTaxonomy::tempo().is_weight_stationary());
+    }
+
+    #[test]
+    fn display_summarises_the_row() {
+        let text = PtcTaxonomy::pcm_crossbar().to_string();
+        assert!(text.contains("R+"));
+        assert!(text.contains("4 forward"));
+    }
+}

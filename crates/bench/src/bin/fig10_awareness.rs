@@ -1,0 +1,113 @@
+//! Fig. 10 — layout-aware and data-dependent modeling:
+//! (a) TeMPO area with and without layout awareness;
+//! (b) SCATTER energy with data-unaware, data-aware (analytical power model)
+//!     and data-aware (measured device model) phase-shifter accounting.
+//!
+//! Fig. 5's three power-model fidelities are exercised directly by (b).
+
+use simphony::{
+    area_report, Accelerator, DataAwareness, MappingPlan, SimulationConfig, Simulator,
+};
+use simphony_arch::generators;
+use simphony_bench::{default_params, print_comparison, reference, tempo_accelerator, SEED};
+use simphony_dataflow::DataflowStyle;
+use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
+
+fn scatter_accel(measured: bool) -> Accelerator {
+    let arch = if measured {
+        generators::scatter_measured(default_params(), 5.0)
+    } else {
+        generators::scatter(default_params(), 5.0)
+    }
+    .expect("SCATTER architecture builds");
+    Accelerator::builder("scatter_edge")
+        .sub_arch(arch)
+        .build()
+        .expect("SCATTER accelerator builds")
+}
+
+fn main() {
+    println!("Fig. 10(a) — TeMPO area breakdown with and without layout awareness\n");
+    let accel = tempo_accelerator(default_params()).expect("TeMPO accelerator builds");
+    let aware = area_report(&accel, true).expect("layout-aware area");
+    let unaware = area_report(&accel, false).expect("layout-unaware area");
+    println!(
+        "{:<18} {:>12} {:>12}",
+        "component", "aware mm^2", "unaware mm^2"
+    );
+    for (kind, area) in &aware.by_kind {
+        println!(
+            "{:<18} {:>12.4} {:>12.4}",
+            kind,
+            area.square_millimeters(),
+            unaware
+                .by_kind
+                .get(kind)
+                .map(|a| a.square_millimeters())
+                .unwrap_or(0.0)
+        );
+    }
+    println!(
+        "{:<18} {:>12.4} {:>12.4}",
+        "Node (layout)",
+        aware.whitespace.square_millimeters(),
+        unaware.whitespace.square_millimeters()
+    );
+    let aware_total = aware.total.square_millimeters() - aware.memory.square_millimeters();
+    let unaware_total = unaware.total.square_millimeters() - unaware.memory.square_millimeters();
+    print_comparison("layout-aware total", aware_total, reference::TEMPO_AREA_MM2, "mm^2");
+    print_comparison(
+        "layout-unaware total",
+        unaware_total,
+        reference::TEMPO_AREA_UNAWARE_MM2,
+        "mm^2",
+    );
+    println!(
+        "underestimation of the layout-unaware method: {:.0}%\n",
+        (1.0 - unaware_total / aware_total) * 100.0
+    );
+
+    println!("Fig. 10(b) — SCATTER phase-shifter energy vs. data awareness\n");
+    // A 60%-sparse weight-static workload, as in the SCATTER co-sparsity study.
+    let workload = ModelWorkload::extract(
+        &models::single_gemm(64, 64, 64),
+        &QuantConfig::default(),
+        &PruningConfig::new(0.6).expect("valid sparsity"),
+        SEED,
+    )
+    .expect("workload extracts");
+    let cases = [
+        ("Data Unaware", false, DataAwareness::Unaware),
+        ("Data Aware w/o Model", false, DataAwareness::Aware),
+        ("Data Aware w/ Model", true, DataAwareness::Aware),
+    ];
+    let references = [
+        reference::SCATTER_UNAWARE_NJ,
+        reference::SCATTER_AWARE_NJ,
+        reference::SCATTER_AWARE_MODEL_NJ,
+    ];
+    for ((label, measured, awareness), reference_nj) in cases.into_iter().zip(references) {
+        let report = Simulator::new(scatter_accel(measured))
+            .with_config(SimulationConfig {
+                data_awareness: awareness,
+                dataflow: DataflowStyle::WeightStationary,
+                layout_aware: true,
+            })
+            .simulate(&workload, &MappingPlan::default())
+            .expect("SCATTER simulation succeeds");
+        let ps_nj = report
+            .energy_by_kind
+            .get("PS")
+            .map(|e| e.nanojoules())
+            .unwrap_or(0.0);
+        let mzm_nj = report
+            .energy_by_kind
+            .get("MZM")
+            .map(|e| e.nanojoules())
+            .unwrap_or(0.0);
+        println!(
+            "{label:<22} PS {ps_nj:>10.2} nJ | MZM {mzm_nj:>8.2} nJ | paper PS+MZM ~{reference_nj:>5.1} nJ"
+        );
+    }
+    println!("\nshape check: unaware > aware (analytical) > aware (measured device model)");
+}

@@ -1,0 +1,60 @@
+//! Fig. 11 — heterogeneous layer mapping: VGG-8 (CIFAR-10) with the
+//! convolutional layers mapped to SCATTER and the linear layers mapped to a
+//! thermo-optic MZI mesh, both sharing the on-chip memory hierarchy. Prints the
+//! per-layer energy breakdown by device kind.
+
+use std::collections::BTreeSet;
+
+use simphony::{Accelerator, MappingPlan, Simulator};
+use simphony_arch::generators;
+use simphony_bench::{default_params, SEED};
+use simphony_onn::{models, LayerKind, ModelWorkload, PruningConfig, QuantConfig};
+
+fn main() {
+    let accel = Accelerator::builder("scatter_plus_mzi")
+        .sub_arch(generators::scatter(default_params(), 5.0).expect("SCATTER builds"))
+        .sub_arch(generators::mzi_mesh(default_params(), 5.0).expect("MZI mesh builds"))
+        .build()
+        .expect("heterogeneous accelerator builds");
+    let workload = ModelWorkload::extract(
+        &models::vgg8_cifar10(),
+        &QuantConfig::default(),
+        &PruningConfig::new(0.5).expect("valid sparsity"),
+        SEED,
+    )
+    .expect("VGG-8 workload extracts");
+    let plan = MappingPlan::all_to(0).route(LayerKind::Linear, 1);
+    let report = Simulator::new(accel)
+        .simulate(&workload, &plan)
+        .expect("heterogeneous simulation succeeds");
+
+    println!("Fig. 11 — VGG-8 (CIFAR-10) layer energy breakdown, Conv -> SCATTER, Linear -> MZI mesh\n");
+    let kinds: BTreeSet<String> = report
+        .layers
+        .iter()
+        .flat_map(|l| l.energy.by_kind.keys().cloned())
+        .collect();
+    print!("{:<10} {:<10}", "layer", "sub-arch");
+    for kind in &kinds {
+        print!("{kind:>12}");
+    }
+    println!("{:>12}", "total (uJ)");
+    for layer in &report.layers {
+        print!("{:<10} {:<10}", layer.name, layer.sub_arch);
+        for kind in &kinds {
+            let uj = layer
+                .energy
+                .by_kind
+                .get(kind)
+                .map(|e| e.microjoules())
+                .unwrap_or(0.0);
+            print!("{uj:>12.4}");
+        }
+        println!("{:>12.4}", layer.energy.total.microjoules());
+    }
+    println!(
+        "\ntotal: {} over {} cycles ({} average power)",
+        report.total_energy, report.total_cycles, report.average_power
+    );
+    println!("GLB blocks shared by both sub-architectures: {}", report.glb_blocks);
+}

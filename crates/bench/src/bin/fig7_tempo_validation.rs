@@ -1,0 +1,60 @@
+//! Fig. 7 — SimPhony validation against TeMPO on the (280×28)×(28×280) GEMM:
+//! (a) area breakdown, (b) energy breakdown. Settings: 4×4 cores, 2 tiles × 2
+//! cores per tile, 5 GHz.
+
+use simphony_bench::{
+    default_params, print_breakdown, print_comparison, reference, simulate_validation_gemm,
+};
+use simphony_units::BitWidth;
+
+fn main() {
+    let report = simulate_validation_gemm(default_params(), BitWidth::new(8))
+        .expect("validation GEMM simulation succeeds");
+
+    println!("Fig. 7 — TeMPO validation on (280x28)x(28x280) GEMM\n");
+
+    print_breakdown(
+        "Fig. 7(a) area breakdown",
+        "mm^2",
+        report
+            .area
+            .by_kind
+            .iter()
+            .map(|(k, a)| (k.clone(), format!("{:.4}", a.square_millimeters()))),
+    );
+    println!(
+        "{:<14} {:.4}",
+        "Node (layout)",
+        report.area.whitespace.square_millimeters()
+    );
+    println!("{:<14} {:.4}", "Mem", report.area.memory.square_millimeters());
+    print_comparison(
+        "total photonic accelerator area",
+        report.area.total.square_millimeters() - report.area.memory.square_millimeters(),
+        reference::TEMPO_AREA_MM2,
+        "mm^2",
+    );
+    println!();
+
+    print_breakdown(
+        "Fig. 7(b) energy breakdown",
+        "uJ",
+        report
+            .energy_by_kind
+            .iter()
+            .map(|(k, e)| (k.clone(), format!("{:.4}", e.microjoules()))),
+    );
+    // The paper reports ~96 pJ for a single-cycle slice of the workload; we
+    // compare per-MAC energy shape instead of absolute numbers.
+    let macs: u64 = 280 * 28 * 280;
+    let per_mac_fj = report.total_energy.femtojoules() / macs as f64;
+    print_comparison(
+        "energy per MAC",
+        per_mac_fj,
+        reference::TEMPO_ENERGY_PJ * 1000.0 / (2.0 * 4.0 * 4.0 * 2.0 * 2.0),
+        "fJ/MAC",
+    );
+    println!("\ntotal: {} over {} cycles", report.total_energy, report.total_cycles);
+    println!("critical-path IL: {}", report.link_budgets[0].critical_path_il);
+    println!("GLB blocks: {}", report.glb_blocks);
+}

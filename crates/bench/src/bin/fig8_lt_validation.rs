@@ -1,0 +1,74 @@
+//! Fig. 8 — SimPhony validation against Lightening-Transformer: BERT-Base on a
+//! single (224×224) ImageNet image. Settings: 4 tiles, 2 cores per tile,
+//! 12×12 cores, 12 wavelengths, 5 GHz. The paper reports area and *power*
+//! breakdowns (LT only published power).
+
+use simphony::{MappingPlan, Simulator};
+use simphony_bench::{
+    lightening_transformer_params, print_breakdown, print_comparison, reference,
+    tempo_accelerator, SEED,
+};
+use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
+
+fn main() {
+    let accel = tempo_accelerator(lightening_transformer_params())
+        .expect("LT-style accelerator builds");
+    // A 224x224 image through a ViT-style patch embedding gives 196 tokens.
+    let workload = ModelWorkload::extract(
+        &models::bert_base(196),
+        &QuantConfig::default(),
+        &PruningConfig::dense(),
+        SEED,
+    )
+    .expect("BERT-Base workload extracts");
+    let report = Simulator::new(accel)
+        .simulate(&workload, &MappingPlan::default())
+        .expect("BERT-Base simulation succeeds");
+
+    println!("Fig. 8 — Lightening-Transformer validation (BERT-Base, 196 tokens)\n");
+
+    print_breakdown(
+        "Fig. 8(a) area breakdown",
+        "mm^2",
+        report
+            .area
+            .by_kind
+            .iter()
+            .map(|(k, a)| (k.clone(), format!("{:.3}", a.square_millimeters()))),
+    );
+    println!("{:<14} {:.3}", "Node (layout)", report.area.whitespace.square_millimeters());
+    println!("{:<14} {:.3}", "Mem", report.area.memory.square_millimeters());
+    print_comparison(
+        "total chip area",
+        report.area.total.square_millimeters(),
+        reference::LT_AREA_MM2,
+        "mm^2",
+    );
+    println!();
+
+    // LT reports power, so we do too: energy / execution time, per kind.
+    let total_seconds = report.total_time.seconds();
+    print_breakdown(
+        "Fig. 8(b) power breakdown",
+        "W",
+        report.energy_by_kind.iter().map(|(k, e)| {
+            (
+                k.clone(),
+                format!("{:.3}", e.joules() / total_seconds),
+            )
+        }),
+    );
+    print_comparison(
+        "total average power",
+        report.average_power.watts(),
+        reference::LT_POWER_W,
+        "W",
+    );
+    println!(
+        "\n{} layers, {} cycles, {}, {} total energy",
+        report.layers.len(),
+        report.total_cycles,
+        report.total_time,
+        report.total_energy
+    );
+}

@@ -1,0 +1,82 @@
+//! Fig. 9 — design-space sweeps on the TeMPO architecture and the
+//! (280×28)×(28×280) GEMM: (a) energy vs. number of wavelengths (1–7),
+//! (b) energy vs. operand bitwidth (2–8). The architecture is the paper's
+//! default 4×4-core, 2-tile × 2-core setting at 5 GHz.
+
+use std::collections::BTreeSet;
+
+use simphony_bench::{default_params, simulate_validation_gemm};
+use simphony_units::BitWidth;
+
+fn print_series_header(kinds: &BTreeSet<String>) {
+    print!("{:<10}", "sweep");
+    for kind in kinds {
+        print!("{kind:>12}");
+    }
+    println!("{:>12}", "total (uJ)");
+}
+
+fn main() {
+    println!("Fig. 9(a) — energy vs. number of wavelengths (uJ per component)\n");
+    let mut kinds: BTreeSet<String> = BTreeSet::new();
+    let mut wavelength_rows = Vec::new();
+    for lambda in 1..=7usize {
+        let report = simulate_validation_gemm(
+            default_params().with_wavelengths(lambda),
+            BitWidth::new(8),
+        )
+        .expect("wavelength sweep point simulates");
+        kinds.extend(report.energy_by_kind.keys().cloned());
+        wavelength_rows.push((lambda, report));
+    }
+    print_series_header(&kinds);
+    for (lambda, report) in &wavelength_rows {
+        print!("{lambda:<10}");
+        for kind in &kinds {
+            let uj = report
+                .energy_by_kind
+                .get(kind)
+                .map(|e| e.microjoules())
+                .unwrap_or(0.0);
+            print!("{uj:>12.4}");
+        }
+        println!("{:>12.4}", report.total_energy.microjoules());
+    }
+    let first = &wavelength_rows.first().expect("non-empty sweep").1;
+    let last = &wavelength_rows.last().expect("non-empty sweep").1;
+    println!(
+        "\nshape check: MZM energy stays ~constant ({} -> {}), ADC energy shrinks ({} -> {})\n",
+        first.energy_by_kind["MZM"],
+        last.energy_by_kind["MZM"],
+        first.energy_by_kind["ADC"],
+        last.energy_by_kind["ADC"],
+    );
+
+    println!("Fig. 9(b) — energy vs. input/weight/output bitwidth (uJ per component)\n");
+    let mut kinds_b: BTreeSet<String> = BTreeSet::new();
+    let mut bit_rows = Vec::new();
+    for bits in 2..=8u8 {
+        let report = simulate_validation_gemm(default_params(), BitWidth::new(bits))
+            .expect("bitwidth sweep point simulates");
+        kinds_b.extend(report.energy_by_kind.keys().cloned());
+        bit_rows.push((bits, report));
+    }
+    print_series_header(&kinds_b);
+    for (bits, report) in &bit_rows {
+        print!("{bits:<10}");
+        for kind in &kinds_b {
+            let uj = report
+                .energy_by_kind
+                .get(kind)
+                .map(|e| e.microjoules())
+                .unwrap_or(0.0);
+            print!("{uj:>12.4}");
+        }
+        println!("{:>12.4}", report.total_energy.microjoules());
+    }
+    let e2 = bit_rows.first().expect("non-empty sweep").1.total_energy;
+    let e8 = bit_rows.last().expect("non-empty sweep").1.total_energy;
+    println!(
+        "\nshape check: total energy increases with precision ({e2} at 2-bit -> {e8} at 8-bit)"
+    );
+}

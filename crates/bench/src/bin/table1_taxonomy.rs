@@ -1,0 +1,36 @@
+//! Table I — PTC taxonomy: operand ranges, reconfiguration speeds and the
+//! number of forwards required for full-range output, derived automatically
+//! from each design's encoding properties.
+
+use simphony_arch::PtcTaxonomy;
+
+fn main() {
+    let rows = [
+        ("MZI Array", PtcTaxonomy::mzi_array()),
+        ("Butterfly Mesh", PtcTaxonomy::butterfly_mesh()),
+        ("MRR Array", PtcTaxonomy::mrr_array()),
+        ("PCM crossbar", PtcTaxonomy::pcm_crossbar()),
+        ("TeMPO", PtcTaxonomy::tempo()),
+        ("SCATTER", PtcTaxonomy::scatter()),
+    ];
+    println!("Table I: PTC taxonomy (derived from encoding properties)");
+    println!(
+        "{:<16} {:<6} {:<9} {:<6} {:<9} {:<8} {:<9} {}",
+        "Design", "A rng", "A recfg", "B rng", "B recfg", "Method", "#Forward", "Dynamic products"
+    );
+    for (name, t) in rows {
+        println!(
+            "{:<16} {:<6} {:<9} {:<6} {:<9} {:<8} {:<9} {}",
+            name,
+            t.operand_a_range.to_string(),
+            t.operand_a_reconfig.to_string(),
+            t.operand_b_range.to_string(),
+            t.operand_b_reconfig.to_string(),
+            t.method.to_string(),
+            t.forwards_required(),
+            if t.supports_dynamic_products() { "yes" } else { "no" },
+        );
+    }
+    println!();
+    println!("Paper Table I reference: MZI=1, Butterfly=1, MRR=2, PCM=4, TeMPO=1 forwards.");
+}

@@ -1,0 +1,129 @@
+//! Shared helpers for the SimPhony-RS benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation section has a dedicated
+//! binary in `src/bin/` that regenerates it (see `EXPERIMENTS.md` at the
+//! repository root for the index). This library provides the common experiment
+//! setups — the paper's architecture settings, reference values, and small
+//! report-printing utilities — so the binaries and the Criterion benches share
+//! one definition of each experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use simphony::{Accelerator, MappingPlan, Result, SimulationReport, Simulator};
+use simphony_arch::generators;
+use simphony_netlist::ArchParams;
+use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
+use simphony_units::BitWidth;
+
+/// Deterministic seed used by every experiment.
+pub const SEED: u64 = 42;
+
+/// Paper reference values quoted in the validation figures.
+pub mod reference {
+    /// Fig. 7(a): TeMPO reference chip area for the validation GEMM, mm².
+    pub const TEMPO_AREA_MM2: f64 = 0.84;
+    /// Fig. 7(b): TeMPO reference energy for the validation GEMM, pJ (per cycle-slice shown).
+    pub const TEMPO_ENERGY_PJ: f64 = 92.52;
+    /// Fig. 8(a): Lightening-Transformer reference area, mm².
+    pub const LT_AREA_MM2: f64 = 60.30;
+    /// Fig. 8(b): Lightening-Transformer reference power, W.
+    pub const LT_POWER_W: f64 = 14.75;
+    /// Fig. 10(a): layout-unaware TeMPO area estimate, mm².
+    pub const TEMPO_AREA_UNAWARE_MM2: f64 = 0.63;
+    /// Fig. 10(b): SCATTER energy, data-unaware, nJ.
+    pub const SCATTER_UNAWARE_NJ: f64 = 69.0;
+    /// Fig. 10(b): SCATTER energy, data-aware with the analytical model, nJ.
+    pub const SCATTER_AWARE_NJ: f64 = 37.0;
+    /// Fig. 10(b): SCATTER energy, data-aware with the measured device model, nJ.
+    pub const SCATTER_AWARE_MODEL_NJ: f64 = 36.0;
+    /// Fig. 6: real node layout area, µm².
+    pub const NODE_LAYOUT_REAL_UM2: f64 = 4416.0;
+    /// Fig. 6: signal-flow-aware estimate, µm².
+    pub const NODE_LAYOUT_ESTIMATE_UM2: f64 = 4531.5;
+    /// Fig. 6: prior footprint-sum estimate, µm².
+    pub const NODE_LAYOUT_FOOTPRINT_UM2: f64 = 1270.5;
+}
+
+/// The paper's default use-case setting: 2 tiles × 2 cores of 4×4 nodes at 5 GHz.
+pub fn default_params() -> ArchParams {
+    ArchParams::new(2, 2, 4, 4)
+}
+
+/// The Lightening-Transformer validation setting: 4 tiles × 2 cores of 12×12
+/// nodes, 12 wavelengths, 5 GHz.
+pub fn lightening_transformer_params() -> ArchParams {
+    ArchParams::new(4, 2, 12, 12).with_wavelengths(12)
+}
+
+/// A TeMPO accelerator with the given parameters.
+///
+/// # Errors
+///
+/// Propagates architecture and accelerator construction errors.
+pub fn tempo_accelerator(params: ArchParams) -> Result<Accelerator> {
+    Accelerator::builder("tempo_edge")
+        .sub_arch(generators::tempo(params, 5.0)?)
+        .build()
+}
+
+/// The paper's validation GEMM workload, `(280×28)×(28×280)`, at the given precision.
+///
+/// # Errors
+///
+/// Propagates workload-extraction errors.
+pub fn validation_gemm_workload(bits: BitWidth) -> Result<ModelWorkload> {
+    Ok(ModelWorkload::extract(
+        &models::single_gemm(280, 28, 280),
+        &QuantConfig::uniform(bits),
+        &PruningConfig::dense(),
+        SEED,
+    )?)
+}
+
+/// Simulates the validation GEMM on a TeMPO accelerator with the given
+/// parameters and precision — the common core of Figs. 7, 9 and 10(a).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn simulate_validation_gemm(params: ArchParams, bits: BitWidth) -> Result<SimulationReport> {
+    let accel = tempo_accelerator(params)?;
+    let workload = validation_gemm_workload(bits)?;
+    Simulator::new(accel).simulate(&workload, &MappingPlan::default())
+}
+
+/// Prints a `label  value  (reference)` breakdown table row-by-row.
+pub fn print_breakdown<I, V>(title: &str, unit: &str, rows: I)
+where
+    I: IntoIterator<Item = (String, V)>,
+    V: std::fmt::Display,
+{
+    println!("--- {title} ({unit}) ---");
+    for (label, value) in rows {
+        println!("{label:<14} {value}");
+    }
+}
+
+/// Prints a simulated-vs-reference comparison with the ratio.
+pub fn print_comparison(what: &str, simulated: f64, reference: f64, unit: &str) {
+    let ratio = if reference != 0.0 {
+        simulated / reference
+    } else {
+        f64::NAN
+    };
+    println!("{what:<36} simulated {simulated:>10.3} {unit} | paper {reference:>10.3} {unit} | ratio {ratio:>6.2}x");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_the_paper_settings() {
+        assert_eq!(default_params().total_nodes(), 64);
+        assert_eq!(lightening_transformer_params().wavelengths(), 12);
+        let report = simulate_validation_gemm(default_params(), BitWidth::new(8)).unwrap();
+        assert!(report.total_energy.nanojoules() > 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Cross-crate integration tests: end-to-end pipelines spanning the device
+//! library, netlists, architectures, workload extraction, dataflow mapping and
+//! the simulator, mirroring the paper's evaluation scenarios.
+
+use simphony::{
+    area_report, Accelerator, DataAwareness, MappingPlan, SimulationConfig, Simulator,
+};
+use simphony_arch::generators;
+use simphony_bench::{default_params, lightening_transformer_params, tempo_accelerator};
+use simphony_dataflow::DataflowStyle;
+use simphony_netlist::ArchParams;
+use simphony_onn::{models, LayerKind, ModelWorkload, PruningConfig, QuantConfig};
+use simphony_units::BitWidth;
+
+fn workload(model: &simphony_onn::Model, bits: u8, sparsity: f64) -> ModelWorkload {
+    ModelWorkload::extract(
+        model,
+        &QuantConfig::uniform(BitWidth::new(bits)),
+        &PruningConfig::new(sparsity).expect("valid sparsity"),
+        42,
+    )
+    .expect("workload extraction succeeds")
+}
+
+#[test]
+fn fig7_validation_gemm_end_to_end() {
+    let accel = tempo_accelerator(default_params()).expect("accelerator builds");
+    let report = Simulator::new(accel)
+        .simulate(
+            &workload(&models::single_gemm(280, 28, 280), 8, 0.0),
+            &MappingPlan::default(),
+        )
+        .expect("simulation succeeds");
+    // Shape checks against the paper: the photonic accelerator is around a
+    // square millimetre, dominated by converters and modulators; energy is far
+    // below a digital accelerator's for the same GEMM.
+    let core_area = report.area.total.square_millimeters() - report.area.memory.square_millimeters();
+    assert!(core_area > 0.1 && core_area < 10.0, "core area {core_area} mm^2");
+    assert!(report.total_energy.microjoules() < 100.0);
+    assert!(report.energy_by_kind.contains_key("Laser"));
+    assert!(report.total_cycles >= 2450 * 14);
+}
+
+#[test]
+fn fig8_bert_on_lt_style_architecture() {
+    let accel = tempo_accelerator(lightening_transformer_params()).expect("accelerator builds");
+    let report = Simulator::new(accel)
+        .simulate(&workload(&models::bert_base(196), 8, 0.0), &MappingPlan::default())
+        .expect("simulation succeeds");
+    // 72 GEMMs (12 blocks x 6), tens of mm^2, watt-class average power.
+    assert_eq!(report.layers.len(), 72);
+    assert!(report.area.total.square_millimeters() > 10.0);
+    assert!(report.average_power.watts() > 1.0);
+    assert!(report.average_power.watts() < 1000.0);
+    // Attention score/context products must run as dynamic products.
+    assert!(report
+        .layers
+        .iter()
+        .any(|l| l.name.contains("attn_scores") && l.kind == LayerKind::Attention));
+}
+
+#[test]
+fn fig9a_wavelength_parallelism_trend() {
+    let mut totals = Vec::new();
+    let mut mzm = Vec::new();
+    for lambda in [1usize, 4, 7] {
+        let accel = tempo_accelerator(default_params().with_wavelengths(lambda))
+            .expect("accelerator builds");
+        let report = Simulator::new(accel)
+            .simulate(
+                &workload(&models::single_gemm(280, 28, 280), 8, 0.0),
+                &MappingPlan::default(),
+            )
+            .expect("simulation succeeds");
+        totals.push(report.total_energy.microjoules());
+        mzm.push(report.energy_by_kind["MZM"].microjoules());
+    }
+    // Components that do not scale with wavelength get cheaper; MZM energy is
+    // roughly constant (count grows, active time shrinks).
+    assert!(totals[2] < totals[0], "total energy should fall with wavelengths");
+    let mzm_ratio = mzm[2] / mzm[0];
+    assert!(
+        (0.5..=2.0).contains(&mzm_ratio),
+        "MZM energy should stay roughly constant, ratio {mzm_ratio}"
+    );
+}
+
+#[test]
+fn fig9b_bitwidth_energy_trend_is_monotone() {
+    let mut last = 0.0;
+    for bits in [2u8, 4, 6, 8] {
+        let accel = tempo_accelerator(default_params()).expect("accelerator builds");
+        let report = Simulator::new(accel)
+            .simulate(
+                &workload(&models::single_gemm(280, 28, 280), bits, 0.0),
+                &MappingPlan::default(),
+            )
+            .expect("simulation succeeds");
+        let adc = report.energy_by_kind["ADC"].microjoules();
+        assert!(adc > last, "ADC energy must grow with precision");
+        last = adc;
+    }
+}
+
+#[test]
+fn fig10a_layout_awareness_increases_area() {
+    let accel = tempo_accelerator(default_params()).expect("accelerator builds");
+    let aware = area_report(&accel, true).expect("aware area");
+    let unaware = area_report(&accel, false).expect("unaware area");
+    let ratio = (aware.total.square_millimeters() - aware.memory.square_millimeters())
+        / (unaware.total.square_millimeters() - unaware.memory.square_millimeters());
+    assert!(
+        ratio > 1.1 && ratio < 3.0,
+        "layout-aware / unaware core-area ratio {ratio} outside the plausible band"
+    );
+}
+
+#[test]
+fn fig10b_data_awareness_ordering_matches_paper() {
+    let sparse = workload(&models::single_gemm(64, 64, 64), 8, 0.6);
+    let simulate = |measured: bool, awareness: DataAwareness| {
+        let arch = if measured {
+            generators::scatter_measured(default_params(), 5.0)
+        } else {
+            generators::scatter(default_params(), 5.0)
+        }
+        .expect("arch builds");
+        let accel = Accelerator::builder("scatter").sub_arch(arch).build().expect("accel builds");
+        Simulator::new(accel)
+            .with_config(SimulationConfig {
+                data_awareness: awareness,
+                dataflow: DataflowStyle::WeightStationary,
+                layout_aware: true,
+            })
+            .simulate(&sparse, &MappingPlan::default())
+            .expect("simulation succeeds")
+            .energy_by_kind["PS"]
+            .nanojoules()
+    };
+    let unaware = simulate(false, DataAwareness::Unaware);
+    let aware = simulate(false, DataAwareness::Aware);
+    let aware_measured = simulate(true, DataAwareness::Aware);
+    assert!(aware < 0.7 * unaware, "data awareness should cut PS energy substantially");
+    assert!(aware_measured < aware, "measured device model should be cheaper than analytical");
+}
+
+#[test]
+fn fig11_heterogeneous_mapping_shares_memory() {
+    let accel = Accelerator::builder("hetero")
+        .sub_arch(generators::scatter(default_params(), 5.0).expect("SCATTER builds"))
+        .sub_arch(generators::mzi_mesh(default_params(), 5.0).expect("mesh builds"))
+        .build()
+        .expect("accelerator builds");
+    let plan = MappingPlan::all_to(0).route(LayerKind::Linear, 1);
+    let report = Simulator::new(accel)
+        .simulate(&workload(&models::vgg8_cifar10(), 8, 0.5), &plan)
+        .expect("simulation succeeds");
+    assert_eq!(report.layers.len(), 8);
+    let used: std::collections::BTreeSet<_> =
+        report.layers.iter().map(|l| l.sub_arch.clone()).collect();
+    assert_eq!(used.len(), 2, "both sub-architectures must be exercised");
+    assert!(report.glb_blocks >= 1);
+}
+
+#[test]
+fn table1_latency_penalty_shows_up_in_cycles() {
+    // The same GEMM takes ~4x the analog cycles on a PCM crossbar (I = 4)
+    // compared to TeMPO (I = 1) at identical array geometry.
+    let gemm = workload(&models::single_gemm(128, 128, 128), 8, 0.0);
+    let tempo = Simulator::new(tempo_accelerator(default_params()).expect("accel builds"))
+        .simulate(&gemm, &MappingPlan::default())
+        .expect("simulation succeeds");
+    let pcm_accel = Accelerator::builder("pcm")
+        .sub_arch(generators::pcm_crossbar(default_params(), 5.0).expect("arch builds"))
+        .build()
+        .expect("accel builds");
+    let pcm = Simulator::new(pcm_accel)
+        .with_config(SimulationConfig {
+            dataflow: DataflowStyle::WeightStationary,
+            ..SimulationConfig::default()
+        })
+        .simulate(&gemm, &MappingPlan::default())
+        .expect("simulation succeeds");
+    let tempo_compute = tempo.layers[0].latency.compute_cycles * tempo.layers[0].latency.iterations;
+    let pcm_compute = pcm.layers[0].latency.compute_cycles * pcm.layers[0].latency.iterations;
+    assert_eq!(pcm.layers[0].latency.iterations, 4);
+    assert_eq!(pcm_compute, 4 * tempo_compute);
+    assert!(pcm.layers[0].latency.reconfig_cycles > 0);
+}
+
+#[test]
+fn custom_architecture_params_flow_through_the_whole_stack() {
+    // A non-square, non-power-of-two configuration exercises the generality of
+    // the netlist scaling rules and the mapping.
+    let accel = Accelerator::builder("odd")
+        .sub_arch(generators::tempo(ArchParams::new(3, 1, 5, 7).with_wavelengths(2), 3.0).expect("arch builds"))
+        .build()
+        .expect("accel builds");
+    let report = Simulator::new(accel)
+        .simulate(&workload(&models::mlp("mlp", &[300, 120, 10]), 6, 0.2), &MappingPlan::default())
+        .expect("simulation succeeds");
+    assert_eq!(report.layers.len(), 2);
+    assert!(report.total_energy.nanojoules() > 0.0);
+}

@@ -1,0 +1,284 @@
+//! The complete EPIC AI accelerator: photonic sub-architectures, the shared
+//! device library, the memory hierarchy and the optical-link settings.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use simphony_arch::PtcArchitecture;
+use simphony_devlib::DeviceLibrary;
+use simphony_memsim::TechnologyNode;
+use simphony_units::DataSize;
+
+use crate::error::{Result, SimError};
+
+/// Optical link settings used by the link-budget analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Photodetector sensitivity in dBm for the target bit-error rate.
+    pub pd_sensitivity_dbm: f64,
+    /// Laser wall-plug efficiency in `(0, 1]`.
+    pub wall_plug_efficiency: f64,
+    /// Input encoding resolution in bits (`b_in` of Eq. 1).
+    pub input_bits: u32,
+    /// Modulator extinction ratio in dB (non-ideality power penalty).
+    pub extinction_ratio_db: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            pd_sensitivity_dbm: -25.0,
+            wall_plug_efficiency: 0.2,
+            input_bits: 8,
+            extinction_ratio_db: 8.0,
+        }
+    }
+}
+
+/// On-chip buffer sizing of the shared memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Global buffer capacity.
+    pub glb_capacity: DataSize,
+    /// Local buffer capacity (per sub-architecture).
+    pub lb_capacity: DataSize,
+    /// Register-file capacity.
+    pub rf_capacity: DataSize,
+    /// Per-block SRAM bus width in bits.
+    pub bus_width_bits: usize,
+    /// Memory technology node.
+    pub technology: TechnologyNode,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self {
+            glb_capacity: DataSize::from_kilobytes(512.0),
+            lb_capacity: DataSize::from_kilobytes(32.0),
+            rf_capacity: DataSize::from_kilobytes(2.0),
+            bus_width_bits: 512,
+            technology: TechnologyNode::NM_45,
+        }
+    }
+}
+
+/// A heterogeneous electronic-photonic accelerator.
+///
+/// One or more photonic sub-architectures share a device library, an on-chip
+/// memory hierarchy and the optical link configuration. The analyzers in this
+/// crate consume an `Accelerator` plus a workload.
+///
+/// # Examples
+///
+/// ```
+/// use simphony::Accelerator;
+/// use simphony_arch::generators;
+/// use simphony_netlist::ArchParams;
+///
+/// let accel = Accelerator::builder("tempo_edge")
+///     .sub_arch(generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0)?)
+///     .build()?;
+/// assert_eq!(accel.sub_archs().len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    name: String,
+    sub_archs: Vec<PtcArchitecture>,
+    library: DeviceLibrary,
+    memory: MemoryConfig,
+    link: LinkConfig,
+}
+
+impl Accelerator {
+    /// Starts building an accelerator.
+    pub fn builder(name: impl Into<String>) -> AcceleratorBuilder {
+        AcceleratorBuilder {
+            name: name.into(),
+            sub_archs: Vec::new(),
+            library: DeviceLibrary::standard(),
+            memory: MemoryConfig::default(),
+            link: LinkConfig::default(),
+        }
+    }
+
+    /// Accelerator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The photonic sub-architectures, in declaration order.
+    pub fn sub_archs(&self) -> &[PtcArchitecture] {
+        &self.sub_archs
+    }
+
+    /// The shared device library.
+    pub fn library(&self) -> &DeviceLibrary {
+        &self.library
+    }
+
+    /// The memory-hierarchy sizing.
+    pub fn memory(&self) -> &MemoryConfig {
+        &self.memory
+    }
+
+    /// The optical link settings.
+    pub fn link(&self) -> &LinkConfig {
+        &self.link
+    }
+
+    /// Finds a sub-architecture by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfiguration`] when no sub-architecture has
+    /// the requested name.
+    pub fn sub_arch_named(&self, name: &str) -> Result<&PtcArchitecture> {
+        self.sub_archs
+            .iter()
+            .find(|a| a.name() == name)
+            .ok_or_else(|| SimError::InvalidConfiguration {
+                reason: format!("no sub-architecture named `{name}`"),
+            })
+    }
+}
+
+impl fmt::Display for Accelerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} sub-architecture(s), GLB {:.0} KiB @ {}",
+            self.name,
+            self.sub_archs.len(),
+            self.memory.glb_capacity.kilobytes(),
+            self.memory.technology
+        )
+    }
+}
+
+/// Builder for [`Accelerator`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct AcceleratorBuilder {
+    name: String,
+    sub_archs: Vec<PtcArchitecture>,
+    library: DeviceLibrary,
+    memory: MemoryConfig,
+    link: LinkConfig,
+}
+
+impl AcceleratorBuilder {
+    /// Adds a photonic sub-architecture.
+    pub fn sub_arch(mut self, arch: PtcArchitecture) -> Self {
+        self.sub_archs.push(arch);
+        self
+    }
+
+    /// Replaces the device library (defaults to the standard library).
+    pub fn library(mut self, library: DeviceLibrary) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Overrides the memory configuration.
+    pub fn memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Overrides the link configuration.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Finalises the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfiguration`] when no sub-architecture was
+    /// added, a referenced device is missing from the library, or the link
+    /// settings are out of range.
+    pub fn build(self) -> Result<Accelerator> {
+        if self.sub_archs.is_empty() {
+            return Err(SimError::InvalidConfiguration {
+                reason: "an accelerator needs at least one sub-architecture".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.link.wall_plug_efficiency)
+            || self.link.wall_plug_efficiency == 0.0
+        {
+            return Err(SimError::InvalidConfiguration {
+                reason: "wall-plug efficiency must be in (0, 1]".into(),
+            });
+        }
+        // Every device referenced by every sub-architecture must exist.
+        for arch in &self.sub_archs {
+            for instance in arch.netlist().instances() {
+                if self.library.get(instance.device()).is_err() {
+                    return Err(SimError::InvalidConfiguration {
+                        reason: format!(
+                            "sub-architecture `{}` references unknown device `{}`",
+                            arch.name(),
+                            instance.device()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(Accelerator {
+            name: self.name,
+            sub_archs: self.sub_archs,
+            library: self.library,
+            memory: self.memory,
+            link: self.link,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simphony_arch::generators;
+    use simphony_netlist::ArchParams;
+
+    #[test]
+    fn empty_accelerators_are_rejected() {
+        assert!(matches!(
+            Accelerator::builder("empty").build(),
+            Err(SimError::InvalidConfiguration { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_devices_are_caught_at_build_time() {
+        let tempo = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let mut lib = DeviceLibrary::standard();
+        lib.remove("mzm_eo");
+        let err = Accelerator::builder("broken").sub_arch(tempo).library(lib).build();
+        assert!(matches!(err, Err(SimError::InvalidConfiguration { .. })));
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        let accel = Accelerator::builder("hetero")
+            .sub_arch(generators::scatter(ArchParams::new(2, 2, 4, 4), 5.0).unwrap())
+            .sub_arch(generators::mzi_mesh(ArchParams::new(2, 2, 4, 4), 5.0).unwrap())
+            .build()
+            .unwrap();
+        assert!(accel.sub_arch_named("mzi_mesh").is_ok());
+        assert!(accel.sub_arch_named("missing").is_err());
+    }
+
+    #[test]
+    fn invalid_wall_plug_efficiency_is_rejected() {
+        let tempo = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let err = Accelerator::builder("bad_link")
+            .sub_arch(tempo)
+            .link(LinkConfig {
+                wall_plug_efficiency: 0.0,
+                ..LinkConfig::default()
+            })
+            .build();
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! Data-dependent, device-response-aware energy analysis (paper Fig. 5).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use simphony_arch::PtcArchitecture;
+use simphony_dataflow::{GemmMapping, LatencyBreakdown, MemoryTraffic};
+use simphony_devlib::{ConverterScaling, DeviceKind, DeviceLibrary};
+use simphony_memsim::{MemoryHierarchy, MemoryLevel};
+use simphony_onn::LayerWorkload;
+use simphony_units::{Energy, Power};
+
+use crate::error::Result;
+use crate::link_budget::LinkBudgetReport;
+
+/// Whether the energy analysis uses the actual operand values of the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataAwareness {
+    /// Worst-case library power references (e.g. `Pπ` for every phase shifter).
+    Unaware,
+    /// Per-value device power, with pruned (zero) weights power-gated.
+    Aware,
+}
+
+impl fmt::Display for DataAwareness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataAwareness::Unaware => write!(f, "data-unaware"),
+            DataAwareness::Aware => write!(f, "data-aware"),
+        }
+    }
+}
+
+/// Energy of one layer, broken down by device kind (plus `"DM"` for data movement).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerEnergyReport {
+    /// Layer name.
+    pub layer: String,
+    /// Energy per device-kind label; `"DM"` covers all memory data movement.
+    pub by_kind: BTreeMap<String, Energy>,
+    /// Total layer energy.
+    pub total: Energy,
+}
+
+impl fmt::Display for LayerEnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.layer, self.total)
+    }
+}
+
+/// Mean electrical power of the architecture's weight-encoding device for this
+/// workload, honouring the requested data awareness.
+fn weight_device_power(
+    spec: &simphony_devlib::DeviceSpec,
+    workload: &LayerWorkload,
+    awareness: DataAwareness,
+) -> Power {
+    match awareness {
+        DataAwareness::Unaware => spec.power_model().worst_case_power(),
+        DataAwareness::Aware => {
+            let values = workload.normalized_abs_values();
+            if values.is_empty() {
+                return spec.power_model().mean_power();
+            }
+            let total_mw: f64 = values
+                .iter()
+                .map(|&v| {
+                    if v == 0.0 {
+                        // Pruned weights are power-gated.
+                        0.0
+                    } else {
+                        spec.power_model().power_at(v).milliwatts()
+                    }
+                })
+                .sum();
+            Power::from_milliwatts(total_mw / values.len() as f64)
+        }
+    }
+}
+
+/// Computes the energy of one mapped layer on one sub-architecture.
+///
+/// Device energy is accumulated over the analog-active cycles
+/// (`I × compute_cycles`): static (or value-aware) power times active time plus
+/// per-operation dynamic energy for every switching event. Data movement is
+/// charged per memory level from the dataflow traffic model, and the laser is
+/// charged at the link-budget power.
+///
+/// # Errors
+///
+/// Propagates device-lookup and scaling-rule errors.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_energy(
+    arch: &PtcArchitecture,
+    library: &DeviceLibrary,
+    link: &LinkBudgetReport,
+    _hierarchy: &MemoryHierarchy,
+    workload: &LayerWorkload,
+    mapping: &GemmMapping,
+    latency: &LatencyBreakdown,
+    awareness: DataAwareness,
+) -> Result<LayerEnergyReport> {
+    let _ = mapping;
+    let clock = arch.clock();
+    let active_cycles = latency.iterations * latency.compute_cycles;
+    let active_time = clock.period() * active_cycles as f64;
+    let counts = arch.instance_counts()?;
+    let scaling = ConverterScaling::default();
+
+    let mut by_kind: BTreeMap<String, Energy> = BTreeMap::new();
+    for inst in arch.netlist().instances() {
+        let spec = library.get(inst.device())?;
+        let count = counts.get(inst.name()).copied().unwrap_or(0) as f64;
+        if count == 0.0 {
+            continue;
+        }
+        let effective_spec;
+        let spec_ref = if spec.kind().is_converter() {
+            let bits = match spec.kind() {
+                DeviceKind::Adc => workload.output_bits(),
+                _ => workload.input_bits(),
+            };
+            effective_spec = scaling.rescale(spec, bits, clock);
+            &effective_spec
+        } else {
+            spec
+        };
+        let power = if inst.device() == arch.weight_device() {
+            weight_device_power(spec_ref, workload, awareness)
+        } else if spec_ref.kind() == DeviceKind::Laser {
+            // Distribute the link-budget laser power over the laser instances.
+            link.total_laser_power / count
+        } else {
+            spec_ref.static_power()
+        };
+        let static_energy = power * active_time * count;
+        let dynamic_energy = spec_ref.dynamic_energy_per_op() * (active_cycles as f64) * count;
+        *by_kind
+            .entry(spec_ref.kind().label().to_string())
+            .or_insert(Energy::ZERO) += static_energy + dynamic_energy;
+    }
+
+    Ok(LayerEnergyReport {
+        layer: workload.name().to_string(),
+        by_kind,
+        total: Energy::ZERO,
+    }
+    .finalised())
+}
+
+impl LayerEnergyReport {
+    /// Adds the data-movement entry and recomputes the total.
+    pub(crate) fn with_data_movement(mut self, dm: Energy) -> Self {
+        *self.by_kind.entry("DM".to_string()).or_insert(Energy::ZERO) += dm;
+        self.finalised()
+    }
+
+    fn finalised(mut self) -> Self {
+        self.total = self.by_kind.values().copied().sum();
+        self
+    }
+}
+
+/// Data-movement energy of one layer from its per-level traffic.
+pub fn data_movement_energy(hierarchy: &MemoryHierarchy, traffic: &MemoryTraffic) -> Energy {
+    MemoryLevel::all()
+        .iter()
+        .map(|&level| hierarchy.access_energy(level, traffic.at(level)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::{Accelerator, LinkConfig};
+    use crate::area::default_memory_hierarchy;
+    use crate::link_budget::link_budget;
+    use simphony_arch::generators;
+    use simphony_dataflow::{layer_latency, map_gemm, memory_traffic, DataflowStyle};
+    use simphony_netlist::ArchParams;
+    use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
+
+    fn setup(
+        arch: PtcArchitecture,
+        sparsity: f64,
+    ) -> (
+        Accelerator,
+        LayerWorkload,
+        GemmMapping,
+        LatencyBreakdown,
+        LinkBudgetReport,
+        MemoryHierarchy,
+    ) {
+        let accel = Accelerator::builder("test").sub_arch(arch.clone()).build().unwrap();
+        let prune = PruningConfig::new(sparsity).unwrap();
+        let workload = ModelWorkload::extract(
+            &models::single_gemm(280, 28, 280),
+            &QuantConfig::default(),
+            &prune,
+            3,
+        )
+        .unwrap()
+        .layers()[0]
+            .clone();
+        let mapping = map_gemm(
+            workload.gemm(),
+            false,
+            &arch,
+            DataflowStyle::OutputStationary,
+        )
+        .unwrap();
+        let hierarchy = default_memory_hierarchy(&accel).unwrap();
+        let latency = layer_latency(&workload, &arch, &mapping, hierarchy.glb_bandwidth()).unwrap();
+        let link = link_budget(&arch, accel.library(), &LinkConfig::default()).unwrap();
+        (accel, workload, mapping, latency, link, hierarchy)
+    }
+
+    #[test]
+    fn tempo_energy_breakdown_contains_expected_components() {
+        let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let (accel, workload, mapping, latency, link, hierarchy) = setup(arch.clone(), 0.0);
+        let report = layer_energy(
+            &arch,
+            accel.library(),
+            &link,
+            &hierarchy,
+            &workload,
+            &mapping,
+            &latency,
+            DataAwareness::Aware,
+        )
+        .unwrap();
+        for kind in ["MZM", "DAC", "ADC", "Laser", "PD"] {
+            assert!(report.by_kind.contains_key(kind), "missing {kind}");
+            assert!(report.by_kind[kind].picojoules() > 0.0, "{kind} has zero energy");
+        }
+        let traffic = memory_traffic(&workload, &mapping);
+        let with_dm = report.with_data_movement(data_movement_energy(&hierarchy, &traffic));
+        assert!(with_dm.by_kind.contains_key("DM"));
+        assert!(with_dm.total > Energy::ZERO);
+    }
+
+    #[test]
+    fn data_awareness_reduces_weight_static_energy() {
+        // The Fig. 10(b) effect on SCATTER: unaware >> aware (analytical) > aware (measured).
+        let analytical = generators::scatter(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let measured = generators::scatter_measured(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let (accel, workload, mapping, latency, link, hierarchy) = setup(analytical.clone(), 0.6);
+
+        let unaware = layer_energy(
+            &analytical,
+            accel.library(),
+            &link,
+            &hierarchy,
+            &workload,
+            &mapping,
+            &latency,
+            DataAwareness::Unaware,
+        )
+        .unwrap();
+        let aware = layer_energy(
+            &analytical,
+            accel.library(),
+            &link,
+            &hierarchy,
+            &workload,
+            &mapping,
+            &latency,
+            DataAwareness::Aware,
+        )
+        .unwrap();
+        let aware_measured = layer_energy(
+            &measured,
+            accel.library(),
+            &link,
+            &hierarchy,
+            &workload,
+            &mapping,
+            &latency,
+            DataAwareness::Aware,
+        )
+        .unwrap();
+        let ps_unaware = unaware.by_kind["PS"];
+        let ps_aware = aware.by_kind["PS"];
+        let ps_measured = aware_measured.by_kind["PS"];
+        assert!(ps_aware.picojoules() < 0.7 * ps_unaware.picojoules());
+        assert!(ps_measured < ps_aware);
+    }
+
+    #[test]
+    fn lower_bitwidth_reduces_converter_energy() {
+        let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let accel = Accelerator::builder("t").sub_arch(arch.clone()).build().unwrap();
+        let hierarchy = default_memory_hierarchy(&accel).unwrap();
+        let link = link_budget(&arch, accel.library(), &LinkConfig::default()).unwrap();
+        let mut adc_energy = Vec::new();
+        for bits in [4u8, 8u8] {
+            let workload = ModelWorkload::extract(
+                &models::single_gemm(280, 28, 280),
+                &QuantConfig::uniform(simphony_units::BitWidth::new(bits)),
+                &PruningConfig::dense(),
+                3,
+            )
+            .unwrap()
+            .layers()[0]
+                .clone();
+            let mapping = map_gemm(
+                workload.gemm(),
+                false,
+                &arch,
+                DataflowStyle::OutputStationary,
+            )
+            .unwrap();
+            let latency =
+                layer_latency(&workload, &arch, &mapping, hierarchy.glb_bandwidth()).unwrap();
+            let report = layer_energy(
+                &arch,
+                accel.library(),
+                &link,
+                &hierarchy,
+                &workload,
+                &mapping,
+                &latency,
+                DataAwareness::Aware,
+            )
+            .unwrap();
+            adc_energy.push(report.by_kind["ADC"]);
+        }
+        assert!(adc_energy[0] < adc_energy[1], "4-bit ADCs should be cheaper than 8-bit");
+    }
+}

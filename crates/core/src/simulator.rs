@@ -1,0 +1,463 @@
+//! End-to-end simulation: workload in, latency/energy/area/link reports out.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use simphony_arch::PtcArchitecture;
+use simphony_dataflow::{
+    glb_bandwidth_demand, layer_latency, map_gemm, memory_traffic, DataflowStyle, LatencyBreakdown,
+};
+use simphony_memsim::MemoryHierarchy;
+use simphony_onn::{LayerKind, LayerWorkload, ModelWorkload};
+use simphony_units::{Bandwidth, Energy, Power, Time};
+
+use crate::accelerator::Accelerator;
+use crate::area::{area_report, AreaReport};
+use crate::energy::{data_movement_energy, layer_energy, DataAwareness, LayerEnergyReport};
+use crate::error::{Result, SimError};
+use crate::link_budget::{link_budget, LinkBudgetReport};
+
+/// Upper bound on the GLB bandwidth demand used to size the multi-block buffer;
+/// demands beyond this are clamped (the cores would stall instead).
+const MAX_GLB_DEMAND_GBPS: f64 = 4096.0;
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Whether device power uses the actual workload values.
+    pub data_awareness: DataAwareness,
+    /// GEMM dataflow style.
+    pub dataflow: DataflowStyle,
+    /// Whether chip area uses the signal-flow-aware floorplan.
+    pub layout_aware: bool,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            data_awareness: DataAwareness::Aware,
+            dataflow: DataflowStyle::OutputStationary,
+            layout_aware: true,
+        }
+    }
+}
+
+/// Layer-to-sub-architecture mapping plan for heterogeneous systems.
+///
+/// # Examples
+///
+/// ```
+/// use simphony::MappingPlan;
+/// use simphony_onn::LayerKind;
+///
+/// // Convolutions to sub-arch 0 (SCATTER), linear layers to sub-arch 1 (MZI mesh).
+/// let plan = MappingPlan::all_to(0).route(LayerKind::Linear, 1);
+/// assert_eq!(plan.sub_arch_for(LayerKind::Linear), 1);
+/// assert_eq!(plan.sub_arch_for(LayerKind::Conv2d), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingPlan {
+    default_index: usize,
+    overrides: Vec<(LayerKind, usize)>,
+}
+
+impl MappingPlan {
+    /// Maps every layer to the sub-architecture at `index`.
+    pub fn all_to(index: usize) -> Self {
+        Self {
+            default_index: index,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Routes layers of `kind` to the sub-architecture at `index`.
+    pub fn route(mut self, kind: LayerKind, index: usize) -> Self {
+        self.overrides.retain(|(k, _)| *k != kind);
+        self.overrides.push((kind, index));
+        self
+    }
+
+    /// The sub-architecture index a layer of `kind` is routed to.
+    pub fn sub_arch_for(&self, kind: LayerKind) -> usize {
+        self.overrides
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, i)| *i)
+            .unwrap_or(self.default_index)
+    }
+}
+
+impl Default for MappingPlan {
+    fn default() -> Self {
+        Self::all_to(0)
+    }
+}
+
+/// Simulation result of one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Sub-architecture the layer ran on.
+    pub sub_arch: String,
+    /// Originating layer kind.
+    pub kind: LayerKind,
+    /// Cycle-level latency breakdown.
+    pub latency: LatencyBreakdown,
+    /// Wall-clock execution time.
+    pub time: Time,
+    /// Energy breakdown.
+    pub energy: LayerEnergyReport,
+}
+
+/// Complete simulation result of a workload on an accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Workload (model) name.
+    pub workload: String,
+    /// Per-layer results in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Energy per device-kind label, aggregated over all layers.
+    pub energy_by_kind: BTreeMap<String, Energy>,
+    /// Total energy.
+    pub total_energy: Energy,
+    /// Total execution cycles (summed across layers).
+    pub total_cycles: u64,
+    /// Total execution time.
+    pub total_time: Time,
+    /// Average power (total energy over total time).
+    pub average_power: Power,
+    /// Chip area breakdown.
+    pub area: AreaReport,
+    /// Link budget of every sub-architecture.
+    pub link_budgets: Vec<LinkBudgetReport>,
+    /// Number of global-buffer blocks selected to meet the bandwidth demand.
+    pub glb_blocks: usize,
+}
+
+impl fmt::Display for SimulationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {}: {} layers, {} cycles, {}, total {}",
+            self.workload,
+            self.accelerator,
+            self.layers.len(),
+            self.total_cycles,
+            self.total_time,
+            self.total_energy
+        )?;
+        writeln!(f, "  average power: {}", self.average_power)?;
+        writeln!(f, "  chip area: {}", self.area.total)?;
+        for (kind, energy) in &self.energy_by_kind {
+            writeln!(f, "  {kind:<12} {energy}")?;
+        }
+        write!(f, "  GLB blocks: {}", self.glb_blocks)
+    }
+}
+
+/// The SimPhony simulator: an [`Accelerator`] plus a [`SimulationConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use simphony::{Accelerator, MappingPlan, Simulator};
+/// use simphony_arch::generators;
+/// use simphony_netlist::ArchParams;
+/// use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
+///
+/// let accel = Accelerator::builder("tempo_edge")
+///     .sub_arch(generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0)?)
+///     .build()?;
+/// let workload = ModelWorkload::extract(
+///     &models::single_gemm(280, 28, 280),
+///     &QuantConfig::default(),
+///     &PruningConfig::dense(),
+///     42,
+/// )?;
+/// let report = Simulator::new(accel).simulate(&workload, &MappingPlan::default())?;
+/// assert!(report.total_energy.picojoules() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    accelerator: Accelerator,
+    config: SimulationConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the default configuration.
+    pub fn new(accelerator: Accelerator) -> Self {
+        Self {
+            accelerator,
+            config: SimulationConfig::default(),
+        }
+    }
+
+    /// Overrides the simulation configuration.
+    pub fn with_config(mut self, config: SimulationConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The accelerator being simulated.
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accelerator
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SimulationConfig {
+        self.config
+    }
+
+    /// Picks the sub-architecture a layer runs on, falling back to any design
+    /// that supports dynamic products when the planned one cannot.
+    fn place_layer<'a>(
+        &'a self,
+        layer: &LayerWorkload,
+        plan: &MappingPlan,
+    ) -> Result<&'a PtcArchitecture> {
+        let subs = self.accelerator.sub_archs();
+        let planned = plan.sub_arch_for(layer.kind()).min(subs.len() - 1);
+        let arch = &subs[planned];
+        if !layer.is_dynamic() || arch.taxonomy().supports_dynamic_products() {
+            return Ok(arch);
+        }
+        subs.iter()
+            .find(|a| a.taxonomy().supports_dynamic_products())
+            .ok_or_else(|| SimError::NoCompatibleSubArch {
+                layer: layer.name().to_string(),
+            })
+    }
+
+    /// Sizes the shared memory hierarchy from the profiled per-layer GLB demand.
+    fn build_memory(&self, workload: &ModelWorkload, plan: &MappingPlan) -> Result<MemoryHierarchy> {
+        let mut demand_gbps = 1.0_f64;
+        for layer in workload.layers() {
+            let arch = self.place_layer(layer, plan)?;
+            let mapping = map_gemm(layer.gemm(), layer.is_dynamic(), arch, self.config.dataflow)?;
+            let demand = glb_bandwidth_demand(layer, &mapping, arch);
+            demand_gbps = demand_gbps.max(demand.gigabytes_per_second());
+        }
+        demand_gbps = demand_gbps.min(MAX_GLB_DEMAND_GBPS);
+        let mem = self.accelerator.memory();
+        Ok(MemoryHierarchy::builder()
+            .glb_capacity(mem.glb_capacity)
+            .lb_capacity(mem.lb_capacity)
+            .rf_capacity(mem.rf_capacity)
+            .bus_width_bits(mem.bus_width_bits)
+            .technology(mem.technology)
+            .demand_bandwidth(Bandwidth::from_gigabytes_per_second(demand_gbps))
+            .build()?)
+    }
+
+    /// Simulates a workload under a layer-to-sub-architecture mapping plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping, device, memory and layout errors, and returns
+    /// [`SimError::NoCompatibleSubArch`] when a dynamic layer cannot be placed.
+    pub fn simulate(
+        &self,
+        workload: &ModelWorkload,
+        plan: &MappingPlan,
+    ) -> Result<SimulationReport> {
+        let library = self.accelerator.library();
+        let hierarchy = self.build_memory(workload, plan)?;
+        let link_budgets: Vec<LinkBudgetReport> = self
+            .accelerator
+            .sub_archs()
+            .iter()
+            .map(|arch| link_budget(arch, library, self.accelerator.link()))
+            .collect::<Result<_>>()?;
+
+        let mut layers = Vec::with_capacity(workload.layers().len());
+        let mut energy_by_kind: BTreeMap<String, Energy> = BTreeMap::new();
+        let mut total_energy = Energy::ZERO;
+        let mut total_cycles = 0u64;
+        let mut total_time = Time::ZERO;
+
+        for layer in workload.layers() {
+            let arch = self.place_layer(layer, plan)?;
+            let link = link_budgets
+                .iter()
+                .find(|l| l.arch_name == arch.name())
+                .expect("every sub-architecture has a link budget");
+            let mapping = map_gemm(layer.gemm(), layer.is_dynamic(), arch, self.config.dataflow)?;
+            let latency = layer_latency(layer, arch, &mapping, hierarchy.glb_bandwidth())?;
+            let traffic = memory_traffic(layer, &mapping);
+            let energy = layer_energy(
+                arch,
+                library,
+                link,
+                &hierarchy,
+                layer,
+                &mapping,
+                &latency,
+                self.config.data_awareness,
+            )?
+            .with_data_movement(data_movement_energy(&hierarchy, &traffic));
+
+            for (kind, value) in &energy.by_kind {
+                *energy_by_kind.entry(kind.clone()).or_insert(Energy::ZERO) += *value;
+            }
+            total_energy += energy.total;
+            total_cycles += latency.total_cycles();
+            let time = latency.total_time(arch.clock());
+            total_time += time;
+            layers.push(LayerReport {
+                name: layer.name().to_string(),
+                sub_arch: arch.name().to_string(),
+                kind: layer.kind(),
+                latency,
+                time,
+                energy,
+            });
+        }
+
+        let average_power = if total_time.seconds() > 0.0 {
+            total_energy / total_time
+        } else {
+            Power::ZERO
+        };
+        Ok(SimulationReport {
+            accelerator: self.accelerator.name().to_string(),
+            workload: workload.model_name().to_string(),
+            layers,
+            energy_by_kind,
+            total_energy,
+            total_cycles,
+            total_time,
+            average_power,
+            area: area_report(&self.accelerator, self.config.layout_aware)?,
+            link_budgets,
+            glb_blocks: hierarchy.glb_blocks(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simphony_arch::generators;
+    use simphony_netlist::ArchParams;
+    use simphony_onn::{models, PruningConfig, QuantConfig};
+
+    fn workload(model: &simphony_onn::Model) -> ModelWorkload {
+        ModelWorkload::extract(model, &QuantConfig::default(), &PruningConfig::dense(), 42)
+            .expect("extraction succeeds")
+    }
+
+    fn tempo_accel(params: ArchParams) -> Accelerator {
+        Accelerator::builder("tempo_edge")
+            .sub_arch(generators::tempo(params, 5.0).expect("valid arch"))
+            .build()
+            .expect("valid accelerator")
+    }
+
+    #[test]
+    fn validation_gemm_simulation_produces_full_report() {
+        let accel = tempo_accel(ArchParams::new(2, 2, 4, 4));
+        let report = Simulator::new(accel)
+            .simulate(&workload(&models::single_gemm(280, 28, 280)), &MappingPlan::default())
+            .unwrap();
+        assert_eq!(report.layers.len(), 1);
+        assert!(report.total_cycles > 0);
+        assert!(report.total_energy.nanojoules() > 0.0);
+        assert!(report.area.total.square_millimeters() > 0.0);
+        assert!(report.glb_blocks >= 1);
+        assert!(report.energy_by_kind.contains_key("DM"));
+    }
+
+    #[test]
+    fn bert_runs_on_a_dynamic_architecture() {
+        let accel = tempo_accel(ArchParams::new(4, 2, 12, 12).with_wavelengths(12));
+        let report = Simulator::new(accel)
+            .simulate(&workload(&models::bert_base(196)), &MappingPlan::default())
+            .unwrap();
+        assert_eq!(report.layers.len(), 72);
+        assert!(report.average_power.watts() > 0.1);
+    }
+
+    #[test]
+    fn dynamic_layers_cannot_run_on_purely_static_systems() {
+        let accel = Accelerator::builder("static_only")
+            .sub_arch(generators::mzi_mesh(ArchParams::new(2, 2, 8, 8), 5.0).unwrap())
+            .build()
+            .unwrap();
+        let err = Simulator::new(accel)
+            .simulate(&workload(&models::bert_base(196)), &MappingPlan::default());
+        assert!(matches!(err, Err(SimError::NoCompatibleSubArch { .. })));
+    }
+
+    #[test]
+    fn heterogeneous_mapping_routes_layers_by_kind() {
+        let accel = Accelerator::builder("hetero")
+            .sub_arch(generators::scatter(ArchParams::new(2, 2, 4, 4), 5.0).unwrap())
+            .sub_arch(generators::mzi_mesh(ArchParams::new(2, 2, 4, 4), 5.0).unwrap())
+            .build()
+            .unwrap();
+        let plan = MappingPlan::all_to(0).route(LayerKind::Linear, 1);
+        let report = Simulator::new(accel)
+            .simulate(&workload(&models::vgg8_cifar10()), &plan)
+            .unwrap();
+        let conv_sub: Vec<_> = report
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Conv2d)
+            .map(|l| l.sub_arch.as_str())
+            .collect();
+        let linear_sub: Vec<_> = report
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Linear)
+            .map(|l| l.sub_arch.as_str())
+            .collect();
+        assert!(conv_sub.iter().all(|s| *s == "scatter"));
+        assert!(linear_sub.iter().all(|s| *s == "mzi_mesh"));
+    }
+
+    #[test]
+    fn more_wavelengths_reduce_total_energy_for_non_scaling_components() {
+        let gemm = models::single_gemm(280, 28, 280);
+        let base = Simulator::new(tempo_accel(ArchParams::new(2, 2, 4, 4)))
+            .simulate(&workload(&gemm), &MappingPlan::default())
+            .unwrap();
+        let wdm = Simulator::new(tempo_accel(ArchParams::new(2, 2, 4, 4).with_wavelengths(4)))
+            .simulate(&workload(&gemm), &MappingPlan::default())
+            .unwrap();
+        assert!(wdm.total_cycles < base.total_cycles);
+        assert!(wdm.energy_by_kind["ADC"] < base.energy_by_kind["ADC"]);
+        assert!(wdm.energy_by_kind["Integrator"] < base.energy_by_kind["Integrator"]);
+    }
+
+    #[test]
+    fn data_awareness_lowers_scatter_energy() {
+        let accel = Accelerator::builder("scatter")
+            .sub_arch(generators::scatter(ArchParams::new(2, 2, 4, 4), 5.0).unwrap())
+            .build()
+            .unwrap();
+        let sparse = ModelWorkload::extract(
+            &models::single_gemm(64, 64, 64),
+            &QuantConfig::default(),
+            &PruningConfig::new(0.6).unwrap(),
+            42,
+        )
+        .unwrap();
+        let unaware = Simulator::new(accel.clone())
+            .with_config(SimulationConfig {
+                data_awareness: DataAwareness::Unaware,
+                ..SimulationConfig::default()
+            })
+            .simulate(&sparse, &MappingPlan::default())
+            .unwrap();
+        let aware = Simulator::new(accel)
+            .simulate(&sparse, &MappingPlan::default())
+            .unwrap();
+        assert!(aware.energy_by_kind["PS"] < unaware.energy_by_kind["PS"]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for dataflow mapping.
+
+use std::fmt;
+
+/// Convenience alias for results whose error is [`DataflowError`].
+pub type Result<T> = std::result::Result<T, DataflowError>;
+
+/// Error returned by dataflow mapping and latency analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataflowError {
+    /// A workload cannot be mapped to the given architecture.
+    Unmappable {
+        /// Name of the workload layer.
+        layer: String,
+        /// Why the mapping is impossible.
+        reason: String,
+    },
+    /// A bandwidth or frequency input was non-positive.
+    InvalidInput {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::Unmappable { layer, reason } => {
+                write!(f, "layer `{layer}` cannot be mapped: {reason}")
+            }
+            DataflowError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = DataflowError::Unmappable {
+            layer: "attn_scores".into(),
+            reason: "dynamic product on a weight-stationary PTC".into(),
+        };
+        assert!(err.to_string().contains("attn_scores"));
+        assert!(err.to_string().contains("weight-stationary"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Layer latency analysis.
+//!
+//! Implements the paper's latency model
+//! `τ_tot = τ_load + τ_write + I · (τ_comp + τ_reconfig)`:
+//! operand loading and output write-back are bounded by the global-buffer
+//! bandwidth, computation by the blocking of the GEMM, full-range iterations
+//! multiply the analog work, and weight-stationary PTCs pay a reconfiguration
+//! penalty whenever reprogramming exceeds one clock cycle.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use simphony_arch::PtcArchitecture;
+use simphony_onn::LayerWorkload;
+use simphony_units::{Bandwidth, Time};
+
+use crate::error::{DataflowError, Result};
+use crate::mapping::GemmMapping;
+
+/// Cycle-level latency breakdown of one layer on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Cycles spent loading operands A and B from the global buffer.
+    pub load_cycles: u64,
+    /// Cycles spent writing results back.
+    pub writeback_cycles: u64,
+    /// Cycles of analog computation for one full-range iteration.
+    pub compute_cycles: u64,
+    /// Cycles of stationary-operand reconfiguration for one iteration.
+    pub reconfig_cycles: u64,
+    /// Number of full-range iterations (`I`).
+    pub iterations: u64,
+}
+
+impl LatencyBreakdown {
+    /// Total cycles: `load + write + I·(compute + reconfig)`.
+    pub fn total_cycles(&self) -> u64 {
+        self.load_cycles
+            + self.writeback_cycles
+            + self.iterations * (self.compute_cycles + self.reconfig_cycles)
+    }
+
+    /// Wall-clock time of the layer at the given clock.
+    pub fn total_time(&self, clock: simphony_units::Frequency) -> Time {
+        clock.period() * self.total_cycles() as f64
+    }
+
+    /// Fraction of total cycles spent on analog computation.
+    pub fn compute_fraction(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.iterations * self.compute_cycles) as f64 / total as f64
+    }
+}
+
+impl fmt::Display for LatencyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles (load {}, write {}, {}x compute {}, {}x reconfig {})",
+            self.total_cycles(),
+            self.load_cycles,
+            self.writeback_cycles,
+            self.iterations,
+            self.compute_cycles,
+            self.iterations,
+            self.reconfig_cycles
+        )
+    }
+}
+
+/// Computes the latency breakdown of one layer.
+///
+/// `glb_bandwidth` is the bandwidth the (multi-block) global buffer delivers to
+/// the sub-architecture; loading and write-back are modelled as streaming the
+/// operand footprints at that rate.
+///
+/// # Errors
+///
+/// Returns [`DataflowError::InvalidInput`] when the bandwidth is not positive.
+pub fn layer_latency(
+    workload: &LayerWorkload,
+    arch: &PtcArchitecture,
+    mapping: &GemmMapping,
+    glb_bandwidth: Bandwidth,
+) -> Result<LatencyBreakdown> {
+    if glb_bandwidth.bits_per_second() <= 0.0 {
+        return Err(DataflowError::InvalidInput {
+            reason: "global-buffer bandwidth must be positive".into(),
+        });
+    }
+    let clock = arch.clock();
+    let cycles_for = |bits: f64| -> u64 {
+        let seconds = bits / glb_bandwidth.bits_per_second();
+        Time::from_seconds(seconds).cycles_at(clock)
+    };
+    let load_bits = workload.weight_size().bits() + workload.input_size().bits();
+    let writeback_bits = workload.output_size().bits();
+    let reconfig_cycles = if arch.taxonomy().is_weight_stationary() {
+        mapping.weight_switches() * arch.reconfig_cycle_penalty()
+    } else {
+        0
+    };
+    Ok(LatencyBreakdown {
+        load_cycles: cycles_for(load_bits),
+        writeback_cycles: cycles_for(writeback_bits),
+        compute_cycles: mapping.compute_cycles(),
+        reconfig_cycles,
+        iterations: arch.full_range_iterations() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{map_gemm, DataflowStyle};
+    use simphony_arch::generators;
+    use simphony_netlist::ArchParams;
+    use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
+
+    fn validation_layer() -> LayerWorkload {
+        ModelWorkload::extract(
+            &models::single_gemm(280, 28, 280),
+            &QuantConfig::default(),
+            &PruningConfig::dense(),
+            1,
+        )
+        .expect("extraction succeeds")
+        .layers()[0]
+            .clone()
+    }
+
+    fn glb_bw() -> Bandwidth {
+        Bandwidth::from_gigabytes_per_second(256.0)
+    }
+
+    #[test]
+    fn latency_formula_combines_components() {
+        let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let layer = validation_layer();
+        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
+        let lat = layer_latency(&layer, &arch, &mapping, glb_bw()).unwrap();
+        assert_eq!(lat.iterations, 1);
+        assert_eq!(lat.compute_cycles, mapping.compute_cycles());
+        assert_eq!(
+            lat.total_cycles(),
+            lat.load_cycles + lat.writeback_cycles + lat.compute_cycles
+        );
+        assert!(lat.compute_fraction() > 0.5, "compute should dominate this GEMM");
+    }
+
+    #[test]
+    fn pcm_pays_four_iterations() {
+        let arch = generators::pcm_crossbar(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let layer = validation_layer();
+        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::WeightStationary).unwrap();
+        let lat = layer_latency(&layer, &arch, &mapping, glb_bw()).unwrap();
+        assert_eq!(lat.iterations, 4);
+        assert!(lat.reconfig_cycles > 0, "PCM writes exceed one cycle");
+    }
+
+    #[test]
+    fn thermo_optic_meshes_are_dominated_by_reconfiguration() {
+        let mesh = generators::mzi_mesh(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let layer = validation_layer();
+        let mapping = map_gemm(layer.gemm(), false, &mesh, DataflowStyle::WeightStationary).unwrap();
+        let lat = layer_latency(&layer, &mesh, &mapping, glb_bw()).unwrap();
+        assert!(
+            lat.reconfig_cycles > 100 * lat.compute_cycles,
+            "10 us thermal tuning should dwarf computation"
+        );
+    }
+
+    #[test]
+    fn dynamic_tempo_has_no_reconfig_cycles() {
+        let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let layer = validation_layer();
+        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
+        let lat = layer_latency(&layer, &arch, &mapping, glb_bw()).unwrap();
+        assert_eq!(lat.reconfig_cycles, 0);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_rejected() {
+        let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let layer = validation_layer();
+        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
+        assert!(layer_latency(
+            &layer,
+            &arch,
+            &mapping,
+            Bandwidth::from_bits_per_second(0.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn total_time_uses_the_clock_period() {
+        let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let layer = validation_layer();
+        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
+        let lat = layer_latency(&layer, &arch, &mapping, glb_bw()).unwrap();
+        let time = lat.total_time(arch.clock());
+        assert!((time.nanoseconds() - lat.total_cycles() as f64 * 0.2).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,90 @@
+//! Photonics-specific dataflow mapping and latency/traffic analysis.
+//!
+//! Photonic accelerators add physical dimensions beyond the spatial and
+//! temporal parallelism of electrical hardware: wavelengths for spectral
+//! partial sums, analog photocurrent accumulation across cores, and temporal
+//! integration before digital accumulation. This crate maps blocked GEMMs onto
+//! a [`PtcArchitecture`](simphony_arch::PtcArchitecture) with that hierarchy
+//! ([`map_gemm`]), derives cycle-accurate-ish latency with full-range-iteration
+//! and reconfiguration penalties ([`layer_latency`]), and produces the
+//! per-memory-level traffic and bandwidth demands the energy and memory
+//! analyzers consume ([`memory_traffic`], [`glb_bandwidth_demand`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use simphony_dataflow::{map_gemm, DataflowStyle};
+//! use simphony_arch::generators;
+//! use simphony_netlist::ArchParams;
+//! use simphony_onn::GemmShape;
+//!
+//! let tempo = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0)?;
+//! let mapping = map_gemm(GemmShape::new(280, 28, 280), false, &tempo, DataflowStyle::OutputStationary)?;
+//! assert!(mapping.compute_cycles() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod latency;
+mod mapping;
+mod traffic;
+
+pub use error::{DataflowError, Result};
+pub use latency::{layer_latency, LatencyBreakdown};
+pub use mapping::{map_gemm, DataflowStyle, GemmMapping};
+pub use traffic::{core_bandwidth_demand, glb_bandwidth_demand, memory_traffic, MemoryTraffic};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use simphony_arch::generators;
+    use simphony_netlist::ArchParams;
+    use simphony_onn::GemmShape;
+
+    proptest! {
+        /// The mapping always provides enough compute cycles to cover every MAC.
+        #[test]
+        fn mapping_covers_all_macs(
+            m in 1usize..512, k in 1usize..256, n in 1usize..512,
+            tiles in 1usize..4, cores in 1usize..4, hw in 1usize..12, lambda in 1usize..8,
+        ) {
+            let arch = generators::tempo(
+                ArchParams::new(tiles, cores, hw, hw).with_wavelengths(lambda),
+                5.0,
+            ).expect("valid architecture");
+            let mapping = map_gemm(
+                GemmShape::new(m, k, n),
+                false,
+                &arch,
+                DataflowStyle::OutputStationary,
+            ).expect("mappable");
+            let capacity = mapping.compute_cycles() as u128 * arch.macs_per_cycle() as u128;
+            prop_assert!(capacity >= GemmShape::new(m, k, n).macs() as u128);
+            prop_assert!(mapping.spatial_utilization() > 0.0 && mapping.spatial_utilization() <= 1.0);
+        }
+
+        /// Larger architectures never need more compute cycles for the same GEMM.
+        #[test]
+        fn bigger_arrays_are_never_slower(m in 8usize..256, k in 8usize..128, n in 8usize..256) {
+            let small = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).expect("valid");
+            let large = generators::tempo(ArchParams::new(2, 2, 8, 8), 5.0).expect("valid");
+            let gemm = GemmShape::new(m, k, n);
+            let cs = map_gemm(gemm, false, &small, DataflowStyle::OutputStationary).expect("mappable");
+            let cl = map_gemm(gemm, false, &large, DataflowStyle::OutputStationary).expect("mappable");
+            prop_assert!(cl.compute_cycles() <= cs.compute_cycles());
+        }
+    }
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GemmMapping>();
+        assert_send_sync::<LatencyBreakdown>();
+        assert_send_sync::<MemoryTraffic>();
+        assert_send_sync::<DataflowError>();
+    }
+}

@@ -1,0 +1,278 @@
+//! Blocking-GEMM mapping onto a photonic tensor architecture.
+//!
+//! The mapping follows the paper's Fig. 4: the output matrix is partitioned
+//! into `H × W` blocks computed by the dot-product nodes of one core, the
+//! reduction (K) dimension is covered jointly by the `C` cores of a tile
+//! (photocurrent partial sums) and the `λ` wavelengths (spectral partial sums),
+//! remaining K chunks are integrated temporally and accumulated digitally, and
+//! the `R` tiles process different output blocks in parallel.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use simphony_arch::PtcArchitecture;
+use simphony_onn::GemmShape;
+
+use crate::error::{DataflowError, Result};
+
+/// Classical GEMM dataflow styles. Photonic multi-dimensional parallelism and
+/// hierarchical accumulation apply on top of whichever style is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataflowStyle {
+    /// Outputs stay resident while operands stream (the TeMPO-style default).
+    OutputStationary,
+    /// Weights stay resident (required by slowly reconfigured PTCs).
+    WeightStationary,
+    /// Inputs stay resident.
+    InputStationary,
+}
+
+impl fmt::Display for DataflowStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            DataflowStyle::OutputStationary => "output-stationary",
+            DataflowStyle::WeightStationary => "weight-stationary",
+            DataflowStyle::InputStationary => "input-stationary",
+        };
+        write!(f, "{label}")
+    }
+}
+
+/// The result of mapping one GEMM onto an architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GemmMapping {
+    gemm: GemmShape,
+    dataflow: DataflowStyle,
+    m_blocks: u64,
+    n_blocks: u64,
+    k_steps: u64,
+    tile_rounds: u64,
+    compute_cycles: u64,
+    weight_switches: u64,
+    spatial_utilization: f64,
+}
+
+impl GemmMapping {
+    /// The mapped GEMM.
+    pub fn gemm(&self) -> GemmShape {
+        self.gemm
+    }
+
+    /// The dataflow style used.
+    pub fn dataflow(&self) -> DataflowStyle {
+        self.dataflow
+    }
+
+    /// Number of output-row blocks (`⌈M / H⌉`).
+    pub fn m_blocks(&self) -> u64 {
+        self.m_blocks
+    }
+
+    /// Number of output-column blocks (`⌈N / W⌉`).
+    pub fn n_blocks(&self) -> u64 {
+        self.n_blocks
+    }
+
+    /// Number of reduction steps (`⌈K / (C·λ)⌉`), i.e. temporal/digital
+    /// accumulation depth after analog and spectral summation.
+    pub fn k_steps(&self) -> u64 {
+        self.k_steps
+    }
+
+    /// Rounds needed to distribute all output blocks over the `R` tiles.
+    pub fn tile_rounds(&self) -> u64 {
+        self.tile_rounds
+    }
+
+    /// Clock cycles of pure computation (one full-range iteration).
+    pub fn compute_cycles(&self) -> u64 {
+        self.compute_cycles
+    }
+
+    /// How many times the stationary operand must be rewritten.
+    pub fn weight_switches(&self) -> u64 {
+        self.weight_switches
+    }
+
+    /// Fraction of the architecture's MAC capacity the mapping keeps busy.
+    pub fn spatial_utilization(&self) -> f64 {
+        self.spatial_utilization
+    }
+}
+
+impl fmt::Display for GemmMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} mapped {} as {}x{}x{} blocks, {} cycles, {:.0}% utilised",
+            self.gemm,
+            self.dataflow,
+            self.m_blocks,
+            self.n_blocks,
+            self.k_steps,
+            self.compute_cycles,
+            self.spatial_utilization * 100.0
+        )
+    }
+}
+
+/// Maps a (possibly batched) GEMM onto the architecture with the given dataflow.
+///
+/// # Errors
+///
+/// Returns [`DataflowError::Unmappable`] when a dynamic·dynamic product (e.g.
+/// an attention score matrix) is mapped onto a PTC whose stationary operand
+/// cannot be reconfigured at the clock rate.
+pub fn map_gemm(
+    gemm: GemmShape,
+    dynamic_product: bool,
+    arch: &PtcArchitecture,
+    dataflow: DataflowStyle,
+) -> Result<GemmMapping> {
+    if dynamic_product && !arch.taxonomy().supports_dynamic_products() {
+        return Err(DataflowError::Unmappable {
+            layer: format!("{gemm}"),
+            reason: format!(
+                "dynamic tensor product requires dynamic operand reconfiguration, but {} is weight-stationary",
+                arch.name()
+            ),
+        });
+    }
+    let params = arch.params();
+    let h = params.core_height() as u64;
+    let w = params.core_width() as u64;
+    let r = params.tiles() as u64;
+    let reduction_parallelism = (params.cores_per_tile() * params.wavelengths()) as u64;
+
+    let m_blocks = (gemm.m as u64).div_ceil(h);
+    let n_blocks = (gemm.n as u64).div_ceil(w);
+    let k_steps = (gemm.k as u64).div_ceil(reduction_parallelism);
+    let output_blocks = m_blocks * n_blocks;
+    let tile_rounds = output_blocks.div_ceil(r);
+    let compute_cycles = tile_rounds * k_steps * gemm.batch as u64;
+
+    // With an output-stationary loop order a stationary-operand block is
+    // rewritten once per (m block, k step); reuse across the N dimension comes
+    // for free. Weight- and input-stationary orders have the same switch count
+    // for operand A, they only change which operand streams.
+    let weight_switches = m_blocks * k_steps * gemm.batch as u64;
+
+    let ideal_cycles = gemm.macs() as f64 / arch.macs_per_cycle() as f64;
+    let spatial_utilization = (ideal_cycles / compute_cycles as f64).clamp(0.0, 1.0);
+
+    Ok(GemmMapping {
+        gemm,
+        dataflow,
+        m_blocks,
+        n_blocks,
+        k_steps,
+        tile_rounds,
+        compute_cycles,
+        weight_switches,
+        spatial_utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simphony_arch::generators;
+    use simphony_netlist::ArchParams;
+
+    fn tempo_2244() -> PtcArchitecture {
+        generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).expect("valid architecture")
+    }
+
+    #[test]
+    fn validation_gemm_mapping_matches_hand_count() {
+        // (280x28)x(28x280) on 2 tiles x 2 cores of 4x4, single wavelength.
+        let mapping = map_gemm(
+            GemmShape::new(280, 28, 280),
+            false,
+            &tempo_2244(),
+            DataflowStyle::OutputStationary,
+        )
+        .unwrap();
+        assert_eq!(mapping.m_blocks(), 70);
+        assert_eq!(mapping.n_blocks(), 70);
+        assert_eq!(mapping.k_steps(), 14);
+        assert_eq!(mapping.tile_rounds(), (70 * 70u64).div_ceil(2));
+        assert_eq!(mapping.compute_cycles(), 2450 * 14);
+    }
+
+    #[test]
+    fn wavelengths_shorten_the_reduction() {
+        let gemm = GemmShape::new(280, 28, 280);
+        let base = map_gemm(gemm, false, &tempo_2244(), DataflowStyle::OutputStationary).unwrap();
+        let wdm_arch = generators::tempo(ArchParams::new(2, 2, 4, 4).with_wavelengths(7), 5.0)
+            .expect("valid architecture");
+        let wdm = map_gemm(gemm, false, &wdm_arch, DataflowStyle::OutputStationary).unwrap();
+        assert!(wdm.compute_cycles() < base.compute_cycles());
+        assert_eq!(wdm.k_steps(), 2); // ceil(28 / (2*7))
+    }
+
+    #[test]
+    fn utilization_is_perfect_for_exactly_fitting_gemms() {
+        let arch = tempo_2244();
+        // M = 2*4, N = 4, K = 2 exactly fills R*H x W with K = C.
+        let mapping = map_gemm(
+            GemmShape::new(8, 2, 4),
+            false,
+            &arch,
+            DataflowStyle::OutputStationary,
+        )
+        .unwrap();
+        assert!((mapping.spatial_utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_gemms_underutilise_the_array() {
+        let mapping = map_gemm(
+            GemmShape::new(2, 2, 2),
+            false,
+            &tempo_2244(),
+            DataflowStyle::OutputStationary,
+        )
+        .unwrap();
+        assert!(mapping.spatial_utilization() < 0.2);
+        assert_eq!(mapping.compute_cycles(), 1);
+    }
+
+    #[test]
+    fn dynamic_products_require_dynamic_ptcs() {
+        let mesh = generators::mzi_mesh(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let err = map_gemm(
+            GemmShape::new(196, 64, 196).with_batch(12),
+            true,
+            &mesh,
+            DataflowStyle::WeightStationary,
+        );
+        assert!(matches!(err, Err(DataflowError::Unmappable { .. })));
+        assert!(map_gemm(
+            GemmShape::new(196, 64, 196).with_batch(12),
+            true,
+            &tempo_2244(),
+            DataflowStyle::OutputStationary,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn batched_gemms_scale_cycles_linearly() {
+        let single = map_gemm(
+            GemmShape::new(64, 64, 64),
+            false,
+            &tempo_2244(),
+            DataflowStyle::OutputStationary,
+        )
+        .unwrap();
+        let batched = map_gemm(
+            GemmShape::new(64, 64, 64).with_batch(12),
+            false,
+            &tempo_2244(),
+            DataflowStyle::OutputStationary,
+        )
+        .unwrap();
+        assert_eq!(batched.compute_cycles(), 12 * single.compute_cycles());
+    }
+}

@@ -1,0 +1,207 @@
+//! Memory traffic and bandwidth-demand analysis.
+//!
+//! The energy analyzer needs, per layer, the amount of data moved at each
+//! memory level (`E_mem = Σ e_mem · D_mem`); the memory builder needs the
+//! per-cycle bandwidth demand the global buffer must sustain.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use simphony_arch::PtcArchitecture;
+use simphony_memsim::MemoryLevel;
+use simphony_onn::LayerWorkload;
+use simphony_units::{Bandwidth, DataSize};
+
+use crate::mapping::GemmMapping;
+
+/// Data moved at each memory level while executing one layer.
+///
+/// The model assumes the standard tiling reuse pattern of the Fig. 4 mapping:
+///
+/// * **HBM** — each operand is fetched once and the output written once
+///   (layers fit in the global buffer; latency hiding overlaps the transfer);
+/// * **GLB** — operand A is read once, operand B is re-streamed once per
+///   output-row block (its reuse lives in the local buffer), the output is
+///   written once;
+/// * **LB** — refilled from the GLB and read every cycle by the register file;
+/// * **RF** — supplies the per-cycle operands consumed by the photonic cores
+///   and absorbs every partial-sum write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryTraffic {
+    hbm: DataSize,
+    glb: DataSize,
+    lb: DataSize,
+    rf: DataSize,
+}
+
+impl MemoryTraffic {
+    /// Data moved at the given level.
+    pub fn at(&self, level: MemoryLevel) -> DataSize {
+        match level {
+            MemoryLevel::Hbm => self.hbm,
+            MemoryLevel::GlobalBuffer => self.glb,
+            MemoryLevel::LocalBuffer => self.lb,
+            MemoryLevel::RegisterFile => self.rf,
+        }
+    }
+
+    /// Total data movement across all levels.
+    pub fn total(&self) -> DataSize {
+        self.hbm + self.glb + self.lb + self.rf
+    }
+}
+
+impl fmt::Display for MemoryTraffic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HBM {}, GLB {}, LB {}, RF {}",
+            self.hbm, self.glb, self.lb, self.rf
+        )
+    }
+}
+
+/// Computes the per-level memory traffic of one mapped layer.
+pub fn memory_traffic(workload: &LayerWorkload, mapping: &GemmMapping) -> MemoryTraffic {
+    let a = workload.weight_size();
+    let b = workload.input_size();
+    let out = workload.output_size();
+    let hbm = a + b + out;
+    // Operand B is re-read from the GLB once per output-row block; operand A and
+    // the output move once.
+    let glb = a + b * mapping.m_blocks() as f64 + out;
+    // The LB is refilled with everything the GLB supplies and feeds the RF once
+    // per reduction step it is resident for.
+    let lb = glb + (a + b) * 1.0;
+    // The RF supplies operands every cycle and absorbs one partial-sum update
+    // per output element per reduction step.
+    let per_cycle_bits = operand_bits_per_cycle(workload, mapping);
+    let rf_reads = DataSize::from_bits(per_cycle_bits * mapping.compute_cycles() as f64);
+    let rf_writes = out * mapping.k_steps() as f64;
+    MemoryTraffic {
+        hbm,
+        glb,
+        lb,
+        rf: rf_reads + rf_writes,
+    }
+}
+
+/// Operand bits the cores consume per clock cycle (both operands, all tiles).
+fn operand_bits_per_cycle(workload: &LayerWorkload, mapping: &GemmMapping) -> f64 {
+    let gemm = workload.gemm();
+    let a_elements_per_cycle = (gemm.m as f64 / mapping.m_blocks() as f64)
+        * (gemm.k as f64 / mapping.k_steps() as f64);
+    let b_elements_per_cycle = (gemm.k as f64 / mapping.k_steps() as f64)
+        * (gemm.n as f64 / mapping.n_blocks() as f64);
+    a_elements_per_cycle * workload.weight_bits().bits() as f64
+        + b_elements_per_cycle * workload.input_bits().bits() as f64
+}
+
+/// Bandwidth the local buffer / register file must sustain so the cores never
+/// stall: `bytes-per-cycle × f`.
+pub fn core_bandwidth_demand(
+    workload: &LayerWorkload,
+    mapping: &GemmMapping,
+    arch: &PtcArchitecture,
+) -> Bandwidth {
+    let bits_per_cycle = operand_bits_per_cycle(workload, mapping);
+    Bandwidth::from_bits_per_second(bits_per_cycle * arch.clock().hertz())
+}
+
+/// Bandwidth the global buffer must deliver for the layer, following the
+/// paper's `BW_GLB = MaxLayerSize · f / (N_p · D_p · M_p)` sizing rule: the
+/// whole layer must stream through the GLB within the cycles the partitioned
+/// GEMM occupies the cores.
+pub fn glb_bandwidth_demand(
+    workload: &LayerWorkload,
+    mapping: &GemmMapping,
+    arch: &PtcArchitecture,
+) -> Bandwidth {
+    let layer_bits = workload.total_size().bits();
+    let cycles = mapping.compute_cycles().max(1) as f64;
+    Bandwidth::from_bits_per_second(layer_bits * arch.clock().hertz() / cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{map_gemm, DataflowStyle};
+    use simphony_arch::generators;
+    use simphony_netlist::ArchParams;
+    use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
+
+    fn layer_and_mapping() -> (LayerWorkload, GemmMapping, PtcArchitecture) {
+        let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let layer = ModelWorkload::extract(
+            &models::single_gemm(280, 28, 280),
+            &QuantConfig::default(),
+            &PruningConfig::dense(),
+            1,
+        )
+        .unwrap()
+        .layers()[0]
+            .clone();
+        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
+        (layer, mapping, arch)
+    }
+
+    #[test]
+    fn traffic_grows_toward_the_cores() {
+        let (layer, mapping, _) = layer_and_mapping();
+        let traffic = memory_traffic(&layer, &mapping);
+        assert!(traffic.at(MemoryLevel::GlobalBuffer) > traffic.at(MemoryLevel::Hbm));
+        assert!(traffic.at(MemoryLevel::RegisterFile) > traffic.at(MemoryLevel::GlobalBuffer));
+    }
+
+    #[test]
+    fn hbm_traffic_is_exactly_the_layer_footprint() {
+        let (layer, mapping, _) = layer_and_mapping();
+        let traffic = memory_traffic(&layer, &mapping);
+        assert!(
+            (traffic.at(MemoryLevel::Hbm).bytes() - layer.total_size().bytes()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn bandwidth_demands_are_positive_and_ordered() {
+        let (layer, mapping, arch) = layer_and_mapping();
+        let core_bw = core_bandwidth_demand(&layer, &mapping, &arch);
+        let glb_bw = glb_bandwidth_demand(&layer, &mapping, &arch);
+        assert!(core_bw.gigabytes_per_second() > 0.0);
+        assert!(glb_bw.gigabytes_per_second() > 0.0);
+        // The per-cycle operand feed is at least as demanding as streaming the
+        // layer once over its compute time.
+        assert!(core_bw.gigabytes_per_second() + 1e-9 >= glb_bw.gigabytes_per_second());
+    }
+
+    #[test]
+    fn wavelength_parallelism_raises_bandwidth_demand() {
+        let gemm = simphony_onn::GemmShape::new(280, 28, 280);
+        let layer = {
+            let (layer, _, _) = layer_and_mapping();
+            layer
+        };
+        let base_arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+        let wdm_arch =
+            generators::tempo(ArchParams::new(2, 2, 4, 4).with_wavelengths(7), 5.0).unwrap();
+        let base_map = map_gemm(gemm, false, &base_arch, DataflowStyle::OutputStationary).unwrap();
+        let wdm_map = map_gemm(gemm, false, &wdm_arch, DataflowStyle::OutputStationary).unwrap();
+        let base_bw = glb_bandwidth_demand(&layer, &base_map, &base_arch);
+        let wdm_bw = glb_bandwidth_demand(&layer, &wdm_map, &wdm_arch);
+        assert!(
+            wdm_bw.gigabytes_per_second() > base_bw.gigabytes_per_second(),
+            "faster compute must be fed faster"
+        );
+    }
+
+    #[test]
+    fn total_is_the_sum_of_levels() {
+        let (layer, mapping, _) = layer_and_mapping();
+        let traffic = memory_traffic(&layer, &mapping);
+        let summed: f64 = MemoryLevel::all()
+            .iter()
+            .map(|&l| traffic.at(l).bits())
+            .sum();
+        assert!((traffic.total().bits() - summed).abs() < 1e-6);
+    }
+}

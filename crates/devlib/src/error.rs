@@ -1,0 +1,99 @@
+//! Error type for device-library operations.
+
+use std::fmt;
+
+/// Convenience alias for results whose error is [`DeviceError`].
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+/// Error returned by device-library construction and lookup.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_devlib::{DeviceLibrary, DeviceError};
+///
+/// let lib = DeviceLibrary::standard();
+/// let err = lib.get("flux_capacitor").unwrap_err();
+/// assert!(matches!(err, DeviceError::UnknownDevice { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A device name was not found in the library.
+    UnknownDevice {
+        /// The name that was looked up.
+        name: String,
+    },
+    /// A device with the same name already exists and overwrite was not requested.
+    DuplicateDevice {
+        /// The conflicting name.
+        name: String,
+    },
+    /// A builder was finalised with a missing or inconsistent field.
+    InvalidSpec {
+        /// Device name under construction.
+        name: String,
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// A lookup table was constructed from unusable samples.
+    InvalidLookupTable {
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// A power-model query was made with an operand outside the model's domain
+    /// and extrapolation was disabled.
+    ValueOutOfDomain {
+        /// The offending operand value.
+        value: f64,
+        /// Lower bound of the supported domain.
+        min: f64,
+        /// Upper bound of the supported domain.
+        max: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::UnknownDevice { name } => write!(f, "unknown device `{name}`"),
+            DeviceError::DuplicateDevice { name } => {
+                write!(f, "device `{name}` is already registered")
+            }
+            DeviceError::InvalidSpec { name, reason } => {
+                write!(f, "invalid specification for device `{name}`: {reason}")
+            }
+            DeviceError::InvalidLookupTable { reason } => {
+                write!(f, "invalid lookup table: {reason}")
+            }
+            DeviceError::ValueOutOfDomain { value, min, max } => write!(
+                f,
+                "operand value {value} is outside the power model domain [{min}, {max}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = DeviceError::InvalidSpec {
+            name: "mzm".into(),
+            reason: "footprint missing".into(),
+        };
+        assert!(err.to_string().contains("mzm"));
+        assert!(err.to_string().contains("footprint"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(DeviceError::UnknownDevice {
+            name: "x".into(),
+        });
+        assert!(err.source().is_none());
+    }
+}

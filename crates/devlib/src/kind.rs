@@ -1,0 +1,239 @@
+//! Device taxonomy: what a component *is*, independent of its parameters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// High-level category used to split breakdowns into electrical and optical parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceCategory {
+    /// Electronic/CMOS components (converters, amplifiers, memory, control).
+    Electrical,
+    /// Photonic components (modulators, interferometers, detectors, passives).
+    Optical,
+}
+
+impl fmt::Display for DeviceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceCategory::Electrical => write!(f, "electrical"),
+            DeviceCategory::Optical => write!(f, "optical"),
+        }
+    }
+}
+
+/// The kind of a device instance in an EPIC AI accelerator.
+///
+/// The kinds cover every component appearing in the paper's architecture case
+/// studies (TeMPO, MZI meshes, MRR weight banks, PCM crossbars, SCATTER) and in
+/// its area/energy breakdown figures.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_devlib::{DeviceCategory, DeviceKind};
+///
+/// assert_eq!(DeviceKind::Mzm.category(), DeviceCategory::Optical);
+/// assert_eq!(DeviceKind::Adc.category(), DeviceCategory::Electrical);
+/// assert!(DeviceKind::Crossing.is_passive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DeviceKind {
+    /// Continuous-wave laser source.
+    Laser,
+    /// Kerr micro-comb providing multiple wavelengths from one pump.
+    MicroComb,
+    /// Fibre-to-chip coupling structure (edge or grating coupler).
+    Coupling,
+    /// High-speed electro-optic Mach-Zehnder modulator used for operand encoding.
+    Mzm,
+    /// Mach-Zehnder interferometer (2×2 unitary element of coherent meshes).
+    Mzi,
+    /// Micro-ring resonator (weight-bank element / WDM filter).
+    Mrr,
+    /// Thermo-optic phase shifter (slow, µs-scale reconfiguration).
+    PhaseShifterThermal,
+    /// Electro-optic phase shifter (fast, sub-ns reconfiguration).
+    PhaseShifterEo,
+    /// Non-volatile phase-change-material cell (crossbar weight element).
+    PcmCell,
+    /// 1×2 Y-branch splitter/combiner.
+    YBranch,
+    /// Multi-mode interferometer splitter/combiner (1×N or N×N).
+    Mmi,
+    /// Waveguide crossing.
+    Crossing,
+    /// Photodetector converting optical power to photocurrent.
+    Photodetector,
+    /// Transimpedance amplifier following a photodetector.
+    Tia,
+    /// Analog integrator used for temporal accumulation of photocurrent.
+    Integrator,
+    /// Analog-to-digital converter.
+    Adc,
+    /// Digital-to-analog converter.
+    Dac,
+    /// On-chip SRAM macro (global/local buffer, register file).
+    SramMacro,
+    /// Off-chip high-bandwidth memory interface.
+    HbmPhy,
+    /// Digital control and miscellaneous glue logic.
+    DigitalControl,
+}
+
+impl DeviceKind {
+    /// The electrical/optical category this kind belongs to.
+    pub fn category(self) -> DeviceCategory {
+        match self {
+            DeviceKind::Laser
+            | DeviceKind::MicroComb
+            | DeviceKind::Coupling
+            | DeviceKind::Mzm
+            | DeviceKind::Mzi
+            | DeviceKind::Mrr
+            | DeviceKind::PhaseShifterThermal
+            | DeviceKind::PhaseShifterEo
+            | DeviceKind::PcmCell
+            | DeviceKind::YBranch
+            | DeviceKind::Mmi
+            | DeviceKind::Crossing
+            | DeviceKind::Photodetector => DeviceCategory::Optical,
+            DeviceKind::Tia
+            | DeviceKind::Integrator
+            | DeviceKind::Adc
+            | DeviceKind::Dac
+            | DeviceKind::SramMacro
+            | DeviceKind::HbmPhy
+            | DeviceKind::DigitalControl => DeviceCategory::Electrical,
+        }
+    }
+
+    /// `true` for passive optical structures that consume no electrical power.
+    pub fn is_passive(self) -> bool {
+        matches!(
+            self,
+            DeviceKind::Coupling | DeviceKind::YBranch | DeviceKind::Mmi | DeviceKind::Crossing
+        )
+    }
+
+    /// `true` for devices that encode operand values (their power is data-dependent).
+    pub fn is_modulator(self) -> bool {
+        matches!(
+            self,
+            DeviceKind::Mzm
+                | DeviceKind::Mzi
+                | DeviceKind::Mrr
+                | DeviceKind::PhaseShifterThermal
+                | DeviceKind::PhaseShifterEo
+                | DeviceKind::PcmCell
+        )
+    }
+
+    /// `true` for data converters whose power scales with resolution and rate.
+    pub fn is_converter(self) -> bool {
+        matches!(self, DeviceKind::Adc | DeviceKind::Dac)
+    }
+
+    /// All kinds, useful for exhaustive reporting.
+    pub fn all() -> &'static [DeviceKind] {
+        &[
+            DeviceKind::Laser,
+            DeviceKind::MicroComb,
+            DeviceKind::Coupling,
+            DeviceKind::Mzm,
+            DeviceKind::Mzi,
+            DeviceKind::Mrr,
+            DeviceKind::PhaseShifterThermal,
+            DeviceKind::PhaseShifterEo,
+            DeviceKind::PcmCell,
+            DeviceKind::YBranch,
+            DeviceKind::Mmi,
+            DeviceKind::Crossing,
+            DeviceKind::Photodetector,
+            DeviceKind::Tia,
+            DeviceKind::Integrator,
+            DeviceKind::Adc,
+            DeviceKind::Dac,
+            DeviceKind::SramMacro,
+            DeviceKind::HbmPhy,
+            DeviceKind::DigitalControl,
+        ]
+    }
+
+    /// Short label used in breakdown tables (matches the figure legends of the paper).
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceKind::Laser => "Laser",
+            DeviceKind::MicroComb => "Comb",
+            DeviceKind::Coupling => "Coupling",
+            DeviceKind::Mzm => "MZM",
+            DeviceKind::Mzi => "MZI",
+            DeviceKind::Mrr => "MRR",
+            DeviceKind::PhaseShifterThermal => "PS",
+            DeviceKind::PhaseShifterEo => "PS-EO",
+            DeviceKind::PcmCell => "PCM",
+            DeviceKind::YBranch => "Y Branch",
+            DeviceKind::Mmi => "MMI",
+            DeviceKind::Crossing => "Crossing",
+            DeviceKind::Photodetector => "PD",
+            DeviceKind::Tia => "TIA",
+            DeviceKind::Integrator => "Integrator",
+            DeviceKind::Adc => "ADC",
+            DeviceKind::Dac => "DAC",
+            DeviceKind::SramMacro => "Mem",
+            DeviceKind::HbmPhy => "HBM",
+            DeviceKind::DigitalControl => "Control",
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_split_the_kind_space() {
+        let all = DeviceKind::all();
+        let optical = all
+            .iter()
+            .filter(|k| k.category() == DeviceCategory::Optical)
+            .count();
+        let electrical = all
+            .iter()
+            .filter(|k| k.category() == DeviceCategory::Electrical)
+            .count();
+        assert_eq!(optical + electrical, all.len());
+        assert!(optical >= 10, "most kinds in an EPIC library are photonic");
+    }
+
+    #[test]
+    fn passives_are_optical_and_not_converters() {
+        for kind in DeviceKind::all() {
+            if kind.is_passive() {
+                assert_eq!(kind.category(), DeviceCategory::Optical);
+                assert!(!kind.is_converter());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = DeviceKind::all().iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(before, labels.len());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(DeviceKind::Photodetector.to_string(), "PD");
+        assert_eq!(DeviceKind::SramMacro.to_string(), "Mem");
+    }
+}

@@ -1,0 +1,83 @@
+//! SimPhony-DevLib: a comprehensive, customizable electronic-photonic device library.
+//!
+//! This crate is the foundation of the SimPhony-RS stack: every architecture is
+//! assembled from [`DeviceSpec`]s looked up in a [`DeviceLibrary`]. A spec carries
+//! everything the analyzers need — footprint, insertion loss, static power,
+//! per-operation dynamic energy, bandwidth, reconfiguration time, converter
+//! resolution/sampling rate — plus a *value-aware* [`PowerModel`] so energy can be
+//! accumulated from the actual operand values a workload encodes (the paper's
+//! "data-dependent, device-response-aware energy modeling", Fig. 5).
+//!
+//! Three power-model fidelities are supported, mirroring the paper:
+//! analytical closed forms, simulation-backed lookup tables, and measured
+//! lookup tables ([`PowerFidelity`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use simphony_devlib::{DeviceLibrary, DeviceKind};
+//!
+//! let lib = DeviceLibrary::standard();
+//! let mzm = lib.get("mzm_eo").expect("standard library ships an EO MZM");
+//! assert_eq!(mzm.kind(), DeviceKind::Mzm);
+//! assert!(mzm.insertion_loss().db() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod kind;
+mod library;
+mod lut;
+mod power;
+mod presets;
+mod scaling;
+mod spec;
+
+pub use error::{DeviceError, Result};
+pub use kind::{DeviceCategory, DeviceKind};
+pub use library::DeviceLibrary;
+pub use lut::LookupTable;
+pub use power::{PowerFidelity, PowerModel};
+pub use presets::{electronic_devices, photonic_devices, standard_devices};
+pub use scaling::{scale_adc_power, scale_dac_power, ConverterScaling};
+pub use spec::{DeviceSpec, DeviceSpecBuilder, Footprint};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_covers_all_breakdown_categories() {
+        let lib = DeviceLibrary::standard();
+        for kind in [
+            DeviceKind::Laser,
+            DeviceKind::Mzm,
+            DeviceKind::Mzi,
+            DeviceKind::Dac,
+            DeviceKind::Adc,
+            DeviceKind::Tia,
+            DeviceKind::Integrator,
+            DeviceKind::Photodetector,
+            DeviceKind::YBranch,
+            DeviceKind::Mmi,
+            DeviceKind::Crossing,
+            DeviceKind::PhaseShifterThermal,
+        ] {
+            assert!(
+                lib.any_of_kind(kind).is_some(),
+                "standard library is missing a {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceSpec>();
+        assert_send_sync::<DeviceLibrary>();
+        assert_send_sync::<PowerModel>();
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,216 @@
+//! The device registry architectures draw their components from.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DeviceError, Result};
+use crate::kind::DeviceKind;
+use crate::presets::standard_devices;
+use crate::spec::DeviceSpec;
+
+/// A named collection of [`DeviceSpec`]s.
+///
+/// Architectures reference devices by library name, so swapping a foundry PDK
+/// or a custom measured device in for a default is just a library edit — no
+/// architecture description changes.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_devlib::{DeviceKind, DeviceLibrary, DeviceSpec, Footprint};
+///
+/// let mut lib = DeviceLibrary::standard();
+/// let custom = DeviceSpec::builder("my_pd", DeviceKind::Photodetector)
+///     .footprint(Footprint::from_um(25.0, 12.0))
+///     .build()?;
+/// lib.insert(custom)?;
+/// assert!(lib.get("my_pd").is_ok());
+/// # Ok::<(), simphony_devlib::DeviceError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceLibrary {
+    devices: BTreeMap<String, DeviceSpec>,
+}
+
+impl DeviceLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the standard library with every preset photonic and electronic device.
+    pub fn standard() -> Self {
+        let mut lib = Self::new();
+        for spec in standard_devices() {
+            lib.devices.insert(spec.name().to_string(), spec);
+        }
+        lib
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` when no devices are registered.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Registers a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::DuplicateDevice`] when a device with the same name
+    /// is already present. Use [`DeviceLibrary::insert_or_replace`] to overwrite.
+    pub fn insert(&mut self, spec: DeviceSpec) -> Result<()> {
+        if self.devices.contains_key(spec.name()) {
+            return Err(DeviceError::DuplicateDevice {
+                name: spec.name().to_string(),
+            });
+        }
+        self.devices.insert(spec.name().to_string(), spec);
+        Ok(())
+    }
+
+    /// Registers a device, replacing any existing entry with the same name.
+    ///
+    /// Returns the previous entry, if any.
+    pub fn insert_or_replace(&mut self, spec: DeviceSpec) -> Option<DeviceSpec> {
+        self.devices.insert(spec.name().to_string(), spec)
+    }
+
+    /// Looks up a device by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownDevice`] when the name is not registered.
+    pub fn get(&self, name: &str) -> Result<&DeviceSpec> {
+        self.devices
+            .get(name)
+            .ok_or_else(|| DeviceError::UnknownDevice {
+                name: name.to_string(),
+            })
+    }
+
+    /// Returns any device of the requested kind, preferring the first in name order.
+    pub fn any_of_kind(&self, kind: DeviceKind) -> Option<&DeviceSpec> {
+        self.devices.values().find(|d| d.kind() == kind)
+    }
+
+    /// Iterates over all devices of the requested kind.
+    pub fn of_kind(&self, kind: DeviceKind) -> impl Iterator<Item = &DeviceSpec> {
+        self.devices.values().filter(move |d| d.kind() == kind)
+    }
+
+    /// Iterates over all registered devices in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &DeviceSpec> {
+        self.devices.values()
+    }
+
+    /// All registered names in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.devices.keys().map(String::as_str).collect()
+    }
+
+    /// Removes a device by name, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<DeviceSpec> {
+        self.devices.remove(name)
+    }
+}
+
+impl Extend<DeviceSpec> for DeviceLibrary {
+    fn extend<T: IntoIterator<Item = DeviceSpec>>(&mut self, iter: T) {
+        for spec in iter {
+            self.insert_or_replace(spec);
+        }
+    }
+}
+
+impl FromIterator<DeviceSpec> for DeviceLibrary {
+    fn from_iter<T: IntoIterator<Item = DeviceSpec>>(iter: T) -> Self {
+        let mut lib = Self::new();
+        lib.extend(iter);
+        lib
+    }
+}
+
+impl IntoIterator for DeviceLibrary {
+    type Item = DeviceSpec;
+    type IntoIter = std::collections::btree_map::IntoValues<String, DeviceSpec>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.devices.into_values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Footprint;
+    use simphony_units::Power;
+
+    #[test]
+    fn standard_library_is_nonempty_and_sorted() {
+        let lib = DeviceLibrary::standard();
+        assert!(lib.len() >= 20);
+        let names = lib.names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected_but_replace_works() {
+        let mut lib = DeviceLibrary::standard();
+        let dup = lib.get("crossing").expect("preset").clone();
+        assert!(matches!(
+            lib.insert(dup.clone()),
+            Err(DeviceError::DuplicateDevice { .. })
+        ));
+        let prev = lib.insert_or_replace(dup.with_static_power(Power::from_milliwatts(1.0)));
+        assert!(prev.is_some());
+        assert!(
+            (lib.get("crossing").expect("present").static_power().milliwatts() - 1.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn unknown_lookup_reports_the_name() {
+        let lib = DeviceLibrary::standard();
+        let err = lib.get("warp_core").unwrap_err();
+        assert!(err.to_string().contains("warp_core"));
+    }
+
+    #[test]
+    fn of_kind_filters_correctly() {
+        let lib = DeviceLibrary::standard();
+        assert!(lib.of_kind(DeviceKind::PhaseShifterThermal).count() >= 2);
+        for d in lib.of_kind(DeviceKind::Dac) {
+            assert_eq!(d.kind(), DeviceKind::Dac);
+        }
+    }
+
+    #[test]
+    fn collect_and_remove_round_trip() {
+        let lib: DeviceLibrary = crate::presets::photonic_devices().into_iter().collect();
+        assert_eq!(lib.len(), crate::presets::photonic_devices().len());
+        let mut lib = lib;
+        let removed = lib.remove("crossing");
+        assert!(removed.is_some());
+        assert!(lib.get("crossing").is_err());
+    }
+
+    #[test]
+    fn custom_device_round_trips_through_library() {
+        let mut lib = DeviceLibrary::new();
+        let spec = DeviceSpec::builder("probe", DeviceKind::Photodetector)
+            .footprint(Footprint::from_um(10.0, 10.0))
+            .build()
+            .expect("valid");
+        lib.insert(spec.clone()).expect("first insert succeeds");
+        assert_eq!(lib.get("probe").expect("present"), &spec);
+    }
+}

@@ -1,0 +1,175 @@
+//! One-dimensional lookup tables for simulated or measured device responses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DeviceError, Result};
+
+/// A monotone-domain 1-D lookup table with linear interpolation.
+///
+/// Used to represent simulation- or measurement-backed device responses, e.g.
+/// thermo-optic phase-shifter power vs. programmed phase, or MZM dynamic energy
+/// vs. drive level. Queries outside the sampled domain clamp to the nearest
+/// endpoint (device responses saturate physically), unless strict domain
+/// checking is requested via [`LookupTable::value_at_strict`].
+///
+/// # Examples
+///
+/// ```
+/// use simphony_devlib::LookupTable;
+///
+/// let table = LookupTable::new(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 8.0)])?;
+/// assert!((table.value_at(0.5) - 1.0).abs() < 1e-12);
+/// assert!((table.value_at(1.5) - 5.0).abs() < 1e-12);
+/// # Ok::<(), simphony_devlib::DeviceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LookupTable {
+    points: Vec<(f64, f64)>,
+}
+
+impl LookupTable {
+    /// Builds a lookup table from `(input, output)` samples.
+    ///
+    /// Samples are sorted by input; duplicate inputs are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidLookupTable`] when fewer than two samples
+    /// are given, any coordinate is not finite, or two samples share an input.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(DeviceError::InvalidLookupTable {
+                reason: format!("need at least 2 samples, got {}", points.len()),
+            });
+        }
+        if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(DeviceError::InvalidLookupTable {
+                reason: "samples must be finite".to_string(),
+            });
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite inputs are comparable"));
+        if points.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(DeviceError::InvalidLookupTable {
+                reason: "duplicate input samples".to_string(),
+            });
+        }
+        Ok(Self { points })
+    }
+
+    /// The smallest sampled input.
+    pub fn domain_min(&self) -> f64 {
+        self.points.first().expect("table has >= 2 samples").0
+    }
+
+    /// The largest sampled input.
+    pub fn domain_max(&self) -> f64 {
+        self.points.last().expect("table has >= 2 samples").0
+    }
+
+    /// The sample points, sorted by input.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Linearly interpolated output at `x`, clamping outside the domain.
+    pub fn value_at(&self, x: f64) -> f64 {
+        if x <= self.domain_min() {
+            return self.points.first().expect("non-empty").1;
+        }
+        if x >= self.domain_max() {
+            return self.points.last().expect("non-empty").1;
+        }
+        // Find the bracketing segment.
+        let idx = self
+            .points
+            .partition_point(|(px, _)| *px <= x)
+            .saturating_sub(1);
+        let (x0, y0) = self.points[idx];
+        let (x1, y1) = self.points[idx + 1];
+        let t = (x - x0) / (x1 - x0);
+        y0 + t * (y1 - y0)
+    }
+
+    /// Linearly interpolated output at `x`, erroring outside the domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ValueOutOfDomain`] when `x` lies outside the
+    /// sampled input range.
+    pub fn value_at_strict(&self, x: f64) -> Result<f64> {
+        if x < self.domain_min() || x > self.domain_max() {
+            return Err(DeviceError::ValueOutOfDomain {
+                value: x,
+                min: self.domain_min(),
+                max: self.domain_max(),
+            });
+        }
+        Ok(self.value_at(x))
+    }
+
+    /// Mean output across the sampled domain (trapezoidal rule).
+    ///
+    /// Useful as a data-unaware fallback: if the workload values are unknown,
+    /// the expected device power is approximated by the mean of its response.
+    pub fn mean_value(&self) -> f64 {
+        let mut integral = 0.0;
+        for w in self.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            integral += 0.5 * (y0 + y1) * (x1 - x0);
+        }
+        integral / (self.domain_max() - self.domain_min())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LookupTable {
+        LookupTable::new(vec![(0.0, 0.0), (1.0, 2.0), (3.0, 2.0), (4.0, 10.0)]).expect("valid")
+    }
+
+    #[test]
+    fn interpolation_inside_segments() {
+        let t = table();
+        assert!((t.value_at(0.25) - 0.5).abs() < 1e-12);
+        assert!((t.value_at(2.0) - 2.0).abs() < 1e-12);
+        assert!((t.value_at(3.5) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_outside_domain() {
+        let t = table();
+        assert_eq!(t.value_at(-5.0), 0.0);
+        assert_eq!(t.value_at(100.0), 10.0);
+    }
+
+    #[test]
+    fn strict_lookup_errors_outside_domain() {
+        let t = table();
+        assert!(t.value_at_strict(-0.1).is_err());
+        assert!(t.value_at_strict(4.1).is_err());
+        assert!(t.value_at_strict(4.0).is_ok());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let t = LookupTable::new(vec![(2.0, 4.0), (0.0, 0.0), (1.0, 1.0)]).expect("valid");
+        assert_eq!(t.domain_min(), 0.0);
+        assert!((t.value_at(1.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_tables_are_rejected() {
+        assert!(LookupTable::new(vec![(0.0, 1.0)]).is_err());
+        assert!(LookupTable::new(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(LookupTable::new(vec![(0.0, f64::NAN), (1.0, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn mean_value_is_trapezoidal_average() {
+        let t = LookupTable::new(vec![(0.0, 0.0), (1.0, 1.0)]).expect("valid");
+        assert!((t.mean_value() - 0.5).abs() < 1e-12);
+    }
+}

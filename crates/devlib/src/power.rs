@@ -1,0 +1,228 @@
+//! Value-aware device power models (paper Fig. 5).
+//!
+//! Analog devices encode operand values in their physical configuration, so
+//! their power depends on *what* they compute. SimPhony supports three
+//! fidelities: an analytical closed form, a simulation-backed lookup table and
+//! a measurement-backed lookup table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use simphony_units::Power;
+
+use crate::lut::LookupTable;
+
+/// Provenance/fidelity of a value-aware power model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerFidelity {
+    /// Closed-form analytical model (e.g. `P = Pπ · φ/π` for a thermal phase shifter).
+    Analytical,
+    /// Lookup table obtained from device-level simulation (e.g. Lumerical HEAT).
+    Simulated,
+    /// Lookup table obtained from chip measurements.
+    Measured,
+}
+
+impl fmt::Display for PowerFidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerFidelity::Analytical => write!(f, "analytical"),
+            PowerFidelity::Simulated => write!(f, "simulated"),
+            PowerFidelity::Measured => write!(f, "measured"),
+        }
+    }
+}
+
+/// How a device's power depends on the operand value it encodes.
+///
+/// Operand values are normalised to the device's encoding range: `0.0` means
+/// the device is idle / encodes zero, `1.0` means full-scale (e.g. a π phase
+/// shift or maximum transmission swing).
+///
+/// # Examples
+///
+/// ```
+/// use simphony_devlib::PowerModel;
+/// use simphony_units::Power;
+///
+/// // Analytical thermal phase shifter: Pπ = 20 mW.
+/// let model = PowerModel::linear(Power::ZERO, Power::from_milliwatts(20.0));
+/// assert!((model.power_at(0.5).milliwatts() - 10.0).abs() < 1e-12);
+/// // Data-unaware analyses fall back to the worst case (Pπ).
+/// assert!((model.worst_case_power().milliwatts() - 20.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PowerModel {
+    /// Power independent of the encoded value.
+    Static(Power),
+    /// Power linear in the encoded value: `P(v) = idle + v · (full_scale − idle)`.
+    ///
+    /// This is the "analytical power model" fidelity of the paper.
+    Linear {
+        /// Power when the device encodes zero.
+        idle: Power,
+        /// Power when the device encodes its full-scale value.
+        full_scale: Power,
+    },
+    /// Power read from a lookup table over the normalised encoded value.
+    ///
+    /// The table's fidelity records whether it came from simulation or
+    /// measurement, which only matters for reporting.
+    Lookup {
+        /// Response table mapping normalised value in `[0, 1]` to power in milliwatts.
+        table: LookupTable,
+        /// Where the table came from.
+        fidelity: PowerFidelity,
+    },
+}
+
+impl PowerModel {
+    /// Convenience constructor for the linear/analytical model.
+    pub fn linear(idle: Power, full_scale: Power) -> Self {
+        PowerModel::Linear { idle, full_scale }
+    }
+
+    /// Convenience constructor for a table-backed model.
+    pub fn lookup(table: LookupTable, fidelity: PowerFidelity) -> Self {
+        PowerModel::Lookup { table, fidelity }
+    }
+
+    /// The fidelity class of this model.
+    pub fn fidelity(&self) -> PowerFidelity {
+        match self {
+            PowerModel::Static(_) | PowerModel::Linear { .. } => PowerFidelity::Analytical,
+            PowerModel::Lookup { fidelity, .. } => *fidelity,
+        }
+    }
+
+    /// Power drawn when the device encodes the normalised value `value`.
+    ///
+    /// Values are clamped to the model's domain; a pruned (power-gated) element
+    /// should be queried with `value = 0.0`, or simply skipped by the caller.
+    pub fn power_at(&self, value: f64) -> Power {
+        let v = value.abs();
+        match self {
+            PowerModel::Static(p) => *p,
+            PowerModel::Linear { idle, full_scale } => {
+                let v = v.clamp(0.0, 1.0);
+                *idle + (*full_scale - *idle) * v
+            }
+            PowerModel::Lookup { table, .. } => Power::from_milliwatts(table.value_at(v)),
+        }
+    }
+
+    /// The worst-case (data-unaware) power assumption.
+    ///
+    /// The paper notes that default library references such as `Pπ` overestimate
+    /// actual power; this is exactly that overestimate, used when workload values
+    /// are unavailable.
+    pub fn worst_case_power(&self) -> Power {
+        match self {
+            PowerModel::Static(p) => *p,
+            PowerModel::Linear { idle, full_scale } => idle.max(*full_scale),
+            PowerModel::Lookup { table, .. } => Power::from_milliwatts(
+                table
+                    .points()
+                    .iter()
+                    .map(|&(_, p)| p)
+                    .fold(0.0_f64, f64::max),
+            ),
+        }
+    }
+
+    /// The expected power when values are uniformly distributed over the range.
+    pub fn mean_power(&self) -> Power {
+        match self {
+            PowerModel::Static(p) => *p,
+            PowerModel::Linear { idle, full_scale } => (*idle + *full_scale) * 0.5,
+            PowerModel::Lookup { table, .. } => Power::from_milliwatts(table.mean_value()),
+        }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::Static(Power::ZERO)
+    }
+}
+
+impl fmt::Display for PowerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerModel::Static(p) => write!(f, "static {p}"),
+            PowerModel::Linear { full_scale, .. } => {
+                write!(f, "linear (full-scale {full_scale})")
+            }
+            PowerModel::Lookup { fidelity, .. } => write!(f, "lookup ({fidelity})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured_ps_table() -> LookupTable {
+        // Slightly sub-linear response: measured thermal crosstalk compensation
+        // makes the real device marginally cheaper than the analytical Pπ line.
+        LookupTable::new(vec![
+            (0.0, 0.0),
+            (0.25, 4.6),
+            (0.5, 9.4),
+            (0.75, 14.3),
+            (1.0, 19.4),
+        ])
+        .expect("valid table")
+    }
+
+    #[test]
+    fn linear_model_interpolates_between_idle_and_full_scale() {
+        let m = PowerModel::linear(Power::from_milliwatts(2.0), Power::from_milliwatts(22.0));
+        assert!((m.power_at(0.0).milliwatts() - 2.0).abs() < 1e-12);
+        assert!((m.power_at(1.0).milliwatts() - 22.0).abs() < 1e-12);
+        assert!((m.power_at(0.5).milliwatts() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_outside_range_are_clamped_and_sign_is_ignored() {
+        let m = PowerModel::linear(Power::ZERO, Power::from_milliwatts(10.0));
+        assert!((m.power_at(-0.5).milliwatts() - 5.0).abs() < 1e-12);
+        assert!((m.power_at(3.0).milliwatts() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_model_uses_table_and_reports_fidelity() {
+        let m = PowerModel::lookup(measured_ps_table(), PowerFidelity::Measured);
+        assert_eq!(m.fidelity(), PowerFidelity::Measured);
+        assert!((m.power_at(0.5).milliwatts() - 9.4).abs() < 1e-12);
+        assert!((m.worst_case_power().milliwatts() - 19.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_model_is_cheaper_than_analytical_for_same_pi_power() {
+        // This is the Fig. 10(b) effect: data-aware + measured model < data-aware
+        // + analytical model < data-unaware worst case.
+        let analytical = PowerModel::linear(Power::ZERO, Power::from_milliwatts(20.0));
+        let measured = PowerModel::lookup(measured_ps_table(), PowerFidelity::Measured);
+        let values = [0.1, 0.3, 0.5, 0.7, 0.9];
+        let e_analytical: f64 = values.iter().map(|&v| analytical.power_at(v).milliwatts()).sum();
+        let e_measured: f64 = values.iter().map(|&v| measured.power_at(v).milliwatts()).sum();
+        let e_unaware = analytical.worst_case_power().milliwatts() * values.len() as f64;
+        assert!(e_measured < e_analytical);
+        assert!(e_analytical < e_unaware);
+    }
+
+    #[test]
+    fn mean_power_of_linear_model_is_midpoint() {
+        let m = PowerModel::linear(Power::ZERO, Power::from_milliwatts(20.0));
+        assert!((m.mean_power().milliwatts() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_reports_model_class() {
+        assert!(PowerModel::default().to_string().contains("static"));
+        assert!(PowerModel::lookup(measured_ps_table(), PowerFidelity::Simulated)
+            .to_string()
+            .contains("simulated"));
+    }
+}

@@ -1,0 +1,491 @@
+//! Device specifications: the per-component data sheet the analyzers consume.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use simphony_units::{Area, BitWidth, Decibels, Energy, Frequency, Length, Power, Time};
+
+use crate::error::{DeviceError, Result};
+use crate::kind::{DeviceCategory, DeviceKind};
+use crate::power::PowerModel;
+
+/// Rectangular footprint of a device on the chip.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_devlib::Footprint;
+/// use simphony_units::Length;
+///
+/// let f = Footprint::new(Length::from_um(300.0), Length::from_um(50.0));
+/// assert!((f.area().square_micrometers() - 15_000.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Footprint {
+    width: Length,
+    height: Length,
+}
+
+impl Footprint {
+    /// Creates a footprint from its width (along the optical signal flow) and height.
+    pub fn new(width: Length, height: Length) -> Self {
+        Self { width, height }
+    }
+
+    /// Convenience constructor taking micrometres directly.
+    pub fn from_um(width_um: f64, height_um: f64) -> Self {
+        Self::new(Length::from_um(width_um), Length::from_um(height_um))
+    }
+
+    /// Width along the signal-flow direction.
+    pub fn width(&self) -> Length {
+        self.width
+    }
+
+    /// Height perpendicular to the signal-flow direction.
+    pub fn height(&self) -> Length {
+        self.height
+    }
+
+    /// The rectangular area of the footprint.
+    pub fn area(&self) -> Area {
+        self.width * self.height
+    }
+}
+
+impl Default for Footprint {
+    fn default() -> Self {
+        Self::from_um(0.0, 0.0)
+    }
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}x{:.1} um",
+            self.width.micrometers(),
+            self.height.micrometers()
+        )
+    }
+}
+
+/// Complete description of one device in the library.
+///
+/// A `DeviceSpec` is intentionally a plain data sheet: the analyzers in the
+/// `simphony` crate interpret these numbers (e.g. counting instances and
+/// accumulating power), so custom devices only need to fill in a spec — no
+/// trait implementations are required to extend the library.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_devlib::{DeviceKind, DeviceSpec, Footprint};
+/// use simphony_units::{Decibels, Power};
+///
+/// let spec = DeviceSpec::builder("my_mzm", DeviceKind::Mzm)
+///     .footprint(Footprint::from_um(250.0, 25.0))
+///     .insertion_loss(Decibels::from_db(0.8))
+///     .static_power(Power::from_milliwatts(1.5))
+///     .build()?;
+/// assert_eq!(spec.name(), "my_mzm");
+/// # Ok::<(), simphony_devlib::DeviceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    name: String,
+    kind: DeviceKind,
+    footprint: Footprint,
+    insertion_loss: Decibels,
+    static_power: Power,
+    dynamic_energy_per_op: Energy,
+    power_model: PowerModel,
+    bandwidth: Frequency,
+    reconfig_time: Time,
+    resolution: Option<BitWidth>,
+    sampling_rate: Option<Frequency>,
+    extinction_ratio: Option<Decibels>,
+    notes: String,
+}
+
+impl DeviceSpec {
+    /// Starts building a spec for a device of the given kind.
+    pub fn builder(name: impl Into<String>, kind: DeviceKind) -> DeviceSpecBuilder {
+        DeviceSpecBuilder::new(name, kind)
+    }
+
+    /// Library name of this device.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What the device is.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Electrical or optical category, derived from the kind.
+    pub fn category(&self) -> DeviceCategory {
+        self.kind.category()
+    }
+
+    /// Physical footprint of one instance.
+    pub fn footprint(&self) -> Footprint {
+        self.footprint
+    }
+
+    /// Footprint area of one instance.
+    pub fn area(&self) -> Area {
+        self.footprint.area()
+    }
+
+    /// Optical insertion loss contributed when a signal traverses this device.
+    pub fn insertion_loss(&self) -> Decibels {
+        self.insertion_loss
+    }
+
+    /// Static (value-independent) power draw of one instance.
+    pub fn static_power(&self) -> Power {
+        self.static_power
+    }
+
+    /// Dynamic energy dissipated per operation (per conversion, per symbol, …).
+    pub fn dynamic_energy_per_op(&self) -> Energy {
+        self.dynamic_energy_per_op
+    }
+
+    /// Value-aware power model (see [`PowerModel`]).
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// Analog/electrical bandwidth of the device.
+    pub fn bandwidth(&self) -> Frequency {
+        self.bandwidth
+    }
+
+    /// Time needed to reprogram the device to a new operand/weight.
+    pub fn reconfig_time(&self) -> Time {
+        self.reconfig_time
+    }
+
+    /// Converter resolution, when the device is a DAC/ADC.
+    pub fn resolution(&self) -> Option<BitWidth> {
+        self.resolution
+    }
+
+    /// Converter sampling rate, when the device is a DAC/ADC.
+    pub fn sampling_rate(&self) -> Option<Frequency> {
+        self.sampling_rate
+    }
+
+    /// Modulation extinction ratio, when the device is a modulator.
+    pub fn extinction_ratio(&self) -> Option<Decibels> {
+        self.extinction_ratio
+    }
+
+    /// Free-form provenance notes (measurement source, PDK, …).
+    pub fn notes(&self) -> &str {
+        &self.notes
+    }
+
+    /// Power drawn when the device encodes `value` (normalised to its operand range).
+    ///
+    /// Falls back to the static power when the device has no value-aware model.
+    pub fn power_at_value(&self, value: f64) -> Power {
+        self.power_model.power_at(value).max(Power::ZERO)
+    }
+
+    /// Energy of one clocked operation: static power over one cycle plus the
+    /// per-operation dynamic energy.
+    pub fn energy_per_cycle(&self, clock: Frequency) -> Energy {
+        self.static_power * clock.period() + self.dynamic_energy_per_op
+    }
+
+    /// Returns a copy of this spec under a different name (useful when a
+    /// template device is instantiated with several parameterisations).
+    pub fn renamed(&self, name: impl Into<String>) -> Self {
+        let mut copy = self.clone();
+        copy.name = name.into();
+        copy
+    }
+
+    /// Returns a copy with a different static power (used by converter scaling).
+    pub fn with_static_power(&self, power: Power) -> Self {
+        let mut copy = self.clone();
+        copy.static_power = power;
+        copy
+    }
+
+    /// Returns a copy with a different resolution/sampling-rate annotation.
+    pub fn with_converter_settings(&self, resolution: BitWidth, rate: Frequency) -> Self {
+        let mut copy = self.clone();
+        copy.resolution = Some(resolution);
+        copy.sampling_rate = Some(rate);
+        copy
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {} | IL {} | {}",
+            self.name,
+            self.kind,
+            self.footprint,
+            self.insertion_loss,
+            self.static_power
+        )
+    }
+}
+
+/// Builder for [`DeviceSpec`] (C-BUILDER).
+///
+/// Only the name and kind are mandatory; everything else defaults to zero /
+/// `None`, matching an ideal lossless, power-free component, so tests can build
+/// minimal specs and presets override what matters.
+#[derive(Debug, Clone)]
+pub struct DeviceSpecBuilder {
+    name: String,
+    kind: DeviceKind,
+    footprint: Footprint,
+    insertion_loss: Decibels,
+    static_power: Power,
+    dynamic_energy_per_op: Energy,
+    power_model: Option<PowerModel>,
+    bandwidth: Frequency,
+    reconfig_time: Time,
+    resolution: Option<BitWidth>,
+    sampling_rate: Option<Frequency>,
+    extinction_ratio: Option<Decibels>,
+    notes: String,
+}
+
+impl DeviceSpecBuilder {
+    /// Starts a builder for a device of the given kind.
+    pub fn new(name: impl Into<String>, kind: DeviceKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            footprint: Footprint::default(),
+            insertion_loss: Decibels::ZERO,
+            static_power: Power::ZERO,
+            dynamic_energy_per_op: Energy::ZERO,
+            power_model: None,
+            bandwidth: Frequency::from_gigahertz(10.0),
+            reconfig_time: Time::ZERO,
+            resolution: None,
+            sampling_rate: None,
+            extinction_ratio: None,
+            notes: String::new(),
+        }
+    }
+
+    /// Sets the physical footprint.
+    pub fn footprint(mut self, footprint: Footprint) -> Self {
+        self.footprint = footprint;
+        self
+    }
+
+    /// Sets the optical insertion loss.
+    pub fn insertion_loss(mut self, il: Decibels) -> Self {
+        self.insertion_loss = il;
+        self
+    }
+
+    /// Sets the static power draw.
+    pub fn static_power(mut self, power: Power) -> Self {
+        self.static_power = power;
+        self
+    }
+
+    /// Sets the dynamic per-operation energy.
+    pub fn dynamic_energy_per_op(mut self, energy: Energy) -> Self {
+        self.dynamic_energy_per_op = energy;
+        self
+    }
+
+    /// Sets a value-aware power model. Defaults to `Static(static_power)`.
+    pub fn power_model(mut self, model: PowerModel) -> Self {
+        self.power_model = Some(model);
+        self
+    }
+
+    /// Sets the analog bandwidth.
+    pub fn bandwidth(mut self, bandwidth: Frequency) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Sets the reconfiguration (reprogramming) time.
+    pub fn reconfig_time(mut self, time: Time) -> Self {
+        self.reconfig_time = time;
+        self
+    }
+
+    /// Sets the converter resolution.
+    pub fn resolution(mut self, bits: BitWidth) -> Self {
+        self.resolution = Some(bits);
+        self
+    }
+
+    /// Sets the converter sampling rate.
+    pub fn sampling_rate(mut self, rate: Frequency) -> Self {
+        self.sampling_rate = Some(rate);
+        self
+    }
+
+    /// Sets the modulation extinction ratio.
+    pub fn extinction_ratio(mut self, er: Decibels) -> Self {
+        self.extinction_ratio = Some(er);
+        self
+    }
+
+    /// Attaches provenance notes.
+    pub fn notes(mut self, notes: impl Into<String>) -> Self {
+        self.notes = notes.into();
+        self
+    }
+
+    /// Finalises the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidSpec`] when the name is empty, any physical
+    /// quantity is negative or non-finite, or converter settings are attached to
+    /// a device that is not a converter.
+    pub fn build(self) -> Result<DeviceSpec> {
+        let invalid = |reason: &str| DeviceError::InvalidSpec {
+            name: self.name.clone(),
+            reason: reason.to_string(),
+        };
+        if self.name.trim().is_empty() {
+            return Err(invalid("device name must not be empty"));
+        }
+        self.footprint
+            .width()
+            .validated("footprint width")
+            .map_err(|e| invalid(&e.to_string()))?;
+        self.footprint
+            .height()
+            .validated("footprint height")
+            .map_err(|e| invalid(&e.to_string()))?;
+        self.insertion_loss
+            .validated("insertion loss")
+            .map_err(|e| invalid(&e.to_string()))?;
+        self.static_power
+            .validated("static power")
+            .map_err(|e| invalid(&e.to_string()))?;
+        self.dynamic_energy_per_op
+            .validated("dynamic energy")
+            .map_err(|e| invalid(&e.to_string()))?;
+        self.reconfig_time
+            .validated("reconfiguration time")
+            .map_err(|e| invalid(&e.to_string()))?;
+        if (self.resolution.is_some() || self.sampling_rate.is_some()) && !self.kind.is_converter()
+        {
+            return Err(invalid(
+                "resolution/sampling rate only apply to DAC/ADC devices",
+            ));
+        }
+        let power_model = self
+            .power_model
+            .unwrap_or(PowerModel::Static(self.static_power));
+        Ok(DeviceSpec {
+            name: self.name,
+            kind: self.kind,
+            footprint: self.footprint,
+            insertion_loss: self.insertion_loss,
+            static_power: self.static_power,
+            dynamic_energy_per_op: self.dynamic_energy_per_op,
+            power_model,
+            bandwidth: self.bandwidth,
+            reconfig_time: self.reconfig_time,
+            resolution: self.resolution,
+            sampling_rate: self.sampling_rate,
+            extinction_ratio: self.extinction_ratio,
+            notes: self.notes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mzm() -> DeviceSpec {
+        DeviceSpec::builder("mzm", DeviceKind::Mzm)
+            .footprint(Footprint::from_um(250.0, 25.0))
+            .insertion_loss(Decibels::from_db(0.8))
+            .static_power(Power::from_milliwatts(1.0))
+            .dynamic_energy_per_op(Energy::from_femtojoules(60.0))
+            .build()
+            .expect("valid spec")
+    }
+
+    #[test]
+    fn builder_produces_consistent_spec() {
+        let spec = mzm();
+        assert_eq!(spec.kind(), DeviceKind::Mzm);
+        assert_eq!(spec.category(), DeviceCategory::Optical);
+        assert!((spec.area().square_micrometers() - 6250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_per_cycle_combines_static_and_dynamic() {
+        let spec = mzm();
+        let e = spec.energy_per_cycle(Frequency::from_gigahertz(5.0));
+        // 1 mW * 0.2 ns = 0.2 pJ, + 0.06 pJ dynamic.
+        assert!((e.picojoules() - 0.26).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_name_is_rejected() {
+        let err = DeviceSpec::builder("  ", DeviceKind::Adc).build();
+        assert!(matches!(err, Err(DeviceError::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn converter_settings_on_non_converter_are_rejected() {
+        let err = DeviceSpec::builder("mzm", DeviceKind::Mzm)
+            .resolution(BitWidth::new(8))
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn negative_quantities_are_rejected() {
+        let err = DeviceSpec::builder("bad", DeviceKind::Adc)
+            .static_power(Power::from_milliwatts(-1.0))
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn renamed_and_with_power_preserve_other_fields() {
+        let spec = mzm();
+        let renamed = spec.renamed("mzm_b");
+        assert_eq!(renamed.name(), "mzm_b");
+        assert_eq!(renamed.kind(), spec.kind());
+        let repowered = spec.with_static_power(Power::from_milliwatts(2.0));
+        assert!((repowered.static_power().milliwatts() - 2.0).abs() < 1e-12);
+        assert_eq!(repowered.footprint(), spec.footprint());
+    }
+
+    #[test]
+    fn default_power_model_matches_static_power() {
+        let spec = mzm();
+        assert!(
+            (spec.power_at_value(0.3).milliwatts() - spec.static_power().milliwatts()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn display_mentions_name_and_kind() {
+        let text = mzm().to_string();
+        assert!(text.contains("mzm"));
+        assert!(text.contains("MZM"));
+    }
+}

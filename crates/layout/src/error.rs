@@ -1,0 +1,70 @@
+//! Error type for floorplan estimation.
+
+use std::fmt;
+
+/// Convenience alias for results whose error is [`LayoutError`].
+pub type Result<T> = std::result::Result<T, LayoutError>;
+
+/// Error returned by floorplan construction.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_layout::{FloorplanConfig, LayoutError, signal_flow_floorplan};
+///
+/// let err = signal_flow_floorplan(&[], &FloorplanConfig::default()).unwrap_err();
+/// assert!(matches!(err, LayoutError::EmptyLayout));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayoutError {
+    /// No items were given to place.
+    EmptyLayout,
+    /// An item has a non-finite or negative dimension.
+    InvalidItem {
+        /// Name of the offending item.
+        name: String,
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// A user-provided bounding box cannot contain the items.
+    BoundingBoxTooSmall {
+        /// Required area in µm².
+        required_um2: f64,
+        /// Provided area in µm².
+        provided_um2: f64,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::EmptyLayout => write!(f, "no devices to place"),
+            LayoutError::InvalidItem { name, reason } => {
+                write!(f, "invalid layout item `{name}`: {reason}")
+            }
+            LayoutError::BoundingBoxTooSmall {
+                required_um2,
+                provided_um2,
+            } => write!(
+                f,
+                "bounding box of {provided_um2:.1} um^2 cannot hold devices requiring {required_um2:.1} um^2"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = LayoutError::InvalidItem {
+            name: "mzm".into(),
+            reason: "negative width".into(),
+        };
+        assert!(err.to_string().contains("mzm"));
+    }
+}

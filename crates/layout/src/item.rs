@@ -1,0 +1,130 @@
+//! Inputs to the floorplanner: device rectangles annotated with their
+//! topological level in the signal-flow DAG.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use simphony_units::{Area, Length};
+
+use crate::error::{LayoutError, Result};
+
+/// One device rectangle to place.
+///
+/// The `level` is the device's topological level in the netlist DAG (distance
+/// from the optical source); the signal-flow-aware floorplanner places devices
+/// of the same level in the same placement column so waveguides never need to
+/// double back, which is the paper's "minimum bending rule".
+///
+/// # Examples
+///
+/// ```
+/// use simphony_layout::LayoutItem;
+///
+/// let mzm = LayoutItem::from_um("mzm", 300.0, 50.0, 2);
+/// assert_eq!(mzm.level(), 2);
+/// assert!((mzm.area().square_micrometers() - 15_000.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutItem {
+    name: String,
+    width: Length,
+    height: Length,
+    level: usize,
+}
+
+impl LayoutItem {
+    /// Creates an item from explicit lengths.
+    pub fn new(name: impl Into<String>, width: Length, height: Length, level: usize) -> Self {
+        Self {
+            name: name.into(),
+            width,
+            height,
+            level,
+        }
+    }
+
+    /// Creates an item from micrometre dimensions.
+    pub fn from_um(name: impl Into<String>, width_um: f64, height_um: f64, level: usize) -> Self {
+        Self::new(
+            name,
+            Length::from_um(width_um),
+            Length::from_um(height_um),
+            level,
+        )
+    }
+
+    /// Item name (for reporting; does not need to be unique).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Width along the signal-flow direction.
+    pub fn width(&self) -> Length {
+        self.width
+    }
+
+    /// Height perpendicular to the signal flow.
+    pub fn height(&self) -> Length {
+        self.height
+    }
+
+    /// Topological level in the netlist DAG.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Footprint area of the item.
+    pub fn area(&self) -> Area {
+        self.width * self.height
+    }
+
+    /// Validates the item dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidItem`] when a dimension is negative or not finite.
+    pub fn validate(&self) -> Result<()> {
+        for (value, what) in [(self.width, "width"), (self.height, "height")] {
+            value
+                .validated("device dimension")
+                .map_err(|_| LayoutError::InvalidItem {
+                    name: self.name.clone(),
+                    reason: format!("{what} must be a finite non-negative length"),
+                })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LayoutItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:.1}x{:.1} um, level {})",
+            self.name,
+            self.width.micrometers(),
+            self.height.micrometers(),
+            self.level
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_bad_dimensions() {
+        let bad = LayoutItem::from_um("bad", -3.0, 2.0, 0);
+        assert!(bad.validate().is_err());
+        let good = LayoutItem::from_um("good", 3.0, 2.0, 0);
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn display_mentions_level() {
+        assert!(LayoutItem::from_um("pd", 30.0, 15.0, 4)
+            .to_string()
+            .contains("level 4"));
+    }
+}

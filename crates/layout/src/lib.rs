@@ -1,0 +1,84 @@
+//! Layout-aware chip area estimation for photonic integrated circuits.
+//!
+//! Prior photonic accelerator papers estimate chip area by summing device
+//! footprints, which badly underestimates real layouts (routing, spacing and
+//! signal-flow ordering force dead space). This crate implements the paper's
+//! signal-flow-aware row/column floorplan heuristic ([`signal_flow_floorplan`]):
+//! devices are placed in topological-level order so waveguides obey the minimum
+//! bending rule, each level's placement site is as wide as its widest device,
+//! and user-defined device/node spacings are honoured. The naive footprint sum
+//! ([`footprint_sum_area`]) and a user-defined bounding box
+//! ([`bounding_box_floorplan`]) are provided as baselines.
+//!
+//! # Examples
+//!
+//! ```
+//! use simphony_layout::{footprint_sum_area, signal_flow_floorplan, FloorplanConfig, LayoutItem};
+//!
+//! let items = [
+//!     LayoutItem::from_um("dac", 60.0, 60.0, 0),
+//!     LayoutItem::from_um("mzm", 300.0, 50.0, 1),
+//!     LayoutItem::from_um("pd", 30.0, 15.0, 2),
+//! ];
+//! let plan = signal_flow_floorplan(&items, &FloorplanConfig::default())?;
+//! assert!(plan.area() > footprint_sum_area(&items));
+//! # Ok::<(), simphony_layout::LayoutError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod floorplan;
+mod item;
+
+pub use error::{LayoutError, Result};
+pub use floorplan::{
+    bounding_box_floorplan, footprint_sum_area, signal_flow_floorplan, Floorplan, FloorplanConfig,
+    Placement,
+};
+pub use item::LayoutItem;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_item() -> impl Strategy<Value = LayoutItem> {
+        (1.0f64..400.0, 1.0f64..200.0, 0usize..6).prop_map(|(w, h, level)| {
+            LayoutItem::from_um(format!("d{level}"), w, h, level)
+        })
+    }
+
+    proptest! {
+        /// The signal-flow estimate can never be smaller than the sum of footprints.
+        #[test]
+        fn flow_aware_estimate_dominates_footprint_sum(items in prop::collection::vec(arb_item(), 1..24)) {
+            let plan = signal_flow_floorplan(&items, &FloorplanConfig::default()).expect("valid items");
+            let naive = footprint_sum_area(&items);
+            prop_assert!(plan.area().square_micrometers() + 1e-6 >= naive.square_micrometers());
+        }
+
+        /// No two placements produced by the floorplanner overlap.
+        #[test]
+        fn placements_never_overlap(items in prop::collection::vec(arb_item(), 1..24)) {
+            let plan = signal_flow_floorplan(&items, &FloorplanConfig::default()).expect("valid items");
+            let ps = plan.placements();
+            for i in 0..ps.len() {
+                for j in (i + 1)..ps.len() {
+                    prop_assert!(!ps[i].overlaps(&ps[j]));
+                }
+            }
+        }
+
+        /// Every placement stays inside the reported chip outline.
+        #[test]
+        fn placements_stay_in_bounds(items in prop::collection::vec(arb_item(), 1..24)) {
+            let plan = signal_flow_floorplan(&items, &FloorplanConfig::default()).expect("valid items");
+            for p in plan.placements() {
+                prop_assert!(p.x.micrometers() + p.width.micrometers() <= plan.width().micrometers() + 1e-6);
+                prop_assert!(p.y.micrometers() + p.height.micrometers() <= plan.height().micrometers() + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for memory modeling.
+
+use std::fmt;
+
+/// Convenience alias for results whose error is [`MemoryError`].
+pub type Result<T> = std::result::Result<T, MemoryError>;
+
+/// Error returned by memory-model construction and queries.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_memsim::{MemoryError, SramConfig};
+/// use simphony_units::DataSize;
+///
+/// let err = SramConfig::new(DataSize::from_bits(0.0), 64).validate().unwrap_err();
+/// assert!(matches!(err, MemoryError::InvalidConfig { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemoryError {
+    /// A memory configuration parameter is out of range.
+    InvalidConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A bandwidth requirement cannot be met by the configured memory.
+    BandwidthInfeasible {
+        /// The demanded bandwidth in GB/s.
+        demanded_gbps: f64,
+        /// The achievable bandwidth in GB/s.
+        achievable_gbps: f64,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::InvalidConfig { reason } => {
+                write!(f, "invalid memory configuration: {reason}")
+            }
+            MemoryError::BandwidthInfeasible {
+                demanded_gbps,
+                achievable_gbps,
+            } => write!(
+                f,
+                "bandwidth demand {demanded_gbps:.2} GB/s exceeds achievable {achievable_gbps:.2} GB/s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = MemoryError::BandwidthInfeasible {
+            demanded_gbps: 100.0,
+            achievable_gbps: 10.0,
+        };
+        assert!(err.to_string().contains("100.00"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Off-chip High Bandwidth Memory model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use simphony_units::{Bandwidth, DataSize, Energy, Power};
+
+/// Analytical HBM interface model.
+///
+/// The paper stores the entire model in HBM; what matters to the simulator is
+/// the per-bit transfer energy (which dominates data-movement cost for large
+/// layers), the peak bandwidth (for latency hiding) and the standby power of
+/// the PHY.
+///
+/// Defaults correspond to an HBM2-class stack: ≈ 3.9 pJ/bit, 307 GB/s per
+/// stack, ≈ 0.5 W of PHY/standby power.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_memsim::HbmModel;
+/// use simphony_units::DataSize;
+///
+/// let hbm = HbmModel::hbm2();
+/// let layer = DataSize::from_megabytes(4.0);
+/// assert!(hbm.access_energy(layer).microjoules() > 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmModel {
+    energy_per_bit: Energy,
+    peak_bandwidth: Bandwidth,
+    static_power: Power,
+}
+
+impl HbmModel {
+    /// An HBM2-class stack (3.9 pJ/bit, 307 GB/s, 0.5 W standby).
+    pub fn hbm2() -> Self {
+        Self {
+            energy_per_bit: Energy::from_picojoules(3.9),
+            peak_bandwidth: Bandwidth::from_gigabytes_per_second(307.0),
+            static_power: Power::from_milliwatts(500.0),
+        }
+    }
+
+    /// An HBM3-class stack (3.0 pJ/bit, 819 GB/s, 0.7 W standby).
+    pub fn hbm3() -> Self {
+        Self {
+            energy_per_bit: Energy::from_picojoules(3.0),
+            peak_bandwidth: Bandwidth::from_gigabytes_per_second(819.0),
+            static_power: Power::from_milliwatts(700.0),
+        }
+    }
+
+    /// A fully custom interface.
+    pub fn custom(energy_per_bit: Energy, peak_bandwidth: Bandwidth, static_power: Power) -> Self {
+        Self {
+            energy_per_bit,
+            peak_bandwidth,
+            static_power,
+        }
+    }
+
+    /// Energy to transfer one bit across the interface.
+    pub fn energy_per_bit(&self) -> Energy {
+        self.energy_per_bit
+    }
+
+    /// Peak sustainable bandwidth.
+    pub fn peak_bandwidth(&self) -> Bandwidth {
+        self.peak_bandwidth
+    }
+
+    /// Standby/PHY power.
+    pub fn static_power(&self) -> Power {
+        self.static_power
+    }
+
+    /// Energy to move `amount` of data across the interface.
+    pub fn access_energy(&self, amount: DataSize) -> Energy {
+        self.energy_per_bit * amount.bits()
+    }
+
+    /// Time to move `amount` of data at peak bandwidth.
+    pub fn transfer_time(&self, amount: DataSize) -> simphony_units::Time {
+        simphony_units::Time::from_seconds(amount.bits() / self.peak_bandwidth.bits_per_second())
+    }
+}
+
+impl Default for HbmModel {
+    fn default() -> Self {
+        Self::hbm2()
+    }
+}
+
+impl fmt::Display for HbmModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HBM {:.1} pJ/bit, {}, standby {}",
+            self.energy_per_bit.picojoules(),
+            self.peak_bandwidth,
+            self.static_power
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm3_is_faster_and_cheaper_per_bit_than_hbm2() {
+        assert!(HbmModel::hbm3().energy_per_bit() < HbmModel::hbm2().energy_per_bit());
+        assert!(HbmModel::hbm3().peak_bandwidth() > HbmModel::hbm2().peak_bandwidth());
+    }
+
+    #[test]
+    fn access_energy_is_linear_in_size() {
+        let hbm = HbmModel::hbm2();
+        let one = hbm.access_energy(DataSize::from_kilobytes(1.0));
+        let four = hbm.access_energy(DataSize::from_kilobytes(4.0));
+        assert!((four.nanojoules() - 4.0 * one.nanojoules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        let hbm = HbmModel::hbm2();
+        let t = hbm.transfer_time(DataSize::from_megabytes(307.0 / 1024.0 * 1000.0));
+        // ~1000 MB at 307 GB/s is a few ms; sanity-check the order of magnitude.
+        assert!(t.milliseconds() > 0.5 && t.milliseconds() < 10.0);
+    }
+}

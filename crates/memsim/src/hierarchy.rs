@@ -1,0 +1,381 @@
+//! The four-level HBM → GLB → LB → RF memory hierarchy with bandwidth-adaptive
+//! multi-block global-buffer sizing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use simphony_units::{Bandwidth, DataSize, Energy, Time};
+
+use crate::error::{MemoryError, Result};
+use crate::hbm::HbmModel;
+use crate::sram::{SramConfig, SramModel};
+use crate::technology::TechnologyNode;
+
+/// The four levels of the SimPhony memory hierarchy.
+///
+/// Each level stores operands A, B and the output at a progressively smaller
+/// granularity: the whole model (HBM), one layer (GLB), the processing matrix
+/// dimensions (LB), and the data for a single cycle (RF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MemoryLevel {
+    /// Off-chip high-bandwidth memory holding the entire model.
+    Hbm,
+    /// On-chip global buffer holding one layer.
+    GlobalBuffer,
+    /// Per-sub-architecture local buffer holding the processing tile.
+    LocalBuffer,
+    /// Register file holding one cycle's operands.
+    RegisterFile,
+}
+
+impl MemoryLevel {
+    /// All levels, outermost first.
+    pub fn all() -> &'static [MemoryLevel] {
+        &[
+            MemoryLevel::Hbm,
+            MemoryLevel::GlobalBuffer,
+            MemoryLevel::LocalBuffer,
+            MemoryLevel::RegisterFile,
+        ]
+    }
+
+    /// Short label used in breakdown tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoryLevel::Hbm => "HBM",
+            MemoryLevel::GlobalBuffer => "GLB",
+            MemoryLevel::LocalBuffer => "LB",
+            MemoryLevel::RegisterFile => "RF",
+        }
+    }
+}
+
+impl fmt::Display for MemoryLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Number of GLB blocks required to meet a bandwidth demand.
+///
+/// Implements the paper's multi-block SRAM search:
+/// `#blocks = ceil(τ_GLB · dBW / b_bus)`, where `τ_GLB` is the buffer cycle
+/// time, `dBW` the demanded bandwidth and `b_bus` the per-block bus width.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_memsim::required_glb_blocks;
+/// use simphony_units::{Bandwidth, Time};
+///
+/// let blocks = required_glb_blocks(
+///     Bandwidth::from_gigabytes_per_second(256.0),
+///     Time::from_nanoseconds(1.0),
+///     512,
+/// );
+/// assert_eq!(blocks, 4);
+/// ```
+pub fn required_glb_blocks(demand: Bandwidth, glb_cycle: Time, bus_width_bits: usize) -> usize {
+    if bus_width_bits == 0 {
+        return usize::MAX;
+    }
+    let bits_needed_per_cycle = demand.bits_per_second() * glb_cycle.seconds();
+    let blocks = (bits_needed_per_cycle / bus_width_bits as f64).ceil() as usize;
+    blocks.max(1)
+}
+
+/// A fully configured four-level memory hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_memsim::{MemoryHierarchy, MemoryLevel};
+/// use simphony_units::{Bandwidth, DataSize};
+///
+/// let mem = MemoryHierarchy::builder()
+///     .glb_capacity(DataSize::from_kilobytes(512.0))
+///     .demand_bandwidth(Bandwidth::from_gigabytes_per_second(384.0))
+///     .build()?;
+/// assert!(mem.glb_blocks() >= 1);
+/// assert!(mem.access_energy(MemoryLevel::RegisterFile, DataSize::from_bytes(8.0)).picojoules() > 0.0);
+/// # Ok::<(), simphony_memsim::MemoryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryHierarchy {
+    hbm: HbmModel,
+    glb: SramModel,
+    lb: SramModel,
+    rf: SramModel,
+    glb_blocks: usize,
+    demand_bandwidth: Bandwidth,
+}
+
+impl MemoryHierarchy {
+    /// Starts a builder with paper-like defaults.
+    pub fn builder() -> MemoryHierarchyBuilder {
+        MemoryHierarchyBuilder::default()
+    }
+
+    /// The off-chip HBM model.
+    pub fn hbm(&self) -> &HbmModel {
+        &self.hbm
+    }
+
+    /// The global buffer model (with its multi-block banking applied).
+    pub fn glb(&self) -> &SramModel {
+        &self.glb
+    }
+
+    /// The local buffer model.
+    pub fn lb(&self) -> &SramModel {
+        &self.lb
+    }
+
+    /// The register-file model.
+    pub fn rf(&self) -> &SramModel {
+        &self.rf
+    }
+
+    /// Number of GLB blocks selected to meet the bandwidth demand.
+    pub fn glb_blocks(&self) -> usize {
+        self.glb_blocks
+    }
+
+    /// The bandwidth demand the hierarchy was sized for.
+    pub fn demand_bandwidth(&self) -> Bandwidth {
+        self.demand_bandwidth
+    }
+
+    /// Energy to move `amount` of data at the given level.
+    pub fn access_energy(&self, level: MemoryLevel, amount: DataSize) -> Energy {
+        match level {
+            MemoryLevel::Hbm => self.hbm.access_energy(amount),
+            MemoryLevel::GlobalBuffer => self.glb.access_energy(amount),
+            MemoryLevel::LocalBuffer => self.lb.access_energy(amount),
+            MemoryLevel::RegisterFile => self.rf.access_energy(amount),
+        }
+    }
+
+    /// Total leakage power of the on-chip buffers.
+    pub fn leakage_power(&self) -> simphony_units::Power {
+        self.glb.leakage_power() + self.lb.leakage_power() + self.rf.leakage_power()
+    }
+
+    /// Total on-chip buffer area.
+    pub fn area(&self) -> simphony_units::Area {
+        self.glb.area() + self.lb.area() + self.rf.area()
+    }
+
+    /// Peak bandwidth the banked GLB can deliver.
+    pub fn glb_bandwidth(&self) -> Bandwidth {
+        self.glb.peak_bandwidth()
+    }
+}
+
+impl fmt::Display for MemoryHierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory hierarchy: GLB x{} blocks ({:.0} KiB), LB {:.0} KiB, RF {:.1} KiB",
+            self.glb_blocks,
+            self.glb.config().capacity().kilobytes(),
+            self.lb.config().capacity().kilobytes(),
+            self.rf.config().capacity().kilobytes(),
+        )
+    }
+}
+
+/// Builder for [`MemoryHierarchy`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchyBuilder {
+    hbm: HbmModel,
+    glb_capacity: DataSize,
+    lb_capacity: DataSize,
+    rf_capacity: DataSize,
+    bus_width_bits: usize,
+    technology: TechnologyNode,
+    demand_bandwidth: Bandwidth,
+}
+
+impl Default for MemoryHierarchyBuilder {
+    fn default() -> Self {
+        Self {
+            hbm: HbmModel::hbm2(),
+            glb_capacity: DataSize::from_kilobytes(512.0),
+            lb_capacity: DataSize::from_kilobytes(32.0),
+            rf_capacity: DataSize::from_kilobytes(2.0),
+            bus_width_bits: 512,
+            technology: TechnologyNode::NM_45,
+            demand_bandwidth: Bandwidth::from_gigabytes_per_second(128.0),
+        }
+    }
+}
+
+impl MemoryHierarchyBuilder {
+    /// Sets the HBM interface model.
+    pub fn hbm(mut self, hbm: HbmModel) -> Self {
+        self.hbm = hbm;
+        self
+    }
+
+    /// Sets the global-buffer capacity.
+    pub fn glb_capacity(mut self, capacity: DataSize) -> Self {
+        self.glb_capacity = capacity;
+        self
+    }
+
+    /// Sets the local-buffer capacity.
+    pub fn lb_capacity(mut self, capacity: DataSize) -> Self {
+        self.lb_capacity = capacity;
+        self
+    }
+
+    /// Sets the register-file capacity.
+    pub fn rf_capacity(mut self, capacity: DataSize) -> Self {
+        self.rf_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-block bus width in bits.
+    pub fn bus_width_bits(mut self, bits: usize) -> Self {
+        self.bus_width_bits = bits;
+        self
+    }
+
+    /// Sets the memory technology node.
+    pub fn technology(mut self, technology: TechnologyNode) -> Self {
+        self.technology = technology;
+        self
+    }
+
+    /// Sets the bandwidth demand profiled from the dataflow (`dBW`).
+    pub fn demand_bandwidth(mut self, demand: Bandwidth) -> Self {
+        self.demand_bandwidth = demand;
+        self
+    }
+
+    /// Builds the hierarchy, automatically searching for the minimum number of
+    /// GLB blocks that satisfies the demanded bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::InvalidConfig`] for zero capacities/bus widths and
+    /// [`MemoryError::BandwidthInfeasible`] when even an extremely banked GLB
+    /// cannot deliver the demand.
+    pub fn build(self) -> Result<MemoryHierarchy> {
+        if self.bus_width_bits == 0 {
+            return Err(MemoryError::InvalidConfig {
+                reason: "bus width must be positive".into(),
+            });
+        }
+        // First estimate the cycle time of a single-block GLB, then apply the
+        // paper's block-count formula and re-instantiate the banked macro.
+        let flat_cfg = SramConfig::new(self.glb_capacity, self.bus_width_bits)
+            .with_technology(self.technology);
+        flat_cfg.validate()?;
+        let flat = SramModel::new(flat_cfg);
+        let blocks =
+            required_glb_blocks(self.demand_bandwidth, flat.cycle_time(), self.bus_width_bits);
+        if blocks > 4096 {
+            return Err(MemoryError::BandwidthInfeasible {
+                demanded_gbps: self.demand_bandwidth.gigabytes_per_second(),
+                achievable_gbps: (DataSize::from_bits((self.bus_width_bits * 4096) as f64)
+                    / flat.cycle_time())
+                .gigabytes_per_second(),
+            });
+        }
+        let glb_cfg = SramConfig::new(self.glb_capacity, self.bus_width_bits)
+            .with_technology(self.technology)
+            .with_banks(blocks);
+        let lb_cfg = SramConfig::new(self.lb_capacity, self.bus_width_bits)
+            .with_technology(self.technology)
+            .with_ports(2);
+        lb_cfg.validate()?;
+        let rf_cfg = SramConfig::new(self.rf_capacity, self.bus_width_bits.min(256))
+            .with_technology(self.technology)
+            .with_ports(2);
+        rf_cfg.validate()?;
+        Ok(MemoryHierarchy {
+            hbm: self.hbm,
+            glb: SramModel::new(glb_cfg),
+            lb: SramModel::new(lb_cfg),
+            rf: SramModel::new(rf_cfg),
+            glb_blocks: blocks,
+            demand_bandwidth: self.demand_bandwidth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_formula_matches_paper() {
+        // 256 GB/s demand, 1 ns GLB cycle, 512-bit (64-byte) bus:
+        // 256e9 * 1e-9 = 256 bytes per cycle / 64 bytes per block = 4 blocks.
+        let blocks = required_glb_blocks(
+            Bandwidth::from_gigabytes_per_second(256.0),
+            Time::from_nanoseconds(1.0),
+            512,
+        );
+        assert_eq!(blocks, 4);
+    }
+
+    #[test]
+    fn at_least_one_block_is_always_required() {
+        let blocks = required_glb_blocks(
+            Bandwidth::from_gigabytes_per_second(0.001),
+            Time::from_nanoseconds(1.0),
+            512,
+        );
+        assert_eq!(blocks, 1);
+    }
+
+    #[test]
+    fn builder_meets_demand_with_banking() {
+        let mem = MemoryHierarchy::builder()
+            .demand_bandwidth(Bandwidth::from_gigabytes_per_second(512.0))
+            .build()
+            .expect("feasible configuration");
+        assert!(mem.glb_blocks() > 1);
+        assert!(
+            mem.glb_bandwidth().gigabytes_per_second()
+                >= mem.demand_bandwidth().gigabytes_per_second() * 0.99,
+            "banked GLB should deliver the demanded bandwidth"
+        );
+    }
+
+    #[test]
+    fn infeasible_demand_is_reported() {
+        let result = MemoryHierarchy::builder()
+            .demand_bandwidth(Bandwidth::from_gigabytes_per_second(1.0e9))
+            .build();
+        assert!(matches!(result, Err(MemoryError::BandwidthInfeasible { .. })));
+    }
+
+    #[test]
+    fn outer_levels_cost_more_energy_per_byte() {
+        let mem = MemoryHierarchy::builder().build().expect("valid");
+        let amount = DataSize::from_bytes(64.0);
+        let rf = mem.access_energy(MemoryLevel::RegisterFile, amount);
+        let lb = mem.access_energy(MemoryLevel::LocalBuffer, amount);
+        let glb = mem.access_energy(MemoryLevel::GlobalBuffer, amount);
+        let hbm = mem.access_energy(MemoryLevel::Hbm, amount);
+        assert!(rf < lb, "RF should be cheaper than LB");
+        assert!(lb < glb, "LB should be cheaper than GLB");
+        assert!(glb < hbm, "GLB should be cheaper than HBM");
+    }
+
+    #[test]
+    fn level_labels_are_stable() {
+        let labels: Vec<_> = MemoryLevel::all().iter().map(|l| l.label()).collect();
+        assert_eq!(labels, vec!["HBM", "GLB", "LB", "RF"]);
+    }
+
+    #[test]
+    fn zero_bus_width_is_rejected() {
+        let err = MemoryHierarchy::builder().bus_width_bits(0).build();
+        assert!(matches!(err, Err(MemoryError::InvalidConfig { .. })));
+    }
+}

@@ -1,0 +1,64 @@
+//! Analytical on-chip/off-chip memory modeling (CACTI substitute).
+//!
+//! The paper obtains SRAM access energy, cycle time and area from CACTI-45 nm
+//! and sizes a multi-block global buffer so the photonic cores never stall on
+//! memory bandwidth. This crate provides an analytical model with the same
+//! inputs and outputs:
+//!
+//! * [`SramModel`] — per-access energy, cycle time, leakage and area of an SRAM
+//!   macro as a function of capacity, word width, ports and technology node,
+//!   calibrated to published CACTI-45 nm trends;
+//! * [`HbmModel`] — off-chip HBM energy-per-bit / bandwidth / static power;
+//! * [`MemoryHierarchy`] — the four-level HBM → GLB → LB → RF hierarchy with
+//!   the bandwidth-adaptive multi-block GLB search
+//!   (`#blocks = ceil(τ_GLB · dBW / b_bus)`).
+//!
+//! # Examples
+//!
+//! ```
+//! use simphony_memsim::{SramConfig, SramModel, TechnologyNode};
+//! use simphony_units::DataSize;
+//!
+//! let glb = SramModel::new(SramConfig::new(DataSize::from_kilobytes(512.0), 256)
+//!     .with_technology(TechnologyNode::NM_45));
+//! assert!(glb.cycle_time().nanoseconds() > 0.1);
+//! assert!(glb.access_energy(DataSize::from_bytes(32.0)).picojoules() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod hbm;
+mod hierarchy;
+mod sram;
+mod technology;
+
+pub use error::{MemoryError, Result};
+pub use hbm::HbmModel;
+pub use hierarchy::{required_glb_blocks, MemoryHierarchy, MemoryHierarchyBuilder, MemoryLevel};
+pub use sram::{SramConfig, SramModel};
+pub use technology::TechnologyNode;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simphony_units::DataSize;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SramModel>();
+        assert_send_sync::<HbmModel>();
+        assert_send_sync::<MemoryHierarchy>();
+        assert_send_sync::<MemoryError>();
+    }
+
+    #[test]
+    fn bigger_sram_costs_more_energy_per_access() {
+        let small = SramModel::new(SramConfig::new(DataSize::from_kilobytes(32.0), 128));
+        let large = SramModel::new(SramConfig::new(DataSize::from_kilobytes(1024.0), 128));
+        let word = DataSize::from_bytes(16.0);
+        assert!(large.access_energy(word).picojoules() > small.access_energy(word).picojoules());
+    }
+}

@@ -1,0 +1,307 @@
+//! Analytical SRAM macro model (CACTI-45 nm calibrated).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use simphony_units::{Area, DataSize, Energy, Power, Time};
+
+use crate::error::{MemoryError, Result};
+use crate::technology::TechnologyNode;
+
+/// Configuration of one SRAM macro (a buffer level of the memory hierarchy).
+///
+/// # Examples
+///
+/// ```
+/// use simphony_memsim::{SramConfig, TechnologyNode};
+/// use simphony_units::DataSize;
+///
+/// let cfg = SramConfig::new(DataSize::from_kilobytes(512.0), 256)
+///     .with_ports(2)
+///     .with_technology(TechnologyNode::NM_45);
+/// assert_eq!(cfg.word_bits(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramConfig {
+    capacity: DataSize,
+    word_bits: usize,
+    ports: usize,
+    banks: usize,
+    technology: TechnologyNode,
+}
+
+impl SramConfig {
+    /// Creates a single-port, single-bank configuration at 45 nm.
+    pub fn new(capacity: DataSize, word_bits: usize) -> Self {
+        Self {
+            capacity,
+            word_bits,
+            ports: 1,
+            banks: 1,
+            technology: TechnologyNode::NM_45,
+        }
+    }
+
+    /// Sets the number of read/write ports.
+    pub fn with_ports(mut self, ports: usize) -> Self {
+        self.ports = ports.max(1);
+        self
+    }
+
+    /// Sets the number of banks (blocks) the macro is split into.
+    pub fn with_banks(mut self, banks: usize) -> Self {
+        self.banks = banks.max(1);
+        self
+    }
+
+    /// Sets the technology node.
+    pub fn with_technology(mut self, technology: TechnologyNode) -> Self {
+        self.technology = technology;
+        self
+    }
+
+    /// Total capacity of the macro.
+    pub fn capacity(&self) -> DataSize {
+        self.capacity
+    }
+
+    /// Word (bus) width in bits per access.
+    pub fn word_bits(&self) -> usize {
+        self.word_bits
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Technology node.
+    pub fn technology(&self) -> TechnologyNode {
+        self.technology
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::InvalidConfig`] when the capacity or word width is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.capacity.bits() <= 0.0 {
+            return Err(MemoryError::InvalidConfig {
+                reason: "capacity must be positive".into(),
+            });
+        }
+        if self.word_bits == 0 {
+            return Err(MemoryError::InvalidConfig {
+                reason: "word width must be positive".into(),
+            });
+        }
+        if self.capacity.bits() < self.word_bits as f64 {
+            return Err(MemoryError::InvalidConfig {
+                reason: "capacity smaller than one word".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SramConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SRAM {:.0} KiB x{}b, {} port(s), {} bank(s), {}",
+            self.capacity.kilobytes(),
+            self.word_bits,
+            self.ports,
+            self.banks,
+            self.technology
+        )
+    }
+}
+
+/// Analytical SRAM macro model.
+///
+/// Calibration anchors (45 nm, single port, 128-bit word):
+///
+/// | capacity | per-bit read energy | random-access cycle | area |
+/// |----------|--------------------:|--------------------:|-----:|
+/// | 32 KiB   | ≈ 0.09 pJ/bit       | ≈ 0.45 ns           | ≈ 0.08 mm² |
+/// | 512 KiB  | ≈ 0.20 pJ/bit       | ≈ 0.95 ns           | ≈ 1.1 mm²  |
+///
+/// These follow the familiar CACTI trends: energy and delay grow roughly with
+/// the square root of capacity (longer bit/word lines), area grows linearly
+/// with capacity plus a fixed periphery overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramModel {
+    config: SramConfig,
+}
+
+impl SramModel {
+    /// Energy per bit read from a 1 KiB bank at 45 nm.
+    const BASE_ENERGY_PER_BIT_PJ: f64 = 0.016;
+    /// Cycle time of a 1 KiB bank at 45 nm.
+    const BASE_CYCLE_NS: f64 = 0.18;
+    /// Bit-cell plus periphery area per KiB at 45 nm.
+    const AREA_PER_KB_MM2: f64 = 0.0021;
+    /// Fixed periphery area per macro at 45 nm.
+    const PERIPHERY_AREA_MM2: f64 = 0.012;
+    /// Leakage per KiB at 45 nm.
+    const LEAKAGE_PER_KB_MW: f64 = 0.012;
+
+    /// Wraps a configuration in the analytical model.
+    pub fn new(config: SramConfig) -> Self {
+        Self { config }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &SramConfig {
+        &self.config
+    }
+
+    /// Capacity of one bank in KiB.
+    fn bank_kilobytes(&self) -> f64 {
+        (self.config.capacity.kilobytes() / self.config.banks as f64).max(1.0)
+    }
+
+    /// Energy to read or write one bit.
+    ///
+    /// Grows with the square root of the bank capacity (bit-line/word-line
+    /// length) and with the port count, scaled by the technology node.
+    pub fn energy_per_bit(&self) -> Energy {
+        let size_factor = self.bank_kilobytes().sqrt();
+        let port_factor = 1.0 + 0.35 * (self.config.ports as f64 - 1.0);
+        Energy::from_picojoules(
+            Self::BASE_ENERGY_PER_BIT_PJ
+                * size_factor
+                * port_factor
+                * self.config.technology.energy_scale(),
+        )
+    }
+
+    /// Energy of an access moving `amount` of data.
+    pub fn access_energy(&self, amount: DataSize) -> Energy {
+        self.energy_per_bit() * amount.bits()
+    }
+
+    /// Random-access cycle time of the macro (the `τ_GLB` of the multi-block
+    /// buffer search).
+    pub fn cycle_time(&self) -> Time {
+        let size_factor = 1.0 + 0.35 * self.bank_kilobytes().sqrt() / 2.0;
+        Time::from_nanoseconds(
+            Self::BASE_CYCLE_NS * size_factor * self.config.technology.delay_scale(),
+        )
+    }
+
+    /// Peak bandwidth of the macro: one word per port per bank per cycle.
+    pub fn peak_bandwidth(&self) -> simphony_units::Bandwidth {
+        let bits_per_cycle =
+            (self.config.word_bits * self.config.ports * self.config.banks) as f64;
+        DataSize::from_bits(bits_per_cycle) / self.cycle_time()
+    }
+
+    /// Static leakage power of the whole macro.
+    pub fn leakage_power(&self) -> Power {
+        let port_factor = 1.0 + 0.25 * (self.config.ports as f64 - 1.0);
+        Power::from_milliwatts(
+            Self::LEAKAGE_PER_KB_MW
+                * self.config.capacity.kilobytes()
+                * port_factor
+                * self.config.technology.leakage_scale(),
+        )
+    }
+
+    /// Silicon area of the macro, including per-bank periphery.
+    pub fn area(&self) -> Area {
+        let port_factor = 1.0 + 0.6 * (self.config.ports as f64 - 1.0);
+        let cell = Self::AREA_PER_KB_MM2 * self.config.capacity.kilobytes() * port_factor;
+        let periphery = Self::PERIPHERY_AREA_MM2 * self.config.banks as f64;
+        Area::from_square_mm((cell + periphery) * self.config.technology.area_scale())
+    }
+}
+
+impl fmt::Display for SramModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {:.3} pJ/bit, {:.2} ns, {:.3} mm^2",
+            self.config,
+            self.energy_per_bit().picojoules(),
+            self.cycle_time().nanoseconds(),
+            self.area().square_millimeters()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn glb() -> SramModel {
+        SramModel::new(SramConfig::new(DataSize::from_kilobytes(512.0), 256))
+    }
+
+    #[test]
+    fn calibration_anchor_is_in_a_plausible_cacti_range() {
+        let m = glb();
+        let e = m.energy_per_bit().picojoules();
+        assert!(e > 0.1 && e < 1.0, "512 KiB per-bit energy {e} pJ out of range");
+        let t = m.cycle_time().nanoseconds();
+        assert!(t > 0.5 && t < 3.0, "cycle time {t} ns out of range");
+        let a = m.area().square_millimeters();
+        assert!(a > 0.3 && a < 3.0, "area {a} mm^2 out of range");
+    }
+
+    #[test]
+    fn banking_reduces_cycle_time_and_energy_per_bit() {
+        let flat = SramModel::new(SramConfig::new(DataSize::from_kilobytes(512.0), 256));
+        let banked = SramModel::new(
+            SramConfig::new(DataSize::from_kilobytes(512.0), 256).with_banks(8),
+        );
+        assert!(banked.cycle_time() < flat.cycle_time());
+        assert!(banked.energy_per_bit() < flat.energy_per_bit());
+        assert!(banked.peak_bandwidth() > flat.peak_bandwidth());
+    }
+
+    #[test]
+    fn advanced_nodes_are_cheaper() {
+        let at45 = glb();
+        let at14 = SramModel::new(
+            SramConfig::new(DataSize::from_kilobytes(512.0), 256)
+                .with_technology(TechnologyNode::NM_14),
+        );
+        assert!(at14.energy_per_bit() < at45.energy_per_bit());
+        assert!(at14.area() < at45.area());
+        assert!(at14.leakage_power() < at45.leakage_power());
+    }
+
+    #[test]
+    fn extra_ports_cost_energy_and_area() {
+        let sp = glb();
+        let dp = SramModel::new(
+            SramConfig::new(DataSize::from_kilobytes(512.0), 256).with_ports(2),
+        );
+        assert!(dp.energy_per_bit() > sp.energy_per_bit());
+        assert!(dp.area() > sp.area());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SramConfig::new(DataSize::from_bits(0.0), 64).validate().is_err());
+        assert!(SramConfig::new(DataSize::from_bytes(4.0), 0).validate().is_err());
+        assert!(SramConfig::new(DataSize::from_bits(16.0), 64).validate().is_err());
+        assert!(SramConfig::new(DataSize::from_kilobytes(4.0), 64).validate().is_ok());
+    }
+
+    #[test]
+    fn access_energy_scales_linearly_with_amount() {
+        let m = glb();
+        let one = m.access_energy(DataSize::from_bytes(1.0));
+        let ten = m.access_energy(DataSize::from_bytes(10.0));
+        assert!((ten.picojoules() - 10.0 * one.picojoules()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,308 @@
+//! Weighted directed acyclic graph derived from a netlist.
+//!
+//! Vertices carry weights (per-instance insertion loss × multiplicity); the
+//! longest source-to-sink path gives the critical insertion-loss path used by
+//! link budget analysis, and the topological levels drive the signal-flow-aware
+//! floorplanner.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NetlistError, Result};
+
+/// A vertex- and edge-weighted DAG.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_netlist::WeightedDag;
+///
+/// let mut dag = WeightedDag::new(vec!["laser".into(), "mzm".into(), "pd".into()]);
+/// dag.set_vertex_weight(0, 0.0);
+/// dag.set_vertex_weight(1, 0.8);
+/// dag.set_vertex_weight(2, 0.5);
+/// dag.add_edge(0, 1, 0.0)?;
+/// dag.add_edge(1, 2, 0.0)?;
+/// let path = dag.longest_path()?;
+/// assert_eq!(path.vertices, vec![0, 1, 2]);
+/// assert!((path.total - 1.3).abs() < 1e-12);
+/// # Ok::<(), simphony_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedDag {
+    labels: Vec<String>,
+    vertex_weights: Vec<f64>,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+/// The heaviest source-to-sink path of a [`WeightedDag`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Vertex indices along the path, in traversal order.
+    pub vertices: Vec<usize>,
+    /// Sum of vertex and edge weights along the path.
+    pub total: f64,
+}
+
+impl WeightedDag {
+    /// Creates a DAG with the given vertex labels and zero weights.
+    pub fn new(labels: Vec<String>) -> Self {
+        let n = labels.len();
+        Self {
+            labels,
+            vertex_weights: vec![0.0; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Label of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn label(&self, v: usize) -> &str {
+        &self.labels[v]
+    }
+
+    /// Sets the weight of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn set_vertex_weight(&mut self, v: usize, weight: f64) {
+        self.vertex_weights[v] = weight;
+    }
+
+    /// Weight of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn vertex_weight(&self, v: usize) -> f64 {
+        self.vertex_weights[v]
+    }
+
+    /// Adds a directed edge with the given extra weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownInstance`] if either endpoint is out of bounds.
+    pub fn add_edge(&mut self, from: usize, to: usize, weight: f64) -> Result<()> {
+        if from >= self.vertex_count() {
+            return Err(NetlistError::UnknownInstance { index: from });
+        }
+        if to >= self.vertex_count() {
+            return Err(NetlistError::UnknownInstance { index: to });
+        }
+        self.edges.push((from, to, weight));
+        Ok(())
+    }
+
+    /// Outgoing edges of vertex `v` as `(to, weight)` pairs.
+    pub fn successors(&self, v: usize) -> Vec<(usize, f64)> {
+        self.edges
+            .iter()
+            .filter(|(from, _, _)| *from == v)
+            .map(|&(_, to, w)| (to, w))
+            .collect()
+    }
+
+    /// A topological ordering of the vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CycleDetected`] if the graph has a directed cycle.
+    pub fn topological_order(&self) -> Result<Vec<usize>> {
+        let n = self.vertex_count();
+        let mut indegree = vec![0usize; n];
+        for &(_, to, _) in &self.edges {
+            indegree[to] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order.push(v);
+            for (to, _) in self.successors(v) {
+                indegree[to] -= 1;
+                if indegree[to] == 0 {
+                    queue.push(to);
+                }
+            }
+        }
+        if order.len() != n {
+            let cyclic = (0..n)
+                .find(|&v| indegree[v] > 0)
+                .expect("some vertex must remain when a cycle exists");
+            return Err(NetlistError::CycleDetected {
+                instance: self.labels[cyclic].clone(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Topological level of each vertex: the number of edges on the longest
+    /// path from any source to that vertex.
+    ///
+    /// Levels define the placement rows of the signal-flow-aware floorplanner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CycleDetected`] if the graph has a directed cycle.
+    pub fn levels(&self) -> Result<Vec<usize>> {
+        let order = self.topological_order()?;
+        let mut level = vec![0usize; self.vertex_count()];
+        for &v in &order {
+            for (to, _) in self.successors(v) {
+                level[to] = level[to].max(level[v] + 1);
+            }
+        }
+        Ok(level)
+    }
+
+    /// The heaviest source-to-sink path, counting vertex and edge weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::EmptyNetlist`] for an empty graph and
+    /// [`NetlistError::CycleDetected`] if the graph has a directed cycle.
+    pub fn longest_path(&self) -> Result<CriticalPath> {
+        if self.vertex_count() == 0 {
+            return Err(NetlistError::EmptyNetlist);
+        }
+        let order = self.topological_order()?;
+        let n = self.vertex_count();
+        let mut best = vec![f64::NEG_INFINITY; n];
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        // Any vertex can start a path with its own weight.
+        for v in 0..n {
+            best[v] = self.vertex_weights[v];
+        }
+        for &v in &order {
+            for (to, w) in self.successors(v) {
+                let candidate = best[v] + w + self.vertex_weights[to];
+                // `>=` so that a zero-weight source (e.g. the laser) is still
+                // reported at the head of the critical path on ties.
+                if candidate >= best[to] {
+                    best[to] = candidate;
+                    pred[to] = Some(v);
+                }
+            }
+        }
+        let (end, &total) = best
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+            .expect("non-empty graph");
+        let mut vertices = vec![end];
+        let mut cur = end;
+        while let Some(p) = pred[cur] {
+            vertices.push(p);
+            cur = p;
+        }
+        vertices.reverse();
+        Ok(CriticalPath { vertices, total })
+    }
+}
+
+impl fmt::Display for WeightedDag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dag with {} vertices, {} edges",
+            self.vertex_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> WeightedDag {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3 with a heavier lower branch.
+        let mut dag = WeightedDag::new((0..4).map(|i| format!("i{i}")).collect());
+        dag.set_vertex_weight(0, 1.0);
+        dag.set_vertex_weight(1, 0.5);
+        dag.set_vertex_weight(2, 2.0);
+        dag.set_vertex_weight(3, 0.3);
+        dag.add_edge(0, 1, 0.0).unwrap();
+        dag.add_edge(0, 2, 0.0).unwrap();
+        dag.add_edge(1, 3, 0.0).unwrap();
+        dag.add_edge(2, 3, 0.0).unwrap();
+        dag
+    }
+
+    #[test]
+    fn longest_path_prefers_heavier_branch() {
+        let path = diamond().longest_path().unwrap();
+        assert_eq!(path.vertices, vec![0, 2, 3]);
+        assert!((path.total - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_weights_contribute() {
+        let mut dag = diamond();
+        // Make the upper branch win through an edge penalty representing
+        // (CW-1) crossings between i1 and i3.
+        dag.add_edge(1, 3, 5.0).unwrap();
+        let path = dag.longest_path().unwrap();
+        assert_eq!(path.vertices, vec![0, 1, 3]);
+        assert!((path.total - 6.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levels_follow_longest_hop_distance() {
+        let levels = diamond().levels().unwrap();
+        assert_eq!(levels, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut dag = WeightedDag::new(vec!["a".into(), "b".into()]);
+        dag.add_edge(0, 1, 0.0).unwrap();
+        dag.add_edge(1, 0, 0.0).unwrap();
+        assert!(matches!(
+            dag.topological_order(),
+            Err(NetlistError::CycleDetected { .. })
+        ));
+        assert!(dag.longest_path().is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_edges_are_rejected() {
+        let mut dag = WeightedDag::new(vec!["a".into()]);
+        assert!(dag.add_edge(0, 5, 0.0).is_err());
+        assert!(dag.add_edge(7, 0, 0.0).is_err());
+    }
+
+    #[test]
+    fn empty_graph_has_no_critical_path() {
+        let dag = WeightedDag::new(Vec::new());
+        assert!(matches!(dag.longest_path(), Err(NetlistError::EmptyNetlist)));
+    }
+
+    #[test]
+    fn isolated_heavy_vertex_is_a_valid_critical_path() {
+        let mut dag = WeightedDag::new(vec!["a".into(), "b".into(), "c".into()]);
+        dag.set_vertex_weight(1, 10.0);
+        dag.add_edge(0, 2, 0.0).unwrap();
+        let path = dag.longest_path().unwrap();
+        assert_eq!(path.vertices, vec![1]);
+        assert!((path.total - 10.0).abs() < 1e-12);
+    }
+}

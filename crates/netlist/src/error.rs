@@ -1,0 +1,106 @@
+//! Error type for netlist construction and analysis.
+
+use std::fmt;
+
+/// Convenience alias for results whose error is [`NetlistError`].
+pub type Result<T> = std::result::Result<T, NetlistError>;
+
+/// Error returned by netlist construction, scaling-rule parsing and DAG analysis.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_netlist::{NetlistError, ScaleExpr};
+///
+/// let err = ScaleExpr::parse("R *").unwrap_err();
+/// assert!(matches!(err, NetlistError::ParseRule { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// An instance id referenced by a net does not exist in the netlist.
+    UnknownInstance {
+        /// The missing instance index.
+        index: usize,
+    },
+    /// Two instances were registered under the same name.
+    DuplicateInstance {
+        /// The conflicting instance name.
+        name: String,
+    },
+    /// The netlist contains a directed cycle, so no critical path exists.
+    CycleDetected {
+        /// Name of an instance participating in the cycle.
+        instance: String,
+    },
+    /// A scaling-rule expression could not be parsed.
+    ParseRule {
+        /// The rule text.
+        rule: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A scaling-rule expression referenced an unknown parameter name.
+    UnknownParameter {
+        /// The unknown identifier.
+        name: String,
+    },
+    /// The netlist has no instances.
+    EmptyNetlist,
+    /// A device name used by an instance was not found in the device library.
+    UnknownDevice {
+        /// The device name.
+        device: String,
+        /// The instance that referenced it.
+        instance: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownInstance { index } => {
+                write!(f, "net references unknown instance index {index}")
+            }
+            NetlistError::DuplicateInstance { name } => {
+                write!(f, "instance `{name}` is declared twice")
+            }
+            NetlistError::CycleDetected { instance } => {
+                write!(f, "netlist contains a cycle through instance `{instance}`")
+            }
+            NetlistError::ParseRule { rule, reason } => {
+                write!(f, "cannot parse scaling rule `{rule}`: {reason}")
+            }
+            NetlistError::UnknownParameter { name } => {
+                write!(f, "unknown architecture parameter `{name}`")
+            }
+            NetlistError::EmptyNetlist => write!(f, "netlist has no instances"),
+            NetlistError::UnknownDevice { device, instance } => {
+                write!(f, "instance `{instance}` references unknown device `{device}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let err = NetlistError::UnknownDevice {
+            device: "mzm_eo".into(),
+            instance: "i2".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("mzm_eo"));
+        assert!(text.contains("i2"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(NetlistError::EmptyNetlist);
+        assert!(!err.to_string().is_empty());
+    }
+}

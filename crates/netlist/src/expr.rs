@@ -1,0 +1,399 @@
+//! Symbolic scaling-rule expressions.
+//!
+//! The paper describes device counts and insertion-loss multiplicities as
+//! "customizable symbolic expressions in circuit description files" — e.g. in
+//! the TeMPO case study the input encoders scale by `R*H`, the shared
+//! integrators/ADCs by `C*H*W`, and in the MZI-mesh case study the unitary
+//! nodes scale by `R*C*H*(H-1)/2` and the diagonal by `R*C*min(H,W)`.
+//!
+//! [`ScaleExpr`] is a small arithmetic expression language over the
+//! [`ArchParams`] symbols with `+ - * / ( )`, integer/float literals and the
+//! functions `min(a, b)` and `max(a, b)`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NetlistError, Result};
+use crate::params::ArchParams;
+
+/// A parsed scaling-rule expression.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_netlist::{ArchParams, ScaleExpr};
+///
+/// let params = ArchParams::new(2, 2, 4, 4);
+/// assert_eq!(ScaleExpr::parse("C*H*W")?.evaluate(&params)?, 32.0);
+/// assert_eq!(ScaleExpr::parse("R*C*H*(H-1)/2")?.evaluate(&params)?, 24.0);
+/// assert_eq!(ScaleExpr::parse("R*C*min(H, W)")?.evaluate(&params)?, 16.0);
+/// # Ok::<(), simphony_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScaleExpr {
+    /// A numeric literal.
+    Constant(f64),
+    /// A named architecture parameter (`R`, `C`, `H`, `W`, `LAMBDA`, or custom).
+    Parameter(String),
+    /// Sum of two sub-expressions.
+    Add(Box<ScaleExpr>, Box<ScaleExpr>),
+    /// Difference of two sub-expressions.
+    Sub(Box<ScaleExpr>, Box<ScaleExpr>),
+    /// Product of two sub-expressions.
+    Mul(Box<ScaleExpr>, Box<ScaleExpr>),
+    /// Quotient of two sub-expressions.
+    Div(Box<ScaleExpr>, Box<ScaleExpr>),
+    /// Minimum of two sub-expressions.
+    Min(Box<ScaleExpr>, Box<ScaleExpr>),
+    /// Maximum of two sub-expressions.
+    Max(Box<ScaleExpr>, Box<ScaleExpr>),
+}
+
+impl ScaleExpr {
+    /// The constant rule `1`, i.e. "one instance per node".
+    pub fn one() -> Self {
+        ScaleExpr::Constant(1.0)
+    }
+
+    /// Creates a constant rule.
+    pub fn constant(value: f64) -> Self {
+        ScaleExpr::Constant(value)
+    }
+
+    /// Parses a rule from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ParseRule`] on syntax errors.
+    pub fn parse(text: &str) -> Result<Self> {
+        Parser::new(text).parse_full()
+    }
+
+    /// Evaluates the rule against concrete architecture parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownParameter`] when the expression references
+    /// a symbol the parameters do not define.
+    pub fn evaluate(&self, params: &ArchParams) -> Result<f64> {
+        match self {
+            ScaleExpr::Constant(v) => Ok(*v),
+            ScaleExpr::Parameter(name) => {
+                params
+                    .lookup(name)
+                    .ok_or_else(|| NetlistError::UnknownParameter { name: name.clone() })
+            }
+            ScaleExpr::Add(a, b) => Ok(a.evaluate(params)? + b.evaluate(params)?),
+            ScaleExpr::Sub(a, b) => Ok(a.evaluate(params)? - b.evaluate(params)?),
+            ScaleExpr::Mul(a, b) => Ok(a.evaluate(params)? * b.evaluate(params)?),
+            ScaleExpr::Div(a, b) => Ok(a.evaluate(params)? / b.evaluate(params)?),
+            ScaleExpr::Min(a, b) => Ok(a.evaluate(params)?.min(b.evaluate(params)?)),
+            ScaleExpr::Max(a, b) => Ok(a.evaluate(params)?.max(b.evaluate(params)?)),
+        }
+    }
+
+    /// Evaluates the rule and rounds to a non-negative instance count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScaleExpr::evaluate`] errors.
+    pub fn evaluate_count(&self, params: &ArchParams) -> Result<usize> {
+        let value = self.evaluate(params)?;
+        Ok(value.round().max(0.0) as usize)
+    }
+}
+
+impl Default for ScaleExpr {
+    fn default() -> Self {
+        Self::one()
+    }
+}
+
+impl fmt::Display for ScaleExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleExpr::Constant(v) => write!(f, "{v}"),
+            ScaleExpr::Parameter(name) => write!(f, "{name}"),
+            ScaleExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            ScaleExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            ScaleExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            ScaleExpr::Div(a, b) => write!(f, "({a} / {b})"),
+            ScaleExpr::Min(a, b) => write!(f, "min({a}, {b})"),
+            ScaleExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+        }
+    }
+}
+
+/// Recursive-descent parser for the rule grammar:
+///
+/// ```text
+/// expr    := term (('+' | '-') term)*
+/// term    := factor (('*' | '/') factor)*
+/// factor  := number | ident | ident '(' expr ',' expr ')' | '(' expr ')' | '-' factor
+/// ```
+struct Parser<'a> {
+    text: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            text,
+            chars: text.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, reason: impl Into<String>) -> NetlistError {
+        NetlistError::ParseRule {
+            rule: self.text.to_string(),
+            reason: reason.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        self.skip_ws();
+        let c = self.chars.get(self.pos).copied();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_full(&mut self) -> Result<ScaleExpr> {
+        let expr = self.parse_expr()?;
+        self.skip_ws();
+        if self.pos != self.chars.len() {
+            return Err(self.error(format!("unexpected trailing input at position {}", self.pos)));
+        }
+        Ok(expr)
+    }
+
+    fn parse_expr(&mut self) -> Result<ScaleExpr> {
+        let mut lhs = self.parse_term()?;
+        while let Some(op) = self.peek() {
+            match op {
+                '+' => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = ScaleExpr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                '-' => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = ScaleExpr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<ScaleExpr> {
+        let mut lhs = self.parse_factor()?;
+        while let Some(op) = self.peek() {
+            match op {
+                '*' => {
+                    self.bump();
+                    let rhs = self.parse_factor()?;
+                    lhs = ScaleExpr::Mul(Box::new(lhs), Box::new(rhs));
+                }
+                '/' => {
+                    self.bump();
+                    let rhs = self.parse_factor()?;
+                    lhs = ScaleExpr::Div(Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<ScaleExpr> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                if self.bump() != Some(')') {
+                    return Err(self.error("expected `)`"));
+                }
+                Ok(inner)
+            }
+            Some('-') => {
+                self.bump();
+                let inner = self.parse_factor()?;
+                Ok(ScaleExpr::Sub(
+                    Box::new(ScaleExpr::Constant(0.0)),
+                    Box::new(inner),
+                ))
+            }
+            Some(c) if c.is_ascii_digit() || c == '.' => self.parse_number(),
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => self.parse_ident_or_call(),
+            Some(c) => Err(self.error(format!("unexpected character `{c}`"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<ScaleExpr> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.chars.len()
+            && (self.chars[self.pos].is_ascii_digit() || self.chars[self.pos] == '.')
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(ScaleExpr::Constant)
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
+
+    fn parse_ident_or_call(&mut self) -> Result<ScaleExpr> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.chars.len()
+            && (self.chars[self.pos].is_ascii_alphanumeric() || self.chars[self.pos] == '_')
+        {
+            self.pos += 1;
+        }
+        let ident: String = self.chars[start..self.pos].iter().collect();
+        let lowered = ident.to_ascii_lowercase();
+        if lowered == "min" || lowered == "max" {
+            if self.bump() != Some('(') {
+                return Err(self.error(format!("expected `(` after `{ident}`")));
+            }
+            let a = self.parse_expr()?;
+            if self.bump() != Some(',') {
+                return Err(self.error(format!("expected `,` in `{ident}(..)`")));
+            }
+            let b = self.parse_expr()?;
+            if self.bump() != Some(')') {
+                return Err(self.error(format!("expected `)` closing `{ident}(..)`")));
+            }
+            return Ok(if lowered == "min" {
+                ScaleExpr::Min(Box::new(a), Box::new(b))
+            } else {
+                ScaleExpr::Max(Box::new(a), Box::new(b))
+            });
+        }
+        Ok(ScaleExpr::Parameter(ident))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ArchParams {
+        ArchParams::new(2, 2, 4, 4).with_wavelengths(3)
+    }
+
+    #[test]
+    fn paper_tempo_rules_evaluate() {
+        let p = params();
+        // Encoders scale by R*H, shared readout by C*H*W, nodes by R*C*H*W.
+        assert_eq!(ScaleExpr::parse("R*H").unwrap().evaluate(&p).unwrap(), 8.0);
+        assert_eq!(
+            ScaleExpr::parse("C*H*W").unwrap().evaluate(&p).unwrap(),
+            32.0
+        );
+        assert_eq!(
+            ScaleExpr::parse("R*C*H*W").unwrap().evaluate(&p).unwrap(),
+            64.0
+        );
+    }
+
+    #[test]
+    fn paper_mzi_mesh_rules_evaluate() {
+        let p = ArchParams::new(1, 1, 3, 3);
+        // Unitary meshes scale by R*C*H*(H-1)/2, the diagonal by R*C*min(H, W).
+        assert_eq!(
+            ScaleExpr::parse("R*C*H*(H-1)/2").unwrap().evaluate(&p).unwrap(),
+            3.0
+        );
+        assert_eq!(
+            ScaleExpr::parse("R*C*min(H,W)").unwrap().evaluate(&p).unwrap(),
+            3.0
+        );
+    }
+
+    #[test]
+    fn precedence_and_parentheses() {
+        let p = params();
+        assert_eq!(ScaleExpr::parse("2+3*4").unwrap().evaluate(&p).unwrap(), 14.0);
+        assert_eq!(
+            ScaleExpr::parse("(2+3)*4").unwrap().evaluate(&p).unwrap(),
+            20.0
+        );
+        assert_eq!(ScaleExpr::parse("-H+10").unwrap().evaluate(&p).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn wavelength_and_custom_parameters() {
+        let p = params().with_custom("ports", 5.0);
+        assert_eq!(
+            ScaleExpr::parse("LAMBDA*2").unwrap().evaluate(&p).unwrap(),
+            6.0
+        );
+        assert_eq!(
+            ScaleExpr::parse("PORTS - 1").unwrap().evaluate(&p).unwrap(),
+            4.0
+        );
+    }
+
+    #[test]
+    fn unknown_parameter_is_reported() {
+        let err = ScaleExpr::parse("Q*2").unwrap().evaluate(&params()).unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownParameter { .. }));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(ScaleExpr::parse("R *").is_err());
+        assert!(ScaleExpr::parse("min(R)").is_err());
+        assert!(ScaleExpr::parse("(R*C").is_err());
+        assert!(ScaleExpr::parse("R C").is_err());
+        assert!(ScaleExpr::parse("").is_err());
+    }
+
+    #[test]
+    fn evaluate_count_rounds_and_clamps() {
+        let p = params();
+        assert_eq!(
+            ScaleExpr::parse("H/3").unwrap().evaluate_count(&p).unwrap(),
+            1
+        );
+        assert_eq!(
+            ScaleExpr::parse("0-5").unwrap().evaluate_count(&p).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let exprs = ["R*C*H*(H-1)/2", "min(H,W)+max(R,C)", "2.5*LAMBDA"];
+        for text in exprs {
+            let parsed = ScaleExpr::parse(text).unwrap();
+            let reparsed = ScaleExpr::parse(&parsed.to_string()).unwrap();
+            let p = params();
+            assert!(
+                (parsed.evaluate(&p).unwrap() - reparsed.evaluate(&p).unwrap()).abs() < 1e-12,
+                "display/parse round trip changed the value of {text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Device instances and directed 2-pin nets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::ScaleExpr;
+
+/// Index of an instance within its [`Netlist`](crate::Netlist).
+///
+/// Ids are handed out by [`NetlistBuilder::add_instance`](crate::NetlistBuilder::add_instance)
+/// and are only meaningful for the netlist that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct InstanceId(pub(crate) usize);
+
+impl InstanceId {
+    /// The raw index of the instance inside its netlist.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// One device instance in a node-level circuit description.
+///
+/// Following the paper's modular construction, an instance describes a device
+/// *within the minimal building block* (node); the `count_rule` symbolic
+/// expression says how many physical copies exist once the node is scaled into
+/// the full architecture (hardware sharing shows up as rules smaller than
+/// `R*C*H*W`), and `il_multiplicity` scales the insertion loss charged on the
+/// critical path (e.g. a signal traversing `(C·W − 1)` crossings).
+///
+/// # Examples
+///
+/// ```
+/// use simphony_netlist::{Instance, ScaleExpr};
+///
+/// let adc = Instance::new("adc", "adc_8b_10gsps")
+///     .with_count_rule(ScaleExpr::parse("C*H*W")?);
+/// assert_eq!(adc.name(), "adc");
+/// # Ok::<(), simphony_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    name: String,
+    device: String,
+    count_rule: ScaleExpr,
+    il_multiplicity: ScaleExpr,
+}
+
+impl Instance {
+    /// Creates an instance of the named library device, with default scaling
+    /// (`count = R*C*H*W`-independent single copy per node is *not* assumed —
+    /// the default count rule is `1`, i.e. one copy in the whole architecture,
+    /// so callers should set an explicit rule for per-node devices).
+    pub fn new(name: impl Into<String>, device: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            device: device.into(),
+            count_rule: ScaleExpr::one(),
+            il_multiplicity: ScaleExpr::one(),
+        }
+    }
+
+    /// Sets the symbolic rule for how many physical copies of this device exist.
+    pub fn with_count_rule(mut self, rule: ScaleExpr) -> Self {
+        self.count_rule = rule;
+        self
+    }
+
+    /// Sets the symbolic multiplier applied to this device's insertion loss on
+    /// the critical path (how many copies a signal traverses in series).
+    pub fn with_il_multiplicity(mut self, rule: ScaleExpr) -> Self {
+        self.il_multiplicity = rule;
+        self
+    }
+
+    /// Instance name (unique within its netlist).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Name of the referenced device in the [`DeviceLibrary`](simphony_devlib::DeviceLibrary).
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// The count scaling rule.
+    pub fn count_rule(&self) -> &ScaleExpr {
+        &self.count_rule
+    }
+
+    /// The insertion-loss multiplicity rule.
+    pub fn il_multiplicity(&self) -> &ScaleExpr {
+        &self.il_multiplicity
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}) x[{}]", self.name, self.device, self.count_rule)
+    }
+}
+
+/// A directed 2-pin net: optical or electrical signal flow from one instance to another.
+///
+/// Unlike electrical netlists with undirected multi-pin nets, photonic circuits
+/// need directed point-to-point connections to capture signal flow for link
+/// budget analysis and placement ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Net {
+    /// Driving instance.
+    pub from: InstanceId,
+    /// Receiving instance.
+    pub to: InstanceId,
+}
+
+impl Net {
+    /// Creates a net from `from` to `to`.
+    pub fn new(from: InstanceId, to: InstanceId) -> Self {
+        Self { from, to }
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.from, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_defaults_to_unit_rules() {
+        let inst = Instance::new("i0", "laser_cw");
+        assert_eq!(inst.count_rule(), &ScaleExpr::one());
+        assert_eq!(inst.il_multiplicity(), &ScaleExpr::one());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let inst = Instance::new("dac_a", "dac_8b_10gsps")
+            .with_count_rule(ScaleExpr::parse("R*H").expect("valid rule"));
+        let text = inst.to_string();
+        assert!(text.contains("dac_a"));
+        assert!(text.contains("R"));
+        let net = Net::new(InstanceId(0), InstanceId(3));
+        assert_eq!(net.to_string(), "i0 -> i3");
+    }
+}

@@ -1,0 +1,66 @@
+//! Hierarchical, parametric netlist representation for photonic tensor cores.
+//!
+//! This crate implements the paper's "unified PTC representation": devices are
+//! *instances*, optical/electrical signal flow is captured by *directed 2-pin
+//! nets*, and a minimal building block (*node*) is scaled into a full
+//! architecture by *symbolic scaling rules* ([`ScaleExpr`]) over the
+//! architecture parameters ([`ArchParams`]). From a netlist SimPhony derives:
+//!
+//! * scaled device counts (hardware sharing aware) for area and power,
+//! * a weighted DAG ([`WeightedDag`]) whose longest path is the critical
+//!   insertion-loss path used by link budget analysis,
+//! * topological levels used by the signal-flow-aware floorplanner.
+//!
+//! # Examples
+//!
+//! ```
+//! use simphony_netlist::{ArchParams, Instance, NetlistBuilder, ScaleExpr};
+//! use simphony_devlib::DeviceLibrary;
+//!
+//! let mut b = NetlistBuilder::new("node");
+//! let laser = b.add_scaled("laser", "laser_cw", "1")?;
+//! let mzm = b.add_scaled("mzm", "mzm_eo", "R*H")?;
+//! let pd = b.add_scaled("pd", "photodetector", "C*H*W")?;
+//! b.chain(&[laser, mzm, pd])?;
+//! let netlist = b.build()?;
+//!
+//! let params = ArchParams::new(2, 2, 4, 4);
+//! let counts = netlist.device_counts(&params)?;
+//! assert_eq!(counts["mzm_eo"], 8);
+//!
+//! let (_, il) = netlist.critical_insertion_loss(&DeviceLibrary::standard(), &params)?;
+//! assert!(il.db() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dag;
+mod error;
+mod expr;
+mod instance;
+mod netlist;
+mod params;
+
+pub use dag::{CriticalPath, WeightedDag};
+pub use error::{NetlistError, Result};
+pub use expr::ScaleExpr;
+pub use instance::{Instance, InstanceId, Net};
+pub use netlist::{Netlist, NetlistBuilder};
+pub use params::ArchParams;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Netlist>();
+        assert_send_sync::<WeightedDag>();
+        assert_send_sync::<ScaleExpr>();
+        assert_send_sync::<ArchParams>();
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,405 @@
+//! Node-level circuit netlists with parametric scaling.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use simphony_devlib::DeviceLibrary;
+use simphony_units::Decibels;
+
+use crate::dag::WeightedDag;
+use crate::error::{NetlistError, Result};
+use crate::expr::ScaleExpr;
+use crate::instance::{Instance, InstanceId, Net};
+use crate::params::ArchParams;
+
+/// A hierarchical netlist describing the minimal building block (*node*) of a
+/// photonic tensor core and how it scales into a full architecture.
+///
+/// Construct one with [`NetlistBuilder`]:
+///
+/// ```
+/// use simphony_netlist::{Instance, NetlistBuilder, ScaleExpr};
+///
+/// let mut b = NetlistBuilder::new("dot_product_node");
+/// let laser = b.add_instance(Instance::new("laser", "laser_cw"))?;
+/// let mzm = b.add_instance(
+///     Instance::new("mzm_a", "mzm_eo").with_count_rule(ScaleExpr::parse("R*H")?),
+/// )?;
+/// let pd = b.add_instance(
+///     Instance::new("pd", "photodetector").with_count_rule(ScaleExpr::parse("C*H*W")?),
+/// )?;
+/// b.connect(laser, mzm)?;
+/// b.connect(mzm, pd)?;
+/// let netlist = b.build()?;
+/// assert_eq!(netlist.len(), 3);
+/// # Ok::<(), simphony_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    instances: Vec<Instance>,
+    nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Starts building a netlist with the given name.
+    pub fn builder(name: impl Into<String>) -> NetlistBuilder {
+        NetlistBuilder::new(name)
+    }
+
+    /// The netlist name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `true` when the netlist has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// All instances, indexable by [`InstanceId::index`].
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// All directed nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The instance with the given id.
+    pub fn instance(&self, id: InstanceId) -> Option<&Instance> {
+        self.instances.get(id.index())
+    }
+
+    /// Finds an instance id by name.
+    pub fn id_of(&self, name: &str) -> Option<InstanceId> {
+        self.instances
+            .iter()
+            .position(|i| i.name() == name)
+            .map(InstanceId)
+    }
+
+    /// Instance ids in declaration order.
+    pub fn ids(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        (0..self.instances.len()).map(InstanceId)
+    }
+
+    /// Total device counts after applying each instance's scaling rule.
+    ///
+    /// The result maps *device library names* to physical instance counts; two
+    /// instances referencing the same device are accumulated (the paper's
+    /// "trace the netlist to count the number of devices considering hardware
+    /// sharing").
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaling-rule evaluation errors.
+    pub fn device_counts(&self, params: &ArchParams) -> Result<BTreeMap<String, usize>> {
+        let mut counts = BTreeMap::new();
+        for inst in &self.instances {
+            let count = inst.count_rule().evaluate_count(params)?;
+            *counts.entry(inst.device().to_string()).or_insert(0) += count;
+        }
+        Ok(counts)
+    }
+
+    /// Per-instance scaled counts, keyed by instance name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaling-rule evaluation errors.
+    pub fn instance_counts(&self, params: &ArchParams) -> Result<BTreeMap<String, usize>> {
+        let mut counts = BTreeMap::new();
+        for inst in &self.instances {
+            counts.insert(inst.name().to_string(), inst.count_rule().evaluate_count(params)?);
+        }
+        Ok(counts)
+    }
+
+    /// Builds the weighted DAG whose vertex weights are each instance's
+    /// insertion loss multiplied by its IL-multiplicity rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownDevice`] if an instance references a
+    /// device missing from `library`, and propagates rule-evaluation errors.
+    pub fn to_weighted_dag(
+        &self,
+        library: &DeviceLibrary,
+        params: &ArchParams,
+    ) -> Result<WeightedDag> {
+        let labels = self.instances.iter().map(|i| i.name().to_string()).collect();
+        let mut dag = WeightedDag::new(labels);
+        for (idx, inst) in self.instances.iter().enumerate() {
+            let spec = library
+                .get(inst.device())
+                .map_err(|_| NetlistError::UnknownDevice {
+                    device: inst.device().to_string(),
+                    instance: inst.name().to_string(),
+                })?;
+            let multiplicity = inst.il_multiplicity().evaluate(params)?.max(0.0);
+            dag.set_vertex_weight(idx, spec.insertion_loss().db() * multiplicity);
+        }
+        for net in &self.nets {
+            dag.add_edge(net.from.index(), net.to.index(), 0.0)?;
+        }
+        Ok(dag)
+    }
+
+    /// The critical-path insertion loss through the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-lookup, rule-evaluation and cycle errors.
+    pub fn critical_insertion_loss(
+        &self,
+        library: &DeviceLibrary,
+        params: &ArchParams,
+    ) -> Result<(Vec<InstanceId>, Decibels)> {
+        let dag = self.to_weighted_dag(library, params)?;
+        let path = dag.longest_path()?;
+        let ids = path.vertices.iter().map(|&v| InstanceId(v)).collect();
+        Ok((ids, Decibels::from_db(path.total)))
+    }
+
+    /// Successor instances of `id`.
+    pub fn successors(&self, id: InstanceId) -> Vec<InstanceId> {
+        self.nets
+            .iter()
+            .filter(|n| n.from == id)
+            .map(|n| n.to)
+            .collect()
+    }
+
+    /// Predecessor instances of `id`.
+    pub fn predecessors(&self, id: InstanceId) -> Vec<InstanceId> {
+        self.nets
+            .iter()
+            .filter(|n| n.to == id)
+            .map(|n| n.from)
+            .collect()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist `{}`: {} instances, {} nets",
+            self.name,
+            self.instances.len(),
+            self.nets.len()
+        )
+    }
+}
+
+/// Builder accumulating instances and nets before validation (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    instances: Vec<Instance>,
+    nets: Vec<Net>,
+}
+
+impl NetlistBuilder {
+    /// Starts an empty netlist with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            instances: Vec::new(),
+            nets: Vec::new(),
+        }
+    }
+
+    /// Adds an instance and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateInstance`] when the name is already used.
+    pub fn add_instance(&mut self, instance: Instance) -> Result<InstanceId> {
+        if self.instances.iter().any(|i| i.name() == instance.name()) {
+            return Err(NetlistError::DuplicateInstance {
+                name: instance.name().to_string(),
+            });
+        }
+        self.instances.push(instance);
+        Ok(InstanceId(self.instances.len() - 1))
+    }
+
+    /// Convenience: adds an instance of `device` named `name` with a parsed count rule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rule parse errors and duplicate-name errors.
+    pub fn add_scaled(
+        &mut self,
+        name: &str,
+        device: &str,
+        count_rule: &str,
+    ) -> Result<InstanceId> {
+        let rule = ScaleExpr::parse(count_rule)?;
+        self.add_instance(Instance::new(name, device).with_count_rule(rule))
+    }
+
+    /// Connects two previously added instances with a directed net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownInstance`] when either id is out of range.
+    pub fn connect(&mut self, from: InstanceId, to: InstanceId) -> Result<()> {
+        for id in [from, to] {
+            if id.index() >= self.instances.len() {
+                return Err(NetlistError::UnknownInstance { index: id.index() });
+            }
+        }
+        self.nets.push(Net::new(from, to));
+        Ok(())
+    }
+
+    /// Connects a chain of instances in order: `a -> b -> c -> …`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownInstance`] when any id is out of range.
+    pub fn chain(&mut self, ids: &[InstanceId]) -> Result<()> {
+        for pair in ids.windows(2) {
+            self.connect(pair[0], pair[1])?;
+        }
+        Ok(())
+    }
+
+    /// Finalises the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::EmptyNetlist`] when no instances were added.
+    pub fn build(self) -> Result<Netlist> {
+        if self.instances.is_empty() {
+            return Err(NetlistError::EmptyNetlist);
+        }
+        Ok(Netlist {
+            name: self.name,
+            instances: self.instances,
+            nets: self.nets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 6-device TeMPO dot-product node of paper Fig. 2(a)/Fig. 3(a).
+    fn tempo_node() -> Netlist {
+        let mut b = NetlistBuilder::new("tempo_node");
+        let laser = b.add_scaled("laser", "laser_cw", "1").unwrap();
+        let coupler = b.add_scaled("coupler", "edge_coupler", "1").unwrap();
+        let mzm_a = b.add_scaled("mzm_a", "mzm_eo", "R*H").unwrap();
+        let mzm_b = b.add_scaled("mzm_b", "mzm_eo", "R*C*H*W").unwrap();
+        let pd = b.add_scaled("pd", "photodetector", "C*H*W").unwrap();
+        let adc = b.add_scaled("adc", "adc_8b_10gsps", "C*H*W").unwrap();
+        b.chain(&[laser, coupler, mzm_a, mzm_b, pd, adc]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn device_counts_respect_sharing_rules() {
+        let netlist = tempo_node();
+        let params = ArchParams::new(2, 2, 4, 4);
+        let counts = netlist.device_counts(&params).unwrap();
+        // mzm_a (R*H = 8) and mzm_b (R*C*H*W = 64) share the same library device.
+        assert_eq!(counts["mzm_eo"], 72);
+        assert_eq!(counts["photodetector"], 32);
+        assert_eq!(counts["adc_8b_10gsps"], 32);
+        assert_eq!(counts["laser_cw"], 1);
+    }
+
+    #[test]
+    fn critical_path_covers_full_optical_chain() {
+        let netlist = tempo_node();
+        let params = ArchParams::new(2, 2, 4, 4);
+        let lib = DeviceLibrary::standard();
+        let (path, il) = netlist.critical_insertion_loss(&lib, &params).unwrap();
+        let names: Vec<_> = path
+            .iter()
+            .map(|id| netlist.instance(*id).unwrap().name())
+            .collect();
+        assert_eq!(names, vec!["laser", "coupler", "mzm_a", "mzm_b", "pd", "adc"]);
+        // laser 0 + coupler 1.0 + mzm 0.8 + mzm 0.8 + pd 0.5 + adc 0 = 3.1 dB
+        assert!((il.db() - 3.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn il_multiplicity_scales_critical_path() {
+        let mut b = NetlistBuilder::new("crossing_chain");
+        let src = b.add_scaled("laser", "laser_cw", "1").unwrap();
+        let crossing = b
+            .add_instance(
+                Instance::new("xing", "crossing")
+                    .with_count_rule(ScaleExpr::parse("R*C*H*W").unwrap())
+                    .with_il_multiplicity(ScaleExpr::parse("C*W-1").unwrap()),
+            )
+            .unwrap();
+        let pd = b.add_scaled("pd", "photodetector", "C*H*W").unwrap();
+        b.chain(&[src, crossing, pd]).unwrap();
+        let netlist = b.build().unwrap();
+        let params = ArchParams::new(2, 2, 4, 4);
+        let lib = DeviceLibrary::standard();
+        let (_, il) = netlist.critical_insertion_loss(&lib, &params).unwrap();
+        // (C*W - 1) = 7 crossings at 0.1 dB each + 0.5 dB PD.
+        assert!((il.db() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_instance_names_are_rejected() {
+        let mut b = NetlistBuilder::new("dup");
+        b.add_scaled("a", "laser_cw", "1").unwrap();
+        assert!(matches!(
+            b.add_scaled("a", "crossing", "1"),
+            Err(NetlistError::DuplicateInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn connect_rejects_unknown_ids() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.add_scaled("a", "laser_cw", "1").unwrap();
+        assert!(b.connect(a, InstanceId(9)).is_err());
+    }
+
+    #[test]
+    fn empty_netlist_cannot_be_built() {
+        assert!(matches!(
+            NetlistBuilder::new("empty").build(),
+            Err(NetlistError::EmptyNetlist)
+        ));
+    }
+
+    #[test]
+    fn unknown_device_is_reported_when_building_the_dag() {
+        let mut b = NetlistBuilder::new("missing_device");
+        b.add_scaled("mystery", "unobtainium", "1").unwrap();
+        let netlist = b.build().unwrap();
+        let err = netlist
+            .to_weighted_dag(&DeviceLibrary::standard(), &ArchParams::default())
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownDevice { .. }));
+    }
+
+    #[test]
+    fn id_lookup_and_neighbours() {
+        let netlist = tempo_node();
+        let mzm_a = netlist.id_of("mzm_a").unwrap();
+        assert_eq!(netlist.predecessors(mzm_a).len(), 1);
+        assert_eq!(netlist.successors(mzm_a).len(), 1);
+        assert!(netlist.id_of("missing").is_none());
+    }
+}

@@ -1,0 +1,175 @@
+//! Architecture parameters referenced by scaling rules.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The parametric dimensions of a multi-core photonic accelerator.
+///
+/// These are the symbols scaling rules may reference:
+///
+/// | symbol | meaning |
+/// |--------|---------|
+/// | `R`    | number of tiles |
+/// | `C`    | cores per tile |
+/// | `H`    | dot-product rows per core (core height) |
+/// | `W`    | dot-product columns per core (core width) |
+/// | `LAMBDA` | wavelengths used for spectral parallelism |
+///
+/// Custom parameters can be added with [`ArchParams::with_custom`] and referenced
+/// by name in rules.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_netlist::{ArchParams, ScaleExpr};
+///
+/// let params = ArchParams::new(2, 2, 4, 4).with_wavelengths(3);
+/// let rule = ScaleExpr::parse("R*C*H*W")?;
+/// assert_eq!(rule.evaluate(&params)? as usize, 64);
+/// # Ok::<(), simphony_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchParams {
+    tiles: usize,
+    cores_per_tile: usize,
+    core_height: usize,
+    core_width: usize,
+    wavelengths: usize,
+    custom: BTreeMap<String, f64>,
+}
+
+impl ArchParams {
+    /// Creates parameters for `tiles` tiles × `cores_per_tile` cores of
+    /// `core_height × core_width` dot-product units, with a single wavelength.
+    pub fn new(tiles: usize, cores_per_tile: usize, core_height: usize, core_width: usize) -> Self {
+        Self {
+            tiles,
+            cores_per_tile,
+            core_height,
+            core_width,
+            wavelengths: 1,
+            custom: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the number of wavelengths used for spectral parallelism.
+    pub fn with_wavelengths(mut self, wavelengths: usize) -> Self {
+        self.wavelengths = wavelengths.max(1);
+        self
+    }
+
+    /// Adds or overrides a custom named parameter usable from scaling rules.
+    pub fn with_custom(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.custom.insert(name.into().to_ascii_uppercase(), value);
+        self
+    }
+
+    /// Number of tiles (`R`).
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Cores per tile (`C`).
+    pub fn cores_per_tile(&self) -> usize {
+        self.cores_per_tile
+    }
+
+    /// Core height (`H`): rows of dot-product units.
+    pub fn core_height(&self) -> usize {
+        self.core_height
+    }
+
+    /// Core width (`W`): columns of dot-product units.
+    pub fn core_width(&self) -> usize {
+        self.core_width
+    }
+
+    /// Number of wavelengths (`LAMBDA`).
+    pub fn wavelengths(&self) -> usize {
+        self.wavelengths
+    }
+
+    /// Total number of dot-product nodes, `R·C·H·W`.
+    pub fn total_nodes(&self) -> usize {
+        self.tiles * self.cores_per_tile * self.core_height * self.core_width
+    }
+
+    /// Total number of cores, `R·C`.
+    pub fn total_cores(&self) -> usize {
+        self.tiles * self.cores_per_tile
+    }
+
+    /// Looks up a parameter by symbol name (case-insensitive).
+    ///
+    /// Recognised built-ins are `R`, `C`, `H`, `W`, `LAMBDA`; anything else is
+    /// looked up among the custom parameters.
+    pub fn lookup(&self, name: &str) -> Option<f64> {
+        match name.to_ascii_uppercase().as_str() {
+            "R" => Some(self.tiles as f64),
+            "C" => Some(self.cores_per_tile as f64),
+            "H" => Some(self.core_height as f64),
+            "W" => Some(self.core_width as f64),
+            "LAMBDA" | "NUM_WAVELENGTHS" => Some(self.wavelengths as f64),
+            other => self.custom.get(other).copied(),
+        }
+    }
+}
+
+impl Default for ArchParams {
+    /// The paper's default use-case setting: 2 tiles × 2 cores of 4×4 nodes.
+    fn default() -> Self {
+        Self::new(2, 2, 4, 4)
+    }
+}
+
+impl fmt::Display for ArchParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "R={} C={} H={} W={} lambda={}",
+            self.tiles, self.cores_per_tile, self.core_height, self.core_width, self.wavelengths
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_lookup_is_case_insensitive() {
+        let p = ArchParams::new(4, 2, 12, 12).with_wavelengths(12);
+        assert_eq!(p.lookup("r"), Some(4.0));
+        assert_eq!(p.lookup("Lambda"), Some(12.0));
+        assert_eq!(p.lookup("w"), Some(12.0));
+    }
+
+    #[test]
+    fn custom_parameters_are_found() {
+        let p = ArchParams::default().with_custom("ports", 3.0);
+        assert_eq!(p.lookup("PORTS"), Some(3.0));
+        assert_eq!(p.lookup("missing"), None);
+    }
+
+    #[test]
+    fn totals_match_products() {
+        let p = ArchParams::new(2, 2, 4, 4);
+        assert_eq!(p.total_nodes(), 64);
+        assert_eq!(p.total_cores(), 4);
+    }
+
+    #[test]
+    fn wavelengths_never_zero() {
+        let p = ArchParams::default().with_wavelengths(0);
+        assert_eq!(p.wavelengths(), 1);
+    }
+
+    #[test]
+    fn display_contains_all_dims() {
+        let text = ArchParams::new(4, 2, 12, 12).to_string();
+        assert!(text.contains("R=4"));
+        assert!(text.contains("H=12"));
+    }
+}

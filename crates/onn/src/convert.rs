@@ -1,0 +1,229 @@
+//! Digital-to-ONN model conversion.
+//!
+//! The paper converts a digital DNN "to its analog optical version with
+//! layer-wise conversion, e.g. Conv2d to TeMPOConv2d", trained with device
+//! non-idealities. SimPhony-RS does not train models; this module performs the
+//! structural conversion (recording which photonic layer implementation backs
+//! each digital layer) and provides a noise-injection helper so examples can
+//! demonstrate non-ideality-aware evaluation on the small [`Tensor`] type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::layer::{LayerKind, NamedLayer};
+use crate::models::Model;
+use crate::rng::SplitMix64;
+use crate::tensor::Tensor;
+
+/// Device non-idealities applied during conversion-aware evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Standard deviation of multiplicative weight noise (phase/drive error).
+    pub weight_noise_std: f64,
+    /// Standard deviation of additive output noise (shot/thermal/ADC noise),
+    /// relative to the full-scale output.
+    pub output_noise_std: f64,
+}
+
+impl NoiseConfig {
+    /// No non-idealities.
+    pub fn ideal() -> Self {
+        Self {
+            weight_noise_std: 0.0,
+            output_noise_std: 0.0,
+        }
+    }
+
+    /// Typical calibrated-chip noise levels.
+    pub fn typical() -> Self {
+        Self {
+            weight_noise_std: 0.01,
+            output_noise_std: 0.005,
+        }
+    }
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+impl fmt::Display for NoiseConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "weight noise {:.3}, output noise {:.3}",
+            self.weight_noise_std, self.output_noise_std
+        )
+    }
+}
+
+/// One digital layer together with the photonic layer type that replaces it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvertedLayer {
+    /// The original digital layer.
+    pub original: NamedLayer,
+    /// Name of the ONN layer implementation (e.g. `TeMPOConv2d`), or `None`
+    /// when the layer is offloaded to the electrical processor.
+    pub onn_type: Option<String>,
+}
+
+/// A digital model converted layer-by-layer to its optical counterpart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnnModel {
+    name: String,
+    target: String,
+    layers: Vec<ConvertedLayer>,
+    noise: NoiseConfig,
+}
+
+impl OnnModel {
+    /// The converted model name (`<model>_on_<target>`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The PTC family the GEMM layers were converted to.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// The converted layers in execution order.
+    pub fn layers(&self) -> &[ConvertedLayer] {
+        &self.layers
+    }
+
+    /// Noise configuration attached at conversion time.
+    pub fn noise(&self) -> NoiseConfig {
+        self.noise
+    }
+
+    /// Number of layers mapped onto photonic hardware.
+    pub fn photonic_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.onn_type.is_some()).count()
+    }
+}
+
+impl fmt::Display for OnnModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} photonic / {} total layers)",
+            self.name,
+            self.photonic_layer_count(),
+            self.layers.len()
+        )
+    }
+}
+
+/// Converts a digital model to its optical version targeting one PTC family
+/// (e.g. `"TeMPO"`, `"MZIMesh"`, `"SCATTER"`).
+///
+/// # Examples
+///
+/// ```
+/// use simphony_onn::{convert_model, NoiseConfig};
+/// use simphony_onn::models::vgg8_cifar10;
+///
+/// let onn = convert_model(&vgg8_cifar10(), "TeMPO", NoiseConfig::typical());
+/// assert_eq!(onn.photonic_layer_count(), 8);
+/// assert!(onn.layers().iter().any(|l| l.onn_type.as_deref() == Some("TeMPOConv2d")));
+/// ```
+pub fn convert_model(model: &Model, target: &str, noise: NoiseConfig) -> OnnModel {
+    let layers = model
+        .layers()
+        .iter()
+        .map(|layer| {
+            let onn_type = match layer.spec.kind() {
+                LayerKind::Conv2d => Some(format!("{target}Conv2d")),
+                LayerKind::Linear => Some(format!("{target}Linear")),
+                LayerKind::Attention => Some(format!("{target}Attention")),
+                LayerKind::Activation | LayerKind::Pooling | LayerKind::Normalization => None,
+            };
+            ConvertedLayer {
+                original: layer.clone(),
+                onn_type,
+            }
+        })
+        .collect();
+    OnnModel {
+        name: format!("{}_on_{}", model.name(), target.to_ascii_lowercase()),
+        target: target.to_string(),
+        layers,
+        noise,
+    }
+}
+
+/// Applies multiplicative weight noise to a tensor, modeling imperfect analog
+/// weight programming. Returns a new tensor; `seed` makes the noise
+/// reproducible.
+pub fn apply_weight_noise(weights: &Tensor, noise: &NoiseConfig, seed: u64) -> Tensor {
+    if noise.weight_noise_std == 0.0 {
+        return weights.clone();
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut noisy = weights.clone();
+    for value in noisy.values_mut() {
+        let factor = 1.0 + noise.weight_noise_std * rng.next_gaussian();
+        *value *= factor as f32;
+    }
+    noisy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{bert_base, vgg8_cifar10};
+
+    #[test]
+    fn conversion_maps_each_gemm_layer_kind() {
+        let onn = convert_model(&bert_base(196), "TeMPO", NoiseConfig::ideal());
+        assert!(onn
+            .layers()
+            .iter()
+            .any(|l| l.onn_type.as_deref() == Some("TeMPOAttention")));
+        assert!(onn
+            .layers()
+            .iter()
+            .any(|l| l.onn_type.as_deref() == Some("TeMPOLinear")));
+    }
+
+    #[test]
+    fn non_gemm_layers_stay_electrical() {
+        let onn = convert_model(&vgg8_cifar10(), "SCATTER", NoiseConfig::ideal());
+        let offloaded = onn.layers().iter().filter(|l| l.onn_type.is_none()).count();
+        assert_eq!(offloaded, onn.layers().len() - onn.photonic_layer_count());
+        assert!(offloaded > 0);
+    }
+
+    #[test]
+    fn weight_noise_perturbs_but_preserves_shape() {
+        let w = Tensor::random_normal(&[8, 8], 3);
+        let noisy = apply_weight_noise(&w, &NoiseConfig::typical(), 11);
+        assert_eq!(noisy.shape(), w.shape());
+        assert_ne!(noisy, w);
+        // The relative perturbation stays small.
+        let max_rel: f32 = w
+            .values()
+            .iter()
+            .zip(noisy.values())
+            .filter(|(orig, _)| orig.abs() > 1e-6)
+            .map(|(orig, new)| ((new - orig) / orig).abs())
+            .fold(0.0, f32::max);
+        assert!(max_rel < 0.1, "relative perturbation {max_rel} too large");
+    }
+
+    #[test]
+    fn ideal_noise_is_the_identity() {
+        let w = Tensor::random_normal(&[4, 4], 5);
+        assert_eq!(apply_weight_noise(&w, &NoiseConfig::ideal(), 1), w);
+    }
+
+    #[test]
+    fn converted_name_mentions_model_and_target() {
+        let onn = convert_model(&vgg8_cifar10(), "MZIMesh", NoiseConfig::ideal());
+        assert_eq!(onn.name(), "vgg8_cifar10_on_mzimesh");
+        assert_eq!(onn.target(), "MZIMesh");
+    }
+}

@@ -1,0 +1,226 @@
+//! Lowering of NN layers to general matrix multiplication (GEMM) workloads.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::Result;
+use crate::layer::{AttentionSpec, Conv2dSpec, LinearSpec};
+
+/// Shape of one (possibly batched) GEMM: `C[m×n] = A[m×k] · B[k×n]`, repeated
+/// `batch` times with independent operands.
+///
+/// Operand A is the *stationary/weight-like* operand, operand B the
+/// *streaming/activation-like* operand; this matches the paper's "Operand A /
+/// Operand B" terminology in the PTC taxonomy (Table I).
+///
+/// # Examples
+///
+/// ```
+/// use simphony_onn::GemmShape;
+///
+/// // The paper's validation GEMM: (280×28)×(28×280).
+/// let gemm = GemmShape::new(280, 28, 280);
+/// assert_eq!(gemm.macs(), 280 * 28 * 280);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Shared inner dimension.
+    pub k: usize,
+    /// Columns of B and C.
+    pub n: usize,
+    /// Number of independent GEMMs with this shape (e.g. attention heads).
+    pub batch: usize,
+}
+
+impl GemmShape {
+    /// Creates an unbatched GEMM shape.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        Self { m, k, n, batch: 1 }
+    }
+
+    /// Sets the batch count.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Total multiply-accumulate operations.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64 * self.batch as u64
+    }
+
+    /// Elements of operand A (weights / stationary operand).
+    pub fn operand_a_elements(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.batch as u64
+    }
+
+    /// Elements of operand B (activations / streaming operand).
+    pub fn operand_b_elements(&self) -> u64 {
+        self.k as u64 * self.n as u64 * self.batch as u64
+    }
+
+    /// Elements of the output matrix C.
+    pub fn output_elements(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.batch as u64
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.batch > 1 {
+            write!(f, "{}x[{}x{}]·[{}x{}]", self.batch, self.m, self.k, self.k, self.n)
+        } else {
+            write!(f, "[{}x{}]·[{}x{}]", self.m, self.k, self.k, self.n)
+        }
+    }
+}
+
+/// One GEMM produced by lowering a layer, with a flag for whether *both*
+/// operands are produced at run time (dynamic·dynamic products such as the
+/// attention score matrix, which weight-stationary PTCs cannot execute).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoweredGemm {
+    /// Label of the sub-computation (e.g. `qkv_proj`, `attn_scores`).
+    pub label: String,
+    /// The GEMM shape.
+    pub shape: GemmShape,
+    /// `true` when both operands are activations (dynamic tensor product).
+    pub dynamic: bool,
+}
+
+/// Lowers a convolution to GEMM via im2col.
+///
+/// `M = out_channels`, `K = in_channels · k²`, `N = out_h · out_w`.
+///
+/// # Errors
+///
+/// Propagates geometry errors from [`Conv2dSpec::output_size`].
+pub fn lower_conv2d(spec: &Conv2dSpec, input_hw: (usize, usize)) -> Result<LoweredGemm> {
+    let (oh, ow) = spec.output_size(input_hw)?;
+    Ok(LoweredGemm {
+        label: "im2col_conv".to_string(),
+        shape: GemmShape::new(
+            spec.out_channels,
+            spec.in_channels * spec.kernel * spec.kernel,
+            oh * ow,
+        ),
+        dynamic: false,
+    })
+}
+
+/// Lowers a linear layer applied to `tokens` activations to GEMM.
+///
+/// `M = out_features`, `K = in_features`, `N = tokens`.
+pub fn lower_linear(spec: &LinearSpec, tokens: usize) -> LoweredGemm {
+    LoweredGemm {
+        label: "linear".to_string(),
+        shape: GemmShape::new(spec.out_features, spec.in_features, tokens.max(1)),
+        dynamic: false,
+    }
+}
+
+/// Lowers a multi-head self-attention block to its constituent GEMMs.
+///
+/// Produces, in execution order: the fused QKV projection, the per-head
+/// attention score product `Q·Kᵀ` (dynamic), the per-head context product
+/// `A·V` (dynamic) and the output projection.
+pub fn lower_attention(spec: &AttentionSpec) -> Vec<LoweredGemm> {
+    let d = spec.embed_dim;
+    let s = spec.seq_len;
+    let heads = spec.num_heads.max(1);
+    let hd = spec.head_dim();
+    vec![
+        LoweredGemm {
+            label: "qkv_proj".to_string(),
+            shape: GemmShape::new(3 * d, d, s),
+            dynamic: false,
+        },
+        LoweredGemm {
+            label: "attn_scores".to_string(),
+            shape: GemmShape::new(s, hd, s).with_batch(heads),
+            dynamic: true,
+        },
+        LoweredGemm {
+            label: "attn_context".to_string(),
+            shape: GemmShape::new(s, s, hd).with_batch(heads),
+            dynamic: true,
+        },
+        LoweredGemm {
+            label: "out_proj".to_string(),
+            shape: GemmShape::new(d, d, s),
+            dynamic: false,
+        },
+    ]
+}
+
+/// Lowers a transformer feed-forward block (two linear layers) to GEMMs.
+pub fn lower_feed_forward(embed_dim: usize, hidden_dim: usize, tokens: usize) -> Vec<LoweredGemm> {
+    vec![
+        LoweredGemm {
+            label: "ffn_up".to_string(),
+            shape: GemmShape::new(hidden_dim, embed_dim, tokens),
+            dynamic: false,
+        },
+        LoweredGemm {
+            label: "ffn_down".to_string(),
+            shape: GemmShape::new(embed_dim, hidden_dim, tokens),
+            dynamic: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_lowering_matches_im2col_formula() {
+        let conv = Conv2dSpec::new(3, 64, 3);
+        let g = lower_conv2d(&conv, (32, 32)).unwrap();
+        assert_eq!(g.shape, GemmShape::new(64, 27, 1024));
+        assert!(!g.dynamic);
+    }
+
+    #[test]
+    fn linear_lowering() {
+        let g = lower_linear(&LinearSpec::new(512, 10), 1);
+        assert_eq!(g.shape, GemmShape::new(10, 512, 1));
+    }
+
+    #[test]
+    fn attention_lowering_produces_dynamic_products() {
+        let spec = AttentionSpec::new(768, 12, 196);
+        let gemms = lower_attention(&spec);
+        assert_eq!(gemms.len(), 4);
+        let dynamic: Vec<_> = gemms.iter().filter(|g| g.dynamic).collect();
+        assert_eq!(dynamic.len(), 2);
+        let scores = &gemms[1];
+        assert_eq!(scores.shape, GemmShape::new(196, 64, 196).with_batch(12));
+    }
+
+    #[test]
+    fn attention_macs_match_closed_form() {
+        let spec = AttentionSpec::new(768, 12, 196);
+        let total: u64 = lower_attention(&spec).iter().map(|g| g.shape.macs()).sum();
+        let d = 768u64;
+        let s = 196u64;
+        let expected = 3 * d * d * s + 2 * s * s * d + d * d * s;
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn operand_element_counts() {
+        let g = GemmShape::new(280, 28, 280);
+        assert_eq!(g.operand_a_elements(), 280 * 28);
+        assert_eq!(g.operand_b_elements(), 28 * 280);
+        assert_eq!(g.output_elements(), 280 * 280);
+    }
+
+    #[test]
+    fn batched_display_mentions_batch() {
+        let text = GemmShape::new(8, 4, 8).with_batch(12).to_string();
+        assert!(text.starts_with("12x"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Neural-network layer descriptions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{OnnError, Result};
+
+/// Coarse classification of a layer, used for mapping decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv2d,
+    /// Fully-connected layer.
+    Linear,
+    /// Multi-head self-attention block.
+    Attention,
+    /// Element-wise activation (offloaded to electronics).
+    Activation,
+    /// Pooling (offloaded to electronics).
+    Pooling,
+    /// Normalisation (offloaded to electronics).
+    Normalization,
+}
+
+impl LayerKind {
+    /// `true` when the layer lowers to GEMM and is therefore mapped onto
+    /// photonic tensor cores; everything else is offloaded to the electrical
+    /// processor and ignored by the accelerator simulation.
+    pub fn is_gemm(self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv2d | LayerKind::Linear | LayerKind::Attention
+        )
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            LayerKind::Conv2d => "Conv2d",
+            LayerKind::Linear => "Linear",
+            LayerKind::Attention => "Attention",
+            LayerKind::Activation => "Activation",
+            LayerKind::Pooling => "Pooling",
+            LayerKind::Normalization => "Normalization",
+        };
+        write!(f, "{label}")
+    }
+}
+
+/// Parameters of a 2-D convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a stride-1, same-ish padding convolution.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize) -> Self {
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride: 1,
+            padding: kernel / 2,
+        }
+    }
+
+    /// Sets the stride.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the padding.
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    /// Output spatial size for a given input spatial size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::InvalidLayer`] when the kernel does not fit the
+    /// padded input or the stride is zero.
+    pub fn output_size(&self, input_hw: (usize, usize)) -> Result<(usize, usize)> {
+        if self.stride == 0 || self.kernel == 0 {
+            return Err(OnnError::InvalidLayer {
+                name: "conv2d".into(),
+                reason: "kernel and stride must be positive".into(),
+            });
+        }
+        let (h, w) = input_hw;
+        let padded_h = h + 2 * self.padding;
+        let padded_w = w + 2 * self.padding;
+        if padded_h < self.kernel || padded_w < self.kernel {
+            return Err(OnnError::InvalidLayer {
+                name: "conv2d".into(),
+                reason: format!("kernel {} larger than padded input {padded_h}x{padded_w}", self.kernel),
+            });
+        }
+        Ok((
+            (padded_h - self.kernel) / self.stride + 1,
+            (padded_w - self.kernel) / self.stride + 1,
+        ))
+    }
+
+    /// Number of weight parameters.
+    pub fn weight_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Parameters of a fully-connected layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinearSpec {
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+}
+
+impl LinearSpec {
+    /// Creates a linear layer spec.
+    pub fn new(in_features: usize, out_features: usize) -> Self {
+        Self {
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Number of weight parameters.
+    pub fn weight_count(&self) -> usize {
+        self.in_features * self.out_features
+    }
+}
+
+/// Parameters of a multi-head self-attention block (as in BERT/ViT encoders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttentionSpec {
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// Number of attention heads.
+    pub num_heads: usize,
+    /// Sequence length the block processes.
+    pub seq_len: usize,
+}
+
+impl AttentionSpec {
+    /// Creates an attention spec.
+    pub fn new(embed_dim: usize, num_heads: usize, seq_len: usize) -> Self {
+        Self {
+            embed_dim,
+            num_heads,
+            seq_len,
+        }
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.embed_dim / self.num_heads.max(1)
+    }
+}
+
+/// A layer description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// 2-D convolution.
+    Conv2d(Conv2dSpec),
+    /// Fully-connected layer.
+    Linear(LinearSpec),
+    /// Multi-head self-attention block.
+    Attention(AttentionSpec),
+    /// Element-wise activation (ReLU/GELU/…), offloaded to electronics.
+    Activation,
+    /// Pooling layer, offloaded to electronics.
+    Pooling,
+    /// Normalisation layer, offloaded to electronics.
+    Normalization,
+}
+
+impl LayerSpec {
+    /// The coarse kind of this layer.
+    pub fn kind(&self) -> LayerKind {
+        match self {
+            LayerSpec::Conv2d(_) => LayerKind::Conv2d,
+            LayerSpec::Linear(_) => LayerKind::Linear,
+            LayerSpec::Attention(_) => LayerKind::Attention,
+            LayerSpec::Activation => LayerKind::Activation,
+            LayerSpec::Pooling => LayerKind::Pooling,
+            LayerSpec::Normalization => LayerKind::Normalization,
+        }
+    }
+}
+
+/// A layer together with its name inside a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedLayer {
+    /// Layer name, unique within its model.
+    pub name: String,
+    /// The layer parameters.
+    pub spec: LayerSpec,
+}
+
+impl NamedLayer {
+    /// Creates a named layer.
+    pub fn new(name: impl Into<String>, spec: LayerSpec) -> Self {
+        Self {
+            name: name.into(),
+            spec,
+        }
+    }
+}
+
+impl fmt::Display for NamedLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.spec.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_size_matches_formula() {
+        let conv = Conv2dSpec::new(3, 64, 3);
+        assert_eq!(conv.output_size((32, 32)).unwrap(), (32, 32));
+        let strided = Conv2dSpec::new(64, 128, 3).with_stride(2);
+        assert_eq!(strided.output_size((32, 32)).unwrap(), (16, 16));
+        let valid = Conv2dSpec::new(3, 8, 5).with_padding(0);
+        assert_eq!(valid.output_size((28, 28)).unwrap(), (24, 24));
+    }
+
+    #[test]
+    fn conv_rejects_impossible_geometry() {
+        let conv = Conv2dSpec::new(3, 8, 7).with_padding(0);
+        assert!(conv.output_size((4, 4)).is_err());
+        let degenerate = Conv2dSpec {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 0,
+            padding: 1,
+        };
+        assert!(degenerate.output_size((8, 8)).is_err());
+    }
+
+    #[test]
+    fn weight_counts() {
+        assert_eq!(Conv2dSpec::new(3, 64, 3).weight_count(), 1728);
+        assert_eq!(LinearSpec::new(512, 10).weight_count(), 5120);
+    }
+
+    #[test]
+    fn only_gemm_layers_are_mapped() {
+        assert!(LayerKind::Conv2d.is_gemm());
+        assert!(LayerKind::Attention.is_gemm());
+        assert!(!LayerKind::Pooling.is_gemm());
+        assert!(!LayerKind::Activation.is_gemm());
+    }
+
+    #[test]
+    fn attention_head_dim() {
+        assert_eq!(AttentionSpec::new(768, 12, 196).head_dim(), 64);
+    }
+}

@@ -1,0 +1,324 @@
+//! Neural-network model descriptions and the model zoo used by the paper's
+//! evaluation (VGG-8 on CIFAR-10, BERT-Base on a 224×224 image, plus helpers).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::layer::{AttentionSpec, Conv2dSpec, LayerSpec, LinearSpec, NamedLayer};
+
+/// Input presented to a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelInput {
+    /// An image of `channels × height × width`.
+    Image {
+        /// Colour channels.
+        channels: usize,
+        /// Height in pixels.
+        height: usize,
+        /// Width in pixels.
+        width: usize,
+    },
+    /// A token sequence of `seq_len` embeddings of dimension `embed_dim`.
+    Tokens {
+        /// Number of tokens.
+        seq_len: usize,
+        /// Embedding dimension.
+        embed_dim: usize,
+    },
+}
+
+impl fmt::Display for ModelInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelInput::Image {
+                channels,
+                height,
+                width,
+            } => write!(f, "image {channels}x{height}x{width}"),
+            ModelInput::Tokens { seq_len, embed_dim } => {
+                write!(f, "{seq_len} tokens x {embed_dim}")
+            }
+        }
+    }
+}
+
+/// A digital neural-network model: an ordered list of named layers plus the
+/// input it processes.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_onn::models::{vgg8_cifar10, bert_base};
+///
+/// assert!(vgg8_cifar10().gemm_layer_count() >= 8);
+/// assert_eq!(bert_base(196).name(), "bert_base");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    name: String,
+    input: ModelInput,
+    layers: Vec<NamedLayer>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new(name: impl Into<String>, input: ModelInput) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer and returns `self` for chaining.
+    pub fn with_layer(mut self, layer: NamedLayer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a layer in place.
+    pub fn push_layer(&mut self, layer: NamedLayer) {
+        self.layers.push(layer);
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The model input.
+    pub fn input(&self) -> ModelInput {
+        self.input
+    }
+
+    /// All layers in execution order.
+    pub fn layers(&self) -> &[NamedLayer] {
+        &self.layers
+    }
+
+    /// Number of layers that lower to GEMM (and therefore run on the PTCs).
+    pub fn gemm_layer_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.spec.kind().is_gemm())
+            .count()
+    }
+
+    /// Total number of weight parameters in GEMM layers.
+    pub fn parameter_count(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| match l.spec {
+                LayerSpec::Conv2d(c) => c.weight_count() as u64,
+                LayerSpec::Linear(lin) => lin.weight_count() as u64,
+                LayerSpec::Attention(a) => (4 * a.embed_dim * a.embed_dim) as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} layers, {} GEMM layers)",
+            self.name,
+            self.input,
+            self.layers.len(),
+            self.gemm_layer_count()
+        )
+    }
+}
+
+/// VGG-8 for CIFAR-10: six convolution stages and two fully-connected layers,
+/// the heterogeneous-mapping workload of paper Fig. 11.
+pub fn vgg8_cifar10() -> Model {
+    let mut model = Model::new(
+        "vgg8_cifar10",
+        ModelInput::Image {
+            channels: 3,
+            height: 32,
+            width: 32,
+        },
+    );
+    let channel_plan = [(3usize, 64usize), (64, 128), (128, 256), (256, 256), (256, 512), (512, 512)];
+    for (index, (cin, cout)) in channel_plan.into_iter().enumerate() {
+        model.push_layer(NamedLayer::new(
+            format!("conv{}", index + 1),
+            LayerSpec::Conv2d(Conv2dSpec::new(cin, cout, 3)),
+        ));
+        model.push_layer(NamedLayer::new(
+            format!("relu{}", index + 1),
+            LayerSpec::Activation,
+        ));
+        // Pool after every other convolution to shrink 32x32 down to 4x4.
+        if index % 2 == 1 {
+            model.push_layer(NamedLayer::new(format!("pool{}", index / 2 + 1), LayerSpec::Pooling));
+        }
+    }
+    model.push_layer(NamedLayer::new(
+        "fc1",
+        LayerSpec::Linear(LinearSpec::new(512 * 4 * 4, 1024)),
+    ));
+    model.push_layer(NamedLayer::new("relu_fc1", LayerSpec::Activation));
+    model.push_layer(NamedLayer::new(
+        "fc2",
+        LayerSpec::Linear(LinearSpec::new(1024, 10)),
+    ));
+    model
+}
+
+/// BERT-Base sized transformer encoder processing `seq_len` tokens
+/// (the paper evaluates a single 224×224 ImageNet image, i.e. 196 patch tokens
+/// plus a class token; pass `196` or `197`).
+///
+/// 12 encoder blocks, embedding dimension 768, 12 heads, feed-forward 3072.
+pub fn bert_base(seq_len: usize) -> Model {
+    transformer_encoder("bert_base", 12, 768, 12, 3072, seq_len)
+}
+
+/// A parametric transformer encoder stack.
+pub fn transformer_encoder(
+    name: &str,
+    blocks: usize,
+    embed_dim: usize,
+    heads: usize,
+    ffn_dim: usize,
+    seq_len: usize,
+) -> Model {
+    let mut model = Model::new(
+        name,
+        ModelInput::Tokens {
+            seq_len,
+            embed_dim,
+        },
+    );
+    for b in 0..blocks {
+        model.push_layer(NamedLayer::new(
+            format!("block{b}_ln1"),
+            LayerSpec::Normalization,
+        ));
+        model.push_layer(NamedLayer::new(
+            format!("block{b}_attn"),
+            LayerSpec::Attention(AttentionSpec::new(embed_dim, heads, seq_len)),
+        ));
+        model.push_layer(NamedLayer::new(
+            format!("block{b}_ln2"),
+            LayerSpec::Normalization,
+        ));
+        model.push_layer(NamedLayer::new(
+            format!("block{b}_ffn_up"),
+            LayerSpec::Linear(LinearSpec::new(embed_dim, ffn_dim)),
+        ));
+        model.push_layer(NamedLayer::new(
+            format!("block{b}_gelu"),
+            LayerSpec::Activation,
+        ));
+        model.push_layer(NamedLayer::new(
+            format!("block{b}_ffn_down"),
+            LayerSpec::Linear(LinearSpec::new(ffn_dim, embed_dim)),
+        ));
+    }
+    model
+}
+
+/// A single-GEMM "model" used for the paper's (280×28)×(28×280) validation
+/// workload: operand A is a 280×28 weight matrix, operand B a 28×280
+/// activation matrix.
+pub fn single_gemm(m: usize, k: usize, n: usize) -> Model {
+    Model::new(
+        format!("gemm_{m}x{k}x{n}"),
+        ModelInput::Tokens {
+            seq_len: n,
+            embed_dim: k,
+        },
+    )
+    .with_layer(NamedLayer::new(
+        "gemm",
+        LayerSpec::Linear(LinearSpec::new(k, m)),
+    ))
+}
+
+/// A small multi-layer perceptron, handy for quickstart examples.
+pub fn mlp(name: &str, dims: &[usize]) -> Model {
+    let mut model = Model::new(
+        name,
+        ModelInput::Tokens {
+            seq_len: 1,
+            embed_dim: dims.first().copied().unwrap_or(1),
+        },
+    );
+    for (index, pair) in dims.windows(2).enumerate() {
+        model.push_layer(NamedLayer::new(
+            format!("fc{}", index + 1),
+            LayerSpec::Linear(LinearSpec::new(pair[0], pair[1])),
+        ));
+        if index + 2 < dims.len() {
+            model.push_layer(NamedLayer::new(
+                format!("relu{}", index + 1),
+                LayerSpec::Activation,
+            ));
+        }
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn vgg8_has_six_convs_and_two_fcs() {
+        let model = vgg8_cifar10();
+        let convs = model
+            .layers()
+            .iter()
+            .filter(|l| l.spec.kind() == LayerKind::Conv2d)
+            .count();
+        let fcs = model
+            .layers()
+            .iter()
+            .filter(|l| l.spec.kind() == LayerKind::Linear)
+            .count();
+        assert_eq!(convs, 6);
+        assert_eq!(fcs, 2);
+        assert_eq!(model.gemm_layer_count(), 8);
+    }
+
+    #[test]
+    fn bert_base_parameter_count_is_in_the_right_ballpark() {
+        let model = bert_base(196);
+        // Encoder-only parameters (no embeddings): ~85M.
+        let params = model.parameter_count();
+        assert!(params > 70_000_000 && params < 100_000_000, "{params}");
+    }
+
+    #[test]
+    fn single_gemm_model_describes_the_validation_workload() {
+        let model = single_gemm(280, 28, 280);
+        assert_eq!(model.gemm_layer_count(), 1);
+        match model.input() {
+            ModelInput::Tokens { seq_len, embed_dim } => {
+                assert_eq!(seq_len, 280);
+                assert_eq!(embed_dim, 28);
+            }
+            other => panic!("unexpected input {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mlp_builder_alternates_linear_and_activation() {
+        let model = mlp("tiny", &[784, 256, 10]);
+        assert_eq!(model.gemm_layer_count(), 2);
+        assert_eq!(model.layers().len(), 3);
+    }
+
+    #[test]
+    fn display_summarises_the_model() {
+        let text = vgg8_cifar10().to_string();
+        assert!(text.contains("vgg8_cifar10"));
+        assert!(text.contains("GEMM"));
+    }
+}

@@ -1,0 +1,242 @@
+//! A minimal dense tensor, sufficient for workload extraction and small
+//! functional checks of converted ONN layers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{OnnError, Result};
+use crate::rng::SplitMix64;
+
+/// A dense row-major `f32` tensor.
+///
+/// This is deliberately a small fraction of what a training framework offers:
+/// SimPhony consumes *workload descriptions*, so the tensor type only needs
+/// shapes, deterministic synthetic initialisation, element access and a
+/// reference matmul to sanity-check GEMM lowering.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_onn::Tensor;
+///
+/// let a = Tensor::random_normal(&[2, 3], 1);
+/// let b = Tensor::random_normal(&[3, 4], 2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.shape(), &[2, 4]);
+/// # Ok::<(), simphony_onn::OnnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor with approximately normal entries from a deterministic seed.
+    pub fn random_normal(shape: &[usize], seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: (0..len).map(|_| rng.next_gaussian() as f32 * 0.5).collect(),
+        }
+    }
+
+    /// Creates a tensor with uniform entries in `[-1, 1)` from a deterministic seed.
+    pub fn random_uniform(shape: &[usize], seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: (0..len).map(|_| rng.next_signed() as f32).collect(),
+        }
+    }
+
+    /// Creates a tensor from explicit data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::ShapeMismatch`] when the data length does not match the shape.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self> {
+        let len: usize = shape.iter().product();
+        if data.len() != len {
+            return Err(OnnError::ShapeMismatch {
+                details: format!("shape {shape:?} needs {len} values, got {}", data.len()),
+            });
+        }
+        Ok(Self {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying values in row-major order.
+    pub fn values(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying values.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at a flattened index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::IndexOutOfBounds`] when the index exceeds the length.
+    pub fn get(&self, index: usize) -> Result<f32> {
+        self.data
+            .get(index)
+            .copied()
+            .ok_or(OnnError::IndexOutOfBounds {
+                index,
+                len: self.data.len(),
+            })
+    }
+
+    /// Largest absolute value, or 0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Mean of absolute values, or 0 for an empty tensor.
+    pub fn mean_abs(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|v| v.abs()).sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Fraction of exactly-zero entries.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|v| **v == 0.0).count() as f64 / self.data.len() as f64
+    }
+
+    /// Reference 2-D matrix multiplication: `self (m×k) · rhs (k×n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::ShapeMismatch`] unless both tensors are 2-D with a
+    /// shared inner dimension.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.shape.len() != 2 || rhs.shape.len() != 2 || self.shape[1] != rhs.shape[0] {
+            return Err(OnnError::ShapeMismatch {
+                details: format!("cannot multiply {:?} by {:?}", self.shape, rhs.shape),
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = rhs.shape[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += a * rhs.data[p * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Element-wise ReLU, returning a new tensor.
+    pub fn relu(&self) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|v| v.max(0.0)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tensor{:?} ({} values)", self.shape, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.values(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_checks() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+        let c = Tensor::zeros(&[2, 3, 4]);
+        assert!(c.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn random_tensors_are_deterministic_per_seed() {
+        let a = Tensor::random_normal(&[4, 4], 11);
+        let b = Tensor::random_normal(&[4, 4], 11);
+        let c = Tensor::random_normal(&[4, 4], 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn statistics_helpers() {
+        let t = Tensor::from_vec(&[4], vec![0.0, -2.0, 1.0, 0.0]).unwrap();
+        assert_eq!(t.max_abs(), 2.0);
+        assert!((t.mean_abs() - 0.75).abs() < 1e-6);
+        assert!((t.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(&[3], vec![-1.0, 0.5, 2.0]).unwrap();
+        assert_eq!(t.relu().values(), &[0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_length() {
+        assert!(Tensor::from_vec(&[2, 2], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_get_is_an_error() {
+        let t = Tensor::zeros(&[2]);
+        assert!(t.get(1).is_ok());
+        assert!(matches!(t.get(2), Err(OnnError::IndexOutOfBounds { .. })));
+    }
+}

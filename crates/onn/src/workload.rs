@@ -1,0 +1,464 @@
+//! Workload extraction: turning a (converted) model into the per-layer GEMM
+//! descriptions the architecture simulator consumes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use simphony_units::{BitWidth, DataSize};
+
+use crate::error::{OnnError, Result};
+use crate::gemm::{lower_attention, lower_conv2d, lower_linear, GemmShape, LoweredGemm};
+use crate::layer::{LayerKind, LayerSpec};
+use crate::models::{Model, ModelInput};
+use crate::prune::{magnitude_prune, PruningConfig};
+use crate::quant::{quantize_symmetric, QuantConfig};
+use crate::rng::SplitMix64;
+
+/// Maximum number of weight values sampled per layer for data-aware power
+/// modeling. Energies are scaled by the true element count, so the cap only
+/// bounds memory, not the simulated workload size.
+const VALUE_SAMPLE_CAP: usize = 8192;
+
+/// How operand-A values are expressed for value-aware power modeling.
+///
+/// The paper supports several "modes" — raw matrix values, normalised device
+/// transmissions, phase shifts or control voltages — because different PTCs
+/// encode weights in different physical quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightEncoding {
+    /// Plain matrix values in `[-1, 1]`.
+    MatrixValue,
+    /// Normalised optical transmission in `[0, 1]`.
+    Transmission,
+    /// Phase shift normalised to π (in `[0, 1]`).
+    PhaseShift,
+    /// Drive voltage normalised to the full-scale swing.
+    Voltage,
+}
+
+impl fmt::Display for WeightEncoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            WeightEncoding::MatrixValue => "matrix value",
+            WeightEncoding::Transmission => "transmission",
+            WeightEncoding::PhaseShift => "phase shift",
+            WeightEncoding::Voltage => "voltage",
+        };
+        write!(f, "{label}")
+    }
+}
+
+/// One GEMM workload extracted from a model layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerWorkload {
+    name: String,
+    kind: LayerKind,
+    label: String,
+    gemm: GemmShape,
+    dynamic: bool,
+    weight_bits: BitWidth,
+    input_bits: BitWidth,
+    output_bits: BitWidth,
+    sparsity: f64,
+    weight_values: Vec<f32>,
+    weight_elements: u64,
+}
+
+impl LayerWorkload {
+    /// Layer name (plus sub-GEMM label for attention blocks).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The originating layer kind.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Label of the sub-computation (`im2col_conv`, `attn_scores`, …).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The GEMM shape.
+    pub fn gemm(&self) -> GemmShape {
+        self.gemm
+    }
+
+    /// `true` when both operands are produced at run time (needs a dynamic PTC).
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic
+    }
+
+    /// Weight (operand A) precision.
+    pub fn weight_bits(&self) -> BitWidth {
+        self.weight_bits
+    }
+
+    /// Input (operand B) precision.
+    pub fn input_bits(&self) -> BitWidth {
+        self.input_bits
+    }
+
+    /// Output precision.
+    pub fn output_bits(&self) -> BitWidth {
+        self.output_bits
+    }
+
+    /// Measured fraction of zero weights after pruning and quantisation.
+    pub fn sparsity(&self) -> f64 {
+        self.sparsity
+    }
+
+    /// Sampled operand-A values (quantised, pruned, in `[-1, 1]`).
+    pub fn weight_values(&self) -> &[f32] {
+        &self.weight_values
+    }
+
+    /// True number of operand-A elements (the samples are a subset).
+    pub fn weight_elements(&self) -> u64 {
+        self.weight_elements
+    }
+
+    /// Total multiply-accumulate operations.
+    pub fn macs(&self) -> u64 {
+        self.gemm.macs()
+    }
+
+    /// Storage footprint of operand A at its precision.
+    pub fn weight_size(&self) -> DataSize {
+        self.weight_bits.size_of(self.gemm.operand_a_elements() as usize)
+    }
+
+    /// Storage footprint of operand B at its precision.
+    pub fn input_size(&self) -> DataSize {
+        self.input_bits.size_of(self.gemm.operand_b_elements() as usize)
+    }
+
+    /// Storage footprint of the output at its precision.
+    pub fn output_size(&self) -> DataSize {
+        self.output_bits.size_of(self.gemm.output_elements() as usize)
+    }
+
+    /// Total data footprint (A + B + output).
+    pub fn total_size(&self) -> DataSize {
+        self.weight_size() + self.input_size() + self.output_size()
+    }
+
+    /// Sampled operand-A magnitudes normalised to `[0, 1]`, the quantity
+    /// value-aware device power models consume.
+    pub fn normalized_abs_values(&self) -> Vec<f64> {
+        self.weight_values
+            .iter()
+            .map(|v| f64::from(v.abs()).min(1.0))
+            .collect()
+    }
+}
+
+impl fmt::Display for LayerWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {} ({} MACs, {:.0}% sparse{})",
+            self.name,
+            self.label,
+            self.gemm,
+            self.macs(),
+            self.sparsity * 100.0,
+            if self.dynamic { ", dynamic" } else { "" }
+        )
+    }
+}
+
+/// The complete GEMM workload of a model.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_onn::{ModelWorkload, PruningConfig, QuantConfig};
+/// use simphony_onn::models::vgg8_cifar10;
+///
+/// let workload = ModelWorkload::extract(
+///     &vgg8_cifar10(),
+///     &QuantConfig::default(),
+///     &PruningConfig::dense(),
+///     42,
+/// )?;
+/// assert_eq!(workload.layers().len(), 8);
+/// assert!(workload.total_macs() > 100_000_000);
+/// # Ok::<(), simphony_onn::OnnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelWorkload {
+    model_name: String,
+    layers: Vec<LayerWorkload>,
+}
+
+impl ModelWorkload {
+    /// Extracts the GEMM workload of `model` under the given quantisation and
+    /// pruning settings. `seed` controls the deterministic synthetic weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnnError::EmptyWorkload`] when the model contains no GEMM
+    /// layers, and propagates layer-geometry errors.
+    pub fn extract(
+        model: &Model,
+        quant: &QuantConfig,
+        prune: &PruningConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        let mut layers = Vec::new();
+        // Track the activation geometry as layers are traversed.
+        let mut image_hw: Option<(usize, usize)> = None;
+        let mut tokens = 1usize;
+        match model.input() {
+            ModelInput::Image { height, width, .. } => image_hw = Some((height, width)),
+            ModelInput::Tokens { seq_len, .. } => tokens = seq_len,
+        }
+        for (layer_index, layer) in model.layers().iter().enumerate() {
+            let lowered: Vec<LoweredGemm> = match &layer.spec {
+                LayerSpec::Conv2d(conv) => {
+                    let hw = image_hw.unwrap_or((1, 1));
+                    let gemm = lower_conv2d(conv, hw)?;
+                    image_hw = Some(conv.output_size(hw)?);
+                    vec![gemm]
+                }
+                LayerSpec::Linear(linear) => {
+                    let effective_tokens = if image_hw.is_some() { 1 } else { tokens };
+                    vec![lower_linear(linear, effective_tokens)]
+                }
+                LayerSpec::Attention(attn) => lower_attention(attn),
+                LayerSpec::Pooling => {
+                    if let Some((h, w)) = image_hw {
+                        image_hw = Some(((h / 2).max(1), (w / 2).max(1)));
+                    }
+                    continue;
+                }
+                LayerSpec::Activation | LayerSpec::Normalization => continue,
+            };
+            for (sub_index, gemm) in lowered.into_iter().enumerate() {
+                let layer_seed = seed
+                    .wrapping_add(layer_index as u64 * 1013)
+                    .wrapping_add(sub_index as u64 * 7919);
+                layers.push(build_layer_workload(
+                    layer.name.clone(),
+                    layer.spec.kind(),
+                    gemm,
+                    quant,
+                    prune,
+                    layer_seed,
+                ));
+            }
+        }
+        if layers.is_empty() {
+            return Err(OnnError::EmptyWorkload {
+                model: model.name().to_string(),
+            });
+        }
+        Ok(Self {
+            model_name: model.name().to_string(),
+            layers,
+        })
+    }
+
+    /// The model the workload was extracted from.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// Per-layer workloads in execution order.
+    pub fn layers(&self) -> &[LayerWorkload] {
+        &self.layers
+    }
+
+    /// Total multiply-accumulate operations across all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(LayerWorkload::macs).sum()
+    }
+
+    /// Total operand-A footprint across layers.
+    pub fn total_weight_size(&self) -> DataSize {
+        self.layers.iter().map(LayerWorkload::weight_size).sum()
+    }
+
+    /// Footprint of the largest single layer (A + B + output), which sizes the
+    /// global buffer in the paper's memory model.
+    pub fn max_layer_size(&self) -> DataSize {
+        self.layers
+            .iter()
+            .map(LayerWorkload::total_size)
+            .fold(DataSize::ZERO, DataSize::max)
+    }
+
+    /// Fraction of layers whose GEMM is a dynamic·dynamic product.
+    pub fn dynamic_fraction(&self) -> f64 {
+        if self.layers.is_empty() {
+            return 0.0;
+        }
+        self.layers.iter().filter(|l| l.is_dynamic()).count() as f64 / self.layers.len() as f64
+    }
+}
+
+impl fmt::Display for ModelWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "workload of {}: {} GEMMs, {:.2} GMACs",
+            self.model_name,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+fn build_layer_workload(
+    name: String,
+    kind: LayerKind,
+    gemm: LoweredGemm,
+    quant: &QuantConfig,
+    prune: &PruningConfig,
+    seed: u64,
+) -> LayerWorkload {
+    let true_elements = gemm.shape.operand_a_elements();
+    let sample_count = (true_elements as usize).min(VALUE_SAMPLE_CAP);
+    let mut rng = SplitMix64::new(seed);
+    let mut values: Vec<f32> = (0..sample_count)
+        .map(|_| quantize_symmetric(rng.next_gaussian() as f32 * 0.5, quant.weight_bits()))
+        .collect();
+    magnitude_prune(&mut values, prune);
+    let sparsity = if values.is_empty() {
+        0.0
+    } else {
+        values.iter().filter(|v| **v == 0.0).count() as f64 / values.len() as f64
+    };
+    let label = gemm.label.clone();
+    let name = if label == "im2col_conv" || label == "linear" {
+        name
+    } else {
+        format!("{name}.{label}")
+    };
+    LayerWorkload {
+        name,
+        kind,
+        label,
+        gemm: gemm.shape,
+        dynamic: gemm.dynamic,
+        weight_bits: quant.weight_bits(),
+        input_bits: quant.input_bits(),
+        output_bits: quant.output_bits(),
+        sparsity,
+        weight_values: values,
+        weight_elements: true_elements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{bert_base, single_gemm, vgg8_cifar10};
+
+    fn dense_workload(model: &Model) -> ModelWorkload {
+        ModelWorkload::extract(model, &QuantConfig::default(), &PruningConfig::dense(), 7)
+            .expect("extraction succeeds")
+    }
+
+    #[test]
+    fn vgg8_produces_one_gemm_per_conv_and_fc() {
+        let workload = dense_workload(&vgg8_cifar10());
+        assert_eq!(workload.layers().len(), 8);
+        assert!(workload.layers().iter().all(|l| !l.is_dynamic()));
+    }
+
+    #[test]
+    fn vgg8_spatial_tracking_matches_pooling() {
+        let workload = dense_workload(&vgg8_cifar10());
+        // conv1 and conv2 see 32x32, conv3/conv4 16x16, conv5/conv6 8x8.
+        let ns: Vec<usize> = workload.layers().iter().map(|l| l.gemm().n).collect();
+        assert_eq!(ns[0], 32 * 32);
+        assert_eq!(ns[2], 16 * 16);
+        assert_eq!(ns[4], 8 * 8);
+        // FC layers process a single flattened token.
+        assert_eq!(ns[6], 1);
+    }
+
+    #[test]
+    fn bert_base_has_six_gemms_per_block() {
+        let workload = dense_workload(&bert_base(196));
+        // 12 blocks x (qkv, scores, context, out_proj, ffn_up, ffn_down).
+        assert_eq!(workload.layers().len(), 12 * 6);
+        assert!(workload.dynamic_fraction() > 0.3);
+        // BERT-Base forward pass on 196 tokens is ~22 GMACs.
+        let gmacs = workload.total_macs() as f64 / 1e9;
+        assert!(gmacs > 15.0 && gmacs < 30.0, "{gmacs} GMACs");
+    }
+
+    #[test]
+    fn validation_gemm_sizes_match_the_paper_setting() {
+        let workload = dense_workload(&single_gemm(280, 28, 280));
+        let layer = &workload.layers()[0];
+        assert_eq!(layer.gemm(), GemmShape::new(280, 28, 280));
+        assert_eq!(layer.weight_size().bytes(), (280 * 28) as f64);
+        assert_eq!(layer.macs(), 280 * 28 * 280);
+    }
+
+    #[test]
+    fn pruning_is_reflected_in_sparsity_and_values() {
+        let model = single_gemm(64, 64, 64);
+        let sparse = ModelWorkload::extract(
+            &model,
+            &QuantConfig::default(),
+            &PruningConfig::new(0.6).expect("valid"),
+            7,
+        )
+        .expect("extraction succeeds");
+        let layer = &sparse.layers()[0];
+        assert!((layer.sparsity() - 0.6).abs() < 0.02);
+        let zeros = layer.weight_values().iter().filter(|v| **v == 0.0).count();
+        assert!(zeros as f64 / layer.weight_values().len() as f64 > 0.55);
+    }
+
+    #[test]
+    fn extraction_is_deterministic_for_the_same_seed() {
+        let model = vgg8_cifar10();
+        let a = dense_workload(&model);
+        let b = dense_workload(&model);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn value_samples_are_capped_but_true_count_is_kept() {
+        let workload = dense_workload(&bert_base(196));
+        let qkv = &workload.layers()[0];
+        assert!(qkv.weight_values().len() <= VALUE_SAMPLE_CAP);
+        assert_eq!(qkv.weight_elements(), (3 * 768 * 768) as u64);
+    }
+
+    #[test]
+    fn model_without_gemm_layers_is_an_error() {
+        let model = Model::new(
+            "only_pool",
+            ModelInput::Image {
+                channels: 3,
+                height: 8,
+                width: 8,
+            },
+        )
+        .with_layer(crate::layer::NamedLayer::new("pool", LayerSpec::Pooling));
+        assert!(matches!(
+            ModelWorkload::extract(&model, &QuantConfig::default(), &PruningConfig::dense(), 1),
+            Err(OnnError::EmptyWorkload { .. })
+        ));
+    }
+
+    #[test]
+    fn normalized_values_are_in_unit_range() {
+        let workload = dense_workload(&vgg8_cifar10());
+        for layer in workload.layers() {
+            assert!(layer
+                .normalized_abs_values()
+                .iter()
+                .all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+}

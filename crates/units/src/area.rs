@@ -1,0 +1,112 @@
+//! Chip and device area.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{QuantityError, Result};
+use crate::quantity::impl_scalar_quantity;
+
+/// A surface area, stored internally in square metres.
+///
+/// Device footprints are quoted in µm², full accelerators in mm².
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::Area;
+///
+/// let node = Area::from_square_um(4416.0);
+/// let core = node * 16.0;
+/// assert!((core.square_millimeters() - 0.070656).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Area(f64);
+
+impl_scalar_quantity!(Area, "square metres");
+
+impl Area {
+    /// Creates an area from square micrometres.
+    #[inline]
+    pub fn from_square_um(um2: f64) -> Self {
+        Self(um2 * 1e-12)
+    }
+
+    /// Creates an area from square millimetres.
+    #[inline]
+    pub fn from_square_mm(mm2: f64) -> Self {
+        Self(mm2 * 1e-6)
+    }
+
+    /// Area expressed in square micrometres.
+    #[inline]
+    pub fn square_micrometers(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Area expressed in square millimetres.
+    #[inline]
+    pub fn square_millimeters(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Validates that the area is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::NotFinite`] or [`QuantityError::Negative`]
+    /// when the magnitude is NaN/∞ or below zero.
+    pub fn validated(self, context: &'static str) -> Result<Self> {
+        if !self.0.is_finite() {
+            return Err(QuantityError::NotFinite { context });
+        }
+        if self.0 < 0.0 {
+            return Err(QuantityError::Negative {
+                context,
+                value: self.0,
+            });
+        }
+        Ok(self)
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.square_millimeters() >= 0.01 {
+            write!(f, "{:.4} mm^2", self.square_millimeters())
+        } else {
+            write!(f, "{:.1} um^2", self.square_micrometers())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_between_um2_and_mm2() {
+        let a = Area::from_square_mm(0.84);
+        assert!((a.square_micrometers() - 840_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert!(Area::from_square_mm(59.83).to_string().contains("mm^2"));
+        assert!(Area::from_square_um(1270.5).to_string().contains("um^2"));
+    }
+
+    #[test]
+    fn validation_rejects_negative_and_nan() {
+        assert!(Area::from_square_um(-1.0).validated("core").is_err());
+        assert!(Area::from_square_um(f64::INFINITY).validated("core").is_err());
+        assert!(Area::from_square_um(0.0).validated("core").is_ok());
+    }
+
+    #[test]
+    fn sum_of_footprints() {
+        let devices = [64.0_f64, 200.0, 1006.5];
+        let total: Area = devices.iter().map(|&a| Area::from_square_um(a)).sum();
+        assert!((total.square_micrometers() - 1270.5).abs() < 1e-9);
+    }
+}

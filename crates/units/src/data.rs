@@ -1,0 +1,314 @@
+//! Data sizes, memory bandwidth and operand bit widths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{QuantityError, Result};
+use crate::quantity::impl_scalar_quantity;
+use crate::time::Time;
+
+/// An amount of data, stored internally in bits.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::DataSize;
+///
+/// let layer = DataSize::from_bytes(1_048_576.0);
+/// assert!((layer.megabytes() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DataSize(f64);
+
+impl_scalar_quantity!(DataSize, "bits");
+
+impl DataSize {
+    /// Creates a data size from bits.
+    #[inline]
+    pub fn from_bits(bits: f64) -> Self {
+        Self(bits)
+    }
+
+    /// Creates a data size from bytes.
+    #[inline]
+    pub fn from_bytes(bytes: f64) -> Self {
+        Self(bytes * 8.0)
+    }
+
+    /// Creates a data size from kibibytes (1024 bytes).
+    #[inline]
+    pub fn from_kilobytes(kb: f64) -> Self {
+        Self::from_bytes(kb * 1024.0)
+    }
+
+    /// Creates a data size from mebibytes.
+    #[inline]
+    pub fn from_megabytes(mb: f64) -> Self {
+        Self::from_bytes(mb * 1024.0 * 1024.0)
+    }
+
+    /// Data size in bits.
+    #[inline]
+    pub fn bits(self) -> f64 {
+        self.0
+    }
+
+    /// Data size in bytes.
+    #[inline]
+    pub fn bytes(self) -> f64 {
+        self.0 / 8.0
+    }
+
+    /// Data size in kibibytes.
+    #[inline]
+    pub fn kilobytes(self) -> f64 {
+        self.bytes() / 1024.0
+    }
+
+    /// Data size in mebibytes.
+    #[inline]
+    pub fn megabytes(self) -> f64 {
+        self.kilobytes() / 1024.0
+    }
+
+    /// Validates that the size is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::NotFinite`] or [`QuantityError::Negative`].
+    pub fn validated(self, context: &'static str) -> Result<Self> {
+        if !self.0.is_finite() {
+            return Err(QuantityError::NotFinite { context });
+        }
+        if self.0 < 0.0 {
+            return Err(QuantityError::Negative {
+                context,
+                value: self.0,
+            });
+        }
+        Ok(self)
+    }
+}
+
+impl fmt::Display for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.megabytes() >= 1.0 {
+            write!(f, "{:.2} MiB", self.megabytes())
+        } else if self.kilobytes() >= 1.0 {
+            write!(f, "{:.2} KiB", self.kilobytes())
+        } else {
+            write!(f, "{:.0} B", self.bytes())
+        }
+    }
+}
+
+/// A data transfer rate, stored internally in bits per second.
+///
+/// Memory bandwidth requirements (`BW_LB`, `BW_RF`, `BW_GLB`) and link
+/// capacities use this type.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::{Bandwidth, Time};
+///
+/// let bw = Bandwidth::from_gigabytes_per_second(64.0);
+/// let moved = bw * Time::from_nanoseconds(0.2);
+/// assert!((moved.bytes() - 12.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Bandwidth(f64);
+
+impl_scalar_quantity!(Bandwidth, "bits per second");
+
+impl Bandwidth {
+    /// Creates a bandwidth from bits per second.
+    #[inline]
+    pub fn from_bits_per_second(bps: f64) -> Self {
+        Self(bps)
+    }
+
+    /// Creates a bandwidth from bytes per second.
+    #[inline]
+    pub fn from_bytes_per_second(bps: f64) -> Self {
+        Self(bps * 8.0)
+    }
+
+    /// Creates a bandwidth from gigabytes per second (10⁹ bytes/s).
+    #[inline]
+    pub fn from_gigabytes_per_second(gbps: f64) -> Self {
+        Self::from_bytes_per_second(gbps * 1e9)
+    }
+
+    /// Bandwidth in bits per second.
+    #[inline]
+    pub fn bits_per_second(self) -> f64 {
+        self.0
+    }
+
+    /// Bandwidth in bytes per second.
+    #[inline]
+    pub fn bytes_per_second(self) -> f64 {
+        self.0 / 8.0
+    }
+
+    /// Bandwidth in gigabytes per second.
+    #[inline]
+    pub fn gigabytes_per_second(self) -> f64 {
+        self.bytes_per_second() / 1e9
+    }
+
+    /// Validates that the bandwidth is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::NotFinite`] or [`QuantityError::Negative`].
+    pub fn validated(self, context: &'static str) -> Result<Self> {
+        if !self.0.is_finite() {
+            return Err(QuantityError::NotFinite { context });
+        }
+        if self.0 < 0.0 {
+            return Err(QuantityError::Negative {
+                context,
+                value: self.0,
+            });
+        }
+        Ok(self)
+    }
+}
+
+impl core::ops::Mul<Time> for Bandwidth {
+    type Output = DataSize;
+
+    /// Bandwidth sustained over a duration moves an amount of data.
+    fn mul(self, rhs: Time) -> DataSize {
+        DataSize::from_bits(self.0 * rhs.seconds())
+    }
+}
+
+impl core::ops::Div<Time> for DataSize {
+    type Output = Bandwidth;
+
+    /// Data moved within a duration requires this bandwidth.
+    fn div(self, rhs: Time) -> Bandwidth {
+        Bandwidth::from_bits_per_second(self.0 / rhs.seconds())
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GB/s", self.gigabytes_per_second())
+    }
+}
+
+/// Number of bits used to represent one operand (DAC/ADC precision).
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::BitWidth;
+///
+/// let b = BitWidth::new(8);
+/// assert_eq!(b.levels(), 256);
+/// assert_eq!(b.bytes_per_element(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct BitWidth(u8);
+
+impl BitWidth {
+    /// Creates a bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or above 64; analog converters beyond 64 bits
+    /// are not meaningful.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=64).contains(&bits), "bit width must be in 1..=64");
+        Self(bits)
+    }
+
+    /// The number of bits.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// Number of representable levels, `2^bits` (saturating).
+    #[inline]
+    pub fn levels(self) -> u64 {
+        1u64.checked_shl(self.bits()).unwrap_or(u64::MAX)
+    }
+
+    /// Storage cost of one element of this precision, in bytes (may be fractional).
+    #[inline]
+    pub fn bytes_per_element(self) -> f64 {
+        f64::from(self.0) / 8.0
+    }
+
+    /// Storage cost of `count` elements of this precision.
+    #[inline]
+    pub fn size_of(self, count: usize) -> DataSize {
+        DataSize::from_bits(count as f64 * f64::from(self.0))
+    }
+}
+
+impl Default for BitWidth {
+    /// 8-bit operands, the most common evaluation setting in the paper.
+    fn default() -> Self {
+        Self(8)
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_size_unit_ladder() {
+        let d = DataSize::from_megabytes(2.0);
+        assert!((d.kilobytes() - 2048.0).abs() < 1e-9);
+        assert!((d.bytes() - 2.0 * 1024.0 * 1024.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bandwidth_data_time_relations() {
+        let d = DataSize::from_bytes(128.0);
+        let t = Time::from_nanoseconds(1.0);
+        let bw = d / t;
+        assert!((bw.gigabytes_per_second() - 128.0).abs() < 1e-9);
+        let back = bw * t;
+        assert!((back.bytes() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bitwidth_levels_and_sizes() {
+        assert_eq!(BitWidth::new(4).levels(), 16);
+        assert_eq!(BitWidth::new(8).levels(), 256);
+        let sz = BitWidth::new(4).size_of(1000);
+        assert!((sz.bytes() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width")]
+    fn zero_bitwidth_panics() {
+        let _ = BitWidth::new(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BitWidth::new(8).to_string(), "8-bit");
+        assert!(DataSize::from_kilobytes(64.0).to_string().contains("KiB"));
+        assert!(Bandwidth::from_gigabytes_per_second(1.5)
+            .to_string()
+            .contains("GB/s"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Energy dissipated by computation and data movement.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{QuantityError, Result};
+use crate::power::Power;
+use crate::quantity::impl_scalar_quantity;
+use crate::time::Time;
+
+/// An energy, stored internally in joules.
+///
+/// Per-cycle costs are picojoules, per-layer costs nano- to microjoules.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::Energy;
+///
+/// let per_access = Energy::from_picojoules(2.1);
+/// let total = per_access * 1_000_000.0;
+/// assert!((total.microjoules() - 2.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Energy(f64);
+
+impl_scalar_quantity!(Energy, "joules");
+
+impl Energy {
+    /// Creates an energy from joules.
+    #[inline]
+    pub fn from_joules(j: f64) -> Self {
+        Self(j)
+    }
+
+    /// Creates an energy from microjoules.
+    #[inline]
+    pub fn from_microjoules(uj: f64) -> Self {
+        Self(uj * 1e-6)
+    }
+
+    /// Creates an energy from nanojoules.
+    #[inline]
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Self(nj * 1e-9)
+    }
+
+    /// Creates an energy from picojoules.
+    #[inline]
+    pub fn from_picojoules(pj: f64) -> Self {
+        Self(pj * 1e-12)
+    }
+
+    /// Creates an energy from femtojoules (per-MAC figures).
+    #[inline]
+    pub fn from_femtojoules(fj: f64) -> Self {
+        Self(fj * 1e-15)
+    }
+
+    /// Energy expressed in joules.
+    #[inline]
+    pub fn joules(self) -> f64 {
+        self.0
+    }
+
+    /// Energy expressed in microjoules.
+    #[inline]
+    pub fn microjoules(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Energy expressed in nanojoules.
+    #[inline]
+    pub fn nanojoules(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Energy expressed in picojoules.
+    #[inline]
+    pub fn picojoules(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Energy expressed in femtojoules.
+    #[inline]
+    pub fn femtojoules(self) -> f64 {
+        self.0 * 1e15
+    }
+
+    /// Validates that the energy is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::NotFinite`] or [`QuantityError::Negative`]
+    /// when the magnitude is NaN/∞ or below zero.
+    pub fn validated(self, context: &'static str) -> Result<Self> {
+        if !self.0.is_finite() {
+            return Err(QuantityError::NotFinite { context });
+        }
+        if self.0 < 0.0 {
+            return Err(QuantityError::Negative {
+                context,
+                value: self.0,
+            });
+        }
+        Ok(self)
+    }
+}
+
+impl core::ops::Div<Time> for Energy {
+    type Output = Power;
+
+    /// Energy divided by the time over which it is dissipated is average power.
+    fn div(self, rhs: Time) -> Power {
+        Power::from_base_value(self.0 / rhs.base_value())
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let uj = self.microjoules();
+        if uj >= 1.0 {
+            write!(f, "{uj:.3} uJ")
+        } else if self.nanojoules() >= 1.0 {
+            write!(f, "{:.3} nJ", self.nanojoules())
+        } else {
+            write!(f, "{:.3} pJ", self.picojoules())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_ladder_is_consistent() {
+        let e = Energy::from_microjoules(0.0537);
+        assert!((e.nanojoules() - 53.7).abs() < 1e-9);
+        assert!((e.picojoules() - 53_700.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Energy::from_picojoules(100.0) / Time::from_nanoseconds(10.0);
+        assert!((p.milliwatts() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert!(Energy::from_microjoules(6.9).to_string().contains("uJ"));
+        assert!(Energy::from_nanojoules(37.0).to_string().contains("nJ"));
+        assert!(Energy::from_picojoules(96.13).to_string().contains("pJ"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(Energy::from_joules(f64::NAN).validated("e").is_err());
+        assert!(Energy::from_joules(-1e-9).validated("e").is_err());
+        assert!(Energy::ZERO.validated("e").is_ok());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by quantity validation helpers.
+
+use std::fmt;
+
+/// Convenience alias for results whose error is [`QuantityError`].
+pub type Result<T> = std::result::Result<T, QuantityError>;
+
+/// Error returned when a physical quantity fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::{Power, QuantityError};
+///
+/// let err = Power::from_milliwatts(-3.0).validated("laser power").unwrap_err();
+/// assert!(matches!(err, QuantityError::Negative { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantityError {
+    /// The quantity was negative where only non-negative values make sense.
+    Negative {
+        /// Human-readable name of the quantity being validated.
+        context: &'static str,
+        /// Offending magnitude in the canonical base unit.
+        value: f64,
+    },
+    /// The quantity was NaN or infinite.
+    NotFinite {
+        /// Human-readable name of the quantity being validated.
+        context: &'static str,
+    },
+    /// The quantity was outside a caller-specified inclusive range.
+    OutOfRange {
+        /// Human-readable name of the quantity being validated.
+        context: &'static str,
+        /// Offending magnitude in the canonical base unit.
+        value: f64,
+        /// Lower bound of the allowed range (base unit).
+        min: f64,
+        /// Upper bound of the allowed range (base unit).
+        max: f64,
+    },
+}
+
+impl fmt::Display for QuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantityError::Negative { context, value } => {
+                write!(f, "{context} must be non-negative, got {value}")
+            }
+            QuantityError::NotFinite { context } => {
+                write!(f, "{context} must be finite")
+            }
+            QuantityError::OutOfRange {
+                context,
+                value,
+                min,
+                max,
+            } => write!(f, "{context} must be within [{min}, {max}], got {value}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = QuantityError::Negative {
+            context: "area",
+            value: -1.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("area"));
+        assert!(msg.contains("-1"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let err: Box<dyn std::error::Error> = Box::new(QuantityError::NotFinite { context: "x" });
+        assert!(!err.to_string().is_empty());
+    }
+}

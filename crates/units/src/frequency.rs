@@ -1,0 +1,131 @@
+//! Clock and sampling frequencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{QuantityError, Result};
+use crate::quantity::impl_scalar_quantity;
+use crate::time::Time;
+
+/// A frequency, stored internally in hertz.
+///
+/// PTC operating clocks and DAC/ADC sampling rates are typically GHz-scale
+/// ("GS/s" for converters).
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::Frequency;
+///
+/// let clock = Frequency::from_gigahertz(5.0);
+/// assert!((clock.period().nanoseconds() - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Frequency(f64);
+
+impl_scalar_quantity!(Frequency, "hertz");
+
+impl Frequency {
+    /// Creates a frequency from hertz.
+    #[inline]
+    pub fn from_hertz(hz: f64) -> Self {
+        Self(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub fn from_megahertz(mhz: f64) -> Self {
+        Self(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[inline]
+    pub fn from_gigahertz(ghz: f64) -> Self {
+        Self(ghz * 1e9)
+    }
+
+    /// Frequency expressed in hertz.
+    #[inline]
+    pub fn hertz(self) -> f64 {
+        self.0
+    }
+
+    /// Frequency expressed in megahertz.
+    #[inline]
+    pub fn megahertz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Frequency expressed in gigahertz.
+    #[inline]
+    pub fn gigahertz(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// The period of one cycle at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the frequency is zero (the period would be
+    /// infinite); in release builds the returned period is `inf`.
+    #[inline]
+    pub fn period(self) -> Time {
+        debug_assert!(self.0 > 0.0, "period of a zero frequency is undefined");
+        Time::from_seconds(1.0 / self.0)
+    }
+
+    /// Validates that the frequency is finite and strictly positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::NotFinite`] when NaN/∞ and
+    /// [`QuantityError::OutOfRange`] when the frequency is not positive.
+    pub fn validated(self, context: &'static str) -> Result<Self> {
+        if !self.0.is_finite() {
+            return Err(QuantityError::NotFinite { context });
+        }
+        if self.0 <= 0.0 {
+            return Err(QuantityError::OutOfRange {
+                context,
+                value: self.0,
+                min: f64::MIN_POSITIVE,
+                max: f64::INFINITY,
+            });
+        }
+        Ok(self)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.gigahertz() >= 1.0 {
+            write!(f, "{:.2} GHz", self.gigahertz())
+        } else {
+            write!(f, "{:.2} MHz", self.megahertz())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_of_5ghz_is_200ps() {
+        let p = Frequency::from_gigahertz(5.0).period();
+        assert!((p.picoseconds() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_zero() {
+        assert!(Frequency::from_hertz(0.0).validated("clock").is_err());
+        assert!(Frequency::from_gigahertz(5.0).validated("clock").is_ok());
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert!(Frequency::from_gigahertz(5.0).to_string().contains("GHz"));
+        assert!(Frequency::from_megahertz(500.0).to_string().contains("MHz"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Linear dimension of devices and placement sites.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::area::Area;
+use crate::error::{QuantityError, Result};
+use crate::quantity::impl_scalar_quantity;
+
+/// A linear dimension, stored internally in metres.
+///
+/// Photonic device footprints are conventionally quoted in micrometres, so the
+/// µm constructors/getters are the primary interface.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::Length;
+///
+/// let mzm = Length::from_um(300.0);
+/// let spacing = Length::from_um(10.0);
+/// assert!(((mzm + spacing).micrometers() - 310.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Length(f64);
+
+impl_scalar_quantity!(Length, "metres");
+
+impl Length {
+    /// Creates a length from micrometres.
+    #[inline]
+    pub fn from_um(um: f64) -> Self {
+        Self(um * 1e-6)
+    }
+
+    /// Creates a length from millimetres.
+    #[inline]
+    pub fn from_mm(mm: f64) -> Self {
+        Self(mm * 1e-3)
+    }
+
+    /// Creates a length from nanometres (e.g. technology nodes).
+    #[inline]
+    pub fn from_nm(nm: f64) -> Self {
+        Self(nm * 1e-9)
+    }
+
+    /// Length expressed in micrometres.
+    #[inline]
+    pub fn micrometers(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Length expressed in millimetres.
+    #[inline]
+    pub fn millimeters(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Length expressed in nanometres.
+    #[inline]
+    pub fn nanometers(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Validates that the length is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::NotFinite`] or [`QuantityError::Negative`]
+    /// when the magnitude is NaN/∞ or below zero.
+    pub fn validated(self, context: &'static str) -> Result<Self> {
+        if !self.0.is_finite() {
+            return Err(QuantityError::NotFinite { context });
+        }
+        if self.0 < 0.0 {
+            return Err(QuantityError::Negative {
+                context,
+                value: self.0,
+            });
+        }
+        Ok(self)
+    }
+}
+
+impl core::ops::Mul<Length> for Length {
+    type Output = Area;
+
+    /// Width × height gives a rectangular area.
+    fn mul(self, rhs: Length) -> Area {
+        Area::from_base_value(self.0 * rhs.0)
+    }
+}
+
+impl fmt::Display for Length {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} um", self.micrometers())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_are_consistent() {
+        let l = Length::from_um(1500.0);
+        assert!((l.millimeters() - 1.5).abs() < 1e-12);
+        assert!((l.nanometers() - 1.5e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn length_product_is_area() {
+        let a = Length::from_um(64.0) * Length::from_um(69.0);
+        assert!((a.square_micrometers() - 4416.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_rejects_negative() {
+        assert!(Length::from_um(-1.0).validated("width").is_err());
+        assert!(Length::from_um(f64::NAN).validated("width").is_err());
+        assert!(Length::from_um(3.0).validated("width").is_ok());
+    }
+
+    #[test]
+    fn display_shows_micrometers() {
+        assert_eq!(Length::from_um(12.5).to_string(), "12.500 um");
+    }
+
+    #[test]
+    fn summation_and_scaling() {
+        let total: Length = (0..4).map(|_| Length::from_um(2.5)).sum();
+        assert!((total.micrometers() - 10.0).abs() < 1e-9);
+        assert!(((total * 2.0).micrometers() - 20.0).abs() < 1e-9);
+    }
+}

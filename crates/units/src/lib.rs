@@ -1,0 +1,86 @@
+//! Physical quantity newtypes shared across the SimPhony-RS workspace.
+//!
+//! Analog electronic-photonic modeling mixes many units (micrometres, decibels,
+//! picojoules, gigahertz, …). Mixing them up silently is the classic source of
+//! "why is my laser 10⁶ W" bugs, so every quantity is a dedicated newtype with
+//! explicit constructors and getters ([`Length::from_um`], [`Energy::picojoules`], …).
+//!
+//! All quantities are stored internally in a single canonical SI-ish base unit
+//! (metres, square metres, watts, joules, seconds, hertz, bits) as `f64`.
+//! Arithmetic between compatible quantities and scaling by dimensionless `f64`
+//! are provided where the operation is physically meaningful.
+//!
+//! # Examples
+//!
+//! ```
+//! use simphony_units::{Energy, Power, Time};
+//!
+//! let p = Power::from_milliwatts(12.0);
+//! let t = Time::from_nanoseconds(0.2);
+//! let e: Energy = p * t;
+//! assert!((e.picojoules() - 2.4).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod data;
+mod energy;
+mod error;
+mod frequency;
+mod length;
+mod loss;
+mod power;
+mod quantity;
+mod time;
+
+pub use area::Area;
+pub use data::{Bandwidth, BitWidth, DataSize};
+pub use energy::Energy;
+pub use error::{QuantityError, Result};
+pub use frequency::Frequency;
+pub use length::Length;
+pub use loss::{Decibels, Transmittance};
+pub use power::Power;
+pub use time::Time;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_quantity_arithmetic_round_trips() {
+        let p = Power::from_watts(2.0);
+        let t = Time::from_seconds(3.0);
+        let e = p * t;
+        assert!((e.joules() - 6.0).abs() < 1e-12);
+        let back = e / t;
+        assert!((back.watts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_times_time_is_data() {
+        let bw = Bandwidth::from_gigabytes_per_second(2.0);
+        let t = Time::from_nanoseconds(1.0);
+        let d = bw * t;
+        assert!((d.bytes() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Length>();
+        assert_send_sync::<Area>();
+        assert_send_sync::<Power>();
+        assert_send_sync::<Energy>();
+        assert_send_sync::<Time>();
+        assert_send_sync::<Frequency>();
+        assert_send_sync::<Decibels>();
+        assert_send_sync::<Transmittance>();
+        assert_send_sync::<DataSize>();
+        assert_send_sync::<Bandwidth>();
+        assert_send_sync::<BitWidth>();
+        assert_send_sync::<QuantityError>();
+    }
+}

@@ -1,0 +1,183 @@
+//! Optical insertion loss and transmittance.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{QuantityError, Result};
+use crate::quantity::impl_scalar_quantity;
+
+/// A logarithmic power ratio in decibels.
+///
+/// Positive values represent *loss* (insertion loss, IL) throughout SimPhony;
+/// adding decibel values corresponds to cascading devices along an optical path.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::Decibels;
+///
+/// let coupler = Decibels::from_db(1.5);
+/// let mzm = Decibels::from_db(4.0);
+/// let path = coupler + mzm;
+/// assert!((path.db() - 5.5).abs() < 1e-12);
+/// assert!((path.to_transmittance().linear() - 10f64.powf(-0.55)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Decibels(f64);
+
+impl_scalar_quantity!(Decibels, "decibels");
+
+impl Decibels {
+    /// Creates a decibel figure.
+    #[inline]
+    pub fn from_db(db: f64) -> Self {
+        Self(db)
+    }
+
+    /// The decibel magnitude.
+    #[inline]
+    pub fn db(self) -> f64 {
+        self.0
+    }
+
+    /// Converts a loss in dB to a linear transmittance factor in `(0, 1]`.
+    #[inline]
+    pub fn to_transmittance(self) -> Transmittance {
+        Transmittance(10f64.powf(-self.0 / 10.0))
+    }
+
+    /// Validates that the loss is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::NotFinite`] or [`QuantityError::Negative`].
+    pub fn validated(self, context: &'static str) -> Result<Self> {
+        if !self.0.is_finite() {
+            return Err(QuantityError::NotFinite { context });
+        }
+        if self.0 < 0.0 {
+            return Err(QuantityError::Negative {
+                context,
+                value: self.0,
+            });
+        }
+        Ok(self)
+    }
+}
+
+impl fmt::Display for Decibels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+/// A linear optical power transmission factor in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::Transmittance;
+///
+/// let t = Transmittance::new(0.5).expect("valid factor");
+/// assert!((t.to_loss().db() - 3.0103).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Transmittance(f64);
+
+impl Transmittance {
+    /// Full transmission (no loss).
+    pub const UNITY: Self = Self(1.0);
+
+    /// Creates a transmittance, validating it lies in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::OutOfRange`] when the factor is outside `[0, 1]`
+    /// or [`QuantityError::NotFinite`] when it is NaN/∞.
+    pub fn new(factor: f64) -> Result<Self> {
+        if !factor.is_finite() {
+            return Err(QuantityError::NotFinite {
+                context: "transmittance",
+            });
+        }
+        if !(0.0..=1.0).contains(&factor) {
+            return Err(QuantityError::OutOfRange {
+                context: "transmittance",
+                value: factor,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        Ok(Self(factor))
+    }
+
+    /// The linear transmission factor.
+    #[inline]
+    pub fn linear(self) -> f64 {
+        self.0
+    }
+
+    /// Converts the transmission factor back to an insertion loss in dB.
+    #[inline]
+    pub fn to_loss(self) -> Decibels {
+        Decibels(-10.0 * self.0.log10())
+    }
+}
+
+impl Default for Transmittance {
+    fn default() -> Self {
+        Self::UNITY
+    }
+}
+
+impl core::ops::Mul for Transmittance {
+    type Output = Transmittance;
+
+    /// Cascading two lossy elements multiplies their transmission factors.
+    fn mul(self, rhs: Self) -> Self {
+        Self(self.0 * rhs.0)
+    }
+}
+
+impl fmt::Display for Transmittance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_to_linear_round_trip() {
+        let il = Decibels::from_db(3.0);
+        let t = il.to_transmittance();
+        assert!((t.to_loss().db() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cascading_in_db_matches_multiplying_linear() {
+        let a = Decibels::from_db(1.2);
+        let b = Decibels::from_db(2.3);
+        let cascade_db = (a + b).to_transmittance().linear();
+        let cascade_lin = (a.to_transmittance() * b.to_transmittance()).linear();
+        assert!((cascade_db - cascade_lin).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transmittance_validation() {
+        assert!(Transmittance::new(1.2).is_err());
+        assert!(Transmittance::new(-0.1).is_err());
+        assert!(Transmittance::new(f64::NAN).is_err());
+        assert!(Transmittance::new(0.0).is_ok());
+        assert!(Transmittance::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn negative_loss_rejected_by_validation() {
+        assert!(Decibels::from_db(-0.5).validated("il").is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Electrical and optical power.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::energy::Energy;
+use crate::error::{QuantityError, Result};
+use crate::quantity::impl_scalar_quantity;
+use crate::time::Time;
+
+/// A power, stored internally in watts.
+///
+/// Device powers are typically milliwatts; system totals are watts.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::{Power, Time};
+///
+/// let dac = Power::from_milliwatts(12.0);
+/// let cycle = Time::from_nanoseconds(0.2);
+/// assert!((dac * cycle).picojoules() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Power(f64);
+
+impl_scalar_quantity!(Power, "watts");
+
+impl Power {
+    /// Creates a power from watts.
+    #[inline]
+    pub fn from_watts(w: f64) -> Self {
+        Self(w)
+    }
+
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+
+    /// Creates a power from microwatts.
+    #[inline]
+    pub fn from_microwatts(uw: f64) -> Self {
+        Self(uw * 1e-6)
+    }
+
+    /// Power expressed in watts.
+    #[inline]
+    pub fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// Power expressed in milliwatts.
+    #[inline]
+    pub fn milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Power expressed in microwatts.
+    #[inline]
+    pub fn microwatts(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Power expressed in dBm (decibel-milliwatts), the conventional unit for
+    /// optical link budgets.
+    ///
+    /// Returns `-inf` for zero power.
+    #[inline]
+    pub fn dbm(self) -> f64 {
+        10.0 * (self.milliwatts()).log10()
+    }
+
+    /// Creates a power from a dBm figure.
+    #[inline]
+    pub fn from_dbm(dbm: f64) -> Self {
+        Self::from_milliwatts(10f64.powf(dbm / 10.0))
+    }
+
+    /// Validates that the power is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::NotFinite`] or [`QuantityError::Negative`]
+    /// when the magnitude is NaN/∞ or below zero.
+    pub fn validated(self, context: &'static str) -> Result<Self> {
+        if !self.0.is_finite() {
+            return Err(QuantityError::NotFinite { context });
+        }
+        if self.0 < 0.0 {
+            return Err(QuantityError::Negative {
+                context,
+                value: self.0,
+            });
+        }
+        Ok(self)
+    }
+}
+
+impl core::ops::Mul<Time> for Power {
+    type Output = Energy;
+
+    /// Power sustained over a duration dissipates energy.
+    fn mul(self, rhs: Time) -> Energy {
+        Energy::from_base_value(self.0 * rhs.base_value())
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.watts() >= 1.0 {
+            write!(f, "{:.3} W", self.watts())
+        } else {
+            write!(f, "{:.3} mW", self.milliwatts())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_round_trip() {
+        let p = Power::from_dbm(-10.0);
+        assert!((p.milliwatts() - 0.1).abs() < 1e-12);
+        assert!((p.dbm() - (-10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_milliwatts(36.0) * Time::from_nanoseconds(1.0);
+        assert!((e.picojoules() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert!(Power::from_watts(20.77).to_string().contains('W'));
+        assert!(Power::from_milliwatts(8.14).to_string().contains("mW"));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Power::from_watts(-0.5).validated("laser").is_err());
+        assert!(Power::from_watts(0.5).validated("laser").is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! Internal helper macro implementing the shared surface of scalar quantities.
+//!
+//! Every quantity is an `f64` newtype in a canonical base unit. The macro
+//! derives the common traits, the dimensionless scaling operators and the
+//! additive operators between values of the same quantity. Unit-specific
+//! constructors, getters and cross-quantity operators stay hand-written in the
+//! per-quantity modules so the public API remains explicit and documented.
+
+/// Implements the common trait surface of an `f64`-backed quantity newtype.
+macro_rules! impl_scalar_quantity {
+    ($ty:ident, $base_unit:literal) => {
+        impl $ty {
+            /// Quantity of zero magnitude.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw magnitude in the canonical base unit
+            #[doc = concat!("(", $base_unit, ").")]
+            #[inline]
+            pub const fn base_value(self) -> f64 {
+                self.0
+            }
+
+            /// Creates a quantity directly from a magnitude in the canonical
+            /// base unit
+            #[doc = concat!("(", $base_unit, ").")]
+            #[inline]
+            pub const fn from_base_value(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns `true` if the magnitude is exactly zero.
+            #[inline]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns `true` if the magnitude is finite (neither NaN nor ±∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the maximum of `self` and `other`.
+            ///
+            /// NaN magnitudes are propagated the same way [`f64::max`] does.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the minimum of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl Default for $ty {
+            fn default() -> Self {
+                Self::ZERO
+            }
+        }
+
+        impl PartialOrd for $ty {
+            fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+                self.0.partial_cmp(&other.0)
+            }
+        }
+
+        impl core::ops::Add for $ty {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $ty {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $ty {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $ty {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$ty> for f64 {
+            type Output = $ty;
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $ty {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$ty> for $ty {
+            type Output = f64;
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |acc, x| acc + x)
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $ty> for $ty {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |acc, x| acc + *x)
+            }
+        }
+    };
+}
+
+pub(crate) use impl_scalar_quantity;

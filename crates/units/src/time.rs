@@ -1,0 +1,168 @@
+//! Time intervals: clock cycles, reconfiguration delays, thermal constants.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{QuantityError, Result};
+use crate::frequency::Frequency;
+use crate::quantity::impl_scalar_quantity;
+
+/// A time interval, stored internally in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_units::{Frequency, Time};
+///
+/// let cycle = Frequency::from_gigahertz(5.0).period();
+/// assert!((cycle.nanoseconds() - 0.2).abs() < 1e-12);
+/// let reconfig = Time::from_nanoseconds(100.0);
+/// assert_eq!(reconfig.cycles_at(Frequency::from_gigahertz(5.0)), 500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Time(f64);
+
+impl_scalar_quantity!(Time, "seconds");
+
+impl Time {
+    /// Creates a time from seconds.
+    #[inline]
+    pub fn from_seconds(s: f64) -> Self {
+        Self(s)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub fn from_milliseconds(ms: f64) -> Self {
+        Self(ms * 1e-3)
+    }
+
+    /// Creates a time from microseconds (thermo-optic tuning constants).
+    #[inline]
+    pub fn from_microseconds(us: f64) -> Self {
+        Self(us * 1e-6)
+    }
+
+    /// Creates a time from nanoseconds (clock cycles, PCM writes).
+    #[inline]
+    pub fn from_nanoseconds(ns: f64) -> Self {
+        Self(ns * 1e-9)
+    }
+
+    /// Creates a time from picoseconds.
+    #[inline]
+    pub fn from_picoseconds(ps: f64) -> Self {
+        Self(ps * 1e-12)
+    }
+
+    /// Time expressed in seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Time expressed in milliseconds.
+    #[inline]
+    pub fn milliseconds(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Time expressed in microseconds.
+    #[inline]
+    pub fn microseconds(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Time expressed in nanoseconds.
+    #[inline]
+    pub fn nanoseconds(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Time expressed in picoseconds.
+    #[inline]
+    pub fn picoseconds(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Number of whole clock cycles (rounded up) this delay occupies at the
+    /// given clock frequency.
+    ///
+    /// This is how SimPhony turns device reprogramming delays into cycle
+    /// penalties — e.g. a 100 ns PCM write at 5 GHz costs 500 cycles.
+    #[inline]
+    pub fn cycles_at(self, clock: Frequency) -> u64 {
+        let exact = self.0 * clock.hertz();
+        let nearest = exact.round();
+        // Guard against floating-point dust (100 ns × 5 GHz = 500.00000000000006)
+        // turning an exact multiple into an extra cycle.
+        if (exact - nearest).abs() < 1e-6 {
+            nearest as u64
+        } else {
+            exact.ceil() as u64
+        }
+    }
+
+    /// Validates that the time is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantityError::NotFinite`] or [`QuantityError::Negative`]
+    /// when the magnitude is NaN/∞ or below zero.
+    pub fn validated(self, context: &'static str) -> Result<Self> {
+        if !self.0.is_finite() {
+            return Err(QuantityError::NotFinite { context });
+        }
+        if self.0 < 0.0 {
+            return Err(QuantityError::Negative {
+                context,
+                value: self.0,
+            });
+        }
+        Ok(self)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.seconds() >= 1.0 {
+            write!(f, "{:.3} s", self.seconds())
+        } else if self.milliseconds() >= 1.0 {
+            write!(f, "{:.3} ms", self.milliseconds())
+        } else if self.microseconds() >= 1.0 {
+            write!(f, "{:.3} us", self.microseconds())
+        } else {
+            write!(f, "{:.3} ns", self.nanoseconds())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcm_write_penalty_is_500_cycles_at_5ghz() {
+        let write = Time::from_nanoseconds(100.0);
+        assert_eq!(write.cycles_at(Frequency::from_gigahertz(5.0)), 500);
+    }
+
+    #[test]
+    fn thermo_optic_constant_is_huge_in_cycles() {
+        let to = Time::from_microseconds(10.0);
+        assert_eq!(to.cycles_at(Frequency::from_gigahertz(5.0)), 50_000);
+    }
+
+    #[test]
+    fn sub_cycle_delay_rounds_up_to_one() {
+        let d = Time::from_picoseconds(50.0);
+        assert_eq!(d.cycles_at(Frequency::from_gigahertz(5.0)), 1);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert!(Time::from_microseconds(10.0).to_string().contains("us"));
+        assert!(Time::from_nanoseconds(0.2).to_string().contains("ns"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Design-space exploration: sweep the number of wavelengths and the operand
+//! precision of a TeMPO accelerator to find an energy-efficient operating point
+//! for a convolutional workload.
+//!
+//! ```text
+//! cargo run -p simphony-examples --bin design_space_exploration
+//! ```
+
+use simphony::{Accelerator, MappingPlan, Simulator};
+use simphony_arch::generators;
+use simphony_netlist::ArchParams;
+use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
+use simphony_units::BitWidth;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("design-space exploration: VGG-8 conv1-conv4 on TeMPO variants\n");
+    println!(
+        "{:<12} {:<8} {:>14} {:>14} {:>12}",
+        "wavelengths", "bits", "energy (uJ)", "cycles", "EDP (uJ*ms)"
+    );
+    let mut best: Option<(usize, u8, f64)> = None;
+    for lambda in [1usize, 2, 4, 8] {
+        for bits in [4u8, 6, 8] {
+            let accel = Accelerator::builder("tempo_dse")
+                .sub_arch(generators::tempo(
+                    ArchParams::new(2, 2, 8, 8).with_wavelengths(lambda),
+                    5.0,
+                )?)
+                .build()?;
+            let workload = ModelWorkload::extract(
+                &models::vgg8_cifar10(),
+                &QuantConfig::uniform(BitWidth::new(bits)),
+                &PruningConfig::dense(),
+                7,
+            )?;
+            let report = Simulator::new(accel).simulate(&workload, &MappingPlan::default())?;
+            let energy_uj = report.total_energy.microjoules();
+            let edp = energy_uj * report.total_time.milliseconds();
+            println!(
+                "{:<12} {:<8} {:>14.2} {:>14} {:>12.4}",
+                lambda, bits, energy_uj, report.total_cycles, edp
+            );
+            if best.map(|(_, _, e)| edp < e).unwrap_or(true) {
+                best = Some((lambda, bits, edp));
+            }
+        }
+    }
+    if let Some((lambda, bits, edp)) = best {
+        println!(
+            "\nbest energy-delay product: {lambda} wavelengths at {bits}-bit precision (EDP {edp:.4} uJ*ms)"
+        );
+        println!("note: accuracy impact of low precision must be checked with quantisation-aware training.");
+    }
+    Ok(())
+}

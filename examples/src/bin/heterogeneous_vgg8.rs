@@ -1,0 +1,50 @@
+//! Heterogeneous mapping: run VGG-8 with convolutions on a SCATTER sub-core and
+//! fully-connected layers on a thermo-optic MZI mesh, sharing one memory
+//! hierarchy — the scenario of the paper's Fig. 11.
+//!
+//! ```text
+//! cargo run -p simphony-examples --bin heterogeneous_vgg8
+//! ```
+
+use simphony::{Accelerator, MappingPlan, Simulator};
+use simphony_arch::generators;
+use simphony_netlist::ArchParams;
+use simphony_onn::{models, LayerKind, ModelWorkload, PruningConfig, QuantConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ArchParams::new(2, 2, 4, 4);
+    let accel = Accelerator::builder("scatter_plus_mzi")
+        .sub_arch(generators::scatter(params.clone(), 5.0)?)
+        .sub_arch(generators::mzi_mesh(params, 5.0)?)
+        .build()?;
+    let workload = ModelWorkload::extract(
+        &models::vgg8_cifar10(),
+        &QuantConfig::default(),
+        &PruningConfig::new(0.5)?,
+        42,
+    )?;
+    let plan = MappingPlan::all_to(0).route(LayerKind::Linear, 1);
+    let report = Simulator::new(accel).simulate(&workload, &plan)?;
+
+    println!("heterogeneous VGG-8: Conv -> SCATTER, Linear -> MZI mesh\n");
+    println!(
+        "{:<10} {:<10} {:>12} {:>14} {:>14}",
+        "layer", "sub-arch", "cycles", "time", "energy"
+    );
+    for layer in &report.layers {
+        println!(
+            "{:<10} {:<10} {:>12} {:>14} {:>14}",
+            layer.name,
+            layer.sub_arch,
+            layer.latency.total_cycles(),
+            layer.time.to_string(),
+            layer.energy.total.to_string(),
+        );
+    }
+    println!(
+        "\ntotals: {} cycles, {}, {} ({} average power)",
+        report.total_cycles, report.total_time, report.total_energy, report.average_power
+    );
+    println!("shared GLB sized to {} blocks", report.glb_blocks);
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Quickstart: simulate the paper's validation GEMM on a small TeMPO accelerator.
+//!
+//! ```text
+//! cargo run -p simphony-examples --bin quickstart
+//! ```
+
+use simphony::{Accelerator, MappingPlan, Simulator};
+use simphony_arch::generators;
+use simphony_netlist::ArchParams;
+use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Hardware: a 2-tile x 2-core TeMPO accelerator with 4x4 dot-product
+    //    nodes per core, running at 5 GHz, using the standard device library.
+    let accel = Accelerator::builder("tempo_edge")
+        .sub_arch(generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0)?)
+        .build()?;
+
+    // 2. Workload: the (280x28)x(28x280) GEMM, 8-bit operands, no pruning.
+    let workload = ModelWorkload::extract(
+        &models::single_gemm(280, 28, 280),
+        &QuantConfig::default(),
+        &PruningConfig::dense(),
+        42,
+    )?;
+
+    // 3. Simulate and inspect the report.
+    let report = Simulator::new(accel).simulate(&workload, &MappingPlan::default())?;
+    println!("{report}\n");
+    println!("critical optical path of {}:", report.link_budgets[0].arch_name);
+    for hop in &report.link_budgets[0].critical_path {
+        println!("  -> {hop}");
+    }
+    println!(
+        "\ncritical insertion loss {} requires {} of laser power",
+        report.link_budgets[0].critical_path_il, report.link_budgets[0].total_laser_power
+    );
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Runnable examples exercising the SimPhony-RS public API.
+//!
+//! Each binary in `src/bin/` is a self-contained scenario:
+//!
+//! * `quickstart` — build a TeMPO accelerator, extract a GEMM workload and
+//!   print the full simulation report;
+//! * `design_space_exploration` — sweep wavelengths and bitwidths to find an
+//!   efficient operating point;
+//! * `heterogeneous_vgg8` — map VGG-8 convolutions to SCATTER and linear layers
+//!   to an MZI mesh;
+//! * `onn_noise_robustness` — convert a small MLP to its optical version and
+//!   measure the output error introduced by analog weight noise.
+//!
+//! Run them with `cargo run -p simphony-examples --bin <name>`.
+
+#![forbid(unsafe_code)]
