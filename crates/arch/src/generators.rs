@@ -111,7 +111,9 @@ pub fn mzi_mesh(params: ArchParams, clock_ghz: f64) -> Result<PtcArchitecture> {
     let pd = b.add_scaled("pd", "photodetector", "R*H")?;
     let tia = b.add_scaled("tia", "tia", "R*H")?;
     let adc = b.add_scaled("adc", "adc_8b_10gsps", "R*H")?;
-    b.chain(&[laser, coupling, mzm_in, mzi_u, mzi_sigma, mzi_v, pd, tia, adc])?;
+    b.chain(&[
+        laser, coupling, mzm_in, mzi_u, mzi_sigma, mzi_v, pd, tia, adc,
+    ])?;
     b.connect(dac_in, mzm_in)?;
     let netlist = b.build()?;
     PtcArchitecture::new(

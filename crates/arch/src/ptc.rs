@@ -222,7 +222,9 @@ impl PtcArchitecture {
         &self,
         library: &DeviceLibrary,
     ) -> Result<(Vec<InstanceId>, Decibels)> {
-        Ok(self.netlist.critical_insertion_loss(library, &self.params)?)
+        Ok(self
+            .netlist
+            .critical_insertion_loss(library, &self.params)?)
     }
 
     /// Returns a copy with different architecture parameters (same circuit).

@@ -5,9 +5,7 @@
 //!
 //! Fig. 5's three power-model fidelities are exercised directly by (b).
 
-use simphony::{
-    area_report, Accelerator, DataAwareness, MappingPlan, SimulationConfig, Simulator,
-};
+use simphony::{area_report, Accelerator, DataAwareness, MappingPlan, SimulationConfig, Simulator};
 use simphony_arch::generators;
 use simphony_bench::{default_params, print_comparison, reference, tempo_accelerator, SEED};
 use simphony_dataflow::DataflowStyle;
@@ -55,7 +53,12 @@ fn main() {
     );
     let aware_total = aware.total.square_millimeters() - aware.memory.square_millimeters();
     let unaware_total = unaware.total.square_millimeters() - unaware.memory.square_millimeters();
-    print_comparison("layout-aware total", aware_total, reference::TEMPO_AREA_MM2, "mm^2");
+    print_comparison(
+        "layout-aware total",
+        aware_total,
+        reference::TEMPO_AREA_MM2,
+        "mm^2",
+    );
     print_comparison(
         "layout-unaware total",
         unaware_total,

@@ -28,7 +28,9 @@ fn main() {
         .simulate(&workload, &plan)
         .expect("heterogeneous simulation succeeds");
 
-    println!("Fig. 11 — VGG-8 (CIFAR-10) layer energy breakdown, Conv -> SCATTER, Linear -> MZI mesh\n");
+    println!(
+        "Fig. 11 — VGG-8 (CIFAR-10) layer energy breakdown, Conv -> SCATTER, Linear -> MZI mesh\n"
+    );
     let kinds: BTreeSet<String> = report
         .layers
         .iter()
@@ -56,5 +58,8 @@ fn main() {
         "\ntotal: {} over {} cycles ({} average power)",
         report.total_energy, report.total_cycles, report.average_power
     );
-    println!("GLB blocks shared by both sub-architectures: {}", report.glb_blocks);
+    println!(
+        "GLB blocks shared by both sub-architectures: {}",
+        report.glb_blocks
+    );
 }

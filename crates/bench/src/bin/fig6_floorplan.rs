@@ -48,7 +48,8 @@ fn main() {
     );
     println!(
         "{:<34} {:>10.1} um^2",
-        "paper real layout", reference::NODE_LAYOUT_REAL_UM2
+        "paper real layout",
+        reference::NODE_LAYOUT_REAL_UM2
     );
     println!(
         "\nfloorplan {:.1} x {:.1} um, utilization {:.0}%",

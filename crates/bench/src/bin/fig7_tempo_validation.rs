@@ -27,7 +27,11 @@ fn main() {
         "Node (layout)",
         report.area.whitespace.square_millimeters()
     );
-    println!("{:<14} {:.4}", "Mem", report.area.memory.square_millimeters());
+    println!(
+        "{:<14} {:.4}",
+        "Mem",
+        report.area.memory.square_millimeters()
+    );
     print_comparison(
         "total photonic accelerator area",
         report.area.total.square_millimeters() - report.area.memory.square_millimeters(),
@@ -54,7 +58,13 @@ fn main() {
         reference::TEMPO_ENERGY_PJ * 1000.0 / (2.0 * 4.0 * 4.0 * 2.0 * 2.0),
         "fJ/MAC",
     );
-    println!("\ntotal: {} over {} cycles", report.total_energy, report.total_cycles);
-    println!("critical-path IL: {}", report.link_budgets[0].critical_path_il);
+    println!(
+        "\ntotal: {} over {} cycles",
+        report.total_energy, report.total_cycles
+    );
+    println!(
+        "critical-path IL: {}",
+        report.link_budgets[0].critical_path_il
+    );
     println!("GLB blocks: {}", report.glb_blocks);
 }

@@ -5,14 +5,14 @@
 
 use simphony::{MappingPlan, Simulator};
 use simphony_bench::{
-    lightening_transformer_params, print_breakdown, print_comparison, reference,
-    tempo_accelerator, SEED,
+    lightening_transformer_params, print_breakdown, print_comparison, reference, tempo_accelerator,
+    SEED,
 };
 use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
 
 fn main() {
-    let accel = tempo_accelerator(lightening_transformer_params())
-        .expect("LT-style accelerator builds");
+    let accel =
+        tempo_accelerator(lightening_transformer_params()).expect("LT-style accelerator builds");
     // A 224x224 image through a ViT-style patch embedding gives 196 tokens.
     let workload = ModelWorkload::extract(
         &models::bert_base(196),
@@ -36,8 +36,16 @@ fn main() {
             .iter()
             .map(|(k, a)| (k.clone(), format!("{:.3}", a.square_millimeters()))),
     );
-    println!("{:<14} {:.3}", "Node (layout)", report.area.whitespace.square_millimeters());
-    println!("{:<14} {:.3}", "Mem", report.area.memory.square_millimeters());
+    println!(
+        "{:<14} {:.3}",
+        "Node (layout)",
+        report.area.whitespace.square_millimeters()
+    );
+    println!(
+        "{:<14} {:.3}",
+        "Mem",
+        report.area.memory.square_millimeters()
+    );
     print_comparison(
         "total chip area",
         report.area.total.square_millimeters(),
@@ -51,12 +59,10 @@ fn main() {
     print_breakdown(
         "Fig. 8(b) power breakdown",
         "W",
-        report.energy_by_kind.iter().map(|(k, e)| {
-            (
-                k.clone(),
-                format!("{:.3}", e.joules() / total_seconds),
-            )
-        }),
+        report
+            .energy_by_kind
+            .iter()
+            .map(|(k, e)| (k.clone(), format!("{:.3}", e.joules() / total_seconds))),
     );
     print_comparison(
         "total average power",

@@ -2,11 +2,14 @@
 //! (280×28)×(28×280) GEMM: (a) energy vs. number of wavelengths (1–7),
 //! (b) energy vs. operand bitwidth (2–8). The architecture is the paper's
 //! default 4×4-core, 2-tile × 2-core setting at 5 GHz.
+//!
+//! Both sweeps are driven by the `simphony-explore` engine: the ranges are
+//! declared as [`SweepSpec`] axes and the engine handles expansion, parallel
+//! execution and deterministic record ordering.
 
 use std::collections::BTreeSet;
 
-use simphony_bench::{default_params, simulate_validation_gemm};
-use simphony_units::BitWidth;
+use simphony_explore::{run_sweep, SweepRecord, SweepSpec};
 
 fn print_series_header(kinds: &BTreeSet<String>) {
     print!("{:<10}", "sweep");
@@ -16,67 +19,46 @@ fn print_series_header(kinds: &BTreeSet<String>) {
     println!("{:>12}", "total (uJ)");
 }
 
-fn main() {
-    println!("Fig. 9(a) — energy vs. number of wavelengths (uJ per component)\n");
-    let mut kinds: BTreeSet<String> = BTreeSet::new();
-    let mut wavelength_rows = Vec::new();
-    for lambda in 1..=7usize {
-        let report = simulate_validation_gemm(
-            default_params().with_wavelengths(lambda),
-            BitWidth::new(8),
-        )
-        .expect("wavelength sweep point simulates");
-        kinds.extend(report.energy_by_kind.keys().cloned());
-        wavelength_rows.push((lambda, report));
-    }
+fn print_series(records: &[SweepRecord], axis: impl Fn(&SweepRecord) -> usize) {
+    let kinds: BTreeSet<String> = records
+        .iter()
+        .flat_map(|r| r.energy_by_kind_uj.keys().cloned())
+        .collect();
     print_series_header(&kinds);
-    for (lambda, report) in &wavelength_rows {
-        print!("{lambda:<10}");
+    for record in records {
+        print!("{:<10}", axis(record));
         for kind in &kinds {
-            let uj = report
-                .energy_by_kind
-                .get(kind)
-                .map(|e| e.microjoules())
-                .unwrap_or(0.0);
+            let uj = record.energy_by_kind_uj.get(kind).copied().unwrap_or(0.0);
             print!("{uj:>12.4}");
         }
-        println!("{:>12.4}", report.total_energy.microjoules());
+        println!("{:>12.4}", record.energy_uj);
     }
-    let first = &wavelength_rows.first().expect("non-empty sweep").1;
-    let last = &wavelength_rows.last().expect("non-empty sweep").1;
+}
+
+fn main() {
+    println!("Fig. 9(a) — energy vs. number of wavelengths (uJ per component)\n");
+    let wavelength_spec = SweepSpec::new("fig9a_wavelengths").with_wavelengths((1..=7).collect());
+    let wavelength = run_sweep(&wavelength_spec, None).expect("wavelength sweep simulates");
+    print_series(&wavelength.records, |r| r.point.wavelengths);
+
+    let first = wavelength.records.first().expect("non-empty sweep");
+    let last = wavelength.records.last().expect("non-empty sweep");
     println!(
-        "\nshape check: MZM energy stays ~constant ({} -> {}), ADC energy shrinks ({} -> {})\n",
-        first.energy_by_kind["MZM"],
-        last.energy_by_kind["MZM"],
-        first.energy_by_kind["ADC"],
-        last.energy_by_kind["ADC"],
+        "\nshape check: MZM energy stays ~constant ({:.4} uJ -> {:.4} uJ), ADC energy shrinks ({:.4} uJ -> {:.4} uJ)\n",
+        first.energy_by_kind_uj["MZM"],
+        last.energy_by_kind_uj["MZM"],
+        first.energy_by_kind_uj["ADC"],
+        last.energy_by_kind_uj["ADC"],
     );
 
     println!("Fig. 9(b) — energy vs. input/weight/output bitwidth (uJ per component)\n");
-    let mut kinds_b: BTreeSet<String> = BTreeSet::new();
-    let mut bit_rows = Vec::new();
-    for bits in 2..=8u8 {
-        let report = simulate_validation_gemm(default_params(), BitWidth::new(bits))
-            .expect("bitwidth sweep point simulates");
-        kinds_b.extend(report.energy_by_kind.keys().cloned());
-        bit_rows.push((bits, report));
-    }
-    print_series_header(&kinds_b);
-    for (bits, report) in &bit_rows {
-        print!("{bits:<10}");
-        for kind in &kinds_b {
-            let uj = report
-                .energy_by_kind
-                .get(kind)
-                .map(|e| e.microjoules())
-                .unwrap_or(0.0);
-            print!("{uj:>12.4}");
-        }
-        println!("{:>12.4}", report.total_energy.microjoules());
-    }
-    let e2 = bit_rows.first().expect("non-empty sweep").1.total_energy;
-    let e8 = bit_rows.last().expect("non-empty sweep").1.total_energy;
+    let bitwidth_spec = SweepSpec::new("fig9b_bitwidth").with_bitwidth((2..=8).collect());
+    let bitwidth = run_sweep(&bitwidth_spec, None).expect("bitwidth sweep simulates");
+    print_series(&bitwidth.records, |r| usize::from(r.point.bits));
+
+    let e2 = bitwidth.records.first().expect("non-empty sweep").energy_uj;
+    let e8 = bitwidth.records.last().expect("non-empty sweep").energy_uj;
     println!(
-        "\nshape check: total energy increases with precision ({e2} at 2-bit -> {e8} at 8-bit)"
+        "\nshape check: total energy increases with precision ({e2:.4} uJ at 2-bit -> {e8:.4} uJ at 8-bit)"
     );
 }

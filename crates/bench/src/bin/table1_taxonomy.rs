@@ -15,8 +15,8 @@ fn main() {
     ];
     println!("Table I: PTC taxonomy (derived from encoding properties)");
     println!(
-        "{:<16} {:<6} {:<9} {:<6} {:<9} {:<8} {:<9} {}",
-        "Design", "A rng", "A recfg", "B rng", "B recfg", "Method", "#Forward", "Dynamic products"
+        "{:<16} {:<6} {:<9} {:<6} {:<9} {:<8} {:<9} Dynamic products",
+        "Design", "A rng", "A recfg", "B rng", "B recfg", "Method", "#Forward"
     );
     for (name, t) in rows {
         println!(
@@ -28,7 +28,11 @@ fn main() {
             t.operand_b_reconfig.to_string(),
             t.method.to_string(),
             t.forwards_required(),
-            if t.supports_dynamic_products() { "yes" } else { "no" },
+            if t.supports_dynamic_products() {
+                "yes"
+            } else {
+                "no"
+            },
         );
     }
     println!();

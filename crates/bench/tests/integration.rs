@@ -2,9 +2,7 @@
 //! library, netlists, architectures, workload extraction, dataflow mapping and
 //! the simulator, mirroring the paper's evaluation scenarios.
 
-use simphony::{
-    area_report, Accelerator, DataAwareness, MappingPlan, SimulationConfig, Simulator,
-};
+use simphony::{area_report, Accelerator, DataAwareness, MappingPlan, SimulationConfig, Simulator};
 use simphony_arch::generators;
 use simphony_bench::{default_params, lightening_transformer_params, tempo_accelerator};
 use simphony_dataflow::DataflowStyle;
@@ -34,8 +32,12 @@ fn fig7_validation_gemm_end_to_end() {
     // Shape checks against the paper: the photonic accelerator is around a
     // square millimetre, dominated by converters and modulators; energy is far
     // below a digital accelerator's for the same GEMM.
-    let core_area = report.area.total.square_millimeters() - report.area.memory.square_millimeters();
-    assert!(core_area > 0.1 && core_area < 10.0, "core area {core_area} mm^2");
+    let core_area =
+        report.area.total.square_millimeters() - report.area.memory.square_millimeters();
+    assert!(
+        core_area > 0.1 && core_area < 10.0,
+        "core area {core_area} mm^2"
+    );
     assert!(report.total_energy.microjoules() < 100.0);
     assert!(report.energy_by_kind.contains_key("Laser"));
     assert!(report.total_cycles >= 2450 * 14);
@@ -45,7 +47,10 @@ fn fig7_validation_gemm_end_to_end() {
 fn fig8_bert_on_lt_style_architecture() {
     let accel = tempo_accelerator(lightening_transformer_params()).expect("accelerator builds");
     let report = Simulator::new(accel)
-        .simulate(&workload(&models::bert_base(196), 8, 0.0), &MappingPlan::default())
+        .simulate(
+            &workload(&models::bert_base(196), 8, 0.0),
+            &MappingPlan::default(),
+        )
         .expect("simulation succeeds");
     // 72 GEMMs (12 blocks x 6), tens of mm^2, watt-class average power.
     assert_eq!(report.layers.len(), 72);
@@ -77,7 +82,10 @@ fn fig9a_wavelength_parallelism_trend() {
     }
     // Components that do not scale with wavelength get cheaper; MZM energy is
     // roughly constant (count grows, active time shrinks).
-    assert!(totals[2] < totals[0], "total energy should fall with wavelengths");
+    assert!(
+        totals[2] < totals[0],
+        "total energy should fall with wavelengths"
+    );
     let mzm_ratio = mzm[2] / mzm[0];
     assert!(
         (0.5..=2.0).contains(&mzm_ratio),
@@ -125,7 +133,10 @@ fn fig10b_data_awareness_ordering_matches_paper() {
             generators::scatter(default_params(), 5.0)
         }
         .expect("arch builds");
-        let accel = Accelerator::builder("scatter").sub_arch(arch).build().expect("accel builds");
+        let accel = Accelerator::builder("scatter")
+            .sub_arch(arch)
+            .build()
+            .expect("accel builds");
         Simulator::new(accel)
             .with_config(SimulationConfig {
                 data_awareness: awareness,
@@ -140,8 +151,14 @@ fn fig10b_data_awareness_ordering_matches_paper() {
     let unaware = simulate(false, DataAwareness::Unaware);
     let aware = simulate(false, DataAwareness::Aware);
     let aware_measured = simulate(true, DataAwareness::Aware);
-    assert!(aware < 0.7 * unaware, "data awareness should cut PS energy substantially");
-    assert!(aware_measured < aware, "measured device model should be cheaper than analytical");
+    assert!(
+        aware < 0.7 * unaware,
+        "data awareness should cut PS energy substantially"
+    );
+    assert!(
+        aware_measured < aware,
+        "measured device model should be cheaper than analytical"
+    );
 }
 
 #[test]
@@ -193,11 +210,17 @@ fn custom_architecture_params_flow_through_the_whole_stack() {
     // A non-square, non-power-of-two configuration exercises the generality of
     // the netlist scaling rules and the mapping.
     let accel = Accelerator::builder("odd")
-        .sub_arch(generators::tempo(ArchParams::new(3, 1, 5, 7).with_wavelengths(2), 3.0).expect("arch builds"))
+        .sub_arch(
+            generators::tempo(ArchParams::new(3, 1, 5, 7).with_wavelengths(2), 3.0)
+                .expect("arch builds"),
+        )
         .build()
         .expect("accel builds");
     let report = Simulator::new(accel)
-        .simulate(&workload(&models::mlp("mlp", &[300, 120, 10]), 6, 0.2), &MappingPlan::default())
+        .simulate(
+            &workload(&models::mlp("mlp", &[300, 120, 10]), 6, 0.2),
+            &MappingPlan::default(),
+        )
         .expect("simulation succeeds");
     assert_eq!(report.layers.len(), 2);
     assert!(report.total_energy.nanojoules() > 0.0);

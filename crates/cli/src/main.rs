@@ -1,0 +1,323 @@
+//! `simphony-cli` — command-line front end for SimPhony-RS.
+//!
+//! Subcommands:
+//!
+//! * `sweep` — run a declarative design-space sweep from a JSON spec file,
+//!   with result caching and JSON/CSV outputs;
+//! * `pareto` — extract the Pareto frontier from a sweep record file;
+//! * `run` — simulate a single configuration and print the full report;
+//! * `spec` — print an example sweep spec to start from.
+
+use std::process::ExitCode;
+
+use clap::{Arg, ArgAction, Command};
+
+use simphony_explore::{
+    pareto_front, read_json, run_sweep, to_csv, write_csv, write_json, ArchFamily, ExploreError,
+    Objective, SimCache, SweepSpec, WorkloadSpec,
+};
+
+fn arch_family_list() -> String {
+    ArchFamily::ALL
+        .iter()
+        .map(|f| f.name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn objective_list() -> String {
+    Objective::ALL
+        .iter()
+        .map(|o| o.name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn cli() -> Command {
+    Command::new("simphony-cli")
+        .about("SimPhony-RS design-space exploration driver")
+        .version(env!("CARGO_PKG_VERSION"))
+        .subcommand_required(true)
+        .subcommand(
+            Command::new("sweep")
+                .about("Run a design-space sweep described by a JSON spec file")
+                .arg(
+                    Arg::new("spec")
+                        .long("spec")
+                        .value_name("FILE")
+                        .required(true)
+                        .help("Path to the SweepSpec JSON file"),
+                )
+                .arg(
+                    Arg::new("out")
+                        .long("out")
+                        .value_name("FILE")
+                        .help("Write records as pretty JSON to this path"),
+                )
+                .arg(
+                    Arg::new("csv")
+                        .long("csv")
+                        .value_name("FILE")
+                        .help("Additionally write records as CSV to this path"),
+                )
+                .arg(
+                    Arg::new("cache")
+                        .long("cache")
+                        .value_name("DIR")
+                        .help("Content-hash result cache directory (created if missing)"),
+                )
+                .arg(
+                    Arg::new("quiet")
+                        .long("quiet")
+                        .action(ArgAction::SetTrue)
+                        .help("Suppress the per-sweep summary on stdout"),
+                ),
+        )
+        .subcommand(
+            Command::new("pareto")
+                .about("Extract the Pareto frontier from a sweep record file")
+                .arg(
+                    Arg::new("records")
+                        .long("records")
+                        .value_name("FILE")
+                        .required(true)
+                        .help("Record JSON file produced by `sweep --out`"),
+                )
+                .arg(
+                    Arg::new("objectives")
+                        .long("objectives")
+                        .value_name("LIST")
+                        .default_value("energy,latency")
+                        .help(format!(
+                            "Comma-separated minimization objectives: {}",
+                            objective_list()
+                        )),
+                )
+                .arg(
+                    Arg::new("out")
+                        .long("out")
+                        .value_name("FILE")
+                        .help("Write the frontier as pretty JSON to this path"),
+                ),
+        )
+        .subcommand(
+            Command::new("run")
+                .about("Simulate one configuration and print the full report")
+                .arg(
+                    Arg::new("arch")
+                        .long("arch")
+                        .value_name("FAMILY")
+                        .default_value("tempo")
+                        .help(format!("Architecture family: {}", arch_family_list())),
+                )
+                .arg(
+                    Arg::new("workload")
+                        .long("workload")
+                        .value_name("SEL")
+                        .default_value("gemm:280x28x280")
+                        .help("Workload: gemm:MxKxN, vgg8, or bert:SEQLEN"),
+                )
+                .arg(
+                    Arg::new("tiles")
+                        .long("tiles")
+                        .value_name("R")
+                        .default_value("2")
+                        .help("Tiles"),
+                )
+                .arg(
+                    Arg::new("cores")
+                        .long("cores")
+                        .value_name("C")
+                        .default_value("2")
+                        .help("Cores per tile"),
+                )
+                .arg(
+                    Arg::new("height")
+                        .long("height")
+                        .value_name("H")
+                        .default_value("4")
+                        .help("Core height"),
+                )
+                .arg(
+                    Arg::new("width")
+                        .long("width")
+                        .value_name("W")
+                        .default_value("4")
+                        .help("Core width"),
+                )
+                .arg(
+                    Arg::new("wavelengths")
+                        .long("wavelengths")
+                        .value_name("N")
+                        .default_value("1")
+                        .help("Wavelengths"),
+                )
+                .arg(
+                    Arg::new("bits")
+                        .long("bits")
+                        .value_name("B")
+                        .default_value("8")
+                        .help("Operand bitwidth"),
+                )
+                .arg(
+                    Arg::new("sparsity")
+                        .long("sparsity")
+                        .value_name("S")
+                        .default_value("0.0")
+                        .help("Weight sparsity in [0, 1)"),
+                )
+                .arg(
+                    Arg::new("clock")
+                        .long("clock")
+                        .value_name("GHZ")
+                        .default_value("5.0")
+                        .help("Clock frequency, GHz"),
+                ),
+        )
+        .subcommand(Command::new("spec").about("Print an example sweep spec JSON to stdout"))
+}
+
+fn main() -> ExitCode {
+    let matches = cli().get_matches();
+    let result = match matches.subcommand() {
+        Some(("sweep", sub)) => cmd_sweep(sub),
+        Some(("pareto", sub)) => cmd_pareto(sub),
+        Some(("run", sub)) => cmd_run(sub),
+        Some(("spec", _)) => cmd_spec(),
+        _ => unreachable!("subcommand_required guarantees a match"),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_sweep(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    let spec_path: String = matches.get_one("spec").expect("required");
+    let text =
+        std::fs::read_to_string(&spec_path).map_err(|e| ExploreError::io_at(&spec_path, e))?;
+    let spec: SweepSpec = serde_json::from_str(&text)?;
+
+    let cache = match matches.get_one::<String>("cache") {
+        Some(dir) => Some(SimCache::open(dir)?),
+        None => None,
+    };
+    let outcome = run_sweep(&spec, cache.as_ref())?;
+
+    if let Some(out) = matches.get_one::<String>("out") {
+        write_json(out, &outcome.records)?;
+    }
+    if let Some(csv) = matches.get_one::<String>("csv") {
+        write_csv(csv, &outcome.records)?;
+    }
+    if !matches.get_flag("quiet") {
+        println!(
+            "sweep `{}`: {} points ({} cached, {} simulated)",
+            spec.name,
+            outcome.records.len(),
+            outcome.stats.hits,
+            outcome.stats.misses
+        );
+    }
+    // With no output file the records go to stdout — --quiet only suppresses
+    // the summary line, never the results themselves.
+    if matches.get_one::<String>("out").is_none() && matches.get_one::<String>("csv").is_none() {
+        print!("{}", to_csv(&outcome.records));
+    }
+    Ok(())
+}
+
+fn cmd_pareto(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    let records_path: String = matches.get_one("records").expect("required");
+    let objective_list: String = matches.get_one("objectives").expect("has default");
+    let objectives = Objective::parse_list(&objective_list)?;
+    let records = read_json(&records_path)?;
+    let front = pareto_front(&records, &objectives);
+
+    println!(
+        "pareto frontier over [{}]: {} of {} points",
+        objectives
+            .iter()
+            .map(|o| o.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        front.len(),
+        records.len()
+    );
+    print!("{}", to_csv(&front));
+    if let Some(out) = matches.get_one::<String>("out") {
+        write_json(out, &front)?;
+    }
+    Ok(())
+}
+
+fn parse_workload(selector: &str) -> Result<WorkloadSpec, ExploreError> {
+    if selector == "vgg8" {
+        return Ok(WorkloadSpec::Vgg8);
+    }
+    if let Some(rest) = selector.strip_prefix("bert:") {
+        let seq_len = rest
+            .parse()
+            .map_err(|_| ExploreError::invalid_spec(format!("bad bert seq len `{rest}`")))?;
+        return Ok(WorkloadSpec::Bert { seq_len });
+    }
+    if let Some(rest) = selector.strip_prefix("gemm:") {
+        let dims: Vec<usize> = rest
+            .split('x')
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|_| ExploreError::invalid_spec(format!("bad gemm shape `{rest}`")))?;
+        if let [m, k, n] = dims[..] {
+            return Ok(WorkloadSpec::Gemm { m, k, n });
+        }
+    }
+    Err(ExploreError::invalid_spec(format!(
+        "unknown workload `{selector}` (expected gemm:MxKxN, vgg8, or bert:SEQLEN)"
+    )))
+}
+
+fn cmd_run(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    let family_name: String = matches.get_one("arch").expect("has default");
+    let family = ArchFamily::parse(&family_name).ok_or_else(|| {
+        ExploreError::invalid_spec(format!(
+            "unknown architecture family `{family_name}` (expected one of: {})",
+            arch_family_list()
+        ))
+    })?;
+    let workload_sel: String = matches.get_one("workload").expect("has default");
+    let workload = parse_workload(&workload_sel)?;
+
+    let mut spec = SweepSpec::new("run")
+        .with_arch(vec![family])
+        .with_workload(vec![workload])
+        .with_tiles(vec![matches.get_one("tiles").expect("has default")])
+        .with_cores_per_tile(vec![matches.get_one("cores").expect("has default")])
+        .with_wavelengths(vec![matches.get_one("wavelengths").expect("has default")])
+        .with_bitwidth(vec![matches.get_one("bits").expect("has default")])
+        .with_sparsity(vec![matches.get_one("sparsity").expect("has default")]);
+    spec.core_height = vec![matches.get_one("height").expect("has default")];
+    spec.core_width = vec![matches.get_one("width").expect("has default")];
+    spec.clock_ghz = matches.get_one("clock").expect("has default");
+
+    let points = spec.expand()?;
+    let report =
+        simphony_explore::simulate_point(&points[0]).map_err(|source| ExploreError::Point {
+            index: 0,
+            label: points[0].label(),
+            source,
+        })?;
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_spec() -> Result<(), ExploreError> {
+    let example = SweepSpec::new("example")
+        .with_arch(vec![ArchFamily::Tempo, ArchFamily::Scatter])
+        .with_wavelengths(vec![1, 2, 4, 8])
+        .with_bitwidth(vec![4, 6, 8]);
+    println!("{}", serde_json::to_string_pretty(&example)?);
+    Ok(())
+}

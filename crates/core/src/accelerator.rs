@@ -254,7 +254,10 @@ mod tests {
         let tempo = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
         let mut lib = DeviceLibrary::standard();
         lib.remove("mzm_eo");
-        let err = Accelerator::builder("broken").sub_arch(tempo).library(lib).build();
+        let err = Accelerator::builder("broken")
+            .sub_arch(tempo)
+            .library(lib)
+            .build();
         assert!(matches!(err, Err(SimError::InvalidConfiguration { .. })));
     }
 

@@ -34,7 +34,12 @@ impl AreaReport {
     pub fn photonic_devices(&self) -> Area {
         self.by_kind
             .iter()
-            .filter(|(label, _)| !matches!(label.as_str(), "ADC" | "DAC" | "TIA" | "Integrator" | "Mem" | "Control" | "HBM"))
+            .filter(|(label, _)| {
+                !matches!(
+                    label.as_str(),
+                    "ADC" | "DAC" | "TIA" | "Integrator" | "Mem" | "Control" | "HBM"
+                )
+            })
             .map(|(_, a)| *a)
             .sum()
     }
@@ -94,9 +99,7 @@ pub fn area_report(accel: &Accelerator, layout_aware: bool) -> Result<AreaReport
         // Whitespace ratio of one node, from the signal-flow floorplan of the
         // node-level circuit (devices at their topological level).
         let ratio = if layout_aware {
-            let dag = arch
-                .netlist()
-                .to_weighted_dag(library, arch.params())?;
+            let dag = arch.netlist().to_weighted_dag(library, arch.params())?;
             let levels = dag.levels()?;
             // The whitespace ratio comes from floorplanning one dot-product
             // node, so only instances replicated per node participate; shared
@@ -108,9 +111,7 @@ pub fn area_report(accel: &Accelerator, layout_aware: bool) -> Result<AreaReport
                 .instances()
                 .iter()
                 .enumerate()
-                .filter(|(_, inst)| {
-                    counts.get(inst.name()).copied().unwrap_or(0) >= node_count
-                })
+                .filter(|(_, inst)| counts.get(inst.name()).copied().unwrap_or(0) >= node_count)
                 .map(|(idx, inst)| {
                     let spec = library.get(inst.device())?;
                     Ok(LayoutItem::new(

@@ -193,7 +193,10 @@ mod tests {
         LinkBudgetReport,
         MemoryHierarchy,
     ) {
-        let accel = Accelerator::builder("test").sub_arch(arch.clone()).build().unwrap();
+        let accel = Accelerator::builder("test")
+            .sub_arch(arch.clone())
+            .build()
+            .unwrap();
         let prune = PruningConfig::new(sparsity).unwrap();
         let workload = ModelWorkload::extract(
             &models::single_gemm(280, 28, 280),
@@ -234,7 +237,10 @@ mod tests {
         .unwrap();
         for kind in ["MZM", "DAC", "ADC", "Laser", "PD"] {
             assert!(report.by_kind.contains_key(kind), "missing {kind}");
-            assert!(report.by_kind[kind].picojoules() > 0.0, "{kind} has zero energy");
+            assert!(
+                report.by_kind[kind].picojoules() > 0.0,
+                "{kind} has zero energy"
+            );
         }
         let traffic = memory_traffic(&workload, &mapping);
         let with_dm = report.with_data_movement(data_movement_energy(&hierarchy, &traffic));
@@ -292,7 +298,10 @@ mod tests {
     #[test]
     fn lower_bitwidth_reduces_converter_energy() {
         let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
-        let accel = Accelerator::builder("t").sub_arch(arch.clone()).build().unwrap();
+        let accel = Accelerator::builder("t")
+            .sub_arch(arch.clone())
+            .build()
+            .unwrap();
         let hierarchy = default_memory_hierarchy(&accel).unwrap();
         let link = link_budget(&arch, accel.library(), &LinkConfig::default()).unwrap();
         let mut adc_energy = Vec::new();
@@ -328,6 +337,9 @@ mod tests {
             .unwrap();
             adc_energy.push(report.by_kind["ADC"]);
         }
-        assert!(adc_energy[0] < adc_energy[1], "4-bit ADCs should be cheaper than 8-bit");
+        assert!(
+            adc_energy[0] < adc_energy[1],
+            "4-bit ADCs should be cheaper than 8-bit"
+        );
     }
 }

@@ -31,6 +31,16 @@ pub enum SimError {
         /// The layer that could not be placed.
         layer: String,
     },
+    /// A mapping plan routed a layer to a sub-architecture index that does not
+    /// exist in the accelerator.
+    InvalidSubArchIndex {
+        /// The layer whose routing was invalid.
+        layer: String,
+        /// The sub-architecture index the plan requested.
+        requested: usize,
+        /// How many sub-architectures the accelerator actually has.
+        available: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -48,6 +58,14 @@ impl fmt::Display for SimError {
             SimError::NoCompatibleSubArch { layer } => {
                 write!(f, "no sub-architecture can execute layer `{layer}`")
             }
+            SimError::InvalidSubArchIndex {
+                layer,
+                requested,
+                available,
+            } => write!(
+                f,
+                "mapping plan routes layer `{layer}` to sub-architecture {requested}, but the accelerator only has {available}"
+            ),
         }
     }
 }
@@ -95,9 +113,7 @@ mod tests {
 
     #[test]
     fn wrapped_errors_expose_their_source() {
-        let err = SimError::from(simphony_onn::OnnError::EmptyWorkload {
-            model: "m".into(),
-        });
+        let err = SimError::from(simphony_onn::OnnError::EmptyWorkload { model: "m".into() });
         assert!(std::error::Error::source(&err).is_some());
         assert!(err.to_string().contains("workload"));
     }

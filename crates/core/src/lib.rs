@@ -58,9 +58,7 @@ pub use area::{area_report, AreaReport};
 pub use energy::{data_movement_energy, layer_energy, DataAwareness, LayerEnergyReport};
 pub use error::{Result, SimError};
 pub use link_budget::{laser_power_per_path, link_budget, LinkBudgetReport};
-pub use simulator::{
-    LayerReport, MappingPlan, SimulationConfig, SimulationReport, Simulator,
-};
+pub use simulator::{LayerReport, MappingPlan, SimulationConfig, SimulationReport, Simulator};
 
 #[cfg(test)]
 mod tests {

@@ -145,11 +145,15 @@ mod tests {
     #[test]
     fn tempo_link_budget_is_reasonable() {
         let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
-        let report = link_budget(&arch, &DeviceLibrary::standard(), &LinkConfig::default()).unwrap();
+        let report =
+            link_budget(&arch, &DeviceLibrary::standard(), &LinkConfig::default()).unwrap();
         assert!(report.critical_path_il.db() > 1.0);
         assert!(report.critical_path.first().map(String::as_str) == Some("laser"));
         assert!(report.input_paths >= 8);
-        assert!(report.total_laser_power.watts() < 50.0, "laser power blew up");
+        assert!(
+            report.total_laser_power.watts() < 50.0,
+            "laser power blew up"
+        );
         assert!(report.total_laser_power.milliwatts() > 0.1);
     }
 

@@ -222,8 +222,14 @@ impl Simulator {
         plan: &MappingPlan,
     ) -> Result<&'a PtcArchitecture> {
         let subs = self.accelerator.sub_archs();
-        let planned = plan.sub_arch_for(layer.kind()).min(subs.len() - 1);
-        let arch = &subs[planned];
+        let planned = plan.sub_arch_for(layer.kind());
+        let arch = subs
+            .get(planned)
+            .ok_or_else(|| SimError::InvalidSubArchIndex {
+                layer: layer.name().to_string(),
+                requested: planned,
+                available: subs.len(),
+            })?;
         if !layer.is_dynamic() || arch.taxonomy().supports_dynamic_products() {
             return Ok(arch);
         }
@@ -235,7 +241,11 @@ impl Simulator {
     }
 
     /// Sizes the shared memory hierarchy from the profiled per-layer GLB demand.
-    fn build_memory(&self, workload: &ModelWorkload, plan: &MappingPlan) -> Result<MemoryHierarchy> {
+    fn build_memory(
+        &self,
+        workload: &ModelWorkload,
+        plan: &MappingPlan,
+    ) -> Result<MemoryHierarchy> {
         let mut demand_gbps = 1.0_f64;
         for layer in workload.layers() {
             let arch = self.place_layer(layer, plan)?;
@@ -259,8 +269,10 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Propagates mapping, device, memory and layout errors, and returns
-    /// [`SimError::NoCompatibleSubArch`] when a dynamic layer cannot be placed.
+    /// Propagates mapping, device, memory and layout errors; returns
+    /// [`SimError::NoCompatibleSubArch`] when a dynamic layer cannot be
+    /// placed, and [`SimError::InvalidSubArchIndex`] when the plan routes a
+    /// layer to a sub-architecture index the accelerator does not have.
     pub fn simulate(
         &self,
         workload: &ModelWorkload,
@@ -363,7 +375,10 @@ mod tests {
     fn validation_gemm_simulation_produces_full_report() {
         let accel = tempo_accel(ArchParams::new(2, 2, 4, 4));
         let report = Simulator::new(accel)
-            .simulate(&workload(&models::single_gemm(280, 28, 280)), &MappingPlan::default())
+            .simulate(
+                &workload(&models::single_gemm(280, 28, 280)),
+                &MappingPlan::default(),
+            )
             .unwrap();
         assert_eq!(report.layers.len(), 1);
         assert!(report.total_cycles > 0);
@@ -392,6 +407,26 @@ mod tests {
         let err = Simulator::new(accel)
             .simulate(&workload(&models::bert_base(196)), &MappingPlan::default());
         assert!(matches!(err, Err(SimError::NoCompatibleSubArch { .. })));
+    }
+
+    #[test]
+    fn out_of_range_plan_indices_are_rejected() {
+        let accel = tempo_accel(ArchParams::new(2, 2, 4, 4));
+        let err = Simulator::new(accel).simulate(
+            &workload(&models::single_gemm(64, 64, 64)),
+            &MappingPlan::all_to(3),
+        );
+        match err {
+            Err(SimError::InvalidSubArchIndex {
+                requested,
+                available,
+                ..
+            }) => {
+                assert_eq!(requested, 3);
+                assert_eq!(available, 1);
+            }
+            other => panic!("expected InvalidSubArchIndex, got {other:?}"),
+        }
     }
 
     #[test]

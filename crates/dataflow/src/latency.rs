@@ -140,7 +140,8 @@ mod tests {
     fn latency_formula_combines_components() {
         let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
         let layer = validation_layer();
-        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
+        let mapping =
+            map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
         let lat = layer_latency(&layer, &arch, &mapping, glb_bw()).unwrap();
         assert_eq!(lat.iterations, 1);
         assert_eq!(lat.compute_cycles, mapping.compute_cycles());
@@ -148,14 +149,18 @@ mod tests {
             lat.total_cycles(),
             lat.load_cycles + lat.writeback_cycles + lat.compute_cycles
         );
-        assert!(lat.compute_fraction() > 0.5, "compute should dominate this GEMM");
+        assert!(
+            lat.compute_fraction() > 0.5,
+            "compute should dominate this GEMM"
+        );
     }
 
     #[test]
     fn pcm_pays_four_iterations() {
         let arch = generators::pcm_crossbar(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
         let layer = validation_layer();
-        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::WeightStationary).unwrap();
+        let mapping =
+            map_gemm(layer.gemm(), false, &arch, DataflowStyle::WeightStationary).unwrap();
         let lat = layer_latency(&layer, &arch, &mapping, glb_bw()).unwrap();
         assert_eq!(lat.iterations, 4);
         assert!(lat.reconfig_cycles > 0, "PCM writes exceed one cycle");
@@ -165,7 +170,8 @@ mod tests {
     fn thermo_optic_meshes_are_dominated_by_reconfiguration() {
         let mesh = generators::mzi_mesh(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
         let layer = validation_layer();
-        let mapping = map_gemm(layer.gemm(), false, &mesh, DataflowStyle::WeightStationary).unwrap();
+        let mapping =
+            map_gemm(layer.gemm(), false, &mesh, DataflowStyle::WeightStationary).unwrap();
         let lat = layer_latency(&layer, &mesh, &mapping, glb_bw()).unwrap();
         assert!(
             lat.reconfig_cycles > 100 * lat.compute_cycles,
@@ -177,7 +183,8 @@ mod tests {
     fn dynamic_tempo_has_no_reconfig_cycles() {
         let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
         let layer = validation_layer();
-        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
+        let mapping =
+            map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
         let lat = layer_latency(&layer, &arch, &mapping, glb_bw()).unwrap();
         assert_eq!(lat.reconfig_cycles, 0);
     }
@@ -186,7 +193,8 @@ mod tests {
     fn zero_bandwidth_is_rejected() {
         let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
         let layer = validation_layer();
-        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
+        let mapping =
+            map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
         assert!(layer_latency(
             &layer,
             &arch,
@@ -200,7 +208,8 @@ mod tests {
     fn total_time_uses_the_clock_period() {
         let arch = generators::tempo(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
         let layer = validation_layer();
-        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
+        let mapping =
+            map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
         let lat = layer_latency(&layer, &arch, &mapping, glb_bw()).unwrap();
         let time = lat.total_time(arch.clock());
         assert!((time.nanoseconds() - lat.total_cycles() as f64 * 0.2).abs() < 1e-6);

@@ -89,10 +89,10 @@ pub fn memory_traffic(workload: &LayerWorkload, mapping: &GemmMapping) -> Memory
 /// Operand bits the cores consume per clock cycle (both operands, all tiles).
 fn operand_bits_per_cycle(workload: &LayerWorkload, mapping: &GemmMapping) -> f64 {
     let gemm = workload.gemm();
-    let a_elements_per_cycle = (gemm.m as f64 / mapping.m_blocks() as f64)
-        * (gemm.k as f64 / mapping.k_steps() as f64);
-    let b_elements_per_cycle = (gemm.k as f64 / mapping.k_steps() as f64)
-        * (gemm.n as f64 / mapping.n_blocks() as f64);
+    let a_elements_per_cycle =
+        (gemm.m as f64 / mapping.m_blocks() as f64) * (gemm.k as f64 / mapping.k_steps() as f64);
+    let b_elements_per_cycle =
+        (gemm.k as f64 / mapping.k_steps() as f64) * (gemm.n as f64 / mapping.n_blocks() as f64);
     a_elements_per_cycle * workload.weight_bits().bits() as f64
         + b_elements_per_cycle * workload.input_bits().bits() as f64
 }
@@ -141,7 +141,8 @@ mod tests {
         .unwrap()
         .layers()[0]
             .clone();
-        let mapping = map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
+        let mapping =
+            map_gemm(layer.gemm(), false, &arch, DataflowStyle::OutputStationary).unwrap();
         (layer, mapping, arch)
     }
 
@@ -157,9 +158,7 @@ mod tests {
     fn hbm_traffic_is_exactly_the_layer_footprint() {
         let (layer, mapping, _) = layer_and_mapping();
         let traffic = memory_traffic(&layer, &mapping);
-        assert!(
-            (traffic.at(MemoryLevel::Hbm).bytes() - layer.total_size().bytes()).abs() < 1e-9
-        );
+        assert!((traffic.at(MemoryLevel::Hbm).bytes() - layer.total_size().bytes()).abs() < 1e-9);
     }
 
     #[test]

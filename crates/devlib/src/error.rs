@@ -91,9 +91,8 @@ mod tests {
 
     #[test]
     fn implements_std_error() {
-        let err: Box<dyn std::error::Error> = Box::new(DeviceError::UnknownDevice {
-            name: "x".into(),
-        });
+        let err: Box<dyn std::error::Error> =
+            Box::new(DeviceError::UnknownDevice { name: "x".into() });
         assert!(err.source().is_none());
     }
 }

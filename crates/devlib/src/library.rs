@@ -172,7 +172,12 @@ mod tests {
         let prev = lib.insert_or_replace(dup.with_static_power(Power::from_milliwatts(1.0)));
         assert!(prev.is_some());
         assert!(
-            (lib.get("crossing").expect("present").static_power().milliwatts() - 1.0).abs()
+            (lib.get("crossing")
+                .expect("present")
+                .static_power()
+                .milliwatts()
+                - 1.0)
+                .abs()
                 < 1e-12
         );
     }

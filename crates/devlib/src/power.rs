@@ -205,8 +205,14 @@ mod tests {
         let analytical = PowerModel::linear(Power::ZERO, Power::from_milliwatts(20.0));
         let measured = PowerModel::lookup(measured_ps_table(), PowerFidelity::Measured);
         let values = [0.1, 0.3, 0.5, 0.7, 0.9];
-        let e_analytical: f64 = values.iter().map(|&v| analytical.power_at(v).milliwatts()).sum();
-        let e_measured: f64 = values.iter().map(|&v| measured.power_at(v).milliwatts()).sum();
+        let e_analytical: f64 = values
+            .iter()
+            .map(|&v| analytical.power_at(v).milliwatts())
+            .sum();
+        let e_measured: f64 = values
+            .iter()
+            .map(|&v| measured.power_at(v).milliwatts())
+            .sum();
         let e_unaware = analytical.worst_case_power().milliwatts() * values.len() as f64;
         assert!(e_measured < e_analytical);
         assert!(e_analytical < e_unaware);
@@ -221,8 +227,10 @@ mod tests {
     #[test]
     fn display_reports_model_class() {
         assert!(PowerModel::default().to_string().contains("static"));
-        assert!(PowerModel::lookup(measured_ps_table(), PowerFidelity::Simulated)
-            .to_string()
-            .contains("simulated"));
+        assert!(
+            PowerModel::lookup(measured_ps_table(), PowerFidelity::Simulated)
+                .to_string()
+                .contains("simulated")
+        );
     }
 }

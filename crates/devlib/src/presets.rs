@@ -7,9 +7,7 @@
 //! energy — match the trends reported in the paper's validation figures. All
 //! provenance is recorded in each spec's `notes` field.
 
-use simphony_units::{
-    BitWidth, Decibels, Energy, Frequency, Power, Time,
-};
+use simphony_units::{BitWidth, Decibels, Energy, Frequency, Power, Time};
 
 use crate::kind::DeviceKind;
 use crate::lut::LookupTable;
@@ -325,8 +323,14 @@ mod tests {
     #[test]
     fn slow_devices_have_long_reconfiguration_times() {
         let devices = standard_devices();
-        let mzi = devices.iter().find(|d| d.name() == "mzi_thermal").expect("preset");
-        let mzm = devices.iter().find(|d| d.name() == "mzm_eo").expect("preset");
+        let mzi = devices
+            .iter()
+            .find(|d| d.name() == "mzi_thermal")
+            .expect("preset");
+        let mzm = devices
+            .iter()
+            .find(|d| d.name() == "mzm_eo")
+            .expect("preset");
         assert!(mzi.reconfig_time().seconds() > 1000.0 * mzm.reconfig_time().seconds());
     }
 }

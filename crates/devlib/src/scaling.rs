@@ -36,8 +36,7 @@ pub fn scale_dac_power(
     target_bits: BitWidth,
     target_rate: Frequency,
 ) -> Power {
-    let level_ratio =
-        (target_bits.levels() as f64 - 1.0) / (reference_bits.levels() as f64 - 1.0);
+    let level_ratio = (target_bits.levels() as f64 - 1.0) / (reference_bits.levels() as f64 - 1.0);
     let rate_ratio = target_rate.hertz() / reference_rate.hertz();
     reference_power * (level_ratio * rate_ratio)
 }

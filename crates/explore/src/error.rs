@@ -1,0 +1,101 @@
+//! Error type of the exploration engine.
+
+use std::fmt;
+
+use simphony::SimError;
+
+/// Convenience alias for results whose error is [`ExploreError`].
+pub type Result<T> = std::result::Result<T, ExploreError>;
+
+/// Error returned by the design-space-exploration engine.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// The sweep specification is malformed (empty axis, bad range, …).
+    InvalidSpec {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// Simulating one expanded sweep point failed.
+    Point {
+        /// Zero-based index of the point in deterministic expansion order.
+        index: usize,
+        /// Human-readable description of the failing point.
+        label: String,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// Reading or writing spec/record/cache files failed.
+    Io {
+        /// The path involved, when known (a CLI takes several path arguments,
+        /// so errors must say which one failed).
+        path: Option<String>,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Encoding or decoding JSON failed.
+    Json(serde_json::Error),
+}
+
+impl ExploreError {
+    /// Creates an [`ExploreError::InvalidSpec`].
+    pub fn invalid_spec(reason: impl Into<String>) -> Self {
+        ExploreError::InvalidSpec {
+            reason: reason.into(),
+        }
+    }
+
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io_at(path: impl AsRef<std::path::Path>, source: std::io::Error) -> Self {
+        ExploreError::Io {
+            path: Some(path.as_ref().display().to_string()),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::InvalidSpec { reason } => {
+                write!(f, "invalid sweep specification: {reason}")
+            }
+            ExploreError::Point {
+                index,
+                label,
+                source,
+            } => write!(f, "sweep point #{index} ({label}) failed: {source}"),
+            ExploreError::Io {
+                path: Some(path),
+                source,
+            } => write!(f, "I/O error at `{path}`: {source}"),
+            ExploreError::Io { path: None, source } => write!(f, "I/O error: {source}"),
+            ExploreError::Json(e) => write!(f, "JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExploreError::Point { source, .. } => Some(source),
+            ExploreError::Io { source, .. } => Some(source),
+            ExploreError::Json(e) => Some(e),
+            ExploreError::InvalidSpec { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ExploreError {
+    fn from(err: std::io::Error) -> Self {
+        ExploreError::Io {
+            path: None,
+            source: err,
+        }
+    }
+}
+
+impl From<serde_json::Error> for ExploreError {
+    fn from(err: serde_json::Error) -> Self {
+        ExploreError::Json(err)
+    }
+}

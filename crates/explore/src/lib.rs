@@ -1,0 +1,70 @@
+//! SimPhony-Explore: a parallel design-space-exploration engine.
+//!
+//! The paper's whole evaluation (Figs. 9–11) is design-space sweeps —
+//! wavelengths, bitwidths, architecture families, heterogeneous mappings.
+//! This crate turns those hand-rolled loops into infrastructure:
+//!
+//! * [`SweepSpec`] — a declarative, serializable description of a sweep: one
+//!   list of candidate values per axis (architecture family, tiles/cores/node
+//!   dimensions, wavelengths, bitwidth, pruning density, dataflow style,
+//!   data-awareness) plus a workload selector ([`WorkloadSpec`]);
+//! * [`run_sweep`] — expands the Cartesian product and simulates the points
+//!   on a thread pool (`RAYON_NUM_THREADS` sized), emitting [`SweepRecord`]s
+//!   in a deterministic order so result files are byte-identical at any
+//!   thread count;
+//! * [`SimCache`] — a content-hash result cache: re-runs and overlapping
+//!   sweeps skip every already-simulated configuration;
+//! * [`pareto_front`] — non-dominated-point extraction over configurable
+//!   minimization [`Objective`]s (energy, latency, power, area, EDP).
+//!
+//! The `simphony-cli` binary exposes all of this as `sweep`, `pareto` and
+//! `run` subcommands; see `EXPERIMENTS.md` at the repository root.
+//!
+//! # Examples
+//!
+//! ```
+//! use simphony_explore::{run_sweep, pareto_front, Objective, SweepSpec};
+//!
+//! // Fig. 9(a)-style wavelength sweep, 3 points.
+//! let spec = SweepSpec::new("wavelengths").with_wavelengths(vec![1, 2, 4]);
+//! let outcome = run_sweep(&spec, None)?;
+//! assert_eq!(outcome.records.len(), 3);
+//!
+//! // More wavelengths -> fewer cycles on TeMPO.
+//! assert!(outcome.records[2].cycles < outcome.records[0].cycles);
+//!
+//! let front = pareto_front(&outcome.records, &[Objective::Energy, Objective::Latency]);
+//! assert!(!front.is_empty());
+//! # Ok::<(), simphony_explore::ExploreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod error;
+mod pareto;
+mod record;
+mod runner;
+mod spec;
+
+pub use cache::{content_key, CacheStats, SimCache};
+pub use error::{ExploreError, Result};
+pub use pareto::{dominates, pareto_front, Objective};
+pub use record::{read_json, to_csv, write_csv, write_json, SweepRecord, CSV_HEADER};
+pub use runner::{run_sweep, simulate_point, SweepOutcome};
+pub use spec::{ArchFamily, SweepPoint, SweepSpec, WorkloadSpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SweepSpec>();
+        assert_send_sync::<SweepRecord>();
+        assert_send_sync::<SimCache>();
+        assert_send_sync::<ExploreError>();
+    }
+}

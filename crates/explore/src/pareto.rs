@@ -1,0 +1,191 @@
+//! Pareto-frontier extraction over sweep records.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ExploreError, Result};
+use crate::record::SweepRecord;
+
+/// A minimization objective over [`SweepRecord`] metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize total energy.
+    Energy,
+    /// Minimize execution time.
+    Latency,
+    /// Minimize average power.
+    Power,
+    /// Minimize chip area.
+    Area,
+    /// Minimize the energy-delay product.
+    Edp,
+}
+
+impl Objective {
+    /// Every objective, in a stable order.
+    pub const ALL: [Objective; 5] = [
+        Objective::Energy,
+        Objective::Latency,
+        Objective::Power,
+        Objective::Area,
+        Objective::Edp,
+    ];
+
+    /// Short lowercase name used on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Energy => "energy",
+            Objective::Latency => "latency",
+            Objective::Power => "power",
+            Objective::Area => "area",
+            Objective::Edp => "edp",
+        }
+    }
+
+    /// Parses an objective from its [`name`](Self::name).
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|o| o.name() == name)
+    }
+
+    /// Parses a comma-separated objective list (e.g. `"energy,latency"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidSpec`] on an empty list or unknown name.
+    pub fn parse_list(text: &str) -> Result<Vec<Objective>> {
+        let objectives: Vec<Objective> = text
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                Objective::parse(name).ok_or_else(|| {
+                    ExploreError::invalid_spec(format!(
+                        "unknown objective `{name}` (expected one of: {})",
+                        Objective::ALL.map(Objective::name).join(", ")
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+        if objectives.is_empty() {
+            return Err(ExploreError::invalid_spec("no objectives given"));
+        }
+        Ok(objectives)
+    }
+
+    /// The metric this objective minimizes.
+    pub fn value(self, record: &SweepRecord) -> f64 {
+        match self {
+            Objective::Energy => record.energy_uj,
+            Objective::Latency => record.time_ms,
+            Objective::Power => record.power_w,
+            Objective::Area => record.area_mm2,
+            Objective::Edp => record.edp_uj_ms,
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether `candidate` dominates `other`: no worse in every objective and
+/// strictly better in at least one.
+pub fn dominates(candidate: &SweepRecord, other: &SweepRecord, objectives: &[Objective]) -> bool {
+    let mut strictly_better = false;
+    for objective in objectives {
+        let a = objective.value(candidate);
+        let b = objective.value(other);
+        if a > b {
+            return false;
+        }
+        if a < b {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Extracts the non-dominated records, preserving input order.
+///
+/// Ties (records with identical objective vectors) are all kept: neither
+/// strictly beats the other, and dropping one would hide a distinct
+/// configuration reaching the same operating point.
+pub fn pareto_front(records: &[SweepRecord], objectives: &[Objective]) -> Vec<SweepRecord> {
+    records
+        .iter()
+        .filter(|candidate| {
+            !records
+                .iter()
+                .any(|other| dominates(other, candidate, objectives))
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+    use std::collections::BTreeMap;
+
+    fn record(index: usize, energy_uj: f64, time_ms: f64) -> SweepRecord {
+        let mut point = SweepSpec::new("p").expand().unwrap().remove(0);
+        point.index = index;
+        SweepRecord {
+            point,
+            energy_uj,
+            cycles: 1,
+            time_ms,
+            power_w: 1.0,
+            area_mm2: 1.0,
+            edp_uj_ms: energy_uj * time_ms,
+            glb_blocks: 1,
+            energy_by_kind_uj: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn front_keeps_only_non_dominated_points() {
+        let records = vec![
+            record(0, 1.0, 4.0), // on the front
+            record(1, 2.0, 2.0), // on the front
+            record(2, 4.0, 1.0), // on the front
+            record(3, 3.0, 3.0), // dominated by #1
+            record(4, 2.0, 2.5), // dominated by #1
+        ];
+        let objectives = [Objective::Energy, Objective::Latency];
+        let front = pareto_front(&records, &objectives);
+        let kept: Vec<usize> = front.iter().map(|r| r.point.index).collect();
+        assert_eq!(kept, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_objective_front_is_the_minimum() {
+        let records = vec![
+            record(0, 3.0, 1.0),
+            record(1, 1.0, 9.0),
+            record(2, 2.0, 1.0),
+        ];
+        let front = pareto_front(&records, &[Objective::Energy]);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].point.index, 1);
+    }
+
+    #[test]
+    fn exact_ties_are_all_kept() {
+        let records = vec![record(0, 1.0, 1.0), record(1, 1.0, 1.0)];
+        let front = pareto_front(&records, &[Objective::Energy, Objective::Latency]);
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn objective_lists_parse_and_reject() {
+        let parsed = Objective::parse_list("energy, latency").unwrap();
+        assert_eq!(parsed, vec![Objective::Energy, Objective::Latency]);
+        assert!(Objective::parse_list("energy,bogus").is_err());
+        assert!(Objective::parse_list("").is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Sweep result records and their JSON/CSV renderings.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use simphony::SimulationReport;
+
+use crate::error::{ExploreError, Result};
+use crate::spec::SweepPoint;
+
+/// The metrics extracted from one simulated sweep point.
+///
+/// Records are plain data: every field a Pareto objective or a plot axis
+/// could want, flattened out of the full [`SimulationReport`] so record files
+/// stay small and stable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// The configuration that produced these metrics.
+    pub point: SweepPoint,
+    /// Total energy in microjoules.
+    pub energy_uj: f64,
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// Total execution time in milliseconds.
+    pub time_ms: f64,
+    /// Average power in watts.
+    pub power_w: f64,
+    /// Chip area in square millimetres.
+    pub area_mm2: f64,
+    /// Energy-delay product in microjoule-milliseconds.
+    pub edp_uj_ms: f64,
+    /// Global-buffer blocks selected to meet the bandwidth demand.
+    pub glb_blocks: usize,
+    /// Energy per device-kind label, microjoules.
+    pub energy_by_kind_uj: BTreeMap<String, f64>,
+}
+
+impl SweepRecord {
+    /// Flattens a simulation report into a record for `point`.
+    pub fn from_report(point: SweepPoint, report: &SimulationReport) -> Self {
+        let energy_uj = report.total_energy.microjoules();
+        let time_ms = report.total_time.milliseconds();
+        Self {
+            point,
+            energy_uj,
+            cycles: report.total_cycles,
+            time_ms,
+            power_w: report.average_power.watts(),
+            area_mm2: report.area.total.square_millimeters(),
+            edp_uj_ms: energy_uj * time_ms,
+            glb_blocks: report.glb_blocks,
+            energy_by_kind_uj: report
+                .energy_by_kind
+                .iter()
+                .map(|(kind, energy)| (kind.clone(), energy.microjoules()))
+                .collect(),
+        }
+    }
+}
+
+/// Header of [`to_csv`] output.
+pub const CSV_HEADER: &str = "index,workload,arch,tiles,cores_per_tile,core_height,core_width,\
+wavelengths,bits,sparsity,dataflow,data_awareness,energy_uj,cycles,time_ms,power_w,area_mm2,\
+edp_uj_ms,glb_blocks";
+
+/// Renders records as CSV (fixed columns; the per-kind energy map is omitted).
+pub fn to_csv(records: &[SweepRecord]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        let p = &r.point;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            p.index,
+            p.workload.label(),
+            p.arch,
+            p.tiles,
+            p.cores_per_tile,
+            p.core_height,
+            p.core_width,
+            p.wavelengths,
+            p.bits,
+            p.sparsity,
+            p.dataflow,
+            p.data_awareness,
+            r.energy_uj,
+            r.cycles,
+            r.time_ms,
+            r.power_w,
+            r.area_mm2,
+            r.edp_uj_ms,
+            r.glb_blocks,
+        );
+    }
+    out
+}
+
+/// Writes records to `path` as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn write_json(path: impl AsRef<Path>, records: &[SweepRecord]) -> Result<()> {
+    let text = serde_json::to_string_pretty(records)?;
+    fs::write(&path, text + "\n").map_err(|e| ExploreError::io_at(&path, e))?;
+    Ok(())
+}
+
+/// Reads records back from a JSON file written by [`write_json`].
+///
+/// # Errors
+///
+/// Propagates file-system and JSON-shape errors.
+pub fn read_json(path: impl AsRef<Path>) -> Result<Vec<SweepRecord>> {
+    let text = fs::read_to_string(&path).map_err(|e| ExploreError::io_at(&path, e))?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+/// Writes records to `path` as CSV.
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn write_csv(path: impl AsRef<Path>, records: &[SweepRecord]) -> Result<()> {
+    fs::write(&path, to_csv(records)).map_err(|e| ExploreError::io_at(&path, e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    fn dummy_record(index: usize, energy_uj: f64) -> SweepRecord {
+        let mut point = SweepSpec::new("t").expand().unwrap().remove(0);
+        point.index = index;
+        SweepRecord {
+            point,
+            energy_uj,
+            cycles: 100,
+            time_ms: 0.5,
+            power_w: 1.0,
+            area_mm2: 0.8,
+            edp_uj_ms: energy_uj * 0.5,
+            glb_blocks: 2,
+            energy_by_kind_uj: BTreeMap::from([("ADC".to_string(), energy_uj / 2.0)]),
+        }
+    }
+
+    #[test]
+    fn csv_has_one_line_per_record_plus_header() {
+        let records = vec![dummy_record(0, 1.0), dummy_record(1, 2.0)];
+        let csv = to_csv(&records);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("index,workload,arch"));
+        assert!(lines[1].starts_with("0,gemm280x28x280,tempo,2,2,4,4,1,8,0,"));
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let records = vec![dummy_record(0, 1.25)];
+        let text = serde_json::to_string(&records).unwrap();
+        let back: Vec<SweepRecord> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, records);
+    }
+}

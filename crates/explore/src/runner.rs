@@ -1,0 +1,176 @@
+//! Parallel sweep execution.
+//!
+//! [`run_sweep`] expands a [`SweepSpec`], serves what it can from the result
+//! cache, fans the remaining points out across a rayon-style thread pool, and
+//! returns records in the spec's deterministic expansion order — so output
+//! files are byte-identical whether the sweep ran on one thread or many
+//! (`RAYON_NUM_THREADS` controls the pool size).
+
+use rayon::prelude::*;
+
+use simphony::{Accelerator, MappingPlan, Result as SimResult, SimulationReport, Simulator};
+
+use crate::cache::{CacheStats, SimCache};
+use crate::error::{ExploreError, Result};
+use crate::record::SweepRecord;
+use crate::spec::{SweepPoint, SweepSpec};
+
+/// The result of one sweep: ordered records plus cache accounting.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One record per expanded point, in expansion order.
+    pub records: Vec<SweepRecord>,
+    /// How many points were served from the cache vs simulated.
+    pub stats: CacheStats,
+}
+
+/// Simulates one fully-bound configuration.
+///
+/// # Errors
+///
+/// Propagates architecture-generation, workload-extraction and simulation
+/// errors.
+pub fn simulate_point(point: &SweepPoint) -> SimResult<SimulationReport> {
+    let arch = point.arch.generate(point.arch_params(), point.clock_ghz)?;
+    let accel = Accelerator::builder(format!("{}_sweep", point.arch))
+        .sub_arch(arch)
+        .build()?;
+    let workload = point.workload.extract(
+        simphony_units::BitWidth::new(point.bits),
+        point.sparsity,
+        point.seed,
+    )?;
+    Simulator::new(accel)
+        .with_config(point.sim_config())
+        .simulate(&workload, &MappingPlan::default())
+}
+
+fn record_point(point: &SweepPoint) -> Result<SweepRecord> {
+    let report = simulate_point(point).map_err(|source| ExploreError::Point {
+        index: point.index,
+        label: point.label(),
+        source,
+    })?;
+    Ok(SweepRecord::from_report(point.clone(), &report))
+}
+
+/// Runs a sweep, optionally backed by a result cache.
+///
+/// # Errors
+///
+/// Returns the first failing point's error (points are still attempted in
+/// parallel; failures abort the sweep rather than producing partial files),
+/// or a spec-validation/cache I/O error. Points that simulated successfully
+/// are cached even when another point fails, so a retry after fixing the
+/// spec only re-runs what actually needs running.
+pub fn run_sweep(spec: &SweepSpec, cache: Option<&SimCache>) -> Result<SweepOutcome> {
+    let points = spec.expand()?;
+
+    // Serve cache hits first; only misses go to the thread pool.
+    let mut slots: Vec<Option<SweepRecord>> = Vec::with_capacity(points.len());
+    let mut misses: Vec<SweepPoint> = Vec::new();
+    for point in &points {
+        match cache.and_then(|c| c.get(point)) {
+            Some(record) => slots.push(Some(record)),
+            None => {
+                slots.push(None);
+                misses.push(point.clone());
+            }
+        }
+    }
+    let stats = CacheStats {
+        hits: points.len() - misses.len(),
+        misses: misses.len(),
+    };
+
+    let computed: Vec<Result<SweepRecord>> = misses.par_iter().map(record_point).collect();
+
+    let mut fresh = Vec::with_capacity(computed.len());
+    let mut first_error = None;
+    for result in computed {
+        match result {
+            Ok(record) => {
+                if let Some(cache) = cache {
+                    cache.put(&record)?;
+                }
+                fresh.push(record);
+            }
+            Err(err) => first_error = first_error.or(Some(err)),
+        }
+    }
+    if let Some(err) = first_error {
+        return Err(err);
+    }
+
+    let mut fresh_iter = fresh.into_iter();
+    let records: Vec<SweepRecord> = slots
+        .into_iter()
+        .map(|slot| match slot {
+            Some(record) => record,
+            None => fresh_iter
+                .next()
+                .expect("one computed record per cache miss"),
+        })
+        .collect();
+    debug_assert!(fresh_iter.next().is_none());
+
+    Ok(SweepOutcome { records, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ArchFamily;
+
+    #[test]
+    fn single_point_sweep_matches_direct_simulation() {
+        let spec = SweepSpec::new("one");
+        let outcome = run_sweep(&spec, None).unwrap();
+        assert_eq!(outcome.records.len(), 1);
+        assert_eq!(outcome.stats, CacheStats { hits: 0, misses: 1 });
+        let direct = simulate_point(&spec.expand().unwrap()[0]).unwrap();
+        let record = &outcome.records[0];
+        assert_eq!(record.cycles, direct.total_cycles);
+        assert_eq!(record.energy_uj, direct.total_energy.microjoules());
+        assert_eq!(record.glb_blocks, direct.glb_blocks);
+    }
+
+    #[test]
+    fn successful_points_are_cached_even_when_the_sweep_fails() {
+        let dir =
+            std::env::temp_dir().join(format!("simphony-explore-partial-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = SimCache::open(&dir).unwrap();
+        // TeMPO can run BERT's dynamic products, the static MZI mesh cannot,
+        // so the sweep fails after the TeMPO point simulated successfully.
+        let spec = SweepSpec::new("partial")
+            .with_arch(vec![ArchFamily::Tempo, ArchFamily::MziMesh])
+            .with_workload(vec![crate::spec::WorkloadSpec::Bert { seq_len: 8 }]);
+        assert!(run_sweep(&spec, Some(&cache)).is_err());
+        assert_eq!(cache.len().unwrap(), 1, "good point must be cached");
+
+        let retry = SweepSpec::new("partial-retry")
+            .with_arch(vec![ArchFamily::Tempo])
+            .with_workload(vec![crate::spec::WorkloadSpec::Bert { seq_len: 8 }]);
+        let outcome = run_sweep(&retry, Some(&cache)).unwrap();
+        assert_eq!(outcome.stats, CacheStats { hits: 1, misses: 0 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failing_points_abort_with_context() {
+        // A static-only MZI mesh cannot execute BERT's dynamic attention
+        // products, so every point fails placement.
+        let spec = SweepSpec::new("fail")
+            .with_arch(vec![ArchFamily::MziMesh])
+            .with_workload(vec![crate::spec::WorkloadSpec::Bert { seq_len: 32 }]);
+        let err = run_sweep(&spec, None).unwrap_err();
+        match err {
+            ExploreError::Point { index, label, .. } => {
+                assert_eq!(index, 0);
+                assert!(label.contains("mzi_mesh"));
+            }
+            other => panic!("expected point error, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,597 @@
+//! Declarative sweep specifications and their deterministic expansion.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use simphony::{DataAwareness, Result as SimResult, SimulationConfig};
+use simphony_arch::{generators, PtcArchitecture};
+use simphony_dataflow::DataflowStyle;
+use simphony_netlist::ArchParams;
+use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
+use simphony_units::BitWidth;
+
+use crate::error::{ExploreError, Result};
+
+/// The PTC architecture families the generator axis can select, one per
+/// builder in [`simphony_arch::generators`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchFamily {
+    /// Dynamic array-style TeMPO tensor core.
+    Tempo,
+    /// Static Clements-style MZI mesh.
+    MziMesh,
+    /// Incoherent micro-ring weight bank.
+    MrrBank,
+    /// Subspace butterfly mesh.
+    Butterfly,
+    /// Non-volatile phase-change-material crossbar.
+    PcmCrossbar,
+    /// SCATTER with the analytical phase-shifter power model.
+    Scatter,
+    /// SCATTER with the measurement-backed phase-shifter power table.
+    ScatterMeasured,
+}
+
+impl ArchFamily {
+    /// Every selectable family, in a stable order.
+    pub const ALL: [ArchFamily; 7] = [
+        ArchFamily::Tempo,
+        ArchFamily::MziMesh,
+        ArchFamily::MrrBank,
+        ArchFamily::Butterfly,
+        ArchFamily::PcmCrossbar,
+        ArchFamily::Scatter,
+        ArchFamily::ScatterMeasured,
+    ];
+
+    /// Short lowercase name, matching the generator function name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchFamily::Tempo => "tempo",
+            ArchFamily::MziMesh => "mzi_mesh",
+            ArchFamily::MrrBank => "mrr_bank",
+            ArchFamily::Butterfly => "butterfly",
+            ArchFamily::PcmCrossbar => "pcm_crossbar",
+            ArchFamily::Scatter => "scatter",
+            ArchFamily::ScatterMeasured => "scatter_measured",
+        }
+    }
+
+    /// Parses a family from its [`name`](Self::name).
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Builds the architecture for this family.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist/parameter validation errors from the generator.
+    pub fn generate(self, params: ArchParams, clock_ghz: f64) -> SimResult<PtcArchitecture> {
+        let arch = match self {
+            ArchFamily::Tempo => generators::tempo(params, clock_ghz),
+            ArchFamily::MziMesh => generators::mzi_mesh(params, clock_ghz),
+            ArchFamily::MrrBank => generators::mrr_bank(params, clock_ghz),
+            ArchFamily::Butterfly => generators::butterfly(params, clock_ghz),
+            ArchFamily::PcmCrossbar => generators::pcm_crossbar(params, clock_ghz),
+            ArchFamily::Scatter => generators::scatter(params, clock_ghz),
+            ArchFamily::ScatterMeasured => generators::scatter_measured(params, clock_ghz),
+        }?;
+        Ok(arch)
+    }
+}
+
+impl fmt::Display for ArchFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Workload selector: which model a sweep point simulates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// A single `(m×k)×(k×n)` GEMM (the paper's validation workload is
+    /// `280×28×280`).
+    Gemm {
+        /// Output rows.
+        m: usize,
+        /// Contraction dimension.
+        k: usize,
+        /// Output columns.
+        n: usize,
+    },
+    /// The paper's VGG-8/CIFAR-10 evaluation model.
+    Vgg8,
+    /// BERT-Base with the given sequence length.
+    Bert {
+        /// Token sequence length.
+        seq_len: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// The paper's `(280×28)×(28×280)` validation GEMM.
+    pub fn validation_gemm() -> Self {
+        WorkloadSpec::Gemm {
+            m: 280,
+            k: 28,
+            n: 280,
+        }
+    }
+
+    /// Checks the selector's dimensions are physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidSpec`] on a zero dimension — a
+    /// zero-sized GEMM or empty sequence would propagate NaN metrics through
+    /// every downstream record.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            WorkloadSpec::Gemm { m, k, n } => {
+                if *m == 0 || *k == 0 || *n == 0 {
+                    return Err(ExploreError::invalid_spec(format!(
+                        "GEMM dimensions must be at least 1, got {m}x{k}x{n}"
+                    )));
+                }
+            }
+            WorkloadSpec::Vgg8 => {}
+            WorkloadSpec::Bert { seq_len } => {
+                if *seq_len == 0 {
+                    return Err(ExploreError::invalid_spec(
+                        "BERT sequence length must be at least 1",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Short label used in record files and CSV columns.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Gemm { m, k, n } => format!("gemm{m}x{k}x{n}"),
+            WorkloadSpec::Vgg8 => "vgg8".to_string(),
+            WorkloadSpec::Bert { seq_len } => format!("bert{seq_len}"),
+        }
+    }
+
+    /// Extracts the workload at the given precision/sparsity/seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload-extraction errors.
+    pub fn extract(&self, bits: BitWidth, sparsity: f64, seed: u64) -> SimResult<ModelWorkload> {
+        let model = match self {
+            WorkloadSpec::Gemm { m, k, n } => models::single_gemm(*m, *k, *n),
+            WorkloadSpec::Vgg8 => models::vgg8_cifar10(),
+            WorkloadSpec::Bert { seq_len } => models::bert_base(*seq_len),
+        };
+        let pruning = PruningConfig::new(sparsity)?;
+        Ok(ModelWorkload::extract(
+            &model,
+            &QuantConfig::uniform(bits),
+            &pruning,
+            seed,
+        )?)
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A declarative design-space sweep: one list of candidate values per axis.
+///
+/// [`SweepSpec::expand`] takes the Cartesian product of every axis in the
+/// field order below (workload outermost, data-awareness innermost), which
+/// fixes a deterministic point numbering independent of how the sweep is
+/// executed.
+///
+/// # Examples
+///
+/// ```
+/// use simphony_explore::{ArchFamily, SweepSpec};
+///
+/// let spec = SweepSpec::new("wavelengths")
+///     .with_arch(vec![ArchFamily::Tempo])
+///     .with_wavelengths(vec![1, 2, 4, 8]);
+/// assert_eq!(spec.expand().unwrap().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Human-readable sweep name (used in output file naming and logs).
+    pub name: String,
+    /// Workloads to simulate.
+    pub workload: Vec<WorkloadSpec>,
+    /// Architecture families to generate.
+    pub arch: Vec<ArchFamily>,
+    /// Tile counts (`R`).
+    pub tiles: Vec<usize>,
+    /// Cores per tile (`C`).
+    pub cores_per_tile: Vec<usize>,
+    /// Core heights (`H`).
+    pub core_height: Vec<usize>,
+    /// Core widths (`W`).
+    pub core_width: Vec<usize>,
+    /// Wavelength counts (`LAMBDA`).
+    pub wavelengths: Vec<usize>,
+    /// Uniform operand bit widths.
+    pub bitwidth: Vec<u8>,
+    /// Weight pruning densities expressed as sparsity fractions in `[0, 1)`.
+    pub sparsity: Vec<f64>,
+    /// GEMM dataflow styles.
+    pub dataflow: Vec<DataflowStyle>,
+    /// Device power accounting modes.
+    pub data_awareness: Vec<DataAwareness>,
+    /// Clock frequency in GHz, shared by every point.
+    pub clock_ghz: f64,
+    /// Deterministic workload-extraction seed, shared by every point.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// A spec with every axis pinned to the paper's default use-case setting:
+    /// TeMPO, 2 tiles × 2 cores of 4×4 nodes, 1 wavelength, 8-bit dense
+    /// operands, output-stationary, data-aware, 5 GHz.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            workload: vec![WorkloadSpec::validation_gemm()],
+            arch: vec![ArchFamily::Tempo],
+            tiles: vec![2],
+            cores_per_tile: vec![2],
+            core_height: vec![4],
+            core_width: vec![4],
+            wavelengths: vec![1],
+            bitwidth: vec![8],
+            sparsity: vec![0.0],
+            dataflow: vec![DataflowStyle::OutputStationary],
+            data_awareness: vec![DataAwareness::Aware],
+            clock_ghz: 5.0,
+            seed: 42,
+        }
+    }
+
+    /// Replaces the workload axis.
+    #[must_use]
+    pub fn with_workload(mut self, workload: Vec<WorkloadSpec>) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Replaces the architecture-family axis.
+    #[must_use]
+    pub fn with_arch(mut self, arch: Vec<ArchFamily>) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Replaces the tile-count axis.
+    #[must_use]
+    pub fn with_tiles(mut self, tiles: Vec<usize>) -> Self {
+        self.tiles = tiles;
+        self
+    }
+
+    /// Replaces the cores-per-tile axis.
+    #[must_use]
+    pub fn with_cores_per_tile(mut self, cores: Vec<usize>) -> Self {
+        self.cores_per_tile = cores;
+        self
+    }
+
+    /// Replaces both core-dimension axes at once (square cores).
+    #[must_use]
+    pub fn with_core_dims(mut self, dims: Vec<usize>) -> Self {
+        self.core_height = dims.clone();
+        self.core_width = dims;
+        self
+    }
+
+    /// Replaces the wavelength axis.
+    #[must_use]
+    pub fn with_wavelengths(mut self, wavelengths: Vec<usize>) -> Self {
+        self.wavelengths = wavelengths;
+        self
+    }
+
+    /// Replaces the bitwidth axis.
+    #[must_use]
+    pub fn with_bitwidth(mut self, bitwidth: Vec<u8>) -> Self {
+        self.bitwidth = bitwidth;
+        self
+    }
+
+    /// Replaces the sparsity axis.
+    #[must_use]
+    pub fn with_sparsity(mut self, sparsity: Vec<f64>) -> Self {
+        self.sparsity = sparsity;
+        self
+    }
+
+    /// Replaces the dataflow axis.
+    #[must_use]
+    pub fn with_dataflow(mut self, dataflow: Vec<DataflowStyle>) -> Self {
+        self.dataflow = dataflow;
+        self
+    }
+
+    /// Replaces the data-awareness axis.
+    #[must_use]
+    pub fn with_data_awareness(mut self, awareness: Vec<DataAwareness>) -> Self {
+        self.data_awareness = awareness;
+        self
+    }
+
+    /// Number of points the expansion will produce.
+    pub fn point_count(&self) -> usize {
+        self.workload.len()
+            * self.arch.len()
+            * self.tiles.len()
+            * self.cores_per_tile.len()
+            * self.core_height.len()
+            * self.core_width.len()
+            * self.wavelengths.len()
+            * self.bitwidth.len()
+            * self.sparsity.len()
+            * self.dataflow.len()
+            * self.data_awareness.len()
+    }
+
+    /// Validates the axes without expanding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidSpec`] when an axis is empty or a value
+    /// is out of its physical range.
+    pub fn validate(&self) -> Result<()> {
+        let axes: [(&str, usize); 11] = [
+            ("workload", self.workload.len()),
+            ("arch", self.arch.len()),
+            ("tiles", self.tiles.len()),
+            ("cores_per_tile", self.cores_per_tile.len()),
+            ("core_height", self.core_height.len()),
+            ("core_width", self.core_width.len()),
+            ("wavelengths", self.wavelengths.len()),
+            ("bitwidth", self.bitwidth.len()),
+            ("sparsity", self.sparsity.len()),
+            ("dataflow", self.dataflow.len()),
+            ("data_awareness", self.data_awareness.len()),
+        ];
+        for (axis, len) in axes {
+            if len == 0 {
+                return Err(ExploreError::invalid_spec(format!(
+                    "axis `{axis}` is empty"
+                )));
+            }
+        }
+        for dims in [
+            &self.tiles,
+            &self.cores_per_tile,
+            &self.core_height,
+            &self.core_width,
+            &self.wavelengths,
+        ] {
+            if dims.contains(&0) {
+                return Err(ExploreError::invalid_spec(
+                    "architecture dimensions must be at least 1",
+                ));
+            }
+        }
+        if self.bitwidth.contains(&0) {
+            return Err(ExploreError::invalid_spec("bitwidth must be at least 1"));
+        }
+        if self.sparsity.iter().any(|s| !(0.0..1.0).contains(s)) {
+            return Err(ExploreError::invalid_spec(
+                "sparsity values must lie in [0, 1)",
+            ));
+        }
+        if !self.clock_ghz.is_finite() || self.clock_ghz <= 0.0 {
+            return Err(ExploreError::invalid_spec(
+                "clock_ghz must be positive and finite",
+            ));
+        }
+        for workload in &self.workload {
+            workload.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Expands the Cartesian product into ordered [`SweepPoint`]s.
+    ///
+    /// The ordering is part of the engine's contract: records are emitted in
+    /// this order regardless of the number of executor threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidSpec`] when [`validate`](Self::validate)
+    /// fails.
+    pub fn expand(&self) -> Result<Vec<SweepPoint>> {
+        self.validate()?;
+        let mut points = Vec::with_capacity(self.point_count());
+        for workload in &self.workload {
+            for &arch in &self.arch {
+                for &tiles in &self.tiles {
+                    for &cores_per_tile in &self.cores_per_tile {
+                        for &core_height in &self.core_height {
+                            for &core_width in &self.core_width {
+                                for &wavelengths in &self.wavelengths {
+                                    for &bits in &self.bitwidth {
+                                        for &sparsity in &self.sparsity {
+                                            for &dataflow in &self.dataflow {
+                                                for &data_awareness in &self.data_awareness {
+                                                    points.push(SweepPoint {
+                                                        index: points.len(),
+                                                        workload: workload.clone(),
+                                                        arch,
+                                                        tiles,
+                                                        cores_per_tile,
+                                                        core_height,
+                                                        core_width,
+                                                        wavelengths,
+                                                        bits,
+                                                        sparsity,
+                                                        dataflow,
+                                                        data_awareness,
+                                                        clock_ghz: self.clock_ghz,
+                                                        seed: self.seed,
+                                                    });
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(points)
+    }
+}
+
+/// One fully-bound configuration from a sweep expansion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Zero-based position in the deterministic expansion order.
+    pub index: usize,
+    /// Workload to simulate.
+    pub workload: WorkloadSpec,
+    /// Architecture family.
+    pub arch: ArchFamily,
+    /// Tile count (`R`).
+    pub tiles: usize,
+    /// Cores per tile (`C`).
+    pub cores_per_tile: usize,
+    /// Core height (`H`).
+    pub core_height: usize,
+    /// Core width (`W`).
+    pub core_width: usize,
+    /// Wavelength count (`LAMBDA`).
+    pub wavelengths: usize,
+    /// Uniform operand bit width.
+    pub bits: u8,
+    /// Weight sparsity fraction.
+    pub sparsity: f64,
+    /// GEMM dataflow style.
+    pub dataflow: DataflowStyle,
+    /// Device power accounting mode.
+    pub data_awareness: DataAwareness,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Workload-extraction seed.
+    pub seed: u64,
+}
+
+impl SweepPoint {
+    /// The architecture parameters of this point.
+    pub fn arch_params(&self) -> ArchParams {
+        ArchParams::new(
+            self.tiles,
+            self.cores_per_tile,
+            self.core_height,
+            self.core_width,
+        )
+        .with_wavelengths(self.wavelengths)
+    }
+
+    /// The simulator configuration of this point.
+    pub fn sim_config(&self) -> SimulationConfig {
+        SimulationConfig {
+            data_awareness: self.data_awareness,
+            dataflow: self.dataflow,
+            layout_aware: true,
+        }
+    }
+
+    /// Compact human-readable label (for logs and error messages).
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} R{}C{}H{}W{} lambda{} {}b s{:.2} {} {}",
+            self.workload.label(),
+            self.arch,
+            self.tiles,
+            self.cores_per_tile,
+            self.core_height,
+            self.core_width,
+            self.wavelengths,
+            self.bits,
+            self.sparsity,
+            self.dataflow,
+            self.data_awareness,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_a_single_paper_point() {
+        let spec = SweepSpec::new("default");
+        assert_eq!(spec.point_count(), 1);
+        let points = spec.expand().unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].arch, ArchFamily::Tempo);
+        assert_eq!(points[0].arch_params().total_nodes(), 64);
+    }
+
+    #[test]
+    fn expansion_order_is_stable_and_indexed() {
+        let spec = SweepSpec::new("order")
+            .with_wavelengths(vec![1, 2])
+            .with_bitwidth(vec![4, 8]);
+        let points = spec.expand().unwrap();
+        assert_eq!(points.len(), 4);
+        // Innermost axis (bitwidth) varies fastest.
+        assert_eq!(
+            points
+                .iter()
+                .map(|p| (p.wavelengths, p.bits))
+                .collect::<Vec<_>>(),
+            vec![(1, 4), (1, 8), (2, 4), (2, 8)]
+        );
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn empty_axes_and_bad_ranges_are_rejected() {
+        assert!(SweepSpec::new("bad")
+            .with_arch(Vec::new())
+            .expand()
+            .is_err());
+        assert!(SweepSpec::new("bad")
+            .with_sparsity(vec![1.0])
+            .expand()
+            .is_err());
+        assert!(SweepSpec::new("bad").with_tiles(vec![0]).expand().is_err());
+        assert!(SweepSpec::new("bad")
+            .with_bitwidth(vec![0])
+            .expand()
+            .is_err());
+    }
+
+    #[test]
+    fn arch_family_names_round_trip() {
+        for family in ArchFamily::ALL {
+            assert_eq!(ArchFamily::parse(family.name()), Some(family));
+        }
+        assert_eq!(ArchFamily::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_family_generates_its_architecture() {
+        for family in ArchFamily::ALL {
+            let arch = family.generate(ArchParams::new(2, 2, 4, 4), 5.0).unwrap();
+            assert!(!arch.name().is_empty());
+        }
+    }
+}

@@ -72,9 +72,11 @@ impl Placement {
     /// `true` when this placement overlaps another (strictly, touching edges allowed).
     pub fn overlaps(&self, other: &Placement) -> bool {
         let eps = 1e-12;
-        let separated_x = self.x.micrometers() + self.width.micrometers() <= other.x.micrometers() + eps
+        let separated_x = self.x.micrometers() + self.width.micrometers()
+            <= other.x.micrometers() + eps
             || other.x.micrometers() + other.width.micrometers() <= self.x.micrometers() + eps;
-        let separated_y = self.y.micrometers() + self.height.micrometers() <= other.y.micrometers() + eps
+        let separated_y = self.y.micrometers() + self.height.micrometers()
+            <= other.y.micrometers() + eps
             || other.y.micrometers() + other.height.micrometers() <= self.y.micrometers() + eps;
         !(separated_x || separated_y)
     }
@@ -185,10 +187,7 @@ pub fn footprint_sum_area(items: &[LayoutItem]) -> Area {
 /// assert!(plan.area().square_micrometers() > 300.0 * 60.0);
 /// # Ok::<(), simphony_layout::LayoutError>(())
 /// ```
-pub fn signal_flow_floorplan(
-    items: &[LayoutItem],
-    config: &FloorplanConfig,
-) -> Result<Floorplan> {
+pub fn signal_flow_floorplan(items: &[LayoutItem], config: &FloorplanConfig) -> Result<Floorplan> {
     if items.is_empty() {
         return Err(LayoutError::EmptyLayout);
     }
@@ -306,7 +305,12 @@ mod tests {
         let ps = plan.placements();
         for i in 0..ps.len() {
             for j in (i + 1)..ps.len() {
-                assert!(!ps[i].overlaps(&ps[j]), "{} overlaps {}", ps[i].name, ps[j].name);
+                assert!(
+                    !ps[i].overlaps(&ps[j]),
+                    "{} overlaps {}",
+                    ps[i].name,
+                    ps[j].name
+                );
             }
         }
     }
@@ -363,7 +367,10 @@ mod tests {
             Length::from_um(10.0),
             &FloorplanConfig::default(),
         );
-        assert!(matches!(too_small, Err(LayoutError::BoundingBoxTooSmall { .. })));
+        assert!(matches!(
+            too_small,
+            Err(LayoutError::BoundingBoxTooSmall { .. })
+        ));
         let ok = bounding_box_floorplan(
             &items,
             Length::from_um(200.0),

@@ -41,43 +41,104 @@ pub use item::LayoutItem;
 
 #[cfg(test)]
 mod proptests {
+    //! Property tests over seeded-random inputs. The original version used the
+    //! `proptest` crate; the offline build environment cannot fetch it, so the
+    //! same invariants are checked across a deterministic sample of random
+    //! item lists.
+
     use super::*;
-    use proptest::prelude::*;
 
-    fn arb_item() -> impl Strategy<Value = LayoutItem> {
-        (1.0f64..400.0, 1.0f64..200.0, 0usize..6).prop_map(|(w, h, level)| {
-            LayoutItem::from_um(format!("d{level}"), w, h, level)
-        })
-    }
+    /// Tiny deterministic generator (SplitMix64) so this crate needs no
+    /// test-only dependencies.
+    struct Rng(u64);
 
-    proptest! {
-        /// The signal-flow estimate can never be smaller than the sum of footprints.
-        #[test]
-        fn flow_aware_estimate_dominates_footprint_sum(items in prop::collection::vec(arb_item(), 1..24)) {
-            let plan = signal_flow_floorplan(&items, &FloorplanConfig::default()).expect("valid items");
-            let naive = footprint_sum_area(&items);
-            prop_assert!(plan.area().square_micrometers() + 1e-6 >= naive.square_micrometers());
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
         }
 
-        /// No two placements produced by the floorplanner overlap.
-        #[test]
-        fn placements_never_overlap(items in prop::collection::vec(arb_item(), 1..24)) {
-            let plan = signal_flow_floorplan(&items, &FloorplanConfig::default()).expect("valid items");
+        fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            lo + (self.next_u64() as f64 / u64::MAX as f64) * (hi - lo)
+        }
+
+        fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+            lo + (self.next_u64() as usize) % (hi - lo)
+        }
+    }
+
+    fn random_items(rng: &mut Rng) -> Vec<LayoutItem> {
+        let len = rng.range_usize(1, 24);
+        (0..len)
+            .map(|_| {
+                let w = rng.range_f64(1.0, 400.0);
+                let h = rng.range_f64(1.0, 200.0);
+                let level = rng.range_usize(0, 6);
+                LayoutItem::from_um(format!("d{level}"), w, h, level)
+            })
+            .collect()
+    }
+
+    /// The signal-flow estimate can never be smaller than the sum of footprints.
+    #[test]
+    fn flow_aware_estimate_dominates_footprint_sum() {
+        let mut rng = Rng(0x1AF0);
+        for _ in 0..128 {
+            let items = random_items(&mut rng);
+            let plan =
+                signal_flow_floorplan(&items, &FloorplanConfig::default()).expect("valid items");
+            let naive = footprint_sum_area(&items);
+            assert!(
+                plan.area().square_micrometers() + 1e-6 >= naive.square_micrometers(),
+                "{} items: floorplan {} < footprint sum {}",
+                items.len(),
+                plan.area(),
+                naive
+            );
+        }
+    }
+
+    /// No two placements produced by the floorplanner overlap.
+    #[test]
+    fn placements_never_overlap() {
+        let mut rng = Rng(0x2BE5);
+        for _ in 0..128 {
+            let items = random_items(&mut rng);
+            let plan =
+                signal_flow_floorplan(&items, &FloorplanConfig::default()).expect("valid items");
             let ps = plan.placements();
             for i in 0..ps.len() {
                 for j in (i + 1)..ps.len() {
-                    prop_assert!(!ps[i].overlaps(&ps[j]));
+                    assert!(
+                        !ps[i].overlaps(&ps[j]),
+                        "{} overlaps {}",
+                        ps[i].name,
+                        ps[j].name
+                    );
                 }
             }
         }
+    }
 
-        /// Every placement stays inside the reported chip outline.
-        #[test]
-        fn placements_stay_in_bounds(items in prop::collection::vec(arb_item(), 1..24)) {
-            let plan = signal_flow_floorplan(&items, &FloorplanConfig::default()).expect("valid items");
+    /// Every placement stays inside the reported chip outline.
+    #[test]
+    fn placements_stay_in_bounds() {
+        let mut rng = Rng(0x3CAB);
+        for _ in 0..128 {
+            let items = random_items(&mut rng);
+            let plan =
+                signal_flow_floorplan(&items, &FloorplanConfig::default()).expect("valid items");
             for p in plan.placements() {
-                prop_assert!(p.x.micrometers() + p.width.micrometers() <= plan.width().micrometers() + 1e-6);
-                prop_assert!(p.y.micrometers() + p.height.micrometers() <= plan.height().micrometers() + 1e-6);
+                assert!(
+                    p.x.micrometers() + p.width.micrometers() <= plan.width().micrometers() + 1e-6
+                );
+                assert!(
+                    p.y.micrometers() + p.height.micrometers()
+                        <= plan.height().micrometers() + 1e-6
+                );
             }
         }
     }

@@ -274,8 +274,11 @@ impl MemoryHierarchyBuilder {
             .with_technology(self.technology);
         flat_cfg.validate()?;
         let flat = SramModel::new(flat_cfg);
-        let blocks =
-            required_glb_blocks(self.demand_bandwidth, flat.cycle_time(), self.bus_width_bits);
+        let blocks = required_glb_blocks(
+            self.demand_bandwidth,
+            flat.cycle_time(),
+            self.bus_width_bits,
+        );
         if blocks > 4096 {
             return Err(MemoryError::BandwidthInfeasible {
                 demanded_gbps: self.demand_bandwidth.gigabytes_per_second(),
@@ -351,7 +354,10 @@ mod tests {
         let result = MemoryHierarchy::builder()
             .demand_bandwidth(Bandwidth::from_gigabytes_per_second(1.0e9))
             .build();
-        assert!(matches!(result, Err(MemoryError::BandwidthInfeasible { .. })));
+        assert!(matches!(
+            result,
+            Err(MemoryError::BandwidthInfeasible { .. })
+        ));
     }
 
     #[test]

@@ -199,8 +199,7 @@ impl SramModel {
 
     /// Peak bandwidth of the macro: one word per port per bank per cycle.
     pub fn peak_bandwidth(&self) -> simphony_units::Bandwidth {
-        let bits_per_cycle =
-            (self.config.word_bits * self.config.ports * self.config.banks) as f64;
+        let bits_per_cycle = (self.config.word_bits * self.config.ports * self.config.banks) as f64;
         DataSize::from_bits(bits_per_cycle) / self.cycle_time()
     }
 
@@ -249,7 +248,10 @@ mod tests {
     fn calibration_anchor_is_in_a_plausible_cacti_range() {
         let m = glb();
         let e = m.energy_per_bit().picojoules();
-        assert!(e > 0.1 && e < 1.0, "512 KiB per-bit energy {e} pJ out of range");
+        assert!(
+            e > 0.1 && e < 1.0,
+            "512 KiB per-bit energy {e} pJ out of range"
+        );
         let t = m.cycle_time().nanoseconds();
         assert!(t > 0.5 && t < 3.0, "cycle time {t} ns out of range");
         let a = m.area().square_millimeters();
@@ -259,9 +261,8 @@ mod tests {
     #[test]
     fn banking_reduces_cycle_time_and_energy_per_bit() {
         let flat = SramModel::new(SramConfig::new(DataSize::from_kilobytes(512.0), 256));
-        let banked = SramModel::new(
-            SramConfig::new(DataSize::from_kilobytes(512.0), 256).with_banks(8),
-        );
+        let banked =
+            SramModel::new(SramConfig::new(DataSize::from_kilobytes(512.0), 256).with_banks(8));
         assert!(banked.cycle_time() < flat.cycle_time());
         assert!(banked.energy_per_bit() < flat.energy_per_bit());
         assert!(banked.peak_bandwidth() > flat.peak_bandwidth());
@@ -282,19 +283,26 @@ mod tests {
     #[test]
     fn extra_ports_cost_energy_and_area() {
         let sp = glb();
-        let dp = SramModel::new(
-            SramConfig::new(DataSize::from_kilobytes(512.0), 256).with_ports(2),
-        );
+        let dp =
+            SramModel::new(SramConfig::new(DataSize::from_kilobytes(512.0), 256).with_ports(2));
         assert!(dp.energy_per_bit() > sp.energy_per_bit());
         assert!(dp.area() > sp.area());
     }
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(SramConfig::new(DataSize::from_bits(0.0), 64).validate().is_err());
-        assert!(SramConfig::new(DataSize::from_bytes(4.0), 0).validate().is_err());
-        assert!(SramConfig::new(DataSize::from_bits(16.0), 64).validate().is_err());
-        assert!(SramConfig::new(DataSize::from_kilobytes(4.0), 64).validate().is_ok());
+        assert!(SramConfig::new(DataSize::from_bits(0.0), 64)
+            .validate()
+            .is_err());
+        assert!(SramConfig::new(DataSize::from_bytes(4.0), 0)
+            .validate()
+            .is_err());
+        assert!(SramConfig::new(DataSize::from_bits(16.0), 64)
+            .validate()
+            .is_err());
+        assert!(SramConfig::new(DataSize::from_kilobytes(4.0), 64)
+            .validate()
+            .is_ok());
     }
 
     #[test]

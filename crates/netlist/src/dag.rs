@@ -188,9 +188,7 @@ impl WeightedDag {
         let mut best = vec![f64::NEG_INFINITY; n];
         let mut pred: Vec<Option<usize>> = vec![None; n];
         // Any vertex can start a path with its own weight.
-        for v in 0..n {
-            best[v] = self.vertex_weights[v];
-        }
+        best[..n].copy_from_slice(&self.vertex_weights[..n]);
         for &v in &order {
             for (to, w) in self.successors(v) {
                 let candidate = best[v] + w + self.vertex_weights[to];
@@ -293,7 +291,10 @@ mod tests {
     #[test]
     fn empty_graph_has_no_critical_path() {
         let dag = WeightedDag::new(Vec::new());
-        assert!(matches!(dag.longest_path(), Err(NetlistError::EmptyNetlist)));
+        assert!(matches!(
+            dag.longest_path(),
+            Err(NetlistError::EmptyNetlist)
+        ));
     }
 
     #[test]

@@ -75,7 +75,10 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::EmptyNetlist => write!(f, "netlist has no instances"),
             NetlistError::UnknownDevice { device, instance } => {
-                write!(f, "instance `{instance}` references unknown device `{device}`")
+                write!(
+                    f,
+                    "instance `{instance}` references unknown device `{device}`"
+                )
             }
         }
     }

@@ -79,11 +79,9 @@ impl ScaleExpr {
     pub fn evaluate(&self, params: &ArchParams) -> Result<f64> {
         match self {
             ScaleExpr::Constant(v) => Ok(*v),
-            ScaleExpr::Parameter(name) => {
-                params
-                    .lookup(name)
-                    .ok_or_else(|| NetlistError::UnknownParameter { name: name.clone() })
-            }
+            ScaleExpr::Parameter(name) => params
+                .lookup(name)
+                .ok_or_else(|| NetlistError::UnknownParameter { name: name.clone() }),
             ScaleExpr::Add(a, b) => Ok(a.evaluate(params)? + b.evaluate(params)?),
             ScaleExpr::Sub(a, b) => Ok(a.evaluate(params)? - b.evaluate(params)?),
             ScaleExpr::Mul(a, b) => Ok(a.evaluate(params)? * b.evaluate(params)?),
@@ -178,7 +176,10 @@ impl<'a> Parser<'a> {
         let expr = self.parse_expr()?;
         self.skip_ws();
         if self.pos != self.chars.len() {
-            return Err(self.error(format!("unexpected trailing input at position {}", self.pos)));
+            return Err(self.error(format!(
+                "unexpected trailing input at position {}",
+                self.pos
+            )));
         }
         Ok(expr)
     }
@@ -322,11 +323,17 @@ mod tests {
         let p = ArchParams::new(1, 1, 3, 3);
         // Unitary meshes scale by R*C*H*(H-1)/2, the diagonal by R*C*min(H, W).
         assert_eq!(
-            ScaleExpr::parse("R*C*H*(H-1)/2").unwrap().evaluate(&p).unwrap(),
+            ScaleExpr::parse("R*C*H*(H-1)/2")
+                .unwrap()
+                .evaluate(&p)
+                .unwrap(),
             3.0
         );
         assert_eq!(
-            ScaleExpr::parse("R*C*min(H,W)").unwrap().evaluate(&p).unwrap(),
+            ScaleExpr::parse("R*C*min(H,W)")
+                .unwrap()
+                .evaluate(&p)
+                .unwrap(),
             3.0
         );
     }
@@ -334,12 +341,18 @@ mod tests {
     #[test]
     fn precedence_and_parentheses() {
         let p = params();
-        assert_eq!(ScaleExpr::parse("2+3*4").unwrap().evaluate(&p).unwrap(), 14.0);
+        assert_eq!(
+            ScaleExpr::parse("2+3*4").unwrap().evaluate(&p).unwrap(),
+            14.0
+        );
         assert_eq!(
             ScaleExpr::parse("(2+3)*4").unwrap().evaluate(&p).unwrap(),
             20.0
         );
-        assert_eq!(ScaleExpr::parse("-H+10").unwrap().evaluate(&p).unwrap(), 6.0);
+        assert_eq!(
+            ScaleExpr::parse("-H+10").unwrap().evaluate(&p).unwrap(),
+            6.0
+        );
     }
 
     #[test]
@@ -357,7 +370,10 @@ mod tests {
 
     #[test]
     fn unknown_parameter_is_reported() {
-        let err = ScaleExpr::parse("Q*2").unwrap().evaluate(&params()).unwrap_err();
+        let err = ScaleExpr::parse("Q*2")
+            .unwrap()
+            .evaluate(&params())
+            .unwrap_err();
         assert!(matches!(err, NetlistError::UnknownParameter { .. }));
     }
 

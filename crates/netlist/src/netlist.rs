@@ -119,7 +119,10 @@ impl Netlist {
     pub fn instance_counts(&self, params: &ArchParams) -> Result<BTreeMap<String, usize>> {
         let mut counts = BTreeMap::new();
         for inst in &self.instances {
-            counts.insert(inst.name().to_string(), inst.count_rule().evaluate_count(params)?);
+            counts.insert(
+                inst.name().to_string(),
+                inst.count_rule().evaluate_count(params)?,
+            );
         }
         Ok(counts)
     }
@@ -136,7 +139,11 @@ impl Netlist {
         library: &DeviceLibrary,
         params: &ArchParams,
     ) -> Result<WeightedDag> {
-        let labels = self.instances.iter().map(|i| i.name().to_string()).collect();
+        let labels = self
+            .instances
+            .iter()
+            .map(|i| i.name().to_string())
+            .collect();
         let mut dag = WeightedDag::new(labels);
         for (idx, inst) in self.instances.iter().enumerate() {
             let spec = library
@@ -239,12 +246,7 @@ impl NetlistBuilder {
     /// # Errors
     ///
     /// Propagates rule parse errors and duplicate-name errors.
-    pub fn add_scaled(
-        &mut self,
-        name: &str,
-        device: &str,
-        count_rule: &str,
-    ) -> Result<InstanceId> {
+    pub fn add_scaled(&mut self, name: &str, device: &str, count_rule: &str) -> Result<InstanceId> {
         let rule = ScaleExpr::parse(count_rule)?;
         self.add_instance(Instance::new(name, device).with_count_rule(rule))
     }
@@ -332,7 +334,10 @@ mod tests {
             .iter()
             .map(|id| netlist.instance(*id).unwrap().name())
             .collect();
-        assert_eq!(names, vec!["laser", "coupler", "mzm_a", "mzm_b", "pd", "adc"]);
+        assert_eq!(
+            names,
+            vec!["laser", "coupler", "mzm_a", "mzm_b", "pd", "adc"]
+        );
         // laser 0 + coupler 1.0 + mzm 0.8 + mzm 0.8 + pd 0.5 + adc 0 = 3.1 dB
         assert!((il.db() - 3.1).abs() < 1e-9);
     }

@@ -56,7 +56,10 @@ impl fmt::Display for OnnError {
         match self {
             OnnError::ShapeMismatch { details } => write!(f, "shape mismatch: {details}"),
             OnnError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for tensor of {len} elements")
+                write!(
+                    f,
+                    "index {index} out of bounds for tensor of {len} elements"
+                )
             }
             OnnError::InvalidLayer { name, reason } => {
                 write!(f, "invalid layer `{name}`: {reason}")

@@ -70,7 +70,11 @@ impl GemmShape {
 impl fmt::Display for GemmShape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.batch > 1 {
-            write!(f, "{}x[{}x{}]·[{}x{}]", self.batch, self.m, self.k, self.k, self.n)
+            write!(
+                f,
+                "{}x[{}x{}]·[{}x{}]",
+                self.batch, self.m, self.k, self.k, self.n
+            )
         } else {
             write!(f, "[{}x{}]·[{}x{}]", self.m, self.k, self.k, self.n)
         }

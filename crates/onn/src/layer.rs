@@ -106,7 +106,10 @@ impl Conv2dSpec {
         if padded_h < self.kernel || padded_w < self.kernel {
             return Err(OnnError::InvalidLayer {
                 name: "conv2d".into(),
-                reason: format!("kernel {} larger than padded input {padded_h}x{padded_w}", self.kernel),
+                reason: format!(
+                    "kernel {} larger than padded input {padded_h}x{padded_w}",
+                    self.kernel
+                ),
             });
         }
         Ok((

@@ -62,39 +62,67 @@ pub use workload::{LayerWorkload, ModelWorkload, WeightEncoding};
 
 #[cfg(test)]
 mod proptests {
+    //! Property tests over seeded-random inputs. The original version used the
+    //! `proptest` crate; the offline build environment cannot fetch it, so the
+    //! same invariants are checked across a deterministic sample drawn from
+    //! [`SplitMix64`].
+
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// GEMM operand/output counts are consistent with the MAC count.
-        #[test]
-        fn gemm_macs_are_consistent(m in 1usize..64, k in 1usize..64, n in 1usize..64, b in 1usize..4) {
+    fn sample(rng: &mut SplitMix64, lo: usize, hi: usize) -> usize {
+        lo + (rng.next_u64() as usize) % (hi - lo)
+    }
+
+    /// GEMM operand/output counts are consistent with the MAC count.
+    #[test]
+    fn gemm_macs_are_consistent() {
+        let mut rng = SplitMix64::new(0x6E33);
+        for _ in 0..256 {
+            let (m, k, n) = (
+                sample(&mut rng, 1, 64),
+                sample(&mut rng, 1, 64),
+                sample(&mut rng, 1, 64),
+            );
+            let b = sample(&mut rng, 1, 4);
             let g = GemmShape::new(m, k, n).with_batch(b);
-            prop_assert_eq!(g.macs(), g.operand_a_elements() * n as u64);
-            prop_assert_eq!(g.macs(), g.operand_b_elements() * m as u64);
-            prop_assert_eq!(g.output_elements() * k as u64, g.macs());
+            assert_eq!(g.macs(), g.operand_a_elements() * n as u64);
+            assert_eq!(g.macs(), g.operand_b_elements() * m as u64);
+            assert_eq!(g.output_elements() * k as u64, g.macs());
         }
+    }
 
-        /// Quantised values stay on the representable grid and within range.
-        #[test]
-        fn quantisation_stays_in_range(value in -2.0f32..2.0, bits in 2u8..10) {
+    /// Quantised values stay on the representable grid and within range.
+    #[test]
+    fn quantisation_stays_in_range() {
+        let mut rng = SplitMix64::new(0x9A4B7);
+        for _ in 0..256 {
+            let value = (rng.next_signed() * 2.0) as f32;
+            let bits = sample(&mut rng, 2, 10) as u8;
             let q = quantize_symmetric(value, simphony_units::BitWidth::new(bits));
-            prop_assert!((-1.0..=1.0).contains(&q));
+            assert!((-1.0..=1.0).contains(&q), "{q} out of range at {bits} bits");
             let levels = (1u64 << (bits - 1)) as f32;
             let on_grid = (q * levels).round() / levels;
-            prop_assert!((q - on_grid).abs() < 1e-6);
+            assert!((q - on_grid).abs() < 1e-6, "{q} off the {bits}-bit grid");
         }
+    }
 
-        /// Magnitude pruning hits the requested sparsity within one element.
-        #[test]
-        fn pruning_hits_target(sparsity in 0.0f64..1.0, len in 1usize..500) {
+    /// Magnitude pruning hits the requested sparsity within one element.
+    #[test]
+    fn pruning_hits_target() {
+        let mut outer = SplitMix64::new(0xF00D);
+        for _ in 0..64 {
+            let sparsity = outer.next_f64();
+            let len = sample(&mut outer, 1, 500);
             let mut rng = SplitMix64::new(1234);
             let mut values: Vec<f32> = (0..len).map(|_| rng.next_signed() as f32 + 0.001).collect();
             let config = PruningConfig::new(sparsity).expect("valid sparsity");
             magnitude_prune(&mut values, &config);
             let zeros = values.iter().filter(|v| **v == 0.0).count();
             let target = (len as f64 * sparsity).round() as usize;
-            prop_assert!(zeros.abs_diff(target) <= 1);
+            assert!(
+                zeros.abs_diff(target) <= 1,
+                "sparsity {sparsity} len {len}: {zeros} zeros vs target {target}"
+            );
         }
     }
 

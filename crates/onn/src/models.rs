@@ -142,7 +142,14 @@ pub fn vgg8_cifar10() -> Model {
             width: 32,
         },
     );
-    let channel_plan = [(3usize, 64usize), (64, 128), (128, 256), (256, 256), (256, 512), (512, 512)];
+    let channel_plan = [
+        (3usize, 64usize),
+        (64, 128),
+        (128, 256),
+        (256, 256),
+        (256, 512),
+        (512, 512),
+    ];
     for (index, (cin, cout)) in channel_plan.into_iter().enumerate() {
         model.push_layer(NamedLayer::new(
             format!("conv{}", index + 1),
@@ -154,7 +161,10 @@ pub fn vgg8_cifar10() -> Model {
         ));
         // Pool after every other convolution to shrink 32x32 down to 4x4.
         if index % 2 == 1 {
-            model.push_layer(NamedLayer::new(format!("pool{}", index / 2 + 1), LayerSpec::Pooling));
+            model.push_layer(NamedLayer::new(
+                format!("pool{}", index / 2 + 1),
+                LayerSpec::Pooling,
+            ));
         }
     }
     model.push_layer(NamedLayer::new(
@@ -187,13 +197,7 @@ pub fn transformer_encoder(
     ffn_dim: usize,
     seq_len: usize,
 ) -> Model {
-    let mut model = Model::new(
-        name,
-        ModelInput::Tokens {
-            seq_len,
-            embed_dim,
-        },
-    );
+    let mut model = Model::new(name, ModelInput::Tokens { seq_len, embed_dim });
     for b in 0..blocks {
         model.push_layer(NamedLayer::new(
             format!("block{b}_ln1"),

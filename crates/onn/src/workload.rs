@@ -127,17 +127,20 @@ impl LayerWorkload {
 
     /// Storage footprint of operand A at its precision.
     pub fn weight_size(&self) -> DataSize {
-        self.weight_bits.size_of(self.gemm.operand_a_elements() as usize)
+        self.weight_bits
+            .size_of(self.gemm.operand_a_elements() as usize)
     }
 
     /// Storage footprint of operand B at its precision.
     pub fn input_size(&self) -> DataSize {
-        self.input_bits.size_of(self.gemm.operand_b_elements() as usize)
+        self.input_bits
+            .size_of(self.gemm.operand_b_elements() as usize)
     }
 
     /// Storage footprint of the output at its precision.
     pub fn output_size(&self) -> DataSize {
-        self.output_bits.size_of(self.gemm.output_elements() as usize)
+        self.output_bits
+            .size_of(self.gemm.output_elements() as usize)
     }
 
     /// Total data footprint (A + B + output).

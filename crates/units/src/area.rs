@@ -99,7 +99,9 @@ mod tests {
     #[test]
     fn validation_rejects_negative_and_nan() {
         assert!(Area::from_square_um(-1.0).validated("core").is_err());
-        assert!(Area::from_square_um(f64::INFINITY).validated("core").is_err());
+        assert!(Area::from_square_um(f64::INFINITY)
+            .validated("core")
+            .is_err());
         assert!(Area::from_square_um(0.0).validated("core").is_ok());
     }
 

@@ -2,54 +2,67 @@
 //! precision of a TeMPO accelerator to find an energy-efficient operating point
 //! for a convolutional workload.
 //!
+//! The sweep is declared as a `simphony-explore` [`SweepSpec`]; the engine
+//! expands the Cartesian product, simulates the points in parallel, and the
+//! Pareto extractor reports the energy/latency trade-off curve instead of a
+//! single hand-picked winner.
+//!
 //! ```text
 //! cargo run -p simphony-examples --bin design_space_exploration
 //! ```
 
-use simphony::{Accelerator, MappingPlan, Simulator};
-use simphony_arch::generators;
-use simphony_netlist::ArchParams;
-use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
-use simphony_units::BitWidth;
+use simphony_explore::{pareto_front, run_sweep, Objective, SweepSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("design-space exploration: VGG-8 conv1-conv4 on TeMPO variants\n");
+    println!("design-space exploration: VGG-8 on TeMPO variants\n");
+
+    let mut spec = SweepSpec::new("vgg8_tempo_dse")
+        .with_workload(vec![simphony_explore::WorkloadSpec::Vgg8])
+        .with_core_dims(vec![8])
+        .with_wavelengths(vec![1, 2, 4, 8])
+        .with_bitwidth(vec![4, 6, 8]);
+    spec.seed = 7;
+
+    let outcome = run_sweep(&spec, None)?;
     println!(
         "{:<12} {:<8} {:>14} {:>14} {:>12}",
         "wavelengths", "bits", "energy (uJ)", "cycles", "EDP (uJ*ms)"
     );
-    let mut best: Option<(usize, u8, f64)> = None;
-    for lambda in [1usize, 2, 4, 8] {
-        for bits in [4u8, 6, 8] {
-            let accel = Accelerator::builder("tempo_dse")
-                .sub_arch(generators::tempo(
-                    ArchParams::new(2, 2, 8, 8).with_wavelengths(lambda),
-                    5.0,
-                )?)
-                .build()?;
-            let workload = ModelWorkload::extract(
-                &models::vgg8_cifar10(),
-                &QuantConfig::uniform(BitWidth::new(bits)),
-                &PruningConfig::dense(),
-                7,
-            )?;
-            let report = Simulator::new(accel).simulate(&workload, &MappingPlan::default())?;
-            let energy_uj = report.total_energy.microjoules();
-            let edp = energy_uj * report.total_time.milliseconds();
-            println!(
-                "{:<12} {:<8} {:>14.2} {:>14} {:>12.4}",
-                lambda, bits, energy_uj, report.total_cycles, edp
-            );
-            if best.map(|(_, _, e)| edp < e).unwrap_or(true) {
-                best = Some((lambda, bits, edp));
-            }
-        }
-    }
-    if let Some((lambda, bits, edp)) = best {
+    for record in &outcome.records {
         println!(
-            "\nbest energy-delay product: {lambda} wavelengths at {bits}-bit precision (EDP {edp:.4} uJ*ms)"
+            "{:<12} {:<8} {:>14.2} {:>14} {:>12.4}",
+            record.point.wavelengths,
+            record.point.bits,
+            record.energy_uj,
+            record.cycles,
+            record.edp_uj_ms
         );
-        println!("note: accuracy impact of low precision must be checked with quantisation-aware training.");
     }
+
+    let front = pareto_front(&outcome.records, &[Objective::Energy, Objective::Latency]);
+    println!(
+        "\nenergy/latency Pareto frontier ({} of {} points):",
+        front.len(),
+        outcome.records.len()
+    );
+    for record in &front {
+        println!(
+            "  {} wavelengths at {}-bit: {:.2} uJ, {:.4} ms",
+            record.point.wavelengths, record.point.bits, record.energy_uj, record.time_ms
+        );
+    }
+
+    let best = outcome
+        .records
+        .iter()
+        .min_by(|a, b| a.edp_uj_ms.total_cmp(&b.edp_uj_ms))
+        .expect("non-empty sweep");
+    println!(
+        "\nbest energy-delay product: {} wavelengths at {}-bit precision (EDP {:.4} uJ*ms)",
+        best.point.wavelengths, best.point.bits, best.edp_uj_ms
+    );
+    println!(
+        "note: accuracy impact of low precision must be checked with quantisation-aware training."
+    );
     Ok(())
 }

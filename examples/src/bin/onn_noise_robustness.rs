@@ -7,9 +7,7 @@
 //! cargo run -p simphony-examples --bin onn_noise_robustness
 //! ```
 
-use simphony_onn::{
-    apply_weight_noise, convert_model, models, NoiseConfig, Tensor,
-};
+use simphony_onn::{apply_weight_noise, convert_model, models, NoiseConfig, Tensor};
 
 fn relative_error(reference: &Tensor, noisy: &Tensor) -> f64 {
     let num: f64 = reference
@@ -18,7 +16,11 @@ fn relative_error(reference: &Tensor, noisy: &Tensor) -> f64 {
         .zip(noisy.values())
         .map(|(a, b)| f64::from((a - b).powi(2)))
         .sum();
-    let den: f64 = reference.values().iter().map(|a| f64::from(a.powi(2))).sum();
+    let den: f64 = reference
+        .values()
+        .iter()
+        .map(|a| f64::from(a.powi(2)))
+        .sum();
     (num / den.max(1e-12)).sqrt()
 }
 

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Simulate and inspect the report.
     let report = Simulator::new(accel).simulate(&workload, &MappingPlan::default())?;
     println!("{report}\n");
-    println!("critical optical path of {}:", report.link_budgets[0].arch_name);
+    println!(
+        "critical optical path of {}:",
+        report.link_budgets[0].arch_name
+    );
     for hop in &report.link_budgets[0].critical_path {
         println!("  -> {hop}");
     }

@@ -1,0 +1,411 @@
+//! Vendored minimal stand-in for the `clap` crate (builder API subset).
+//!
+//! The build environment has no crates.io access, so this crate implements the
+//! slice of clap's builder API that `simphony-cli` uses: subcommands, long
+//! options (`--name value` / `--name=value`), boolean flags
+//! ([`ArgAction::SetTrue`]), required arguments, default values and generated
+//! `--help` text. Errors print a usage message and exit with status 2, like
+//! real clap.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process;
+use std::str::FromStr;
+
+/// How an argument consumes command-line input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArgAction {
+    /// The argument takes one value (`--name value`).
+    #[default]
+    Set,
+    /// The argument is a boolean flag (`--name`).
+    SetTrue,
+}
+
+/// A named command-line argument.
+#[derive(Debug, Clone)]
+pub struct Arg {
+    id: String,
+    long: Option<String>,
+    help: Option<String>,
+    required: bool,
+    default: Option<String>,
+    value_name: Option<String>,
+    action: ArgAction,
+}
+
+impl Arg {
+    /// Creates an argument with the given id.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            long: None,
+            help: None,
+            required: false,
+            default: None,
+            value_name: None,
+            action: ArgAction::Set,
+        }
+    }
+
+    /// Sets the long flag name (defaults to the id).
+    pub fn long(mut self, name: impl Into<String>) -> Self {
+        self.long = Some(name.into());
+        self
+    }
+
+    /// Sets the help text shown by `--help`.
+    pub fn help(mut self, text: impl Into<String>) -> Self {
+        self.help = Some(text.into());
+        self
+    }
+
+    /// Marks the argument as mandatory.
+    pub fn required(mut self, yes: bool) -> Self {
+        self.required = yes;
+        self
+    }
+
+    /// Sets a default value used when the flag is absent.
+    pub fn default_value(mut self, value: impl Into<String>) -> Self {
+        self.default = Some(value.into());
+        self
+    }
+
+    /// Sets the value placeholder shown in help text.
+    pub fn value_name(mut self, name: impl Into<String>) -> Self {
+        self.value_name = Some(name.into());
+        self
+    }
+
+    /// Sets how the argument consumes input.
+    pub fn action(mut self, action: ArgAction) -> Self {
+        self.action = action;
+        self
+    }
+
+    fn flag(&self) -> &str {
+        self.long.as_deref().unwrap_or(&self.id)
+    }
+}
+
+/// A (sub)command: a name, argument definitions and nested subcommands.
+#[derive(Debug, Clone)]
+pub struct Command {
+    name: String,
+    about: Option<String>,
+    version: Option<String>,
+    args: Vec<Arg>,
+    subcommands: Vec<Command>,
+    subcommand_required: bool,
+}
+
+impl Command {
+    /// Creates a command with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            about: None,
+            version: None,
+            args: Vec::new(),
+            subcommands: Vec::new(),
+            subcommand_required: false,
+        }
+    }
+
+    /// Sets the description shown by `--help`.
+    pub fn about(mut self, text: impl Into<String>) -> Self {
+        self.about = Some(text.into());
+        self
+    }
+
+    /// Sets the version string shown by `--version`.
+    pub fn version(mut self, version: impl Into<String>) -> Self {
+        self.version = Some(version.into());
+        self
+    }
+
+    /// Adds an argument definition.
+    pub fn arg(mut self, arg: Arg) -> Self {
+        self.args.push(arg);
+        self
+    }
+
+    /// Adds a subcommand.
+    pub fn subcommand(mut self, cmd: Command) -> Self {
+        self.subcommands.push(cmd);
+        self
+    }
+
+    /// Requires that one of the subcommands is given.
+    pub fn subcommand_required(mut self, yes: bool) -> Self {
+        self.subcommand_required = yes;
+        self
+    }
+
+    /// Parses `std::env::args`, printing help/usage and exiting on error.
+    pub fn get_matches(self) -> ArgMatches {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match self.try_get_matches_from(&argv) {
+            Ok(matches) => matches,
+            Err(ClapError::Help(text)) => {
+                println!("{text}");
+                process::exit(0);
+            }
+            Err(ClapError::Usage { message, help }) => {
+                eprintln!("error: {message}");
+                eprintln!("\n{help}");
+                process::exit(2);
+            }
+        }
+    }
+
+    fn usage_error(&self, message: impl Into<String>) -> ClapError {
+        ClapError::Usage {
+            message: message.into(),
+            help: self.help_text(),
+        }
+    }
+
+    /// Parses the given argument list (testable entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns a help request or a usage error instead of exiting.
+    pub fn try_get_matches_from(&self, argv: &[String]) -> Result<ArgMatches, ClapError> {
+        let mut matches = ArgMatches::default();
+        for arg in &self.args {
+            if let Some(default) = &arg.default {
+                matches.values.insert(arg.id.clone(), default.clone());
+            }
+        }
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            if token == "--help" || token == "-h" {
+                return Err(ClapError::Help(self.help_text()));
+            }
+            if token == "--version" {
+                if let Some(version) = &self.version {
+                    return Err(ClapError::Help(format!("{} {version}", self.name)));
+                }
+            }
+            if let Some(rest) = token.strip_prefix("--") {
+                let (flag, inline_value) = match rest.split_once('=') {
+                    Some((f, v)) => (f, Some(v.to_string())),
+                    None => (rest, None),
+                };
+                let arg =
+                    self.args.iter().find(|a| a.flag() == flag).ok_or_else(|| {
+                        self.usage_error(format!("unexpected argument `--{flag}`"))
+                    })?;
+                match arg.action {
+                    ArgAction::SetTrue => {
+                        if inline_value.is_some() {
+                            return Err(
+                                self.usage_error(format!("flag `--{flag}` does not take a value"))
+                            );
+                        }
+                        matches.flags.insert(arg.id.clone());
+                    }
+                    ArgAction::Set => {
+                        let value = match inline_value {
+                            Some(v) => v,
+                            None => {
+                                i += 1;
+                                let next = argv.get(i).cloned().ok_or_else(|| {
+                                    self.usage_error(format!("`--{flag}` requires a value"))
+                                })?;
+                                // A following option token is a missing value,
+                                // not the value itself (mirrors real clap).
+                                if next.starts_with("--") {
+                                    return Err(self.usage_error(format!(
+                                        "`--{flag}` requires a value, found flag `{next}`"
+                                    )));
+                                }
+                                next
+                            }
+                        };
+                        matches.values.insert(arg.id.clone(), value);
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            // First positional token selects a subcommand.
+            if let Some(sub) = self.subcommands.iter().find(|c| c.name == *token) {
+                let sub_matches = sub.try_get_matches_from(&argv[i + 1..])?;
+                matches.subcommand = Some((sub.name.clone(), Box::new(sub_matches)));
+                break;
+            }
+            return Err(self.usage_error(format!("unexpected argument `{token}`")));
+        }
+        for arg in &self.args {
+            if arg.required && !matches.values.contains_key(&arg.id) {
+                return Err(self.usage_error(format!(
+                    "the required argument `--{}` was not provided",
+                    arg.flag()
+                )));
+            }
+        }
+        if self.subcommand_required && matches.subcommand.is_none() {
+            return Err(self.usage_error("a subcommand is required (see --help)"));
+        }
+        Ok(matches)
+    }
+
+    /// Renders the `--help` text.
+    pub fn help_text(&self) -> String {
+        let mut out = String::new();
+        if let Some(about) = &self.about {
+            let _ = writeln!(out, "{about}\n");
+        }
+        let _ = write!(out, "Usage: {}", self.name);
+        if !self.args.is_empty() {
+            let _ = write!(out, " [OPTIONS]");
+        }
+        if !self.subcommands.is_empty() {
+            let _ = write!(out, " <COMMAND>");
+        }
+        let _ = writeln!(out);
+        if !self.subcommands.is_empty() {
+            let _ = writeln!(out, "\nCommands:");
+            for sub in &self.subcommands {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {}",
+                    sub.name,
+                    sub.about.as_deref().unwrap_or("")
+                );
+            }
+        }
+        if !self.args.is_empty() {
+            let _ = writeln!(out, "\nOptions:");
+            for arg in &self.args {
+                let placeholder = match arg.action {
+                    ArgAction::SetTrue => String::new(),
+                    ArgAction::Set => format!(
+                        " <{}>",
+                        arg.value_name.as_deref().unwrap_or(&arg.id.to_uppercase())
+                    ),
+                };
+                let mut left = format!("--{}{placeholder}", arg.flag());
+                if let Some(default) = &arg.default {
+                    left.push_str(&format!(" [default: {default}]"));
+                }
+                let _ = writeln!(out, "  {:<38} {}", left, arg.help.as_deref().unwrap_or(""));
+            }
+        }
+        out.trim_end().to_string()
+    }
+}
+
+/// Parse outcome carried out of [`Command::try_get_matches_from`].
+#[derive(Debug, Clone)]
+pub enum ClapError {
+    /// `--help`/`--version` was requested; payload is the text to print.
+    Help(String),
+    /// Invalid invocation: the error message plus the help text of the
+    /// (sub)command the error occurred in, so `simphony-cli sweep` with a
+    /// missing `--spec` shows the sweep options rather than the root help.
+    Usage {
+        /// What was wrong.
+        message: String,
+        /// Help text of the command level where parsing failed.
+        help: String,
+    },
+}
+
+/// Parsed argument values.
+#[derive(Debug, Clone, Default)]
+pub struct ArgMatches {
+    values: BTreeMap<String, String>,
+    flags: std::collections::BTreeSet<String>,
+    subcommand: Option<(String, Box<ArgMatches>)>,
+}
+
+impl ArgMatches {
+    /// The value of argument `id`, parsed into `T`. Panics with a clear
+    /// message when the value does not parse (mirrors clap's typed accessors).
+    pub fn get_one<T: FromStr>(&self, id: &str) -> Option<T> {
+        self.values.get(id).map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid value `{raw}` for `--{id}`");
+                process::exit(2);
+            })
+        })
+    }
+
+    /// Whether boolean flag `id` was given.
+    pub fn get_flag(&self, id: &str) -> bool {
+        self.flags.contains(id)
+    }
+
+    /// The selected subcommand, if any.
+    pub fn subcommand(&self) -> Option<(&str, &ArgMatches)> {
+        self.subcommand
+            .as_ref()
+            .map(|(name, matches)| (name.as_str(), matches.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli() -> Command {
+        Command::new("tool").subcommand_required(true).subcommand(
+            Command::new("sweep")
+                .arg(Arg::new("spec").long("spec").required(true))
+                .arg(Arg::new("threads").long("threads").default_value("0"))
+                .arg(Arg::new("csv").long("csv").action(ArgAction::SetTrue)),
+        )
+    }
+
+    fn parse(args: &[&str]) -> Result<ArgMatches, ClapError> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        cli().try_get_matches_from(&argv)
+    }
+
+    #[test]
+    fn subcommand_options_and_defaults_parse() {
+        let m = parse(&["sweep", "--spec", "s.json", "--csv"]).unwrap();
+        let (name, sub) = m.subcommand().unwrap();
+        assert_eq!(name, "sweep");
+        assert_eq!(sub.get_one::<String>("spec").unwrap(), "s.json");
+        assert_eq!(sub.get_one::<usize>("threads").unwrap(), 0);
+        assert!(sub.get_flag("csv"));
+    }
+
+    #[test]
+    fn equals_syntax_parses() {
+        let m = parse(&["sweep", "--spec=s.json"]).unwrap();
+        let (_, sub) = m.subcommand().unwrap();
+        assert_eq!(sub.get_one::<String>("spec").unwrap(), "s.json");
+    }
+
+    #[test]
+    fn a_following_flag_is_not_a_value() {
+        match parse(&["sweep", "--spec", "--csv"]) {
+            Err(ClapError::Usage { message, .. }) => {
+                assert!(message.contains("requires a value"))
+            }
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_and_unknown_flags_error() {
+        assert!(matches!(parse(&["sweep"]), Err(ClapError::Usage { .. })));
+        assert!(matches!(
+            parse(&["sweep", "--spec", "x", "--nope"]),
+            Err(ClapError::Usage { .. })
+        ));
+        assert!(matches!(parse(&[]), Err(ClapError::Usage { .. })));
+    }
+
+    #[test]
+    fn help_is_reported() {
+        assert!(matches!(parse(&["--help"]), Err(ClapError::Help(_))));
+    }
+}

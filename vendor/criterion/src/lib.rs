@@ -1,0 +1,157 @@
+//! Vendored minimal stand-in for the `criterion` benchmarking harness.
+//!
+//! The build environment has no crates.io access, so this crate provides just
+//! enough of criterion's API for `cargo bench` to compile and produce useful
+//! wall-clock numbers: [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`, and the [`criterion_group!`]/[`criterion_main!`] macros.
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples, and
+//! prints the per-iteration mean and min.
+
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Times `f` under the given id and prints a summary line.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Warm-up sample, not recorded.
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            samples.push(bencher.elapsed / u32::try_from(bencher.iters).unwrap_or(u32::MAX));
+        }
+    }
+    let mean = samples
+        .iter()
+        .sum::<Duration>()
+        .checked_div(u32::try_from(samples.len().max(1)).unwrap_or(u32::MAX))
+        .unwrap_or_default();
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!("bench {id:<44} mean {mean:>12.3?}  min {min:>12.3?}  samples {sample_size}");
+}
+
+/// Per-sample timing context.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (criterion's `iter`).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut runs = 0;
+        Criterion::default().bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            runs += 1;
+        });
+        // One warm-up plus DEFAULT_SAMPLE_SIZE samples.
+        assert_eq!(runs, DEFAULT_SAMPLE_SIZE + 1);
+    }
+
+    #[test]
+    fn groups_honour_sample_size() {
+        let mut runs = 0;
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("t", |b| {
+            b.iter(|| ());
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 4);
+    }
+}

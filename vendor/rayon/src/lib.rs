@@ -1,0 +1,164 @@
+//! Vendored minimal stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements the
+//! one parallel pattern the workspace uses — order-preserving `par_iter().map(
+//! ).collect::<Vec<_>>()` over a slice — on top of `std::thread::scope`. Work
+//! is split into contiguous chunks, one per worker, and the per-chunk results
+//! are concatenated in order, so output ordering is identical to a sequential
+//! map regardless of thread count.
+//!
+//! The `RAYON_NUM_THREADS` environment variable is honoured exactly like real
+//! rayon: it caps the number of worker threads, and `RAYON_NUM_THREADS=1`
+//! degenerates to a plain sequential map on the calling thread.
+
+use std::env;
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Common traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Number of worker threads parallel operations will use: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(raw) = env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Types that can hand out a borrowing parallel iterator, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f`, to be consumed by [`ParMap::collect`].
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Pending parallel map, executed on [`collect`](ParMap::collect).
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map across worker threads and collects results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_ordered(self.items, &self.f))
+    }
+}
+
+fn par_map_ordered<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: &(impl Fn(&'a T) -> R + Sync),
+) -> Vec<R> {
+    let len = items.len();
+    let workers = current_num_threads().min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Strided assignment (worker w takes items w, w+workers, …) instead of
+    // contiguous chunks: expensive items tend to cluster (a sweep's outermost
+    // axis groups heavy workloads together), and striding spreads them across
+    // workers. Results carry their index so output order stays exactly the
+    // input order.
+    let tagged: Vec<(usize, R)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                scope.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(worker)
+                        .step_by(workers)
+                        .map(|(index, item)| (index, f(item)))
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("rayon shim worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for (index, value) in tagged {
+        out[index] = Some(value);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn order_is_preserved_across_chunks() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_element_and_empty_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

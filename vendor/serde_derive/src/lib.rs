@@ -1,0 +1,440 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The build environment has no crates.io access, so these derives are written
+//! against `proc_macro` alone (no `syn`/`quote`). They support exactly the
+//! shapes the workspace uses:
+//!
+//! * structs with named fields → JSON maps in declaration order;
+//! * tuple structs with one field (`#[serde(transparent)]` newtypes) → the
+//!   inner value;
+//! * tuple structs with several fields → arrays;
+//! * enums, externally tagged like real serde: unit variants → strings,
+//!   newtype variants → `{"Variant": value}`, tuple variants →
+//!   `{"Variant": [..]}`, struct variants → `{"Variant": {..}}`.
+//!
+//! Generic types, lifetimes and serde attributes other than
+//! `#[serde(transparent)]` (which is the default behaviour here for newtype
+//! structs) are intentionally unsupported and fail with a clear panic at
+//! macro-expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                None => Fields::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                other => panic!("serde derive: unexpected token after struct name: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past outer attributes (`#[..]`) and a visibility modifier.
+///
+/// `#[serde(..)]` attributes other than `transparent` configure behaviour
+/// this vendored derive does not implement, so they panic at expansion time
+/// instead of being silently ignored (which would corrupt round-trips).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    check_attribute_supported(g.stream());
+                }
+                *i += 2; // `#` and the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Panics when a `#[serde(..)]` attribute requests behaviour this vendored
+/// derive does not implement. Only `transparent` is accepted (and it is the
+/// default for single-field tuple structs here anyway).
+fn check_attribute_supported(attr: TokenStream) {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    let is_serde = matches!(
+        tokens.first(),
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+    );
+    if !is_serde {
+        return;
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g.stream().to_string(),
+        _ => return,
+    };
+    if args.trim() != "transparent" {
+        panic!(
+            "serde derive (vendored): unsupported attribute #[serde({args})] — \
+             only #[serde(transparent)] is implemented; rename/default/skip/etc. \
+             would be silently wrong, so they are rejected at expansion time"
+        );
+    }
+}
+
+/// Splits a token stream on commas that sit outside any `<..>` nesting.
+/// (Groups are single atomic tokens, so only angle brackets need tracking.)
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(token);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0;
+            skip_attrs_and_vis(&tokens, &mut i);
+            match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0;
+            skip_attrs_and_vis(&tokens, &mut i);
+            let name = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                None => Fields::Unit,
+                other => panic!("serde derive: unexpected token in variant: {other:?}"),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (plain strings, parsed back into a TokenStream).
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Map(::std::vec::Vec::new())".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "let _ = value; Ok(Self)".to_string(),
+        Fields::Tuple(1) => "Ok(Self(::serde::Deserialize::from_value(value)?))".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&elems[{i}])?"))
+                .collect();
+            format!(
+                "let elems = ::serde::tuple_elems(value, {n}, \"{name}\")?;\n\
+                 Ok(Self({}))",
+                elems.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_field(value, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!("Ok(Self {{ {} }})", inits.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "Self::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                ),
+                Fields::Tuple(1) => format!(
+                    "Self::{vn}(f0) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))])"
+                ),
+                Fields::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                        .collect();
+                    format!(
+                        "Self::{vn}({}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(vec![{}]))])",
+                        binders.join(", "),
+                        elems.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binders = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "Self::{vn} {{ {binders} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Map(vec![{}]))])",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join(",\n")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{vn}\" => Ok(Self::{vn})", vn = v.name))
+        .collect();
+    let payload_variants: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .collect();
+
+    let string_branch = format!(
+        "if let ::std::option::Option::Some(tag) = value.as_str() {{\n\
+             return match tag {{\n\
+                 {}\n\
+                 other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+             }};\n\
+         }}",
+        unit_arms
+            .iter()
+            .map(|a| format!("{a},"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let payload_branch = if payload_variants.is_empty() {
+        format!("Err(::serde::DeError::expected(\"variant name string\", \"{name}\", value))")
+    } else {
+        let arms: Vec<String> = payload_variants
+            .iter()
+            .map(|v| {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unreachable!("filtered out above"),
+                    Fields::Tuple(1) => format!(
+                        "\"{vn}\" => Ok(Self::{vn}(::serde::Deserialize::from_value(payload)?))"
+                    ),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&elems[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{vn}\" => {{\n\
+                                 let elems = ::serde::tuple_elems(payload, {n}, \"{name}::{vn}\")?;\n\
+                                 Ok(Self::{vn}({}))\n\
+                             }}",
+                            elems.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::map_field(payload, \"{f}\", \"{name}::{vn}\")?)?"
+                                )
+                            })
+                            .collect();
+                        format!("\"{vn}\" => Ok(Self::{vn} {{ {} }})", inits.join(", "))
+                    }
+                }
+            })
+            .collect();
+        format!(
+            "let (tag, payload) = ::serde::variant_parts(value, \"{name}\")?;\n\
+             match tag {{\n\
+                 {},\n\
+                 other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+             }}",
+            arms.join(",\n")
+        )
+    };
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {string_branch}\n\
+                 {payload_branch}\n\
+             }}\n\
+         }}"
+    )
+}
