@@ -1,0 +1,103 @@
+//! `bench_sweep` — wall-clock harness for the simulate/sweep hot path.
+//!
+//! Runs a fig9-style design-space sweep (64 points sharing 4 distinct
+//! workloads and 4 distinct architectures) through three engines:
+//!
+//! * `per_point` — every point extracts its own workload and generates its
+//!   own architecture, the way the engine worked before the single-pass /
+//!   artifact-sharing refactor (modulo the simulator improvements, which make
+//!   this mode *faster* than the true pre-PR engine — the reported speedup is
+//!   therefore conservative);
+//! * `shared_cold` — `run_sweep` with no result cache: distinct artifacts are
+//!   extracted once and shared across the batch;
+//! * `shared_warm` — `run_sweep` re-run against a populated `SimCache`, so
+//!   every point is a cache hit.
+//!
+//! Results go to `BENCH_sweep.json` (or the path given as the first CLI
+//! argument) so successive PRs have a committed perf trajectory to regress
+//! against. See EXPERIMENTS.md for how to read the numbers.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use simphony_bench::fig9_style_sweep;
+use simphony_explore::{run_sweep, simulate_point, SimCache, SweepPoint};
+
+/// Timed repetitions per engine; the minimum is reported (steadiest estimator
+/// for wall-clock benches on a shared machine).
+const REPS: usize = 5;
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn per_point_engine(points: &[SweepPoint]) {
+    for point in points {
+        simulate_point(point).expect("point simulates");
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let spec = fig9_style_sweep();
+    let points = spec.expand().expect("spec expands");
+    assert!(
+        points.len() >= 64,
+        "fig9-style sweep must cover >= 64 points"
+    );
+    let distinct_workloads = points
+        .iter()
+        .map(simphony_explore::SweepPoint::workload_key)
+        .collect::<HashSet<_>>()
+        .len();
+    let distinct_architectures = points
+        .iter()
+        .map(simphony_explore::SweepPoint::arch_key)
+        .collect::<HashSet<_>>()
+        .len();
+
+    eprintln!(
+        "bench_sweep: {} points ({distinct_workloads} distinct workloads, \
+         {distinct_architectures} distinct architectures), {} reps per engine",
+        points.len(),
+        REPS
+    );
+
+    let per_point_ms = time_ms(|| per_point_engine(&points));
+    eprintln!("per_point engine (pre-refactor shape): {per_point_ms:.1} ms");
+
+    let shared_cold_ms = time_ms(|| {
+        run_sweep(&spec, None).expect("cold sweep runs");
+    });
+    eprintln!("run_sweep, cold (no cache):            {shared_cold_ms:.1} ms");
+
+    let dir = std::env::temp_dir().join(format!("simphony-bench-sweep-{}", std::process::id()));
+    let cache = SimCache::open(&dir).expect("cache opens");
+    run_sweep(&spec, Some(&cache)).expect("cache warm-up sweep runs");
+    let shared_warm_ms = time_ms(|| {
+        let outcome = run_sweep(&spec, Some(&cache)).expect("warm sweep runs");
+        assert_eq!(outcome.stats.misses, 0, "warm run must be all hits");
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    eprintln!("run_sweep, warm (all cache hits):      {shared_warm_ms:.1} ms");
+
+    let speedup = per_point_ms / shared_cold_ms;
+    eprintln!("cold-cache speedup vs per-point engine: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
+        name = spec.name,
+        points = points.len(),
+        reps = REPS,
+    );
+    std::fs::write(&out_path, json).expect("bench record writes");
+    eprintln!("wrote {out_path}");
+}

@@ -31,10 +31,10 @@ fn main() {
     println!(
         "Fig. 11 — VGG-8 (CIFAR-10) layer energy breakdown, Conv -> SCATTER, Linear -> MZI mesh\n"
     );
-    let kinds: BTreeSet<String> = report
+    let kinds: BTreeSet<&str> = report
         .layers
         .iter()
-        .flat_map(|l| l.energy.by_kind.keys().cloned())
+        .flat_map(|l| l.energy.by_kind.labels())
         .collect();
     print!("{:<10} {:<10}", "layer", "sub-arch");
     for kind in &kinds {

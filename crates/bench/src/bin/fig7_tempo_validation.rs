@@ -46,7 +46,7 @@ fn main() {
         report
             .energy_by_kind
             .iter()
-            .map(|(k, e)| (k.clone(), format!("{:.4}", e.microjoules()))),
+            .map(|(k, e)| (k.label().to_string(), format!("{:.4}", e.microjoules()))),
     );
     // The paper reports ~96 pJ for a single-cycle slice of the workload; we
     // compare per-MAC energy shape instead of absolute numbers.

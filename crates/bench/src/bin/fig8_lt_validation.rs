@@ -59,10 +59,12 @@ fn main() {
     print_breakdown(
         "Fig. 8(b) power breakdown",
         "W",
-        report
-            .energy_by_kind
-            .iter()
-            .map(|(k, e)| (k.clone(), format!("{:.3}", e.joules() / total_seconds))),
+        report.energy_by_kind.iter().map(|(k, e)| {
+            (
+                k.label().to_string(),
+                format!("{:.3}", e.joules() / total_seconds),
+            )
+        }),
     );
     print_comparison(
         "total average power",

@@ -93,6 +93,29 @@ pub fn simulate_validation_gemm(params: ArchParams, bits: BitWidth) -> Result<Si
     Simulator::new(accel).simulate(&workload, &MappingPlan::default())
 }
 
+/// The fig9-style benchmark sweep used by the perf harness: 64 points sharing
+/// 4 distinct workload artifacts (VGG-8 at four sparsities) and 4 distinct
+/// accelerator artifacts (TeMPO at four wavelength counts), crossed with both
+/// dataflow styles and both data-awareness modes.
+///
+/// One definition shared by the `pipeline` criterion bench and the
+/// `bench_sweep` binary, so the criterion numbers and the committed
+/// `BENCH_sweep.json` trajectory always measure the same sweep.
+pub fn fig9_style_sweep() -> simphony_explore::SweepSpec {
+    use simphony::DataAwareness;
+    use simphony_dataflow::DataflowStyle;
+    use simphony_explore::{SweepSpec, WorkloadSpec};
+    SweepSpec::new("bench-fig9-style")
+        .with_workload(vec![WorkloadSpec::Vgg8])
+        .with_wavelengths(vec![1, 2, 3, 4])
+        .with_sparsity(vec![0.0, 0.25, 0.5, 0.75])
+        .with_dataflow(vec![
+            DataflowStyle::OutputStationary,
+            DataflowStyle::WeightStationary,
+        ])
+        .with_data_awareness(vec![DataAwareness::Aware, DataAwareness::Unaware])
+}
+
 /// Prints a `label  value  (reference)` breakdown table row-by-row.
 pub fn print_breakdown<I, V>(title: &str, unit: &str, rows: I)
 where

@@ -2,8 +2,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Index;
+use std::sync::OnceLock;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use simphony_arch::PtcArchitecture;
 use simphony_dataflow::{GemmMapping, LatencyBreakdown, MemoryTraffic};
@@ -33,13 +35,217 @@ impl fmt::Display for DataAwareness {
     }
 }
 
+/// The key of an energy-breakdown entry: a library device kind, or the
+/// synthetic data-movement bucket (the `"DM"` row of the paper's figures).
+///
+/// A `Copy` enum instead of a `String` label: accumulating per-layer energy
+/// into breakdown tables is the hottest loop of a sweep, and interned kind ids
+/// make it allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnergyKind {
+    /// A device kind from the library.
+    Device(DeviceKind),
+    /// Memory data movement across the hierarchy.
+    DataMovement,
+}
+
+impl EnergyKind {
+    /// Number of distinct energy kinds, for dense tables.
+    pub const COUNT: usize = DeviceKind::COUNT + 1;
+
+    /// Dense index in `0..COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            EnergyKind::Device(kind) => kind.index(),
+            EnergyKind::DataMovement => DeviceKind::COUNT,
+        }
+    }
+
+    /// Short label, matching the figure legends (`"DM"` for data movement).
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyKind::Device(kind) => kind.label(),
+            EnergyKind::DataMovement => "DM",
+        }
+    }
+
+    /// The kind whose [`label`](Self::label) is `label`, if any.
+    pub fn from_label(label: &str) -> Option<Self> {
+        if label == "DM" {
+            return Some(EnergyKind::DataMovement);
+        }
+        DeviceKind::from_label(label).map(EnergyKind::Device)
+    }
+
+    /// Every kind, in dense-index order.
+    pub fn all() -> [EnergyKind; EnergyKind::COUNT] {
+        let mut all = [EnergyKind::DataMovement; EnergyKind::COUNT];
+        for (slot, kind) in all.iter_mut().zip(DeviceKind::all()) {
+            *slot = EnergyKind::Device(*kind);
+        }
+        all
+    }
+}
+
+impl fmt::Display for EnergyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Kinds in byte-lexicographic label order — the iteration (and therefore
+/// serialization and summation) order, chosen to match what a
+/// `BTreeMap<String, Energy>` keyed by label produced so report files and
+/// float totals stay bit-identical to the pre-interned representation.
+fn label_order() -> &'static [EnergyKind; EnergyKind::COUNT] {
+    static ORDER: OnceLock<[EnergyKind; EnergyKind::COUNT]> = OnceLock::new();
+    ORDER.get_or_init(|| {
+        let mut all = EnergyKind::all();
+        all.sort_by(|a, b| a.label().cmp(b.label()));
+        all
+    })
+}
+
+/// A per-kind energy table: a fixed array indexed by [`EnergyKind`] instead of
+/// a string-keyed map, so per-layer accumulation costs one array slot write.
+///
+/// Entries distinguish "never touched" from "accumulated to zero" (exactly
+/// like the presence/absence of a map key), and iteration, serialization and
+/// totals run in label-lexicographic order, so JSON output is identical to
+/// the former `BTreeMap<String, Energy>` representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    entries: [Energy; EnergyKind::COUNT],
+    touched: u32,
+}
+
+// The touched bitmask holds one bit per kind; widen it if the device library
+// ever outgrows 32 kinds.
+const _: () = assert!(EnergyKind::COUNT <= u32::BITS as usize);
+
+impl Default for EnergyBreakdown {
+    fn default() -> Self {
+        Self {
+            entries: [Energy::ZERO; EnergyKind::COUNT],
+            touched: 0,
+        }
+    }
+}
+
+impl EnergyBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates `energy` into `kind`'s slot.
+    pub fn add(&mut self, kind: EnergyKind, energy: Energy) {
+        let index = kind.index();
+        self.touched |= 1 << index;
+        self.entries[index] += energy;
+    }
+
+    /// Accumulates every entry of `other` (in label order, preserving float
+    /// summation order across layers).
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        for (kind, energy) in other.iter() {
+            self.add(kind, energy);
+        }
+    }
+
+    /// The energy recorded under `kind`, if any was.
+    pub fn energy_of(&self, kind: EnergyKind) -> Option<Energy> {
+        let index = kind.index();
+        (self.touched & (1 << index) != 0).then(|| self.entries[index])
+    }
+
+    /// The energy recorded under the kind labelled `label`, if any was.
+    pub fn get(&self, label: &str) -> Option<Energy> {
+        self.energy_of(EnergyKind::from_label(label)?)
+    }
+
+    /// Whether any energy was recorded under the kind labelled `label`.
+    pub fn contains_key(&self, label: &str) -> bool {
+        self.get(label).is_some()
+    }
+
+    /// Number of touched entries.
+    pub fn len(&self) -> usize {
+        self.touched.count_ones() as usize
+    }
+
+    /// Whether no entry was touched.
+    pub fn is_empty(&self) -> bool {
+        self.touched == 0
+    }
+
+    /// Touched entries in label-lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (EnergyKind, Energy)> + '_ {
+        label_order()
+            .iter()
+            .filter_map(move |&kind| self.energy_of(kind).map(|energy| (kind, energy)))
+    }
+
+    /// Labels of the touched entries, in lexicographic order.
+    pub fn labels(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.iter().map(|(kind, _)| kind.label())
+    }
+
+    /// Sum of all entries, accumulated in label order.
+    pub fn total(&self) -> Energy {
+        self.iter().map(|(_, energy)| energy).sum()
+    }
+}
+
+impl Index<&str> for EnergyBreakdown {
+    type Output = Energy;
+
+    /// Panics when nothing was recorded under `label`, like indexing a map
+    /// with a missing key.
+    fn index(&self, label: &str) -> &Energy {
+        let kind = EnergyKind::from_label(label)
+            .unwrap_or_else(|| panic!("unknown energy kind label `{label}`"));
+        assert!(
+            self.touched & (1 << kind.index()) != 0,
+            "no energy recorded for kind `{label}`"
+        );
+        &self.entries[kind.index()]
+    }
+}
+
+impl Serialize for EnergyBreakdown {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(kind, energy)| (kind.label().to_string(), energy.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for EnergyBreakdown {
+    fn from_value(value: &Value) -> std::result::Result<Self, DeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "EnergyBreakdown", value))?;
+        let mut breakdown = EnergyBreakdown::new();
+        for (label, entry) in map {
+            let kind = EnergyKind::from_label(label)
+                .ok_or_else(|| DeError::unknown_variant(label, "EnergyKind"))?;
+            breakdown.add(kind, Energy::from_value(entry)?);
+        }
+        Ok(breakdown)
+    }
+}
+
 /// Energy of one layer, broken down by device kind (plus `"DM"` for data movement).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerEnergyReport {
     /// Layer name.
     pub layer: String,
-    /// Energy per device-kind label; `"DM"` covers all memory data movement.
-    pub by_kind: BTreeMap<String, Energy>,
+    /// Energy per device kind; [`EnergyKind::DataMovement`] covers all memory
+    /// data movement.
+    pub by_kind: EnergyBreakdown,
     /// Total layer energy.
     pub total: Energy,
 }
@@ -96,7 +302,34 @@ pub fn layer_energy(
     arch: &PtcArchitecture,
     library: &DeviceLibrary,
     link: &LinkBudgetReport,
+    hierarchy: &MemoryHierarchy,
+    workload: &LayerWorkload,
+    mapping: &GemmMapping,
+    latency: &LatencyBreakdown,
+    awareness: DataAwareness,
+) -> Result<LayerEnergyReport> {
+    let counts = arch.instance_counts()?;
+    layer_energy_with_counts(
+        arch, library, link, hierarchy, &counts, workload, mapping, latency, awareness,
+    )
+}
+
+/// [`layer_energy`] with the architecture's instance counts precomputed.
+///
+/// The count rules are arithmetic over the architecture parameters only, so a
+/// multi-layer simulation evaluates them once per sub-architecture instead of
+/// once per layer (see `Simulator::simulate`).
+///
+/// # Errors
+///
+/// Propagates device-lookup and scaling-rule errors.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_energy_with_counts(
+    arch: &PtcArchitecture,
+    library: &DeviceLibrary,
+    link: &LinkBudgetReport,
     _hierarchy: &MemoryHierarchy,
+    counts: &BTreeMap<String, usize>,
     workload: &LayerWorkload,
     mapping: &GemmMapping,
     latency: &LatencyBreakdown,
@@ -106,10 +339,9 @@ pub fn layer_energy(
     let clock = arch.clock();
     let active_cycles = latency.iterations * latency.compute_cycles;
     let active_time = clock.period() * active_cycles as f64;
-    let counts = arch.instance_counts()?;
     let scaling = ConverterScaling::default();
 
-    let mut by_kind: BTreeMap<String, Energy> = BTreeMap::new();
+    let mut by_kind = EnergyBreakdown::new();
     for inst in arch.netlist().instances() {
         let spec = library.get(inst.device())?;
         let count = counts.get(inst.name()).copied().unwrap_or(0) as f64;
@@ -137,9 +369,10 @@ pub fn layer_energy(
         };
         let static_energy = power * active_time * count;
         let dynamic_energy = spec_ref.dynamic_energy_per_op() * (active_cycles as f64) * count;
-        *by_kind
-            .entry(spec_ref.kind().label().to_string())
-            .or_insert(Energy::ZERO) += static_energy + dynamic_energy;
+        by_kind.add(
+            EnergyKind::Device(spec_ref.kind()),
+            static_energy + dynamic_energy,
+        );
     }
 
     Ok(LayerEnergyReport {
@@ -153,12 +386,12 @@ pub fn layer_energy(
 impl LayerEnergyReport {
     /// Adds the data-movement entry and recomputes the total.
     pub(crate) fn with_data_movement(mut self, dm: Energy) -> Self {
-        *self.by_kind.entry("DM".to_string()).or_insert(Energy::ZERO) += dm;
+        self.by_kind.add(EnergyKind::DataMovement, dm);
         self.finalised()
     }
 
     fn finalised(mut self) -> Self {
-        self.total = self.by_kind.values().copied().sum();
+        self.total = self.by_kind.total();
         self
     }
 }

@@ -55,7 +55,10 @@ mod simulator;
 
 pub use accelerator::{Accelerator, AcceleratorBuilder, LinkConfig, MemoryConfig};
 pub use area::{area_report, AreaReport};
-pub use energy::{data_movement_energy, layer_energy, DataAwareness, LayerEnergyReport};
+pub use energy::{
+    data_movement_energy, layer_energy, layer_energy_with_counts, DataAwareness, EnergyBreakdown,
+    EnergyKind, LayerEnergyReport,
+};
 pub use error::{Result, SimError};
 pub use link_budget::{laser_power_per_path, link_budget, LinkBudgetReport};
 pub use simulator::{LayerReport, MappingPlan, SimulationConfig, SimulationReport, Simulator};

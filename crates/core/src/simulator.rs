@@ -2,12 +2,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use simphony_arch::PtcArchitecture;
 use simphony_dataflow::{
-    glb_bandwidth_demand, layer_latency, map_gemm, memory_traffic, DataflowStyle, LatencyBreakdown,
+    glb_bandwidth_demand, layer_latency, map_gemm, memory_traffic, DataflowStyle, GemmMapping,
+    LatencyBreakdown,
 };
 use simphony_memsim::MemoryHierarchy;
 use simphony_onn::{LayerKind, LayerWorkload, ModelWorkload};
@@ -15,7 +16,10 @@ use simphony_units::{Bandwidth, Energy, Power, Time};
 
 use crate::accelerator::Accelerator;
 use crate::area::{area_report, AreaReport};
-use crate::energy::{data_movement_energy, layer_energy, DataAwareness, LayerEnergyReport};
+use crate::energy::{
+    data_movement_energy, layer_energy_with_counts, DataAwareness, EnergyBreakdown,
+    LayerEnergyReport,
+};
 use crate::error::{Result, SimError};
 use crate::link_budget::{link_budget, LinkBudgetReport};
 
@@ -87,6 +91,25 @@ impl MappingPlan {
             .map(|(_, i)| *i)
             .unwrap_or(self.default_index)
     }
+
+    /// Resolves the plan into a dense per-[`LayerKind`] lookup table, so the
+    /// per-layer routing decision is one array read instead of a linear scan
+    /// of the overrides.
+    ///
+    /// Like [`sub_arch_for`](Self::sub_arch_for), the *first* override for a
+    /// kind wins — [`route`](Self::route) keeps overrides unique, but a plan
+    /// deserialized from JSON may carry duplicates.
+    pub fn resolve(&self) -> [usize; LayerKind::COUNT] {
+        let mut table = [self.default_index; LayerKind::COUNT];
+        let mut overridden = [false; LayerKind::COUNT];
+        for &(kind, index) in &self.overrides {
+            if !overridden[kind.index()] {
+                overridden[kind.index()] = true;
+                table[kind.index()] = index;
+            }
+        }
+        table
+    }
 }
 
 impl Default for MappingPlan {
@@ -121,8 +144,8 @@ pub struct SimulationReport {
     pub workload: String,
     /// Per-layer results in execution order.
     pub layers: Vec<LayerReport>,
-    /// Energy per device-kind label, aggregated over all layers.
-    pub energy_by_kind: BTreeMap<String, Energy>,
+    /// Energy per device kind, aggregated over all layers.
+    pub energy_by_kind: EnergyBreakdown,
     /// Total energy.
     pub total_energy: Energy,
     /// Total execution cycles (summed across layers).
@@ -153,14 +176,33 @@ impl fmt::Display for SimulationReport {
         )?;
         writeln!(f, "  average power: {}", self.average_power)?;
         writeln!(f, "  chip area: {}", self.area.total)?;
-        for (kind, energy) in &self.energy_by_kind {
+        for (kind, energy) in self.energy_by_kind.iter() {
             writeln!(f, "  {kind:<12} {energy}")?;
         }
         write!(f, "  GLB blocks: {}", self.glb_blocks)
     }
 }
 
+/// One layer after placement and mapping: which sub-architecture it runs on
+/// and how its GEMM tiles onto that hardware.
+///
+/// `Simulator::simulate` builds this once per layer and reuses it for both
+/// GLB-demand sizing and the latency/energy loop — the placement/mapping work
+/// used to run twice per layer.
+#[derive(Debug, Clone)]
+struct PlacedLayer {
+    /// Index into the accelerator's sub-architecture list.
+    sub_arch: usize,
+    /// The layer's GEMM tiling on that sub-architecture.
+    mapping: GemmMapping,
+}
+
 /// The SimPhony simulator: an [`Accelerator`] plus a [`SimulationConfig`].
+///
+/// The accelerator is held behind an [`Arc`], so cloning a simulator — or
+/// building many simulators over the same hardware via
+/// [`Simulator::shared`] — shares one accelerator instance instead of deep-
+/// copying sub-architectures and the device library per clone.
 ///
 /// # Examples
 ///
@@ -185,13 +227,19 @@ impl fmt::Display for SimulationReport {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    accelerator: Accelerator,
+    accelerator: Arc<Accelerator>,
     config: SimulationConfig,
 }
 
 impl Simulator {
     /// Creates a simulator with the default configuration.
     pub fn new(accelerator: Accelerator) -> Self {
+        Self::shared(Arc::new(accelerator))
+    }
+
+    /// Creates a simulator over an accelerator shared with other simulators
+    /// (e.g. the per-point simulators of a design-space sweep).
+    pub fn shared(accelerator: Arc<Accelerator>) -> Self {
         Self {
             accelerator,
             config: SimulationConfig::default(),
@@ -214,15 +262,16 @@ impl Simulator {
         self.config
     }
 
-    /// Picks the sub-architecture a layer runs on, falling back to any design
-    /// that supports dynamic products when the planned one cannot.
-    fn place_layer<'a>(
-        &'a self,
+    /// Picks the sub-architecture index a layer runs on, falling back to any
+    /// design that supports dynamic products when the planned one cannot.
+    fn place_layer(
+        &self,
         layer: &LayerWorkload,
-        plan: &MappingPlan,
-    ) -> Result<&'a PtcArchitecture> {
+        plan_table: &[usize; LayerKind::COUNT],
+        dynamic_fallback: Option<usize>,
+    ) -> Result<usize> {
         let subs = self.accelerator.sub_archs();
-        let planned = plan.sub_arch_for(layer.kind());
+        let planned = plan_table[layer.kind().index()];
         let arch = subs
             .get(planned)
             .ok_or_else(|| SimError::InvalidSubArchIndex {
@@ -231,26 +280,52 @@ impl Simulator {
                 available: subs.len(),
             })?;
         if !layer.is_dynamic() || arch.taxonomy().supports_dynamic_products() {
-            return Ok(arch);
+            return Ok(planned);
         }
-        subs.iter()
-            .find(|a| a.taxonomy().supports_dynamic_products())
-            .ok_or_else(|| SimError::NoCompatibleSubArch {
-                layer: layer.name().to_string(),
+        dynamic_fallback.ok_or_else(|| SimError::NoCompatibleSubArch {
+            layer: layer.name().to_string(),
+        })
+    }
+
+    /// Places and maps every layer in one pass: sub-architecture routing plus
+    /// GEMM tiling, computed once and reused by both the GLB-demand sizing and
+    /// the latency/energy loop.
+    fn place_and_map(
+        &self,
+        workload: &ModelWorkload,
+        plan: &MappingPlan,
+    ) -> Result<Vec<PlacedLayer>> {
+        let subs = self.accelerator.sub_archs();
+        let plan_table = plan.resolve();
+        let dynamic_fallback = subs
+            .iter()
+            .position(|a| a.taxonomy().supports_dynamic_products());
+        workload
+            .layers()
+            .iter()
+            .map(|layer| {
+                let sub_arch = self.place_layer(layer, &plan_table, dynamic_fallback)?;
+                let mapping = map_gemm(
+                    layer.gemm(),
+                    layer.is_dynamic(),
+                    &subs[sub_arch],
+                    self.config.dataflow,
+                )?;
+                Ok(PlacedLayer { sub_arch, mapping })
             })
+            .collect()
     }
 
     /// Sizes the shared memory hierarchy from the profiled per-layer GLB demand.
     fn build_memory(
         &self,
         workload: &ModelWorkload,
-        plan: &MappingPlan,
+        placed: &[PlacedLayer],
     ) -> Result<MemoryHierarchy> {
+        let subs = self.accelerator.sub_archs();
         let mut demand_gbps = 1.0_f64;
-        for layer in workload.layers() {
-            let arch = self.place_layer(layer, plan)?;
-            let mapping = map_gemm(layer.gemm(), layer.is_dynamic(), arch, self.config.dataflow)?;
-            let demand = glb_bandwidth_demand(layer, &mapping, arch);
+        for (layer, placement) in workload.layers().iter().zip(placed) {
+            let demand = glb_bandwidth_demand(layer, &placement.mapping, &subs[placement.sub_arch]);
             demand_gbps = demand_gbps.max(demand.gigabytes_per_second());
         }
         demand_gbps = demand_gbps.min(MAX_GLB_DEMAND_GBPS);
@@ -279,44 +354,52 @@ impl Simulator {
         plan: &MappingPlan,
     ) -> Result<SimulationReport> {
         let library = self.accelerator.library();
-        let hierarchy = self.build_memory(workload, plan)?;
-        let link_budgets: Vec<LinkBudgetReport> = self
-            .accelerator
-            .sub_archs()
+        let subs = self.accelerator.sub_archs();
+
+        // Single placement/mapping pass, shared by GLB sizing and the layer loop.
+        let placed = self.place_and_map(workload, plan)?;
+        let hierarchy = self.build_memory(workload, &placed)?;
+
+        // Per-sub-architecture artifacts, computed once: the link budget (the
+        // layer loop indexes it by sub-architecture instead of scanning by
+        // name) and the netlist instance counts (formerly re-evaluated for
+        // every layer).
+        let link_budgets: Vec<LinkBudgetReport> = subs
             .iter()
             .map(|arch| link_budget(arch, library, self.accelerator.link()))
             .collect::<Result<_>>()?;
+        let instance_counts: Vec<BTreeMap<String, usize>> = subs
+            .iter()
+            .map(|arch| Ok(arch.instance_counts()?))
+            .collect::<Result<_>>()?;
 
         let mut layers = Vec::with_capacity(workload.layers().len());
-        let mut energy_by_kind: BTreeMap<String, Energy> = BTreeMap::new();
+        let mut energy_by_kind = EnergyBreakdown::new();
         let mut total_energy = Energy::ZERO;
         let mut total_cycles = 0u64;
         let mut total_time = Time::ZERO;
 
-        for layer in workload.layers() {
-            let arch = self.place_layer(layer, plan)?;
-            let link = link_budgets
-                .iter()
-                .find(|l| l.arch_name == arch.name())
-                .expect("every sub-architecture has a link budget");
-            let mapping = map_gemm(layer.gemm(), layer.is_dynamic(), arch, self.config.dataflow)?;
-            let latency = layer_latency(layer, arch, &mapping, hierarchy.glb_bandwidth())?;
-            let traffic = memory_traffic(layer, &mapping);
-            let energy = layer_energy(
+        for (layer, placement) in workload.layers().iter().zip(&placed) {
+            let arch = &subs[placement.sub_arch];
+            let link = &link_budgets[placement.sub_arch];
+            let counts = &instance_counts[placement.sub_arch];
+            let latency =
+                layer_latency(layer, arch, &placement.mapping, hierarchy.glb_bandwidth())?;
+            let traffic = memory_traffic(layer, &placement.mapping);
+            let energy = layer_energy_with_counts(
                 arch,
                 library,
                 link,
                 &hierarchy,
+                counts,
                 layer,
-                &mapping,
+                &placement.mapping,
                 &latency,
                 self.config.data_awareness,
             )?
             .with_data_movement(data_movement_energy(&hierarchy, &traffic));
 
-            for (kind, value) in &energy.by_kind {
-                *energy_by_kind.entry(kind.clone()).or_insert(Energy::ZERO) += *value;
-            }
+            energy_by_kind.merge(&energy.by_kind);
             total_energy += energy.total;
             total_cycles += latency.total_cycles();
             let time = latency.total_time(arch.clock());
@@ -454,6 +537,47 @@ mod tests {
             .collect();
         assert!(conv_sub.iter().all(|s| *s == "scatter"));
         assert!(linear_sub.iter().all(|s| *s == "mzi_mesh"));
+    }
+
+    #[test]
+    fn resolved_plan_matches_linear_lookup() {
+        let plan = MappingPlan::all_to(2)
+            .route(LayerKind::Linear, 1)
+            .route(LayerKind::Attention, 0);
+        let table = plan.resolve();
+        for kind in [
+            LayerKind::Conv2d,
+            LayerKind::Linear,
+            LayerKind::Attention,
+            LayerKind::Activation,
+            LayerKind::Pooling,
+            LayerKind::Normalization,
+        ] {
+            assert_eq!(table[kind.index()], plan.sub_arch_for(kind));
+        }
+    }
+
+    #[test]
+    fn resolved_plan_matches_linear_lookup_with_duplicate_overrides() {
+        // `route` dedupes, but a deserialized plan may carry duplicate kinds;
+        // both lookups must agree (first override wins).
+        let json = r#"{"default_index":0,"overrides":[["Linear",1],["Linear",2]]}"#;
+        let plan: MappingPlan = serde_json::from_str(json).expect("plan parses");
+        assert_eq!(plan.sub_arch_for(LayerKind::Linear), 1);
+        assert_eq!(plan.resolve()[LayerKind::Linear.index()], 1);
+    }
+
+    #[test]
+    fn shared_accelerator_simulators_match_owned_ones() {
+        let accel = tempo_accel(ArchParams::new(2, 2, 4, 4));
+        let wl = workload(&models::single_gemm(64, 64, 64));
+        let owned = Simulator::new(accel.clone())
+            .simulate(&wl, &MappingPlan::default())
+            .unwrap();
+        let shared = Simulator::shared(Arc::new(accel))
+            .simulate(&wl, &MappingPlan::default())
+            .unwrap();
+        assert_eq!(owned, shared);
     }
 
     #[test]

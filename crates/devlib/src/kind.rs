@@ -82,6 +82,21 @@ pub enum DeviceKind {
 }
 
 impl DeviceKind {
+    /// Number of device kinds, for dense per-kind tables indexed by
+    /// [`index`](Self::index).
+    pub const COUNT: usize = 20;
+
+    /// Dense index in `0..COUNT`, stable in the declaration order of the enum
+    /// (the order [`all`](Self::all) returns).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The kind whose [`label`](Self::label) is `label`, if any.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::all().iter().copied().find(|k| k.label() == label)
+    }
+
     /// The electrical/optical category this kind belongs to.
     pub fn category(self) -> DeviceCategory {
         match self {
@@ -220,6 +235,16 @@ mod tests {
                 assert!(!kind.is_converter());
             }
         }
+    }
+
+    #[test]
+    fn indices_are_dense_and_match_all_order() {
+        assert_eq!(DeviceKind::all().len(), DeviceKind::COUNT);
+        for (position, kind) in DeviceKind::all().iter().enumerate() {
+            assert_eq!(kind.index(), position);
+            assert_eq!(DeviceKind::from_label(kind.label()), Some(*kind));
+        }
+        assert_eq!(DeviceKind::from_label("nope"), None);
     }
 
     #[test]

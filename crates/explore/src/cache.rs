@@ -32,10 +32,21 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// The content key of a sweep point: a hex digest of its canonical JSON form
 /// with the positional `index` zeroed out.
+///
+/// The point is serialized through its value tree and the `index` entry is
+/// pinned there — same bytes (and therefore the same keys as ever) as cloning
+/// the point and zeroing the field, without copying the whole configuration.
 pub fn content_key(point: &SweepPoint) -> String {
-    let mut canonical = point.clone();
-    canonical.index = 0;
-    let json = serde_json::to_string(&canonical).expect("points always serialize");
+    use serde::{Serialize, Value};
+    let mut value = point.to_value();
+    if let Value::Map(entries) = &mut value {
+        for (field, slot) in entries.iter_mut() {
+            if field == "index" {
+                *slot = Value::UInt(0);
+            }
+        }
+    }
+    let json = serde_json::to_string(&value).expect("points always serialize");
     format!(
         "{:016x}",
         fnv1a64(format!("v{CACHE_SCHEMA_VERSION}:{json}").as_bytes())

@@ -53,7 +53,7 @@ pub use error::{ExploreError, Result};
 pub use pareto::{dominates, pareto_front, Objective};
 pub use record::{read_json, to_csv, write_csv, write_json, SweepRecord, CSV_HEADER};
 pub use runner::{run_sweep, simulate_point, SweepOutcome};
-pub use spec::{ArchFamily, SweepPoint, SweepSpec, WorkloadSpec};
+pub use spec::{ArchFamily, ArchKey, SweepPoint, SweepSpec, WorkloadKey, WorkloadSpec};
 
 #[cfg(test)]
 mod tests {

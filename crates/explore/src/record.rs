@@ -56,7 +56,7 @@ impl SweepRecord {
             energy_by_kind_uj: report
                 .energy_by_kind
                 .iter()
-                .map(|(kind, energy)| (kind.clone(), energy.microjoules()))
+                .map(|(kind, energy)| (kind.label().to_string(), energy.microjoules()))
                 .collect(),
         }
     }

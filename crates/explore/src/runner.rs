@@ -1,19 +1,34 @@
-//! Parallel sweep execution.
+//! Parallel sweep execution with intra-sweep artifact sharing.
 //!
 //! [`run_sweep`] expands a [`SweepSpec`], serves what it can from the result
-//! cache, fans the remaining points out across a rayon-style thread pool, and
-//! returns records in the spec's deterministic expansion order — so output
+//! cache, and fans the remaining points out across a rayon-style thread pool.
+//! Before simulating, the misses are grouped by their *artifact identities*
+//! ([`SweepPoint::workload_key`] and [`SweepPoint::arch_key`]): each distinct
+//! workload is extracted once and each distinct accelerator is generated once,
+//! then shared across the workers behind [`Arc`]s. A fig9-style sweep whose
+//! 64 points share 4 distinct workloads therefore pays for 4 extractions, not
+//! 64 — extraction dominates the per-point cost for real models, so this is
+//! where the engine's wall-clock goes from O(points) to O(distinct artifacts).
+//!
+//! Records are returned in the spec's deterministic expansion order — output
 //! files are byte-identical whether the sweep ran on one thread or many
-//! (`RAYON_NUM_THREADS` controls the pool size).
+//! (`RAYON_NUM_THREADS` controls the pool size), and artifact sharing does not
+//! change a single output bit versus per-point extraction (extraction and
+//! generation are pure functions of the key).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use rayon::prelude::*;
 
 use simphony::{Accelerator, MappingPlan, Result as SimResult, SimulationReport, Simulator};
+use simphony_onn::ModelWorkload;
+use simphony_units::BitWidth;
 
 use crate::cache::{CacheStats, SimCache};
 use crate::error::{ExploreError, Result};
 use crate::record::SweepRecord;
-use crate::spec::{SweepPoint, SweepSpec};
+use crate::spec::{ArchKey, SweepPoint, SweepSpec, WorkloadKey};
 
 /// The result of one sweep: ordered records plus cache accounting.
 #[derive(Debug, Clone)]
@@ -24,34 +39,111 @@ pub struct SweepOutcome {
     pub stats: CacheStats,
 }
 
-/// Simulates one fully-bound configuration.
+fn build_accelerator(point: &SweepPoint) -> SimResult<Accelerator> {
+    let arch = point.arch.generate(point.arch_params(), point.clock_ghz)?;
+    Accelerator::builder(format!("{}_sweep", point.arch))
+        .sub_arch(arch)
+        .build()
+}
+
+fn extract_workload(point: &SweepPoint) -> SimResult<ModelWorkload> {
+    point
+        .workload
+        .extract(BitWidth::new(point.bits), point.sparsity, point.seed)
+}
+
+/// Simulates one fully-bound configuration, extracting its artifacts from
+/// scratch.
+///
+/// This is the sharing-free path ([`run_sweep`] amortizes artifacts across a
+/// batch instead); it exists for single-point callers like `simphony-cli run`
+/// and produces bit-identical reports to the shared path.
 ///
 /// # Errors
 ///
 /// Propagates architecture-generation, workload-extraction and simulation
 /// errors.
 pub fn simulate_point(point: &SweepPoint) -> SimResult<SimulationReport> {
-    let arch = point.arch.generate(point.arch_params(), point.clock_ghz)?;
-    let accel = Accelerator::builder(format!("{}_sweep", point.arch))
-        .sub_arch(arch)
-        .build()?;
-    let workload = point.workload.extract(
-        simphony_units::BitWidth::new(point.bits),
-        point.sparsity,
-        point.seed,
-    )?;
-    Simulator::new(accel)
-        .with_config(point.sim_config())
-        .simulate(&workload, &MappingPlan::default())
+    let accel = build_accelerator(point)?;
+    let workload = extract_workload(point)?;
+    simulate_point_with(point, &Arc::new(accel), &workload)
 }
 
-fn record_point(point: &SweepPoint) -> Result<SweepRecord> {
-    let report = simulate_point(point).map_err(|source| ExploreError::Point {
+/// Simulates a point against pre-built (possibly shared) artifacts.
+fn simulate_point_with(
+    point: &SweepPoint,
+    accel: &Arc<Accelerator>,
+    workload: &ModelWorkload,
+) -> SimResult<SimulationReport> {
+    Simulator::shared(Arc::clone(accel))
+        .with_config(point.sim_config())
+        .simulate(workload, &MappingPlan::default())
+}
+
+/// The distinct artifacts of a batch of sweep points, extracted once and
+/// shared across the executor threads.
+struct ArtifactStore {
+    workloads: HashMap<WorkloadKey, Arc<ModelWorkload>>,
+    accelerators: HashMap<ArchKey, Arc<Accelerator>>,
+}
+
+impl ArtifactStore {
+    /// Extracts/generates every distinct artifact of `points` (both kinds in
+    /// parallel over their distinct keys). A failing artifact is reported
+    /// against the first point that needs it.
+    fn build(points: &[&SweepPoint]) -> Result<Self> {
+        let mut workload_reps: Vec<&SweepPoint> = Vec::new();
+        let mut workload_keys: HashSet<WorkloadKey> = HashSet::new();
+        let mut arch_reps: Vec<&SweepPoint> = Vec::new();
+        let mut arch_keys: HashSet<ArchKey> = HashSet::new();
+        for &point in points {
+            if workload_keys.insert(point.workload_key()) {
+                workload_reps.push(point);
+            }
+            if arch_keys.insert(point.arch_key()) {
+                arch_reps.push(point);
+            }
+        }
+
+        let extracted: Vec<SimResult<ModelWorkload>> = workload_reps
+            .par_iter()
+            .map(|point| extract_workload(point))
+            .collect();
+        let mut workloads = HashMap::with_capacity(workload_reps.len());
+        for (point, result) in workload_reps.iter().zip(extracted) {
+            let workload = result.map_err(|source| point_error(point, source))?;
+            workloads.insert(point.workload_key(), Arc::new(workload));
+        }
+
+        let generated: Vec<SimResult<Accelerator>> = arch_reps
+            .par_iter()
+            .map(|point| build_accelerator(point))
+            .collect();
+        let mut accelerators = HashMap::with_capacity(arch_reps.len());
+        for (point, result) in arch_reps.iter().zip(generated) {
+            let accel = result.map_err(|source| point_error(point, source))?;
+            accelerators.insert(point.arch_key(), Arc::new(accel));
+        }
+
+        Ok(Self {
+            workloads,
+            accelerators,
+        })
+    }
+
+    fn simulate(&self, point: &SweepPoint) -> Result<SimulationReport> {
+        let workload = &self.workloads[&point.workload_key()];
+        let accel = &self.accelerators[&point.arch_key()];
+        simulate_point_with(point, accel, workload).map_err(|source| point_error(point, source))
+    }
+}
+
+fn point_error(point: &SweepPoint, source: simphony::SimError) -> ExploreError {
+    ExploreError::Point {
         index: point.index,
         label: point.label(),
         source,
-    })?;
-    Ok(SweepRecord::from_report(point.clone(), &report))
+    }
 }
 
 /// Runs a sweep, optionally backed by a result cache.
@@ -65,35 +157,49 @@ fn record_point(point: &SweepPoint) -> Result<SweepRecord> {
 /// spec only re-runs what actually needs running.
 pub fn run_sweep(spec: &SweepSpec, cache: Option<&SimCache>) -> Result<SweepOutcome> {
     let points = spec.expand()?;
+    let total = points.len();
 
-    // Serve cache hits first; only misses go to the thread pool.
-    let mut slots: Vec<Option<SweepRecord>> = Vec::with_capacity(points.len());
-    let mut misses: Vec<SweepPoint> = Vec::new();
-    for point in &points {
+    // Serve cache hits first; only misses go to the artifact store and the
+    // thread pool. Points are kept in `Option` slots so a missed point can
+    // later be *moved* into its record instead of cloned.
+    let mut points: Vec<Option<SweepPoint>> = points.into_iter().map(Some).collect();
+    let mut slots: Vec<Option<SweepRecord>> = Vec::with_capacity(total);
+    let mut miss_indices: Vec<usize> = Vec::new();
+    for (index, point) in points.iter().enumerate() {
+        let point = point.as_ref().expect("all points present before execution");
         match cache.and_then(|c| c.get(point)) {
             Some(record) => slots.push(Some(record)),
             None => {
                 slots.push(None);
-                misses.push(point.clone());
+                miss_indices.push(index);
             }
         }
     }
     let stats = CacheStats {
-        hits: points.len() - misses.len(),
-        misses: misses.len(),
+        hits: total - miss_indices.len(),
+        misses: miss_indices.len(),
     };
 
-    let computed: Vec<Result<SweepRecord>> = misses.par_iter().map(record_point).collect();
+    let missed_points: Vec<&SweepPoint> = miss_indices
+        .iter()
+        .map(|&i| points[i].as_ref().expect("miss slot holds its point"))
+        .collect();
+    let artifacts = ArtifactStore::build(&missed_points)?;
+    let computed: Vec<Result<SimulationReport>> = missed_points
+        .par_iter()
+        .map(|point| artifacts.simulate(point))
+        .collect();
 
-    let mut fresh = Vec::with_capacity(computed.len());
     let mut first_error = None;
-    for result in computed {
+    for (&index, result) in miss_indices.iter().zip(computed) {
         match result {
-            Ok(record) => {
+            Ok(report) => {
+                let point = points[index].take().expect("miss slot holds its point");
+                let record = SweepRecord::from_report(point, &report);
                 if let Some(cache) = cache {
                     cache.put(&record)?;
                 }
-                fresh.push(record);
+                slots[index] = Some(record);
             }
             Err(err) => first_error = first_error.or(Some(err)),
         }
@@ -102,18 +208,10 @@ pub fn run_sweep(spec: &SweepSpec, cache: Option<&SimCache>) -> Result<SweepOutc
         return Err(err);
     }
 
-    let mut fresh_iter = fresh.into_iter();
     let records: Vec<SweepRecord> = slots
         .into_iter()
-        .map(|slot| match slot {
-            Some(record) => record,
-            None => fresh_iter
-                .next()
-                .expect("one computed record per cache miss"),
-        })
+        .map(|slot| slot.expect("every point is a hit or a computed record"))
         .collect();
-    debug_assert!(fresh_iter.next().is_none());
-
     Ok(SweepOutcome { records, stats })
 }
 
@@ -171,6 +269,27 @@ mod tests {
                 assert!(label.contains("mzi_mesh"));
             }
             other => panic!("expected point error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn shared_artifacts_match_per_point_extraction() {
+        // Several points share each workload/arch artifact; the shared path
+        // must produce the same reports as sharing-free per-point simulation.
+        let spec = SweepSpec::new("sharing")
+            .with_wavelengths(vec![1, 2])
+            .with_sparsity(vec![0.0, 0.5])
+            .with_data_awareness(vec![
+                simphony::DataAwareness::Aware,
+                simphony::DataAwareness::Unaware,
+            ]);
+        let outcome = run_sweep(&spec, None).unwrap();
+        let points = spec.expand().unwrap();
+        assert_eq!(outcome.records.len(), points.len());
+        for (record, point) in outcome.records.iter().zip(&points) {
+            let direct = simulate_point(point).unwrap();
+            let expected = SweepRecord::from_report(point.clone(), &direct);
+            assert_eq!(record, &expected);
         }
     }
 }

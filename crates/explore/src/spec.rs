@@ -89,7 +89,7 @@ impl fmt::Display for ArchFamily {
 }
 
 /// Workload selector: which model a sweep point simulates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum WorkloadSpec {
     /// A single `(m×k)×(k×n)` GEMM (the paper's validation workload is
     /// `280×28×280`).
@@ -488,7 +488,57 @@ pub struct SweepPoint {
     pub seed: u64,
 }
 
+/// Identity of the extracted-workload artifact of a sweep point: two points
+/// with equal keys extract bit-identical [`simphony_onn::ModelWorkload`]s, so
+/// a sweep extracts each distinct key once and shares the result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadKey {
+    workload: WorkloadSpec,
+    bits: u8,
+    /// Sparsity as raw `f64` bits (extraction is a pure function of the exact
+    /// float value).
+    sparsity_bits: u64,
+    seed: u64,
+}
+
+/// Identity of the generated-accelerator artifact of a sweep point: two
+/// points with equal keys generate identical [`simphony::Accelerator`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArchKey {
+    arch: ArchFamily,
+    tiles: usize,
+    cores_per_tile: usize,
+    core_height: usize,
+    core_width: usize,
+    wavelengths: usize,
+    /// Clock as raw `f64` bits.
+    clock_bits: u64,
+}
+
 impl SweepPoint {
+    /// The identity of this point's workload artifact (see [`WorkloadKey`]).
+    pub fn workload_key(&self) -> WorkloadKey {
+        WorkloadKey {
+            workload: self.workload.clone(),
+            bits: self.bits,
+            sparsity_bits: self.sparsity.to_bits(),
+            seed: self.seed,
+        }
+    }
+
+    /// The identity of this point's accelerator artifact (see [`ArchKey`]).
+    pub fn arch_key(&self) -> ArchKey {
+        ArchKey {
+            arch: self.arch,
+            tiles: self.tiles,
+            cores_per_tile: self.cores_per_tile,
+            core_height: self.core_height,
+            core_width: self.core_width,
+            wavelengths: self.wavelengths,
+            clock_bits: self.clock_ghz.to_bits(),
+        }
+    }
+
     /// The architecture parameters of this point.
     pub fn arch_params(&self) -> ArchParams {
         ArchParams::new(

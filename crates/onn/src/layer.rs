@@ -23,6 +23,15 @@ pub enum LayerKind {
 }
 
 impl LayerKind {
+    /// Number of layer kinds, for dense per-kind tables indexed by
+    /// [`index`](Self::index).
+    pub const COUNT: usize = 6;
+
+    /// Dense index in `0..COUNT`, stable in declaration order.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// `true` when the layer lowers to GEMM and is therefore mapped onto
     /// photonic tensor cores; everything else is offloaded to the electrical
     /// processor and ignored by the accelerator simulation.

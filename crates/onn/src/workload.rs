@@ -61,6 +61,7 @@ pub struct LayerWorkload {
     output_bits: BitWidth,
     sparsity: f64,
     weight_values: Vec<f32>,
+    normalized_abs: Vec<f64>,
     weight_elements: u64,
 }
 
@@ -149,12 +150,11 @@ impl LayerWorkload {
     }
 
     /// Sampled operand-A magnitudes normalised to `[0, 1]`, the quantity
-    /// value-aware device power models consume.
-    pub fn normalized_abs_values(&self) -> Vec<f64> {
-        self.weight_values
-            .iter()
-            .map(|v| f64::from(v.abs()).min(1.0))
-            .collect()
+    /// value-aware device power models consume. Precomputed at extraction
+    /// time, so repeated energy evaluations of the same workload allocate
+    /// nothing.
+    pub fn normalized_abs_values(&self) -> &[f64] {
+        &self.normalized_abs
     }
 }
 
@@ -341,6 +341,7 @@ fn build_layer_workload(
     } else {
         format!("{name}.{label}")
     };
+    let normalized_abs = values.iter().map(|v| f64::from(v.abs()).min(1.0)).collect();
     LayerWorkload {
         name,
         kind,
@@ -352,6 +353,7 @@ fn build_layer_workload(
         output_bits: quant.output_bits(),
         sparsity,
         weight_values: values,
+        normalized_abs,
         weight_elements: true_elements,
     }
 }

@@ -6,10 +6,20 @@
 //! `sample_size`, and the [`criterion_group!`]/[`criterion_main!`] macros.
 //! Each benchmark runs a short warm-up, then `sample_size` timed samples, and
 //! prints the per-iteration mean and min.
+//!
+//! Setting `CRITERION_QUICK=1` in the environment switches every benchmark to
+//! quick mode — one sample, no warm-up, no statistics — mirroring real
+//! criterion's `--quick` flag. CI uses it as a smoke test that the bench
+//! harness still compiles and runs without paying for stable numbers.
 
 use std::time::{Duration, Instant};
 
 const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// `true` when `CRITERION_QUICK` requests single-sample smoke runs.
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Benchmark driver handed to `criterion_group!` targets.
 #[derive(Debug, Default)]
@@ -66,9 +76,12 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
-    // Warm-up sample, not recorded.
-    let mut bencher = Bencher::default();
-    f(&mut bencher);
+    let sample_size = if quick_mode() { 1 } else { sample_size };
+    if !quick_mode() {
+        // Warm-up sample, not recorded.
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+    }
 
     let mut samples = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
