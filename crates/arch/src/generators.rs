@@ -8,7 +8,7 @@
 use simphony_netlist::{ArchParams, Instance, NetlistBuilder, ScaleExpr};
 use simphony_units::{Frequency, Time};
 
-use crate::error::Result;
+use crate::error::{ArchError, Result};
 use crate::ptc::{PtcArchitecture, PtcFamily};
 use crate::taxonomy::PtcTaxonomy;
 
@@ -177,9 +177,20 @@ pub fn mrr_bank(params: ArchParams, clock_ghz: f64) -> Result<PtcArchitecture> {
 ///
 /// # Errors
 ///
-/// Propagates netlist-construction and parameter-validation errors.
+/// Returns [`ArchError::InvalidParameters`] when the core height is not a
+/// power of two of at least 2 — an FFT-style butterfly interconnect is only
+/// defined for power-of-two port counts, and silently rounding the stage
+/// count up would model a network that cannot be laid out. Also propagates
+/// netlist-construction and parameter-validation errors.
 pub fn butterfly(params: ArchParams, clock_ghz: f64) -> Result<PtcArchitecture> {
-    let h = params.core_height().max(2);
+    let h = params.core_height();
+    if h < 2 || !h.is_power_of_two() {
+        return Err(ArchError::InvalidParameters {
+            reason: format!(
+                "butterfly mesh requires a power-of-two core height of at least 2, got {h}"
+            ),
+        });
+    }
     let stages = (h as f64).log2().ceil();
     let mzis_per_core = (h as f64 / 2.0) * stages;
     let mut b = NetlistBuilder::new("butterfly_node");
@@ -431,6 +442,17 @@ mod tests {
             analytical.instance_counts().unwrap()["ps_w"],
             measured.instance_counts().unwrap()["ps_w"]
         );
+    }
+
+    #[test]
+    fn butterfly_rejects_non_power_of_two_heights() {
+        for h in [3, 5, 6, 7, 12] {
+            let err = butterfly(ArchParams::new(1, 1, h, h), 5.0).unwrap_err();
+            assert!(matches!(err, ArchError::InvalidParameters { .. }), "H={h}");
+        }
+        for h in [2, 4, 8, 16] {
+            assert!(butterfly(ArchParams::new(1, 1, h, h), 5.0).is_ok(), "H={h}");
+        }
     }
 
     #[test]

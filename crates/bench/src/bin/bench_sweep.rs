@@ -11,7 +11,11 @@
 //! * `shared_cold` — `run_sweep` with no result cache: distinct artifacts are
 //!   extracted once and shared across the batch;
 //! * `shared_warm` — `run_sweep` re-run against a populated `SimCache`, so
-//!   every point is a cache hit.
+//!   every point is a cache hit;
+//! * `streaming_chunk16` — `run_sweep_streaming` in shards of 16 points with
+//!   no cache: the bounded-memory execution path, sharing still-live
+//!   artifacts across shard boundaries. Its gap to `shared_cold` is the
+//!   price of sharding (per-shard artifact-store refresh + sink flushes).
 //!
 //! Results go to `BENCH_sweep.json` (or the path given as the first CLI
 //! argument) so successive PRs have a committed perf trajectory to regress
@@ -21,7 +25,9 @@ use std::collections::HashSet;
 use std::time::Instant;
 
 use simphony_bench::fig9_style_sweep;
-use simphony_explore::{run_sweep, simulate_point, SimCache, SweepPoint};
+use simphony_explore::{
+    run_sweep, run_sweep_streaming, simulate_point, SimCache, StreamOptions, SweepPoint, VecSink,
+};
 
 /// Timed repetitions per engine; the minimum is reported (steadiest estimator
 /// for wall-clock benches on a shared machine).
@@ -79,6 +85,14 @@ fn main() {
     });
     eprintln!("run_sweep, cold (no cache):            {shared_cold_ms:.1} ms");
 
+    let streaming_chunk16_ms = time_ms(|| {
+        let mut sink = VecSink::new();
+        run_sweep_streaming(&spec, None, &StreamOptions::chunked(16), &mut sink, |_| {})
+            .expect("streaming sweep runs");
+        assert_eq!(sink.records().len(), 64, "streaming covers every point");
+    });
+    eprintln!("run_sweep_streaming, 16-point shards:  {streaming_chunk16_ms:.1} ms");
+
     let dir = std::env::temp_dir().join(format!("simphony-bench-sweep-{}", std::process::id()));
     let cache = SimCache::open(&dir).expect("cache opens");
     run_sweep(&spec, Some(&cache)).expect("cache warm-up sweep runs");
@@ -93,7 +107,7 @@ fn main() {
     eprintln!("cold-cache speedup vs per-point engine: {speedup:.2}x");
 
     let json = format!(
-        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
+        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"streaming_chunk16_ms\": {streaming_chunk16_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
         name = spec.name,
         points = points.len(),
         reps = REPS,

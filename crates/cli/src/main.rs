@@ -3,7 +3,10 @@
 //! Subcommands:
 //!
 //! * `sweep` — run a declarative design-space sweep from a JSON spec file,
-//!   with result caching and JSON/CSV outputs;
+//!   with result caching and JSON/CSV/JSONL outputs; `--chunk-size` streams
+//!   the sweep in shards (bounded memory, per-shard flushes and progress)
+//!   and `--keep-going` records failing points instead of aborting, leaving
+//!   a cache that makes the re-run resume;
 //! * `pareto` — extract the Pareto frontier from a sweep record file;
 //! * `run` — simulate a single configuration and print the full report;
 //! * `spec` — print an example sweep spec to start from.
@@ -13,8 +16,9 @@ use std::process::ExitCode;
 use clap::{Arg, ArgAction, Command};
 
 use simphony_explore::{
-    pareto_front, read_json, run_sweep, to_csv, write_csv, write_json, ArchFamily, ExploreError,
-    Objective, SimCache, SweepSpec, WorkloadSpec,
+    pareto_front, read_json, run_sweep_streaming, to_csv, write_json, ArchFamily, CsvSink,
+    ExploreError, JsonFileSink, JsonlSink, MultiSink, Objective, RecordSink, SimCache,
+    StreamOptions, SweepSpec, VecSink, WorkloadSpec,
 };
 
 fn arch_family_list() -> String {
@@ -61,16 +65,41 @@ fn cli() -> Command {
                         .help("Additionally write records as CSV to this path"),
                 )
                 .arg(
+                    Arg::new("jsonl")
+                        .long("jsonl")
+                        .value_name("FILE")
+                        .help("Additionally write records as JSON Lines (flushed per shard)"),
+                )
+                .arg(
                     Arg::new("cache")
                         .long("cache")
                         .value_name("DIR")
                         .help("Content-hash result cache directory (created if missing)"),
                 )
                 .arg(
+                    Arg::new("chunk-size")
+                        .long("chunk-size")
+                        .value_name("N")
+                        .default_value("0")
+                        .help(
+                            "Points per shard (0 = whole sweep in one shard); shards stream \
+                             to the output files as they finish",
+                        ),
+                )
+                .arg(
+                    Arg::new("keep-going")
+                        .long("keep-going")
+                        .action(ArgAction::SetTrue)
+                        .help(
+                            "Record failing points and keep sweeping instead of aborting; \
+                             successes are cached, so re-running resumes",
+                        ),
+                )
+                .arg(
                     Arg::new("quiet")
                         .long("quiet")
                         .action(ArgAction::SetTrue)
-                        .help("Suppress the per-sweep summary on stdout"),
+                        .help("Suppress the per-sweep summary and per-shard progress"),
                 ),
         )
         .subcommand(
@@ -205,27 +234,81 @@ fn cmd_sweep(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
         Some(dir) => Some(SimCache::open(dir)?),
         None => None,
     };
-    let outcome = run_sweep(&spec, cache.as_ref())?;
+    let chunk_size: usize = matches.get_one("chunk-size").expect("has default");
+    let mut options = StreamOptions::chunked(chunk_size);
+    if matches.get_flag("keep-going") {
+        options = options.keep_going();
+    }
+    let quiet = matches.get_flag("quiet");
 
-    if let Some(out) = matches.get_one::<String>("out") {
-        write_json(out, &outcome.records)?;
+    // File outputs stream shard by shard; stdout CSV (the no-file fallback)
+    // needs the full record list, so only then do records stay in memory.
+    let out = matches.get_one::<String>("out");
+    let csv = matches.get_one::<String>("csv");
+    let jsonl = matches.get_one::<String>("jsonl");
+    let to_stdout = out.is_none() && csv.is_none() && jsonl.is_none();
+    let mut sink = MultiSink::new();
+    if let Some(path) = out {
+        sink.push(Box::new(JsonFileSink::create(path)?));
     }
-    if let Some(csv) = matches.get_one::<String>("csv") {
-        write_csv(csv, &outcome.records)?;
+    if let Some(path) = csv {
+        sink.push(Box::new(CsvSink::create(path)?));
     }
-    if !matches.get_flag("quiet") {
+    if let Some(path) = jsonl {
+        sink.push(Box::new(JsonlSink::create(path)?));
+    }
+    let mut stdout_records = VecSink::new();
+    let outcome = {
+        let sink: &mut dyn RecordSink = if to_stdout {
+            &mut stdout_records
+        } else {
+            &mut sink
+        };
+        run_sweep_streaming(&spec, cache.as_ref(), &options, sink, |shard| {
+            if !quiet && shard.shards > 1 {
+                eprintln!(
+                    "shard {}/{}: {} points ({} cached, {} simulated, {} failed) [{}/{}]",
+                    shard.shard + 1,
+                    shard.shards,
+                    shard.points,
+                    shard.hits,
+                    shard.points - shard.hits - shard.failures,
+                    shard.failures,
+                    shard.done,
+                    shard.total,
+                );
+            }
+        })?
+    };
+
+    if !quiet {
         println!(
-            "sweep `{}`: {} points ({} cached, {} simulated)",
+            "sweep `{}`: {} points ({} cached, {} simulated, {} failed)",
             spec.name,
-            outcome.records.len(),
+            outcome.total_points,
             outcome.stats.hits,
-            outcome.stats.misses
+            outcome.stats.misses - outcome.failures.len(),
+            outcome.failures.len(),
+        );
+    }
+    for failure in &outcome.failures {
+        eprintln!(
+            "warning: point #{} ({}) failed: {}",
+            failure.index, failure.label, failure.error
+        );
+    }
+    if !outcome.failures.is_empty() {
+        eprintln!(
+            "warning: {} of {} points failed; successes are cached — fix the spec and \
+             re-run to resume",
+            outcome.failures.len(),
+            outcome.total_points,
         );
     }
     // With no output file the records go to stdout — --quiet only suppresses
-    // the summary line, never the results themselves.
-    if matches.get_one::<String>("out").is_none() && matches.get_one::<String>("csv").is_none() {
-        print!("{}", to_csv(&outcome.records));
+    // the summary and progress lines, never the results themselves.
+    if to_stdout {
+        print!("{}", to_csv(stdout_records.records()));
     }
     Ok(())
 }
@@ -235,7 +318,7 @@ fn cmd_pareto(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     let objective_list: String = matches.get_one("objectives").expect("has default");
     let objectives = Objective::parse_list(&objective_list)?;
     let records = read_json(&records_path)?;
-    let front = pareto_front(&records, &objectives);
+    let front = pareto_front(&records, &objectives)?;
 
     println!(
         "pareto frontier over [{}]: {} of {} points",

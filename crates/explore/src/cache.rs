@@ -110,13 +110,34 @@ impl SimCache {
 
     /// Stores the record for its point.
     ///
+    /// The write is atomic: the entry is staged to a process-unique temp file
+    /// in the cache directory and `rename`d into place, so an interrupted
+    /// writer can never leave a truncated entry behind and concurrent sweeps
+    /// sharing a cache directory only ever observe absent or complete
+    /// entries. (A plain `fs::write` truncates in place — a reader racing it,
+    /// or a crash mid-write, would see a corrupt file that [`get`](Self::get)
+    /// then treats as a permanent miss.)
+    ///
     /// # Errors
     ///
     /// Propagates file-system errors.
     pub fn put(&self, record: &SweepRecord) -> Result<()> {
-        let path = self.entry_path(&content_key(&record.point));
-        fs::write(&path, serde_json::to_string(record)?)
-            .map_err(|e| ExploreError::io_at(&path, e))?;
+        static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let key = content_key(&record.point);
+        let path = self.entry_path(&key);
+        // Same directory as the final path, so the rename stays on one
+        // filesystem (cross-device renames are not atomic, or fail outright).
+        let tmp = self.dir.join(format!(
+            "{key}.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        fs::write(&tmp, serde_json::to_string(record)?)
+            .map_err(|e| ExploreError::io_at(&tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            ExploreError::io_at(&path, e)
+        })?;
         Ok(())
     }
 
@@ -157,6 +178,68 @@ mod tests {
         moved.index = 99;
         assert_eq!(content_key(&points[0]), content_key(&moved));
         assert_ne!(content_key(&points[0]), content_key(&points[1]));
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_never_see_a_torn_entry() {
+        use crate::record::SweepRecord;
+        use std::collections::BTreeMap;
+
+        let dir = std::env::temp_dir().join(format!(
+            "simphony-cache-atomic-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let cache = SimCache::open(&dir).unwrap();
+        let point = SweepSpec::new("atomic").expand().unwrap().remove(0);
+        let record = SweepRecord {
+            point: point.clone(),
+            energy_uj: 1.25,
+            cycles: 100,
+            time_ms: 0.5,
+            power_w: 1.0,
+            area_mm2: 0.8,
+            edp_uj_ms: 0.625,
+            glb_blocks: 2,
+            energy_by_kind_uj: BTreeMap::from([("ADC".to_string(), 0.5)]),
+        };
+
+        // Seed the entry, then hammer the same key from several writers while
+        // readers poll it. Renames replace the entry atomically, so every
+        // read must observe a complete record — a torn file would surface as
+        // `get` returning `None` (corrupt entries degrade to misses).
+        cache.put(&record).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        cache.put(&record).unwrap();
+                    }
+                });
+            }
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        let got = cache
+                            .get(&point)
+                            .expect("reader observed a torn or missing entry");
+                        assert_eq!(got, record);
+                    }
+                });
+            }
+        });
+
+        assert_eq!(cache.len().unwrap(), 1, "one key, one entry");
+        // No staging leftovers: every temp file was renamed into place.
+        let stray_tmp = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(std::result::Result::ok)
+            .any(|e| e.path().extension().is_some_and(|ext| ext == "tmp"));
+        assert!(!stray_tmp, "staging files must not outlive put()");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -24,6 +24,18 @@ pub enum ExploreError {
         /// The underlying simulator error.
         source: SimError,
     },
+    /// A record offered to Pareto extraction carries a NaN or infinite
+    /// objective value. A NaN metric can never be dominated (every comparison
+    /// against it is false), so such a record would silently land on every
+    /// frontier; rejecting it keeps frontiers trustworthy.
+    NonFiniteMetric {
+        /// Zero-based index of the offending record's point.
+        index: usize,
+        /// Name of the objective whose value is non-finite.
+        objective: &'static str,
+        /// The offending value (NaN, `inf` or `-inf`).
+        value: f64,
+    },
     /// Reading or writing spec/record/cache files failed.
     Io {
         /// The path involved, when known (a CLI takes several path arguments,
@@ -64,6 +76,15 @@ impl fmt::Display for ExploreError {
                 label,
                 source,
             } => write!(f, "sweep point #{index} ({label}) failed: {source}"),
+            ExploreError::NonFiniteMetric {
+                index,
+                objective,
+                value,
+            } => write!(
+                f,
+                "record #{index} has a non-finite `{objective}` metric ({value}); \
+                 NaN/infinite objectives cannot be ranked on a Pareto frontier"
+            ),
             ExploreError::Io {
                 path: Some(path),
                 source,
@@ -80,7 +101,7 @@ impl std::error::Error for ExploreError {
             ExploreError::Point { source, .. } => Some(source),
             ExploreError::Io { source, .. } => Some(source),
             ExploreError::Json(e) => Some(e),
-            ExploreError::InvalidSpec { .. } => None,
+            ExploreError::InvalidSpec { .. } | ExploreError::NonFiniteMetric { .. } => None,
         }
     }
 }

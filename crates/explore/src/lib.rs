@@ -7,18 +7,32 @@
 //! * [`SweepSpec`] — a declarative, serializable description of a sweep: one
 //!   list of candidate values per axis (architecture family, tiles/cores/node
 //!   dimensions, wavelengths, bitwidth, pruning density, dataflow style,
-//!   data-awareness) plus a workload selector ([`WorkloadSpec`]);
-//! * [`run_sweep`] — expands the Cartesian product and simulates the points
-//!   on a thread pool (`RAYON_NUM_THREADS` sized), emitting [`SweepRecord`]s
+//!   data-awareness) plus a workload selector ([`WorkloadSpec`]); the
+//!   expansion is decodable lazily — [`SweepSpec::point_at`] maps any index
+//!   to its point in O(1) via mixed-radix arithmetic, and
+//!   [`SweepSpec::points`] iterates the whole product in O(1) memory;
+//! * [`run_sweep_streaming`] — the streaming, sharded executor: walks the
+//!   expansion in configurable chunks on a thread pool (`RAYON_NUM_THREADS`
+//!   sized), shares workload/accelerator artifacts within and across shards
+//!   behind [`std::sync::Arc`]s, pushes completed [`SweepRecord`]s into a
+//!   [`RecordSink`] (in-memory, pretty JSON, JSONL, CSV — flushed per shard)
 //!   in a deterministic order so result files are byte-identical at any
-//!   thread count;
-//! * [`SimCache`] — a content-hash result cache: re-runs and overlapping
-//!   sweeps skip every already-simulated configuration;
+//!   thread count and any chunk size, and optionally keeps going past
+//!   failing points ([`ErrorPolicy::KeepGoing`]) so partial sweeps resume
+//!   through the cache;
+//! * [`run_sweep`] — the in-memory convenience wrapper (one shard, fail
+//!   fast, `Vec` of records);
+//! * [`SimCache`] — a content-hash result cache with atomic entry writes:
+//!   re-runs, overlapping sweeps and concurrent sweeps sharing a directory
+//!   skip every already-simulated configuration;
 //! * [`pareto_front`] — non-dominated-point extraction over configurable
-//!   minimization [`Objective`]s (energy, latency, power, area, EDP).
+//!   minimization [`Objective`]s (energy, latency, power, area, EDP);
+//!   records carrying NaN/infinite objectives are rejected instead of
+//!   silently joining every frontier.
 //!
-//! The `simphony-cli` binary exposes all of this as `sweep`, `pareto` and
-//! `run` subcommands; see `EXPERIMENTS.md` at the repository root.
+//! The `simphony-cli` binary exposes all of this as `sweep` (with
+//! `--chunk-size`, `--jsonl`, `--keep-going`), `pareto` and `run`
+//! subcommands; see `EXPERIMENTS.md` at the repository root.
 //!
 //! # Examples
 //!
@@ -33,8 +47,28 @@
 //! // More wavelengths -> fewer cycles on TeMPO.
 //! assert!(outcome.records[2].cycles < outcome.records[0].cycles);
 //!
-//! let front = pareto_front(&outcome.records, &[Objective::Energy, Objective::Latency]);
+//! let front = pareto_front(&outcome.records, &[Objective::Energy, Objective::Latency])?;
 //! assert!(!front.is_empty());
+//! # Ok::<(), simphony_explore::ExploreError>(())
+//! ```
+//!
+//! Streaming the same sweep in shards of 2 points, with per-shard durable
+//! output:
+//!
+//! ```
+//! use simphony_explore::{run_sweep_streaming, StreamOptions, SweepSpec, VecSink};
+//!
+//! let spec = SweepSpec::new("wavelengths").with_wavelengths(vec![1, 2, 4]);
+//! let mut sink = VecSink::new();
+//! let outcome = run_sweep_streaming(
+//!     &spec,
+//!     None,
+//!     &StreamOptions::chunked(2),
+//!     &mut sink,
+//!     |shard| eprintln!("shard {}/{} done", shard.shard + 1, shard.shards),
+//! )?;
+//! assert_eq!(outcome.shards, 2);
+//! assert_eq!(sink.records().len(), 3);
 //! # Ok::<(), simphony_explore::ExploreError>(())
 //! ```
 
@@ -46,14 +80,22 @@ mod error;
 mod pareto;
 mod record;
 mod runner;
+mod sink;
 mod spec;
 
 pub use cache::{content_key, CacheStats, SimCache};
 pub use error::{ExploreError, Result};
 pub use pareto::{dominates, pareto_front, Objective};
-pub use record::{read_json, to_csv, write_csv, write_json, SweepRecord, CSV_HEADER};
-pub use runner::{run_sweep, simulate_point, SweepOutcome};
-pub use spec::{ArchFamily, ArchKey, SweepPoint, SweepSpec, WorkloadKey, WorkloadSpec};
+pub use record::{
+    csv_row, read_json, read_jsonl, to_csv, write_csv, write_json, write_jsonl, SweepRecord,
+    CSV_HEADER,
+};
+pub use runner::{
+    run_sweep, run_sweep_streaming, simulate_point, ErrorPolicy, PointFailure, ShardProgress,
+    StreamOptions, StreamOutcome, SweepOutcome,
+};
+pub use sink::{CsvSink, JsonFileSink, JsonlSink, MultiSink, RecordSink, VecSink};
+pub use spec::{ArchFamily, ArchKey, PointIter, SweepPoint, SweepSpec, WorkloadKey, WorkloadSpec};
 
 #[cfg(test)]
 mod tests {

@@ -93,6 +93,11 @@ impl fmt::Display for Objective {
 
 /// Whether `candidate` dominates `other`: no worse in every objective and
 /// strictly better in at least one.
+///
+/// NaN poisons this relation — every comparison against a NaN metric is
+/// false, so a NaN record can never be dominated and would silently join
+/// every frontier. [`pareto_front`] therefore rejects non-finite objective
+/// values up front; callers comparing records directly should do the same.
 pub fn dominates(candidate: &SweepRecord, other: &SweepRecord, objectives: &[Objective]) -> bool {
     let mut strictly_better = false;
     for objective in objectives {
@@ -113,8 +118,27 @@ pub fn dominates(candidate: &SweepRecord, other: &SweepRecord, objectives: &[Obj
 /// Ties (records with identical objective vectors) are all kept: neither
 /// strictly beats the other, and dropping one would hide a distinct
 /// configuration reaching the same operating point.
-pub fn pareto_front(records: &[SweepRecord], objectives: &[Objective]) -> Vec<SweepRecord> {
-    records
+///
+/// # Errors
+///
+/// Returns [`ExploreError::NonFiniteMetric`] when any record carries a NaN or
+/// infinite value in one of the requested objectives. A NaN record can never
+/// be dominated ([`dominates`] returns false for every comparison against
+/// it), so without this check it would silently land on every frontier.
+pub fn pareto_front(records: &[SweepRecord], objectives: &[Objective]) -> Result<Vec<SweepRecord>> {
+    for record in records {
+        for &objective in objectives {
+            let value = objective.value(record);
+            if !value.is_finite() {
+                return Err(ExploreError::NonFiniteMetric {
+                    index: record.point.index,
+                    objective: objective.name(),
+                    value,
+                });
+            }
+        }
+    }
+    Ok(records
         .iter()
         .filter(|candidate| {
             !records
@@ -122,7 +146,7 @@ pub fn pareto_front(records: &[SweepRecord], objectives: &[Objective]) -> Vec<Sw
                 .any(|other| dominates(other, candidate, objectives))
         })
         .cloned()
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -157,7 +181,7 @@ mod tests {
             record(4, 2.0, 2.5), // dominated by #1
         ];
         let objectives = [Objective::Energy, Objective::Latency];
-        let front = pareto_front(&records, &objectives);
+        let front = pareto_front(&records, &objectives).unwrap();
         let kept: Vec<usize> = front.iter().map(|r| r.point.index).collect();
         assert_eq!(kept, vec![0, 1, 2]);
     }
@@ -169,7 +193,7 @@ mod tests {
             record(1, 1.0, 9.0),
             record(2, 2.0, 1.0),
         ];
-        let front = pareto_front(&records, &[Objective::Energy]);
+        let front = pareto_front(&records, &[Objective::Energy]).unwrap();
         assert_eq!(front.len(), 1);
         assert_eq!(front[0].point.index, 1);
     }
@@ -177,8 +201,49 @@ mod tests {
     #[test]
     fn exact_ties_are_all_kept() {
         let records = vec![record(0, 1.0, 1.0), record(1, 1.0, 1.0)];
-        let front = pareto_front(&records, &[Objective::Energy, Objective::Latency]);
+        let front = pareto_front(&records, &[Objective::Energy, Objective::Latency]).unwrap();
         assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn nan_metrics_are_rejected_not_silently_enthroned() {
+        // Before the fix, the NaN record could never be dominated and joined
+        // every frontier despite being strictly useless.
+        let records = vec![record(0, 1.0, 1.0), record(1, f64::NAN, 0.5)];
+        let err = pareto_front(&records, &[Objective::Energy, Objective::Latency]).unwrap_err();
+        match err {
+            ExploreError::NonFiniteMetric {
+                index,
+                objective,
+                value,
+            } => {
+                assert_eq!(index, 1);
+                assert_eq!(objective, "energy");
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFiniteMetric, got {other}"),
+        }
+    }
+
+    #[test]
+    fn infinite_metrics_are_rejected_too() {
+        let records = vec![record(0, 1.0, 1.0), record(1, f64::INFINITY, 0.5)];
+        assert!(pareto_front(&records, &[Objective::Energy]).is_err());
+        let records = vec![record(0, 1.0, f64::NEG_INFINITY)];
+        assert!(pareto_front(&records, &[Objective::Latency]).is_err());
+    }
+
+    #[test]
+    fn non_finite_values_outside_requested_objectives_are_ignored() {
+        // Only the objectives actually being ranked matter: a NaN in an
+        // unrelated metric must not block extraction over finite ones.
+        let mut poisoned = record(1, 2.0, 2.0);
+        poisoned.power_w = f64::NAN;
+        let records = vec![record(0, 1.0, 1.0), poisoned];
+        let front = pareto_front(&records, &[Objective::Energy, Objective::Latency]).unwrap();
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].point.index, 0);
+        assert!(pareto_front(&records, &[Objective::Power]).is_err());
     }
 
     #[test]

@@ -67,35 +67,41 @@ pub const CSV_HEADER: &str = "index,workload,arch,tiles,cores_per_tile,core_heig
 wavelengths,bits,sparsity,dataflow,data_awareness,energy_uj,cycles,time_ms,power_w,area_mm2,\
 edp_uj_ms,glb_blocks";
 
+/// Renders one record as a CSV line (no trailing newline), matching
+/// [`CSV_HEADER`]'s columns. Shared by [`to_csv`] and the streaming CSV sink
+/// so batch and per-shard output stay byte-identical.
+pub fn csv_row(r: &SweepRecord) -> String {
+    let p = &r.point;
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        p.index,
+        p.workload.label(),
+        p.arch,
+        p.tiles,
+        p.cores_per_tile,
+        p.core_height,
+        p.core_width,
+        p.wavelengths,
+        p.bits,
+        p.sparsity,
+        p.dataflow,
+        p.data_awareness,
+        r.energy_uj,
+        r.cycles,
+        r.time_ms,
+        r.power_w,
+        r.area_mm2,
+        r.edp_uj_ms,
+        r.glb_blocks,
+    )
+}
+
 /// Renders records as CSV (fixed columns; the per-kind energy map is omitted).
 pub fn to_csv(records: &[SweepRecord]) -> String {
     let mut out = String::from(CSV_HEADER);
     out.push('\n');
     for r in records {
-        let p = &r.point;
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            p.index,
-            p.workload.label(),
-            p.arch,
-            p.tiles,
-            p.cores_per_tile,
-            p.core_height,
-            p.core_width,
-            p.wavelengths,
-            p.bits,
-            p.sparsity,
-            p.dataflow,
-            p.data_awareness,
-            r.energy_uj,
-            r.cycles,
-            r.time_ms,
-            r.power_w,
-            r.area_mm2,
-            r.edp_uj_ms,
-            r.glb_blocks,
-        );
+        let _ = writeln!(out, "{}", csv_row(r));
     }
     out
 }
@@ -129,6 +135,36 @@ pub fn read_json(path: impl AsRef<Path>) -> Result<Vec<SweepRecord>> {
 pub fn write_csv(path: impl AsRef<Path>, records: &[SweepRecord]) -> Result<()> {
     fs::write(&path, to_csv(records)).map_err(|e| ExploreError::io_at(&path, e))?;
     Ok(())
+}
+
+/// Writes records to `path` as JSON Lines (one compact record per line).
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn write_jsonl(path: impl AsRef<Path>, records: &[SweepRecord]) -> Result<()> {
+    let mut text = String::new();
+    for record in records {
+        text.push_str(&serde_json::to_string(record)?);
+        text.push('\n');
+    }
+    fs::write(&path, text).map_err(|e| ExploreError::io_at(&path, e))?;
+    Ok(())
+}
+
+/// Reads records back from a JSON Lines file written by [`write_jsonl`] or
+/// the streaming JSONL sink. Blank lines are skipped, so concatenated or
+/// hand-truncated shard outputs still parse.
+///
+/// # Errors
+///
+/// Propagates file-system and JSON-shape errors.
+pub fn read_jsonl(path: impl AsRef<Path>) -> Result<Vec<SweepRecord>> {
+    let text = fs::read_to_string(&path).map_err(|e| ExploreError::io_at(&path, e))?;
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| Ok(serde_json::from_str(line)?))
+        .collect()
 }
 
 #[cfg(test)]
@@ -168,5 +204,19 @@ mod tests {
         let text = serde_json::to_string(&records).unwrap();
         let back: Vec<SweepRecord> = serde_json::from_str(&text).unwrap();
         assert_eq!(back, records);
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl_files() {
+        let records = vec![dummy_record(0, 1.25), dummy_record(1, 2.5)];
+        let path = std::env::temp_dir().join(format!(
+            "simphony-record-jsonl-{}.jsonl",
+            std::process::id()
+        ));
+        write_jsonl(&path, &records).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "one compact line per record");
+        assert_eq!(read_jsonl(&path).unwrap(), records);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,42 +1,155 @@
-//! Parallel sweep execution with intra-sweep artifact sharing.
+//! Streaming, sharded sweep execution with intra-sweep artifact sharing.
 //!
-//! [`run_sweep`] expands a [`SweepSpec`], serves what it can from the result
-//! cache, and fans the remaining points out across a rayon-style thread pool.
-//! Before simulating, the misses are grouped by their *artifact identities*
-//! ([`SweepPoint::workload_key`] and [`SweepPoint::arch_key`]): each distinct
-//! workload is extracted once and each distinct accelerator is generated once,
-//! then shared across the workers behind [`Arc`]s. A fig9-style sweep whose
-//! 64 points share 4 distinct workloads therefore pays for 4 extractions, not
-//! 64 — extraction dominates the per-point cost for real models, so this is
-//! where the engine's wall-clock goes from O(points) to O(distinct artifacts).
+//! [`run_sweep_streaming`] walks a [`SweepSpec`]'s expansion lazily (via
+//! [`SweepSpec::points`] — no full point `Vec` is ever materialized), in
+//! configurable shards. Each shard serves what it can from the result cache,
+//! groups the remaining points by their *artifact identities*
+//! ([`SweepPoint::workload_key`] and [`SweepPoint::arch_key`]), extracts each
+//! distinct workload and generates each distinct accelerator once (reusing
+//! `Arc`s still live from the previous shard), simulates the misses on a
+//! rayon-style thread pool, caches the successes, and pushes the shard's
+//! records into a [`RecordSink`] in deterministic expansion order before
+//! moving on. A fig9-style sweep whose 64 points share 4 distinct workloads
+//! therefore pays for 4 extractions, not 64 — and a million-point sweep holds
+//! one shard of points (plus that shard's distinct artifacts) in memory, not
+//! the whole expansion.
 //!
-//! Records are returned in the spec's deterministic expansion order — output
+//! Failure handling is governed by [`ErrorPolicy`]:
+//!
+//! * [`ErrorPolicy::FailFast`] (the default, and [`run_sweep`]'s behaviour)
+//!   finishes the failing shard — so every success in it is cached — then
+//!   returns the first failing point's error in expansion order;
+//! * [`ErrorPolicy::KeepGoing`] records each failure as a [`PointFailure`] in
+//!   the [`StreamOutcome`] and keeps simulating. Combined with the cache this
+//!   makes interrupted or partially-failing sweeps resumable: re-running the
+//!   same spec hits the cache for every point that already succeeded and only
+//!   re-attempts the rest.
+//!
+//! Records are emitted in the spec's deterministic expansion order — output
 //! files are byte-identical whether the sweep ran on one thread or many
-//! (`RAYON_NUM_THREADS` controls the pool size), and artifact sharing does not
-//! change a single output bit versus per-point extraction (extraction and
-//! generation are pure functions of the key).
+//! (`RAYON_NUM_THREADS` controls the pool size), in one shard or thousands,
+//! and artifact sharing does not change a single output bit versus per-point
+//! extraction (extraction and generation are pure functions of the key).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use simphony::{Accelerator, MappingPlan, Result as SimResult, SimulationReport, Simulator};
+use simphony::{
+    Accelerator, MappingPlan, Result as SimResult, SimError, SimulationReport, Simulator,
+};
 use simphony_onn::ModelWorkload;
 use simphony_units::BitWidth;
 
 use crate::cache::{CacheStats, SimCache};
 use crate::error::{ExploreError, Result};
 use crate::record::SweepRecord;
+use crate::sink::{RecordSink, VecSink};
 use crate::spec::{ArchKey, SweepPoint, SweepSpec, WorkloadKey};
 
-/// The result of one sweep: ordered records plus cache accounting.
+/// The result of one in-memory sweep: ordered records plus cache accounting.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
     /// One record per expanded point, in expansion order.
     pub records: Vec<SweepRecord>,
     /// How many points were served from the cache vs simulated.
     pub stats: CacheStats,
+}
+
+/// How the streaming executor reacts to a failing point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Finish the failing shard (so its successes are cached), then abort the
+    /// sweep with the first failing point's error in expansion order. This is
+    /// [`run_sweep`]'s behaviour.
+    #[default]
+    FailFast,
+    /// Record every failure as a [`PointFailure`] in the outcome and keep
+    /// simulating; successful points still stream to the sink and the cache,
+    /// so a re-run after fixing the problem resumes instead of restarting.
+    KeepGoing,
+}
+
+/// Tuning knobs of [`run_sweep_streaming`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamOptions {
+    /// Points per shard; `None` (or `Some(0)`) runs the whole sweep as one
+    /// shard. Smaller shards bound memory and flush durable sinks more often
+    /// at the cost of more frequent artifact-store refreshes.
+    pub chunk_size: Option<usize>,
+    /// Failure handling (fail-fast by default).
+    pub error_policy: ErrorPolicy,
+}
+
+impl StreamOptions {
+    /// One shard, fail-fast — the exact semantics of [`run_sweep`].
+    pub fn unchunked() -> Self {
+        Self::default()
+    }
+
+    /// Shards of `chunk_size` points (0 means unchunked).
+    #[must_use]
+    pub fn chunked(chunk_size: usize) -> Self {
+        Self {
+            chunk_size: (chunk_size > 0).then_some(chunk_size),
+            ..Self::default()
+        }
+    }
+
+    /// Switches to [`ErrorPolicy::KeepGoing`].
+    #[must_use]
+    pub fn keep_going(mut self) -> Self {
+        self.error_policy = ErrorPolicy::KeepGoing;
+        self
+    }
+}
+
+/// One failing point of a [`ErrorPolicy::KeepGoing`] sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointFailure {
+    /// Zero-based index of the point in deterministic expansion order.
+    pub index: usize,
+    /// Human-readable description of the failing configuration.
+    pub label: String,
+    /// The underlying simulator error (artifact construction or simulation).
+    pub error: SimError,
+}
+
+/// Progress snapshot passed to the [`run_sweep_streaming`] callback after
+/// each shard completes.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardProgress {
+    /// Zero-based index of the shard that just completed.
+    pub shard: usize,
+    /// Total number of shards in the sweep.
+    pub shards: usize,
+    /// Points in this shard.
+    pub points: usize,
+    /// Cache hits in this shard.
+    pub hits: usize,
+    /// Failed points in this shard.
+    pub failures: usize,
+    /// Cumulative points processed so far (including this shard).
+    pub done: usize,
+    /// Total points in the sweep.
+    pub total: usize,
+}
+
+/// The result of one streaming sweep. Records went to the sink; this carries
+/// the accounting.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// How many points were served from the cache vs attempted.
+    pub stats: CacheStats,
+    /// Every failing point, in expansion order. Empty on a fully successful
+    /// sweep and always empty under [`ErrorPolicy::FailFast`] (the first
+    /// failure is returned as the sweep's error instead).
+    pub failures: Vec<PointFailure>,
+    /// Number of shards the sweep ran as.
+    pub shards: usize,
+    /// Total points in the expansion.
+    pub total_points: usize,
 }
 
 fn build_accelerator(point: &SweepPoint) -> SimResult<Accelerator> {
@@ -55,9 +168,9 @@ fn extract_workload(point: &SweepPoint) -> SimResult<ModelWorkload> {
 /// Simulates one fully-bound configuration, extracting its artifacts from
 /// scratch.
 ///
-/// This is the sharing-free path ([`run_sweep`] amortizes artifacts across a
-/// batch instead); it exists for single-point callers like `simphony-cli run`
-/// and produces bit-identical reports to the shared path.
+/// This is the sharing-free path ([`run_sweep_streaming`] amortizes artifacts
+/// across a shard instead); it exists for single-point callers like
+/// `simphony-cli run` and produces bit-identical reports to the shared path.
 ///
 /// # Errors
 ///
@@ -80,28 +193,52 @@ fn simulate_point_with(
         .simulate(workload, &MappingPlan::default())
 }
 
-/// The distinct artifacts of a batch of sweep points, extracted once and
-/// shared across the executor threads.
+/// The distinct artifacts of one shard of sweep points, built once and shared
+/// across the executor threads.
+///
+/// Construction is fallible *per key*, not per store: a failing artifact is
+/// recorded as that key's error and only fails the points that need it — the
+/// rest of the shard still simulates (and caches), honouring `run_sweep`'s
+/// partial-progress contract.
+#[derive(Default)]
 struct ArtifactStore {
-    workloads: HashMap<WorkloadKey, Arc<ModelWorkload>>,
-    accelerators: HashMap<ArchKey, Arc<Accelerator>>,
+    workloads: HashMap<WorkloadKey, std::result::Result<Arc<ModelWorkload>, SimError>>,
+    accelerators: HashMap<ArchKey, std::result::Result<Arc<Accelerator>, SimError>>,
 }
 
 impl ArtifactStore {
     /// Extracts/generates every distinct artifact of `points` (both kinds in
-    /// parallel over their distinct keys). A failing artifact is reported
-    /// against the first point that needs it.
-    fn build(points: &[&SweepPoint]) -> Result<Self> {
+    /// parallel over their distinct keys). Artifacts already built by
+    /// `previous` — the preceding shard's store — are reused via `Arc` clone
+    /// instead of rebuilt, so workloads and accelerators that stay live
+    /// across a shard boundary are only ever constructed once per sweep.
+    fn build(points: &[&SweepPoint], previous: &ArtifactStore) -> Self {
+        let mut store = ArtifactStore::default();
         let mut workload_reps: Vec<&SweepPoint> = Vec::new();
-        let mut workload_keys: HashSet<WorkloadKey> = HashSet::new();
         let mut arch_reps: Vec<&SweepPoint> = Vec::new();
+        let mut workload_keys: HashSet<WorkloadKey> = HashSet::new();
         let mut arch_keys: HashSet<ArchKey> = HashSet::new();
         for &point in points {
-            if workload_keys.insert(point.workload_key()) {
-                workload_reps.push(point);
+            let workload_key = point.workload_key();
+            if workload_keys.insert(workload_key.clone()) {
+                match previous.workloads.get(&workload_key) {
+                    Some(Ok(live)) => {
+                        store.workloads.insert(workload_key, Ok(Arc::clone(live)));
+                    }
+                    // Failed keys are retried: a previous shard's error may be
+                    // transient from the cache's point of view, and rebuilding
+                    // keeps error attribution local to this shard.
+                    _ => workload_reps.push(point),
+                }
             }
-            if arch_keys.insert(point.arch_key()) {
-                arch_reps.push(point);
+            let arch_key = point.arch_key();
+            if arch_keys.insert(arch_key) {
+                match previous.accelerators.get(&arch_key) {
+                    Some(Ok(live)) => {
+                        store.accelerators.insert(arch_key, Ok(Arc::clone(live)));
+                    }
+                    _ => arch_reps.push(point),
+                }
             }
         }
 
@@ -109,110 +246,201 @@ impl ArtifactStore {
             .par_iter()
             .map(|point| extract_workload(point))
             .collect();
-        let mut workloads = HashMap::with_capacity(workload_reps.len());
         for (point, result) in workload_reps.iter().zip(extracted) {
-            let workload = result.map_err(|source| point_error(point, source))?;
-            workloads.insert(point.workload_key(), Arc::new(workload));
+            store
+                .workloads
+                .insert(point.workload_key(), result.map(Arc::new));
         }
 
         let generated: Vec<SimResult<Accelerator>> = arch_reps
             .par_iter()
             .map(|point| build_accelerator(point))
             .collect();
-        let mut accelerators = HashMap::with_capacity(arch_reps.len());
         for (point, result) in arch_reps.iter().zip(generated) {
-            let accel = result.map_err(|source| point_error(point, source))?;
-            accelerators.insert(point.arch_key(), Arc::new(accel));
+            store
+                .accelerators
+                .insert(point.arch_key(), result.map(Arc::new));
         }
 
-        Ok(Self {
-            workloads,
-            accelerators,
-        })
+        store
     }
 
-    fn simulate(&self, point: &SweepPoint) -> Result<SimulationReport> {
-        let workload = &self.workloads[&point.workload_key()];
-        let accel = &self.accelerators[&point.arch_key()];
-        simulate_point_with(point, accel, workload).map_err(|source| point_error(point, source))
-    }
-}
-
-fn point_error(point: &SweepPoint, source: simphony::SimError) -> ExploreError {
-    ExploreError::Point {
-        index: point.index,
-        label: point.label(),
-        source,
+    fn simulate(&self, point: &SweepPoint) -> SimResult<SimulationReport> {
+        let workload = self.workloads[&point.workload_key()]
+            .as_ref()
+            .map_err(SimError::clone)?;
+        let accel = self.accelerators[&point.arch_key()]
+            .as_ref()
+            .map_err(SimError::clone)?;
+        simulate_point_with(point, accel, workload)
     }
 }
 
-/// Runs a sweep, optionally backed by a result cache.
+/// Runs a sweep as a stream of shards, pushing completed records into `sink`
+/// in deterministic expansion order and reporting per-shard progress through
+/// `progress`.
+///
+/// The expansion is walked lazily — memory is bounded by the shard size (see
+/// [`StreamOptions::chunk_size`]), not the sweep size. Durable sinks are
+/// flushed at every shard boundary, and successful points are written to the
+/// cache as their shard completes, so an interrupted sweep leaves both a
+/// readable output prefix and a cache that makes the re-run resume.
 ///
 /// # Errors
 ///
-/// Returns the first failing point's error (points are still attempted in
-/// parallel; failures abort the sweep rather than producing partial files),
-/// or a spec-validation/cache I/O error. Points that simulated successfully
-/// are cached even when another point fails, so a retry after fixing the
-/// spec only re-runs what actually needs running.
-pub fn run_sweep(spec: &SweepSpec, cache: Option<&SimCache>) -> Result<SweepOutcome> {
-    let points = spec.expand()?;
-    let total = points.len();
-
-    // Serve cache hits first; only misses go to the artifact store and the
-    // thread pool. Points are kept in `Option` slots so a missed point can
-    // later be *moved* into its record instead of cloned.
-    let mut points: Vec<Option<SweepPoint>> = points.into_iter().map(Some).collect();
-    let mut slots: Vec<Option<SweepRecord>> = Vec::with_capacity(total);
-    let mut miss_indices: Vec<usize> = Vec::new();
-    for (index, point) in points.iter().enumerate() {
-        let point = point.as_ref().expect("all points present before execution");
-        match cache.and_then(|c| c.get(point)) {
-            Some(record) => slots.push(Some(record)),
-            None => {
-                slots.push(None);
-                miss_indices.push(index);
-            }
-        }
-    }
-    let stats = CacheStats {
-        hits: total - miss_indices.len(),
-        misses: miss_indices.len(),
+/// Returns spec-validation, cache/sink I/O errors, and — under
+/// [`ErrorPolicy::FailFast`] — the first failing point's error (the failing
+/// shard is still completed first so its successes are cached). Under
+/// [`ErrorPolicy::KeepGoing`] failing points are reported in
+/// [`StreamOutcome::failures`] instead.
+pub fn run_sweep_streaming(
+    spec: &SweepSpec,
+    cache: Option<&SimCache>,
+    options: &StreamOptions,
+    sink: &mut dyn RecordSink,
+    mut progress: impl FnMut(&ShardProgress),
+) -> Result<StreamOutcome> {
+    let mut iter = spec.points()?;
+    let total = iter.len();
+    let shard_size = match options.chunk_size {
+        Some(size) if size > 0 => size,
+        _ => total.max(1),
     };
+    let shards = total.div_ceil(shard_size);
 
-    let missed_points: Vec<&SweepPoint> = miss_indices
-        .iter()
-        .map(|&i| points[i].as_ref().expect("miss slot holds its point"))
-        .collect();
-    let artifacts = ArtifactStore::build(&missed_points)?;
-    let computed: Vec<Result<SimulationReport>> = missed_points
-        .par_iter()
-        .map(|point| artifacts.simulate(point))
-        .collect();
+    let mut carried = ArtifactStore::default();
+    let mut stats = CacheStats::default();
+    let mut failures: Vec<PointFailure> = Vec::new();
+    let mut first_error: Option<ExploreError> = None;
+    let mut done = 0usize;
 
-    let mut first_error = None;
-    for (&index, result) in miss_indices.iter().zip(computed) {
-        match result {
-            Ok(report) => {
-                let point = points[index].take().expect("miss slot holds its point");
-                let record = SweepRecord::from_report(point, &report);
-                if let Some(cache) = cache {
-                    cache.put(&record)?;
+    for shard in 0..shards {
+        let points: Vec<SweepPoint> = iter.by_ref().take(shard_size).collect();
+
+        // Serve cache hits first; only misses go to the artifact store and
+        // the thread pool. Points sit in `Option` slots so a missed point can
+        // later be *moved* into its record instead of cloned.
+        let mut points: Vec<Option<SweepPoint>> = points.into_iter().map(Some).collect();
+        let mut slots: Vec<Option<SweepRecord>> = Vec::with_capacity(points.len());
+        let mut miss_indices: Vec<usize> = Vec::new();
+        for (slot, point) in points.iter().enumerate() {
+            let point = point.as_ref().expect("all points present before execution");
+            match cache.and_then(|c| c.get(point)) {
+                Some(record) => slots.push(Some(record)),
+                None => {
+                    slots.push(None);
+                    miss_indices.push(slot);
                 }
-                slots[index] = Some(record);
             }
-            Err(err) => first_error = first_error.or(Some(err)),
+        }
+        let shard_points = points.len();
+        let shard_hits = shard_points - miss_indices.len();
+        stats.hits += shard_hits;
+        stats.misses += miss_indices.len();
+
+        let missed: Vec<&SweepPoint> = miss_indices
+            .iter()
+            .map(|&slot| points[slot].as_ref().expect("miss slot holds its point"))
+            .collect();
+        let artifacts = ArtifactStore::build(&missed, &carried);
+        let computed: Vec<SimResult<SimulationReport>> = missed
+            .par_iter()
+            .map(|point| artifacts.simulate(point))
+            .collect();
+        drop(missed);
+
+        let mut shard_failures = 0usize;
+        for (&slot, result) in miss_indices.iter().zip(computed) {
+            let point = points[slot].take().expect("miss slot holds its point");
+            match result {
+                Ok(report) => {
+                    let record = SweepRecord::from_report(point, &report);
+                    if let Some(cache) = cache {
+                        cache.put(&record)?;
+                    }
+                    slots[slot] = Some(record);
+                }
+                Err(error) => {
+                    shard_failures += 1;
+                    if first_error.is_none() && options.error_policy == ErrorPolicy::FailFast {
+                        first_error = Some(ExploreError::Point {
+                            index: point.index,
+                            label: point.label(),
+                            source: error.clone(),
+                        });
+                    }
+                    failures.push(PointFailure {
+                        index: point.index,
+                        label: point.label(),
+                        error,
+                    });
+                }
+            }
+        }
+
+        // Emit the shard's completed records in expansion order (failed
+        // points simply have no record), then let durable sinks persist.
+        for record in slots.into_iter().flatten() {
+            sink.accept(record)?;
+        }
+        sink.flush_shard()?;
+        // Next shard reuses whatever artifacts stay live across the boundary.
+        // A fully-cache-hit shard builds nothing — keep the previous carry
+        // then, or a warm stretch in the middle of a sweep would drop every
+        // live Arc and force the next cold shard to rebuild them.
+        if !miss_indices.is_empty() {
+            carried = artifacts;
+        }
+
+        done += shard_points;
+        progress(&ShardProgress {
+            shard,
+            shards,
+            points: shard_points,
+            hits: shard_hits,
+            failures: shard_failures,
+            done,
+            total,
+        });
+
+        if let Some(err) = first_error.take() {
+            // FailFast: the failing shard was fully processed (successes
+            // cached and emitted); later shards are not attempted.
+            return Err(err);
         }
     }
-    if let Some(err) = first_error {
-        return Err(err);
-    }
 
-    let records: Vec<SweepRecord> = slots
-        .into_iter()
-        .map(|slot| slot.expect("every point is a hit or a computed record"))
-        .collect();
-    Ok(SweepOutcome { records, stats })
+    sink.finish()?;
+    Ok(StreamOutcome {
+        stats,
+        failures,
+        shards,
+        total_points: total,
+    })
+}
+
+/// Runs a sweep in memory, optionally backed by a result cache.
+///
+/// This is a thin wrapper over [`run_sweep_streaming`] with a single shard
+/// and a [`VecSink`]; it exists for callers that want the whole record list
+/// at once.
+///
+/// # Errors
+///
+/// Returns the first failing point's error in expansion order (points are
+/// still attempted in parallel; failures abort the sweep rather than
+/// producing partial files), or a spec-validation/cache I/O error. Points
+/// that simulated successfully are cached even when another point fails —
+/// including points whose *artifacts* built while another point's artifact
+/// did not — so a retry after fixing the spec only re-runs what actually
+/// needs running.
+pub fn run_sweep(spec: &SweepSpec, cache: Option<&SimCache>) -> Result<SweepOutcome> {
+    let mut sink = VecSink::new();
+    let outcome = run_sweep_streaming(spec, cache, &StreamOptions::unchunked(), &mut sink, |_| {})?;
+    Ok(SweepOutcome {
+        records: sink.into_records(),
+        stats: outcome.stats,
+    })
 }
 
 #[cfg(test)]
@@ -256,6 +484,47 @@ mod tests {
     }
 
     #[test]
+    fn artifact_failures_only_fail_their_own_points() {
+        // The butterfly mesh rejects a non-power-of-two core height at
+        // *artifact construction* time, before any simulation. The TeMPO
+        // points sharing the sweep must still simulate and be cached — the
+        // documented contract that used to be violated when a single failing
+        // artifact aborted the whole batch up front.
+        let dir = std::env::temp_dir().join(format!(
+            "simphony-explore-artifact-partial-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = SimCache::open(&dir).unwrap();
+        let spec = SweepSpec::new("artifact-partial")
+            .with_arch(vec![ArchFamily::Tempo, ArchFamily::Butterfly])
+            .with_core_dims(vec![6])
+            .with_wavelengths(vec![1, 2]);
+        let err = run_sweep(&spec, Some(&cache)).unwrap_err();
+        match err {
+            ExploreError::Point { index, label, .. } => {
+                // Expansion order: tempo λ1, tempo λ2, butterfly λ1, butterfly λ2.
+                assert_eq!(index, 2, "first failing point in expansion order");
+                assert!(label.contains("butterfly"));
+            }
+            other => panic!("expected point error, got {other}"),
+        }
+        assert_eq!(
+            cache.len().unwrap(),
+            2,
+            "both TeMPO points must be cached despite the butterfly artifact failing"
+        );
+
+        let retry = SweepSpec::new("artifact-retry")
+            .with_arch(vec![ArchFamily::Tempo])
+            .with_core_dims(vec![6])
+            .with_wavelengths(vec![1, 2]);
+        let outcome = run_sweep(&retry, Some(&cache)).unwrap();
+        assert_eq!(outcome.stats, CacheStats { hits: 2, misses: 0 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn failing_points_abort_with_context() {
         // A static-only MZI mesh cannot execute BERT's dynamic attention
         // products, so every point fails placement.
@@ -269,6 +538,69 @@ mod tests {
                 assert!(label.contains("mzi_mesh"));
             }
             other => panic!("expected point error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn keep_going_records_failures_and_streams_the_successes() {
+        let spec = SweepSpec::new("keep-going")
+            .with_arch(vec![ArchFamily::Tempo, ArchFamily::Butterfly])
+            .with_core_dims(vec![6])
+            .with_wavelengths(vec![1, 2]);
+        let mut sink = VecSink::new();
+        let outcome = run_sweep_streaming(
+            &spec,
+            None,
+            &StreamOptions::chunked(1).keep_going(),
+            &mut sink,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(outcome.total_points, 4);
+        assert_eq!(outcome.shards, 4);
+        let failed: Vec<usize> = outcome.failures.iter().map(|f| f.index).collect();
+        assert_eq!(failed, vec![2, 3], "both butterfly points fail");
+        for failure in &outcome.failures {
+            assert!(failure.label.contains("butterfly"));
+            assert!(failure.error.to_string().contains("power-of-two"));
+        }
+        let records = sink.into_records();
+        assert_eq!(records.len(), 2, "the TeMPO successes still stream out");
+        assert_eq!(
+            records.iter().map(|r| r.point.index).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn chunked_streaming_matches_the_in_memory_path() {
+        let spec = SweepSpec::new("chunked")
+            .with_wavelengths(vec![1, 2])
+            .with_sparsity(vec![0.0, 0.5])
+            .with_data_awareness(vec![
+                simphony::DataAwareness::Aware,
+                simphony::DataAwareness::Unaware,
+            ]);
+        let reference = run_sweep(&spec, None).unwrap();
+        for chunk in [1, 3, 8, 100] {
+            let mut sink = VecSink::new();
+            let mut seen_shards = Vec::new();
+            let outcome = run_sweep_streaming(
+                &spec,
+                None,
+                &StreamOptions::chunked(chunk),
+                &mut sink,
+                |p| seen_shards.push((p.shard, p.points, p.done)),
+            )
+            .unwrap();
+            assert_eq!(outcome.shards, 8usize.div_ceil(chunk));
+            assert_eq!(seen_shards.len(), outcome.shards);
+            assert_eq!(seen_shards.last().unwrap().2, 8, "all points processed");
+            assert_eq!(
+                serde_json::to_string(sink.records()).unwrap(),
+                serde_json::to_string(&reference.records).unwrap(),
+                "chunk size {chunk} must not change a single output byte"
+            );
         }
     }
 

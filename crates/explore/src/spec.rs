@@ -328,18 +328,36 @@ impl SweepSpec {
     }
 
     /// Number of points the expansion will produce.
-    pub fn point_count(&self) -> usize {
-        self.workload.len()
-            * self.arch.len()
-            * self.tiles.len()
-            * self.cores_per_tile.len()
-            * self.core_height.len()
-            * self.core_width.len()
-            * self.wavelengths.len()
-            * self.bitwidth.len()
-            * self.sparsity.len()
-            * self.dataflow.len()
-            * self.data_awareness.len()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidSpec`] when the 11-way product of the
+    /// axis lengths overflows `usize` — an unchecked multiplication here
+    /// would panic in debug builds and silently wrap in release builds,
+    /// corrupting capacity hints and truncating the point index space.
+    pub fn point_count(&self) -> Result<usize> {
+        let axes = [
+            self.workload.len(),
+            self.arch.len(),
+            self.tiles.len(),
+            self.cores_per_tile.len(),
+            self.core_height.len(),
+            self.core_width.len(),
+            self.wavelengths.len(),
+            self.bitwidth.len(),
+            self.sparsity.len(),
+            self.dataflow.len(),
+            self.data_awareness.len(),
+        ];
+        axes.into_iter().try_fold(1usize, |count, len| {
+            count.checked_mul(len).ok_or_else(|| {
+                ExploreError::invalid_spec(format!(
+                    "sweep `{}` spans more than {} points, which overflows the point index space",
+                    self.name,
+                    usize::MAX
+                ))
+            })
+        })
     }
 
     /// Validates the axes without expanding.
@@ -401,59 +419,128 @@ impl SweepSpec {
         Ok(())
     }
 
+    /// Decodes the point at `index` in deterministic expansion order.
+    ///
+    /// The index is interpreted as a mixed-radix number whose digits are the
+    /// per-axis positions, with the innermost axis (`data_awareness`) as the
+    /// least-significant digit — exactly the numbering the nested-loop
+    /// expansion produces, so `spec.point_at(i)` is identical (bit for bit
+    /// once serialized) to `spec.expand()?[i]` at O(1) cost and O(1) memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an axis is empty or `index >= point_count()`; call
+    /// [`points`](Self::points) (which validates first) or check
+    /// [`point_count`](Self::point_count) before using raw indices.
+    pub fn point_at(&self, index: usize) -> SweepPoint {
+        fn digit(rem: &mut usize, len: usize) -> usize {
+            let d = *rem % len;
+            *rem /= len;
+            d
+        }
+        let mut rem = index;
+        // Least-significant (innermost, fastest-varying) axis first.
+        let data_awareness = self.data_awareness[digit(&mut rem, self.data_awareness.len())];
+        let dataflow = self.dataflow[digit(&mut rem, self.dataflow.len())];
+        let sparsity = self.sparsity[digit(&mut rem, self.sparsity.len())];
+        let bits = self.bitwidth[digit(&mut rem, self.bitwidth.len())];
+        let wavelengths = self.wavelengths[digit(&mut rem, self.wavelengths.len())];
+        let core_width = self.core_width[digit(&mut rem, self.core_width.len())];
+        let core_height = self.core_height[digit(&mut rem, self.core_height.len())];
+        let cores_per_tile = self.cores_per_tile[digit(&mut rem, self.cores_per_tile.len())];
+        let tiles = self.tiles[digit(&mut rem, self.tiles.len())];
+        let arch = self.arch[digit(&mut rem, self.arch.len())];
+        assert!(
+            rem < self.workload.len(),
+            "point index {index} out of range for sweep `{}`",
+            self.name
+        );
+        SweepPoint {
+            index,
+            workload: self.workload[rem].clone(),
+            arch,
+            tiles,
+            cores_per_tile,
+            core_height,
+            core_width,
+            wavelengths,
+            bits,
+            sparsity,
+            dataflow,
+            data_awareness,
+            clock_ghz: self.clock_ghz,
+            seed: self.seed,
+        }
+    }
+
+    /// A lazy iterator over the expansion, in deterministic order.
+    ///
+    /// Unlike [`expand`](Self::expand) this never materializes the full point
+    /// list: each point is decoded on demand via [`point_at`](Self::point_at),
+    /// so arbitrarily large sweeps (hundreds of thousands of points and
+    /// beyond) can be streamed in O(1) memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidSpec`] when [`validate`](Self::validate)
+    /// fails or the point count overflows.
+    pub fn points(&self) -> Result<PointIter<'_>> {
+        self.validate()?;
+        let total = self.point_count()?;
+        Ok(PointIter {
+            spec: self,
+            next: 0,
+            total,
+        })
+    }
+
     /// Expands the Cartesian product into ordered [`SweepPoint`]s.
     ///
     /// The ordering is part of the engine's contract: records are emitted in
-    /// this order regardless of the number of executor threads.
+    /// this order regardless of the number of executor threads. This is a
+    /// convenience over [`points`](Self::points) for sweeps small enough to
+    /// hold in memory.
     ///
     /// # Errors
     ///
     /// Returns [`ExploreError::InvalidSpec`] when [`validate`](Self::validate)
     /// fails.
     pub fn expand(&self) -> Result<Vec<SweepPoint>> {
-        self.validate()?;
-        let mut points = Vec::with_capacity(self.point_count());
-        for workload in &self.workload {
-            for &arch in &self.arch {
-                for &tiles in &self.tiles {
-                    for &cores_per_tile in &self.cores_per_tile {
-                        for &core_height in &self.core_height {
-                            for &core_width in &self.core_width {
-                                for &wavelengths in &self.wavelengths {
-                                    for &bits in &self.bitwidth {
-                                        for &sparsity in &self.sparsity {
-                                            for &dataflow in &self.dataflow {
-                                                for &data_awareness in &self.data_awareness {
-                                                    points.push(SweepPoint {
-                                                        index: points.len(),
-                                                        workload: workload.clone(),
-                                                        arch,
-                                                        tiles,
-                                                        cores_per_tile,
-                                                        core_height,
-                                                        core_width,
-                                                        wavelengths,
-                                                        bits,
-                                                        sparsity,
-                                                        dataflow,
-                                                        data_awareness,
-                                                        clock_ghz: self.clock_ghz,
-                                                        seed: self.seed,
-                                                    });
-                                                }
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Ok(points)
+        Ok(self.points()?.collect())
     }
 }
+
+/// Lazy iterator over a [`SweepSpec`]'s expansion, created by
+/// [`SweepSpec::points`]. Decodes one [`SweepPoint`] per step via
+/// [`SweepSpec::point_at`]; never holds more than the current point.
+#[derive(Debug, Clone)]
+pub struct PointIter<'a> {
+    spec: &'a SweepSpec,
+    next: usize,
+    total: usize,
+}
+
+impl Iterator for PointIter<'_> {
+    type Item = SweepPoint;
+
+    fn next(&mut self) -> Option<SweepPoint> {
+        if self.next >= self.total {
+            return None;
+        }
+        let point = self.spec.point_at(self.next);
+        self.next += 1;
+        Some(point)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for PointIter<'_> {}
+
+impl std::iter::FusedIterator for PointIter<'_> {}
 
 /// One fully-bound configuration from a sweep expansion.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -585,7 +672,7 @@ mod tests {
     #[test]
     fn default_spec_is_a_single_paper_point() {
         let spec = SweepSpec::new("default");
-        assert_eq!(spec.point_count(), 1);
+        assert_eq!(spec.point_count().unwrap(), 1);
         let points = spec.expand().unwrap();
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].arch, ArchFamily::Tempo);
@@ -627,6 +714,106 @@ mod tests {
             .with_bitwidth(vec![0])
             .expand()
             .is_err());
+    }
+
+    #[test]
+    fn point_at_matches_nested_loop_expansion() {
+        // A spec exercising every axis with more than one value, so each
+        // mixed-radix digit actually varies.
+        let spec = SweepSpec::new("radix")
+            .with_workload(vec![
+                WorkloadSpec::validation_gemm(),
+                WorkloadSpec::Gemm { m: 8, k: 8, n: 8 },
+            ])
+            .with_arch(vec![ArchFamily::Tempo, ArchFamily::Scatter])
+            .with_tiles(vec![1, 2])
+            .with_cores_per_tile(vec![1, 2])
+            .with_core_dims(vec![2, 4])
+            .with_wavelengths(vec![1, 2, 3])
+            .with_bitwidth(vec![4, 8])
+            .with_sparsity(vec![0.0, 0.25])
+            .with_data_awareness(vec![
+                simphony::DataAwareness::Aware,
+                simphony::DataAwareness::Unaware,
+            ]);
+        let points = spec.expand().unwrap();
+        assert_eq!(points.len(), spec.point_count().unwrap());
+        for (i, expected) in points.iter().enumerate() {
+            assert_eq!(&spec.point_at(i), expected, "decode diverges at {i}");
+        }
+        // The lazy iterator yields the same sequence.
+        let lazy: Vec<SweepPoint> = spec.points().unwrap().collect();
+        assert_eq!(lazy, points);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_at_rejects_out_of_range_indices() {
+        let spec = SweepSpec::new("oob");
+        let _ = spec.point_at(1);
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn point_count_overflow_is_an_error_not_a_wrap() {
+        // Eight axes of 256 entries multiply to 2^64, one past `usize::MAX`;
+        // the same axes at 255 entries stay in range. The values are cheap
+        // repeats — only the lengths matter for the product.
+        let overflowing = SweepSpec::new("overflow")
+            .with_tiles(vec![1; 256])
+            .with_cores_per_tile(vec![1; 256])
+            .with_core_dims(vec![1; 256])
+            .with_wavelengths(vec![1; 256])
+            .with_bitwidth(vec![8; 256])
+            .with_sparsity(vec![0.0; 256])
+            .with_dataflow(vec![DataflowStyle::OutputStationary; 256]);
+        assert!(matches!(
+            overflowing.point_count(),
+            Err(ExploreError::InvalidSpec { .. })
+        ));
+        assert!(overflowing.points().is_err(), "lazy expansion must reject");
+        assert!(overflowing.expand().is_err(), "eager expansion must reject");
+
+        let boundary = SweepSpec::new("boundary")
+            .with_tiles(vec![1; 255])
+            .with_cores_per_tile(vec![1; 255])
+            .with_core_dims(vec![1; 255])
+            .with_wavelengths(vec![1; 255])
+            .with_bitwidth(vec![8; 255])
+            .with_sparsity(vec![0.0; 255])
+            .with_dataflow(vec![DataflowStyle::OutputStationary; 255]);
+        let count = boundary.point_count().expect("255^8 fits in usize");
+        assert_eq!(count, 255usize.pow(8));
+    }
+
+    #[test]
+    fn huge_sweeps_iterate_lazily_with_random_access() {
+        // >=100k points; `points()` never materializes them, and any index is
+        // decodable directly.
+        let spec = SweepSpec::new("huge")
+            .with_tiles((1..=8).collect())
+            .with_cores_per_tile((1..=8).collect())
+            .with_wavelengths((1..=8).collect())
+            .with_bitwidth((1..=8).collect())
+            .with_sparsity((0..50).map(|i| f64::from(i) / 64.0).collect());
+        let total = spec.point_count().unwrap();
+        assert!(total >= 100_000, "spec spans {total} points");
+        let mut iter = spec.points().unwrap();
+        assert_eq!(iter.len(), total);
+        let first = iter.next().unwrap();
+        assert_eq!(first.index, 0);
+        assert_eq!((first.tiles, first.wavelengths, first.bits), (1, 1, 1));
+        let last = spec.point_at(total - 1);
+        assert_eq!(last.index, total - 1);
+        assert_eq!((last.tiles, last.wavelengths, last.bits), (8, 8, 8));
+        assert_eq!(last.sparsity, 49.0 / 64.0);
+        // Random access agrees with sequential iteration.
+        let sampled = spec.point_at(12_345);
+        assert_eq!(
+            spec.points().unwrap().nth(12_345).unwrap(),
+            sampled,
+            "nth() and point_at() must agree"
+        );
     }
 
     #[test]

@@ -62,14 +62,18 @@ fn handwritten_json_spec_parses() {
         "seed": 42
     }"#;
     let spec: SweepSpec = serde_json::from_str(text).expect("handwritten spec parses");
-    assert_eq!(spec.point_count(), 4);
+    assert_eq!(spec.point_count().unwrap(), 4);
     assert_eq!(spec.workload[1], WorkloadSpec::Vgg8);
 }
 
 #[test]
 fn records_are_byte_identical_across_thread_counts() {
     let spec = multi_axis_spec();
-    assert_eq!(spec.point_count(), 48, "spec must cover >= 48 points");
+    assert_eq!(
+        spec.point_count().unwrap(),
+        48,
+        "spec must cover >= 48 points"
+    );
 
     std::env::set_var("RAYON_NUM_THREADS", "1");
     let sequential = run_sweep(&spec, None).expect("sequential sweep runs");
@@ -125,7 +129,7 @@ fn pareto_front_is_exactly_the_non_dominated_set() {
         .with_bitwidth(vec![4, 8]);
     let outcome = run_sweep(&spec, None).expect("sweep runs");
     let objectives = [Objective::Energy, Objective::Latency, Objective::Area];
-    let front = pareto_front(&outcome.records, &objectives);
+    let front = pareto_front(&outcome.records, &objectives).expect("finite metrics");
 
     assert!(!front.is_empty(), "a finite set always has a frontier");
     // No member of the front is dominated by any record.

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let front = pareto_front(&outcome.records, &[Objective::Energy, Objective::Latency]);
+    let front = pareto_front(&outcome.records, &[Objective::Energy, Objective::Latency])?;
     println!(
         "\nenergy/latency Pareto frontier ({} of {} points):",
         front.len(),
