@@ -21,7 +21,7 @@ use simphony_bench::{
     default_params, fig9_style_sweep, lightening_transformer_params, tempo_accelerator,
     validation_gemm_workload, SEED,
 };
-use simphony_explore::{run_sweep, SimCache};
+use simphony_explore::{ExploreSession, SimCache};
 use simphony_onn::{models, ModelWorkload, PruningConfig, QuantConfig};
 use simphony_units::BitWidth;
 
@@ -69,14 +69,30 @@ fn bench_run_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("run_sweep");
     group.sample_size(10);
     group.bench_function("fig9_style_cold", |b| {
-        b.iter(|| black_box(run_sweep(&spec, None).expect("cold sweep runs")))
+        b.iter(|| {
+            black_box(
+                ExploreSession::new(&spec)
+                    .run_collect()
+                    .expect("cold sweep runs"),
+            )
+        })
     });
 
     let dir = std::env::temp_dir().join(format!("simphony-bench-pipeline-{}", std::process::id()));
     let cache = SimCache::open(&dir).expect("cache opens");
-    run_sweep(&spec, Some(&cache)).expect("warm-up sweep runs");
+    ExploreSession::new(&spec)
+        .cache(cache.clone())
+        .run_collect()
+        .expect("warm-up sweep runs");
     group.bench_function("fig9_style_warm", |b| {
-        b.iter(|| black_box(run_sweep(&spec, Some(&cache)).expect("warm sweep runs")))
+        b.iter(|| {
+            black_box(
+                ExploreSession::new(&spec)
+                    .cache(cache.clone())
+                    .run_collect()
+                    .expect("warm sweep runs"),
+            )
+        })
     });
     group.finish();
     std::fs::remove_dir_all(&dir).ok();

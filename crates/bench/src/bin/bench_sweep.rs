@@ -8,14 +8,15 @@
 //!   artifact-sharing refactor (modulo the simulator improvements, which make
 //!   this mode *faster* than the true pre-PR engine — the reported speedup is
 //!   therefore conservative);
-//! * `shared_cold` — `run_sweep` with no result cache: distinct artifacts are
-//!   extracted once and shared across the batch;
-//! * `shared_warm` — `run_sweep` re-run against a populated `SimCache`, so
-//!   every point is a cache hit;
-//! * `streaming_chunk16` — `run_sweep_streaming` in shards of 16 points with
-//!   no cache: the bounded-memory execution path, sharing still-live
-//!   artifacts across shard boundaries. Its gap to `shared_cold` is the
-//!   price of sharding (per-shard artifact-store refresh + sink flushes).
+//! * `shared_cold` — an `ExploreSession` with no result cache: distinct
+//!   artifacts are extracted once and shared across the batch;
+//! * `shared_warm`/`sharded_warm`/`packed_warm` — the session re-run against
+//!   a populated cache of each [`CacheBackend`] flavour, so every point is a
+//!   cache hit; the spread between them is the per-backend lookup cost;
+//! * `streaming_chunk16` — the session in shards of 16 points with no cache:
+//!   the bounded-memory execution path, sharing still-live artifacts across
+//!   shard boundaries. Its gap to `shared_cold` is the price of sharding
+//!   (per-shard artifact-store refresh + sink flushes).
 //!
 //! Results go to `BENCH_sweep.json` (or the path given as the first CLI
 //! argument) so successive PRs have a committed perf trajectory to regress
@@ -26,7 +27,8 @@ use std::time::Instant;
 
 use simphony_bench::fig9_style_sweep;
 use simphony_explore::{
-    run_sweep, run_sweep_streaming, simulate_point, SimCache, StreamOptions, SweepPoint, VecSink,
+    simulate_point, CacheBackend, DirCache, ExploreSession, PackedSegmentCache, ShardedDirCache,
+    SweepPoint, VecSink,
 };
 
 /// Timed repetitions per engine; the minimum is reported (steadiest estimator
@@ -81,33 +83,62 @@ fn main() {
     eprintln!("per_point engine (pre-refactor shape): {per_point_ms:.1} ms");
 
     let shared_cold_ms = time_ms(|| {
-        run_sweep(&spec, None).expect("cold sweep runs");
+        ExploreSession::new(&spec)
+            .run_collect()
+            .expect("cold sweep runs");
     });
-    eprintln!("run_sweep, cold (no cache):            {shared_cold_ms:.1} ms");
+    eprintln!("session, cold (no cache):              {shared_cold_ms:.1} ms");
 
     let streaming_chunk16_ms = time_ms(|| {
         let mut sink = VecSink::new();
-        run_sweep_streaming(&spec, None, &StreamOptions::chunked(16), &mut sink, |_| {})
+        ExploreSession::new(&spec)
+            .chunk_size(16)
+            .sink(&mut sink)
+            .run()
             .expect("streaming sweep runs");
         assert_eq!(sink.records().len(), 64, "streaming covers every point");
     });
-    eprintln!("run_sweep_streaming, 16-point shards:  {streaming_chunk16_ms:.1} ms");
+    eprintln!("session, 16-point shards:              {streaming_chunk16_ms:.1} ms");
 
-    let dir = std::env::temp_dir().join(format!("simphony-bench-sweep-{}", std::process::id()));
-    let cache = SimCache::open(&dir).expect("cache opens");
-    run_sweep(&spec, Some(&cache)).expect("cache warm-up sweep runs");
-    let shared_warm_ms = time_ms(|| {
-        let outcome = run_sweep(&spec, Some(&cache)).expect("warm sweep runs");
-        assert_eq!(outcome.stats.misses, 0, "warm run must be all hits");
+    // Warm re-runs against each cache backend: the same 64 points, all hits.
+    let warm_run = |label: &str, open: &dyn Fn(&std::path::Path) -> Box<dyn CacheBackend>| {
+        let dir = std::env::temp_dir().join(format!(
+            "simphony-bench-sweep-{label}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("bench cache dir creates");
+        ExploreSession::new(&spec)
+            .cache_boxed(open(&dir))
+            .run_collect()
+            .expect("cache warm-up sweep runs");
+        let ms = time_ms(|| {
+            let outcome = ExploreSession::new(&spec)
+                .cache_boxed(open(&dir))
+                .run_collect()
+                .expect("warm sweep runs");
+            assert_eq!(outcome.stats.misses, 0, "warm run must be all hits");
+        });
+        std::fs::remove_dir_all(&dir).ok();
+        ms
+    };
+    let shared_warm_ms = warm_run("dir", &|d| {
+        Box::new(DirCache::open(d).expect("cache opens"))
     });
-    std::fs::remove_dir_all(&dir).ok();
-    eprintln!("run_sweep, warm (all cache hits):      {shared_warm_ms:.1} ms");
+    eprintln!("session, warm (DirCache hits):         {shared_warm_ms:.1} ms");
+    let sharded_warm_ms = warm_run("sharded", &|d| {
+        Box::new(ShardedDirCache::open(d).expect("cache opens"))
+    });
+    eprintln!("session, warm (ShardedDirCache hits):  {sharded_warm_ms:.1} ms");
+    let packed_warm_ms = warm_run("packed", &|d| {
+        Box::new(PackedSegmentCache::open(d).expect("cache opens"))
+    });
+    eprintln!("session, warm (PackedSegmentCache):    {packed_warm_ms:.1} ms");
 
     let speedup = per_point_ms / shared_cold_ms;
     eprintln!("cold-cache speedup vs per-point engine: {speedup:.2}x");
 
     let json = format!(
-        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"streaming_chunk16_ms\": {streaming_chunk16_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
+        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"streaming_chunk16_ms\": {streaming_chunk16_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"sharded_warm_ms\": {sharded_warm_ms:.3},\n  \"packed_warm_ms\": {packed_warm_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
         name = spec.name,
         points = points.len(),
         reps = REPS,

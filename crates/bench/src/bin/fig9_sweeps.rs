@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use simphony_explore::{run_sweep, SweepRecord, SweepSpec};
+use simphony_explore::{ExploreSession, SweepRecord, SweepSpec};
 
 fn print_series_header(kinds: &BTreeSet<String>) {
     print!("{:<10}", "sweep");
@@ -38,7 +38,9 @@ fn print_series(records: &[SweepRecord], axis: impl Fn(&SweepRecord) -> usize) {
 fn main() {
     println!("Fig. 9(a) — energy vs. number of wavelengths (uJ per component)\n");
     let wavelength_spec = SweepSpec::new("fig9a_wavelengths").with_wavelengths((1..=7).collect());
-    let wavelength = run_sweep(&wavelength_spec, None).expect("wavelength sweep simulates");
+    let wavelength = ExploreSession::new(&wavelength_spec)
+        .run_collect()
+        .expect("wavelength sweep simulates");
     print_series(&wavelength.records, |r| r.point.wavelengths);
 
     let first = wavelength.records.first().expect("non-empty sweep");
@@ -53,7 +55,9 @@ fn main() {
 
     println!("Fig. 9(b) — energy vs. input/weight/output bitwidth (uJ per component)\n");
     let bitwidth_spec = SweepSpec::new("fig9b_bitwidth").with_bitwidth((2..=8).collect());
-    let bitwidth = run_sweep(&bitwidth_spec, None).expect("bitwidth sweep simulates");
+    let bitwidth = ExploreSession::new(&bitwidth_spec)
+        .run_collect()
+        .expect("bitwidth sweep simulates");
     print_series(&bitwidth.records, |r| usize::from(r.point.bits));
 
     let e2 = bitwidth.records.first().expect("non-empty sweep").energy_uj;

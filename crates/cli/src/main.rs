@@ -3,11 +3,19 @@
 //! Subcommands:
 //!
 //! * `sweep` — run a declarative design-space sweep from a JSON spec file,
-//!   with result caching and JSON/CSV/JSONL outputs; `--chunk-size` streams
-//!   the sweep in shards (bounded memory, per-shard flushes and progress)
-//!   and `--keep-going` records failing points instead of aborting, leaving
-//!   a cache that makes the re-run resume;
-//! * `pareto` — extract the Pareto frontier from a sweep record file;
+//!   with result caching (`--cache` + `--backend dir|sharded|packed`) and
+//!   JSON/CSV/JSONL outputs; `--chunk-size` streams the sweep in shards
+//!   (bounded memory, per-shard flushes and progress), `--keep-going`
+//!   records failing points instead of aborting, and `--checkpoint` records
+//!   per-shard outcomes so an interrupted sweep can be resumed;
+//! * `resume` — continue an interrupted `sweep --checkpoint` run: completed
+//!   shards are skipped, recorded failures are not re-attempted, and a
+//!   `--jsonl` output is truncated to its durable prefix and appended to;
+//! * `cache` — maintenance verbs: `cache stats` (entry count, bytes,
+//!   hit/miss of the last checkpointed session) and `cache migrate`
+//!   (round-trip a cache between backends with content-key verification);
+//! * `pareto` — extract the Pareto frontier from a sweep record file (pretty
+//!   JSON array or JSONL, auto-detected);
 //! * `run` — simulate a single configuration and print the full report;
 //! * `spec` — print an example sweep spec to start from.
 
@@ -16,9 +24,9 @@ use std::process::ExitCode;
 use clap::{Arg, ArgAction, Command};
 
 use simphony_explore::{
-    pareto_front, read_json, run_sweep_streaming, to_csv, write_json, ArchFamily, CsvSink,
-    ExploreError, JsonFileSink, JsonlSink, MultiSink, Objective, RecordSink, SimCache,
-    StreamOptions, SweepSpec, VecSink, WorkloadSpec,
+    migrate_cache, pareto_front, read_records, to_csv, write_json, ArchFamily, BackendKind,
+    CacheBackend, Checkpoint, CsvSink, ExploreError, ExploreSession, JsonFileSink, JsonlSink,
+    MultiSink, Objective, ShardProgress, StreamOutcome, SweepSpec, WorkloadSpec,
 };
 
 fn arch_family_list() -> String {
@@ -35,6 +43,14 @@ fn objective_list() -> String {
         .map(|o| o.name())
         .collect::<Vec<_>>()
         .join(", ")
+}
+
+fn backend_arg(help: &str) -> Arg {
+    Arg::new("backend")
+        .long("backend")
+        .value_name("KIND")
+        .default_value("auto")
+        .help(help.to_string())
 }
 
 fn cli() -> Command {
@@ -76,6 +92,9 @@ fn cli() -> Command {
                         .value_name("DIR")
                         .help("Content-hash result cache directory (created if missing)"),
                 )
+                .arg(backend_arg(
+                    "Cache backend: dir, sharded, packed, or auto (detect from the directory)",
+                ))
                 .arg(
                     Arg::new("chunk-size")
                         .long("chunk-size")
@@ -96,10 +115,117 @@ fn cli() -> Command {
                         ),
                 )
                 .arg(
+                    Arg::new("checkpoint")
+                        .long("checkpoint")
+                        .value_name("FILE")
+                        .help(
+                            "Record per-shard outcomes in this sidecar file; an interrupted \
+                             sweep is then continued with `resume` (requires --jsonl, the \
+                             output `resume` can append to)",
+                        ),
+                )
+                .arg(
                     Arg::new("quiet")
                         .long("quiet")
                         .action(ArgAction::SetTrue)
                         .help("Suppress the per-sweep summary and per-shard progress"),
+                ),
+        )
+        .subcommand(
+            Command::new("resume")
+                .about("Continue an interrupted `sweep --checkpoint` run")
+                .arg(
+                    Arg::new("spec")
+                        .long("spec")
+                        .value_name("FILE")
+                        .required(true)
+                        .help("Path to the SweepSpec JSON file of the interrupted sweep"),
+                )
+                .arg(
+                    Arg::new("checkpoint")
+                        .long("checkpoint")
+                        .value_name("FILE")
+                        .required(true)
+                        .help("Checkpoint file written by `sweep --checkpoint`"),
+                )
+                .arg(Arg::new("jsonl").long("jsonl").value_name("FILE").help(
+                    "JSONL output of the interrupted sweep (required): truncated to \
+                             the checkpointed prefix, then appended to",
+                ))
+                .arg(
+                    Arg::new("cache")
+                        .long("cache")
+                        .value_name("DIR")
+                        .help("Result cache directory the interrupted sweep used"),
+                )
+                .arg(backend_arg(
+                    "Cache backend: dir, sharded, packed, or auto (detect from the directory)",
+                ))
+                .arg(
+                    Arg::new("quiet")
+                        .long("quiet")
+                        .action(ArgAction::SetTrue)
+                        .help("Suppress the per-sweep summary and per-shard progress"),
+                ),
+        )
+        .subcommand(
+            Command::new("cache")
+                .about("Result-cache maintenance")
+                .subcommand_required(true)
+                .subcommand(
+                    Command::new("stats")
+                        .about("Print entry count, bytes, and last-session hit/miss counters")
+                        .arg(
+                            Arg::new("dir")
+                                .long("dir")
+                                .value_name("DIR")
+                                .required(true)
+                                .help("Cache directory"),
+                        )
+                        .arg(backend_arg(
+                            "Cache backend: dir, sharded, packed, or auto (detect)",
+                        ))
+                        .arg(
+                            Arg::new("checkpoint")
+                                .long("checkpoint")
+                                .value_name("FILE")
+                                .help(
+                                    "Checkpoint file to read the last session's hit/miss \
+                                     counters from",
+                                ),
+                        ),
+                )
+                .subcommand(
+                    Command::new("migrate")
+                        .about("Copy every entry from one cache to another, verifying content keys")
+                        .arg(
+                            Arg::new("from")
+                                .long("from")
+                                .value_name("DIR")
+                                .required(true)
+                                .help("Source cache directory"),
+                        )
+                        .arg(
+                            Arg::new("from-backend")
+                                .long("from-backend")
+                                .value_name("KIND")
+                                .default_value("auto")
+                                .help("Source backend: dir, sharded, packed, or auto (detect)"),
+                        )
+                        .arg(
+                            Arg::new("to")
+                                .long("to")
+                                .value_name("DIR")
+                                .required(true)
+                                .help("Target cache directory (created if missing)"),
+                        )
+                        .arg(
+                            Arg::new("to-backend")
+                                .long("to-backend")
+                                .value_name("KIND")
+                                .required(true)
+                                .help("Target backend: dir, sharded, or packed"),
+                        ),
                 ),
         )
         .subcommand(
@@ -110,7 +236,10 @@ fn cli() -> Command {
                         .long("records")
                         .value_name("FILE")
                         .required(true)
-                        .help("Record JSON file produced by `sweep --out`"),
+                        .help(
+                            "Record file produced by `sweep --out` (JSON array) or \
+                             `sweep --jsonl` (JSON Lines); the format is auto-detected",
+                        ),
                 )
                 .arg(
                     Arg::new("objectives")
@@ -210,6 +339,12 @@ fn main() -> ExitCode {
     let matches = cli().get_matches();
     let result = match matches.subcommand() {
         Some(("sweep", sub)) => cmd_sweep(sub),
+        Some(("resume", sub)) => cmd_resume(sub),
+        Some(("cache", sub)) => match sub.subcommand() {
+            Some(("stats", sub)) => cmd_cache_stats(sub),
+            Some(("migrate", sub)) => cmd_cache_migrate(sub),
+            _ => unreachable!("subcommand_required guarantees a match"),
+        },
         Some(("pareto", sub)) => cmd_pareto(sub),
         Some(("run", sub)) => cmd_run(sub),
         Some(("spec", _)) => cmd_spec(),
@@ -224,22 +359,145 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_sweep(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+fn load_spec(matches: &clap::ArgMatches) -> Result<SweepSpec, ExploreError> {
     let spec_path: String = matches.get_one("spec").expect("required");
     let text =
         std::fs::read_to_string(&spec_path).map_err(|e| ExploreError::io_at(&spec_path, e))?;
-    let spec: SweepSpec = serde_json::from_str(&text)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+/// Opens the cache named by `--cache`/`--dir` and `--backend`, resolving
+/// `auto` by inspecting the directory layout.
+fn open_backend(
+    dir: &str,
+    kind_arg: Option<String>,
+) -> Result<Box<dyn CacheBackend>, ExploreError> {
+    let kind = resolve_backend_kind(dir, kind_arg)?;
+    kind.open(dir)
+}
+
+fn resolve_backend_kind(dir: &str, kind_arg: Option<String>) -> Result<BackendKind, ExploreError> {
+    match kind_arg.as_deref() {
+        None | Some("auto") => Ok(BackendKind::detect(dir)),
+        Some(name) => {
+            let kind = BackendKind::parse(name).ok_or_else(|| {
+                ExploreError::invalid_spec(format!(
+                    "unknown cache backend `{name}` (expected dir, sharded, packed, or auto)"
+                ))
+            })?;
+            // Opening an existing cache with the wrong backend would miss
+            // every entry, re-simulate the sweep, and fork the directory into
+            // a mixed layout whose original entries become invisible.
+            if let Some(existing) = BackendKind::detect_existing(dir) {
+                if existing != kind {
+                    return Err(ExploreError::cache(format!(
+                        "`{dir}` already holds a {existing}-layout cache; pass \
+                         `--backend {existing}` (or `auto`), or convert it with \
+                         `simphony-cli cache migrate`"
+                    )));
+                }
+            }
+            Ok(kind)
+        }
+    }
+}
+
+fn print_shard_progress(shard: &ShardProgress) {
+    if shard.skipped > 0 {
+        eprintln!(
+            "shard {}/{}: {} points skipped (checkpoint: {} recorded failures) [{}/{}]",
+            shard.shard + 1,
+            shard.shards,
+            shard.skipped,
+            shard.failures,
+            shard.done,
+            shard.total,
+        );
+    } else {
+        eprintln!(
+            "shard {}/{}: {} points ({} cached, {} simulated, {} failed) [{}/{}]",
+            shard.shard + 1,
+            shard.shards,
+            shard.points,
+            shard.hits,
+            shard.points - shard.hits - shard.failures,
+            shard.failures,
+            shard.done,
+            shard.total,
+        );
+    }
+}
+
+fn print_outcome(spec: &SweepSpec, outcome: &StreamOutcome, quiet: bool) {
+    if !quiet {
+        let live_failures = outcome.failures.len() - outcome.replayed_failures;
+        println!(
+            "sweep `{}`: {} points ({} skipped via checkpoint, {} cached, {} simulated, \
+             {} failed, {} known-bad replayed)",
+            spec.name,
+            outcome.total_points,
+            outcome.skipped_points,
+            outcome.stats.hits,
+            outcome.stats.misses - live_failures,
+            live_failures,
+            outcome.replayed_failures,
+        );
+    }
+    for failure in &outcome.failures {
+        eprintln!(
+            "warning: point #{} ({}) failed: {}",
+            failure.index, failure.label, failure.error
+        );
+    }
+    if !outcome.failures.is_empty() {
+        eprintln!(
+            "warning: {} of {} points failed; successes are cached — fix the spec and \
+             re-run to resume",
+            outcome.failures.len(),
+            outcome.total_points,
+        );
+    }
+}
+
+fn cmd_sweep(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    let spec = load_spec(matches)?;
 
     let cache = match matches.get_one::<String>("cache") {
-        Some(dir) => Some(SimCache::open(dir)?),
+        Some(dir) => Some(open_backend(&dir, matches.get_one("backend"))?),
         None => None,
     };
     let chunk_size: usize = matches.get_one("chunk-size").expect("has default");
-    let mut options = StreamOptions::chunked(chunk_size);
-    if matches.get_flag("keep-going") {
-        options = options.keep_going();
-    }
     let quiet = matches.get_flag("quiet");
+
+    let checkpoint: Option<String> = matches.get_one("checkpoint");
+    if let Some(path) = &checkpoint {
+        // `resume` re-emits nothing for shards the checkpoint records as
+        // complete — their records must already be durable somewhere resume
+        // can continue, and the only such output is the per-shard-flushed
+        // JSONL (`--out` publishes only on success; stdout is ephemeral).
+        if matches.get_one::<String>("jsonl").is_none() {
+            return Err(ExploreError::checkpoint(
+                "--checkpoint requires --jsonl: after an interrupt, `resume` skips \
+                 checkpointed shards, so their records must live in a durable, \
+                 appendable output"
+                    .to_string(),
+            ));
+        }
+        // A checkpoint with recorded progress means the file sinks below
+        // would truncate output that `resume` knows how to continue; refuse
+        // rather than silently dropping completed shards' records.
+        if std::path::Path::new(path).exists() {
+            let (_, completed) = Checkpoint::load(path)?;
+            if !completed.is_empty() {
+                return Err(ExploreError::checkpoint(format!(
+                    "`{path}` already records {} completed shards; use \
+                     `simphony-cli resume --spec .. --checkpoint {path}` to continue, or \
+                     delete the file to start over",
+                    completed.len()
+                )));
+            }
+        }
+    }
 
     // File outputs stream shard by shard; stdout CSV (the no-file fallback)
     // needs the full record list, so only then do records stay in memory.
@@ -257,59 +515,196 @@ fn cmd_sweep(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     if let Some(path) = jsonl {
         sink.push(Box::new(JsonlSink::create(path)?));
     }
-    let mut stdout_records = VecSink::new();
-    let outcome = {
-        let sink: &mut dyn RecordSink = if to_stdout {
-            &mut stdout_records
-        } else {
-            &mut sink
-        };
-        run_sweep_streaming(&spec, cache.as_ref(), &options, sink, |shard| {
+
+    let mut session = ExploreSession::new(&spec)
+        .chunk_size(chunk_size)
+        .on_progress(|shard: &ShardProgress| {
             if !quiet && shard.shards > 1 {
-                eprintln!(
-                    "shard {}/{}: {} points ({} cached, {} simulated, {} failed) [{}/{}]",
-                    shard.shard + 1,
-                    shard.shards,
-                    shard.points,
-                    shard.hits,
-                    shard.points - shard.hits - shard.failures,
-                    shard.failures,
-                    shard.done,
-                    shard.total,
-                );
+                print_shard_progress(shard);
             }
-        })?
+        });
+    if matches.get_flag("keep-going") {
+        session = session.keep_going();
+    }
+    if let Some(cache) = cache {
+        session = session.cache_boxed(cache);
+    }
+    if let Some(path) = &checkpoint {
+        session = session.checkpoint(path);
+    }
+
+    if to_stdout {
+        // With no output file the records go to stdout — --quiet only
+        // suppresses the summary and progress lines, never the results.
+        let outcome = session.run_collect()?;
+        print!("{}", to_csv(&outcome.records));
+        if !quiet {
+            println!(
+                "sweep `{}`: {} points ({} cached, {} simulated)",
+                spec.name,
+                outcome.records.len(),
+                outcome.stats.hits,
+                outcome.stats.misses,
+            );
+        }
+    } else {
+        let outcome = session.sink(&mut sink).run()?;
+        print_outcome(&spec, &outcome, quiet);
+    }
+    Ok(())
+}
+
+fn cmd_resume(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    let spec = load_spec(matches)?;
+    let checkpoint_path: String = matches.get_one("checkpoint").expect("required");
+    let quiet = matches.get_flag("quiet");
+
+    // The interrupted sweep's own header dictates the shard size and error
+    // policy, so shard boundaries line up exactly.
+    let (header, completed) = Checkpoint::load(&checkpoint_path)?;
+    spec.validate()?;
+    let total = spec.point_count()?;
+    if header.spec_key != simphony_explore::spec_fingerprint(&spec) || header.total_points != total
+    {
+        return Err(ExploreError::checkpoint(format!(
+            "`{checkpoint_path}` belongs to a different sweep spec; \
+             pass the spec file the checkpoint was created with"
+        )));
+    }
+
+    // Truncate the JSONL output to the durable prefix the checkpoint vouches
+    // for, then append. (The interrupted run may have flushed records of a
+    // shard that never made it into the checkpoint; those will be re-emitted,
+    // so they must be cut first.) The JSONL is mandatory for the same reason
+    // `sweep` requires it with --checkpoint: the resumed shards get
+    // checkpointed as emitted, so their records must land somewhere durable.
+    let emitted = completed.last().map_or(0, |s| s.emitted);
+    let jsonl: String = matches.get_one("jsonl").ok_or_else(|| {
+        ExploreError::checkpoint(
+            "resume requires --jsonl: newly completed shards are checkpointed as \
+             emitted, so their records must land in the durable output `resume` \
+             continues (pass the same --jsonl path the interrupted sweep used)"
+                .to_string(),
+        )
+    })?;
+    truncate_jsonl_prefix(&jsonl, emitted)?;
+    let mut sink = JsonlSink::append(&jsonl)?;
+
+    let cache = match matches.get_one::<String>("cache") {
+        Some(dir) => Some(open_backend(&dir, matches.get_one("backend"))?),
+        None => None,
     };
 
+    let mut session = ExploreSession::new(&spec)
+        .chunk_size(header.shard_size)
+        .checkpoint(&checkpoint_path)
+        .on_progress(|shard: &ShardProgress| {
+            if !quiet && shard.shards > 1 {
+                print_shard_progress(shard);
+            }
+        });
+    if header.keep_going {
+        session = session.keep_going();
+    }
+    if let Some(cache) = cache {
+        session = session.cache_boxed(cache);
+    }
+    let outcome = session.sink(&mut sink).run()?;
+    print_outcome(&spec, &outcome, quiet);
     if !quiet {
+        println!("resumed `{jsonl}` from {emitted} checkpointed records");
+    }
+    Ok(())
+}
+
+/// Truncates a JSONL file to its first `keep` lines. Errors if the file holds
+/// fewer complete lines than the checkpoint claims were flushed — that means
+/// the output file is not the one the checkpoint describes.
+fn truncate_jsonl_prefix(path: &str, keep: usize) -> Result<(), ExploreError> {
+    if keep == 0 {
+        // Nothing checkpointed: start the file over.
+        std::fs::write(path, "").map_err(|e| ExploreError::io_at(path, e))?;
+        return Ok(());
+    }
+    // Stream in chunks — the file may be multi-GB, and only the byte offset
+    // of line `keep` is needed.
+    use std::io::Read as _;
+    let mut file = std::fs::File::open(path).map_err(|e| ExploreError::io_at(path, e))?;
+    let mut buffer = [0u8; 64 * 1024];
+    let mut offset = 0u64;
+    let mut lines = 0usize;
+    'scan: loop {
+        let n = file
+            .read(&mut buffer)
+            .map_err(|e| ExploreError::io_at(path, e))?;
+        if n == 0 {
+            return Err(ExploreError::checkpoint(format!(
+                "`{path}` holds fewer records than the checkpoint says were flushed \
+                 ({keep}); is this the right output file?"
+            )));
+        }
+        for (i, &byte) in buffer[..n].iter().enumerate() {
+            if byte == b'\n' {
+                lines += 1;
+                if lines == keep {
+                    offset += (i + 1) as u64;
+                    break 'scan;
+                }
+            }
+        }
+        offset += n as u64;
+    }
+    let total = file
+        .metadata()
+        .map_err(|e| ExploreError::io_at(path, e))?
+        .len();
+    drop(file);
+    if offset < total {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| ExploreError::io_at(path, e))?;
+        file.set_len(offset)
+            .map_err(|e| ExploreError::io_at(path, e))?;
+    }
+    Ok(())
+}
+
+fn cmd_cache_stats(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    let dir: String = matches.get_one("dir").expect("required");
+    let kind = resolve_backend_kind(&dir, matches.get_one("backend"))?;
+    let cache = kind.open(&dir)?;
+    let stats = cache.stats()?;
+    println!("cache `{dir}` ({kind} backend)");
+    println!("  entries: {}", stats.entries);
+    println!("  bytes:   {}", stats.bytes);
+    if let Some(checkpoint) = matches.get_one::<String>("checkpoint") {
+        let (_, completed) = Checkpoint::load(checkpoint)?;
+        let hits: usize = completed.iter().map(|s| s.hits).sum();
+        let misses: usize = completed.iter().map(|s| s.misses).sum();
         println!(
-            "sweep `{}`: {} points ({} cached, {} simulated, {} failed)",
-            spec.name,
-            outcome.total_points,
-            outcome.stats.hits,
-            outcome.stats.misses - outcome.failures.len(),
-            outcome.failures.len(),
+            "  last session ({} shards checkpointed): {hits} hits, {misses} misses",
+            completed.len()
         );
     }
-    for failure in &outcome.failures {
-        eprintln!(
-            "warning: point #{} ({}) failed: {}",
-            failure.index, failure.label, failure.error
-        );
-    }
-    if !outcome.failures.is_empty() {
-        eprintln!(
-            "warning: {} of {} points failed; successes are cached — fix the spec and \
-             re-run to resume",
-            outcome.failures.len(),
-            outcome.total_points,
-        );
-    }
-    // With no output file the records go to stdout — --quiet only suppresses
-    // the summary and progress lines, never the results themselves.
-    if to_stdout {
-        print!("{}", to_csv(stdout_records.records()));
-    }
+    Ok(())
+}
+
+fn cmd_cache_migrate(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    let from_dir: String = matches.get_one("from").expect("required");
+    let to_dir: String = matches.get_one("to").expect("required");
+    let from_kind = resolve_backend_kind(&from_dir, matches.get_one("from-backend"))?;
+    let to_kind_name: String = matches.get_one("to-backend").expect("required");
+    // The same mixed-layout guard as `resolve_backend_kind`: migrating into a
+    // directory that already holds another layout would orphan its entries.
+    let to_kind = resolve_backend_kind(&to_dir, Some(to_kind_name))?;
+    let from = from_kind.open(&from_dir)?;
+    let to = to_kind.open(&to_dir)?;
+    let moved = migrate_cache(from.as_ref(), to.as_ref())?;
+    println!(
+        "migrated {moved} entries: `{from_dir}` ({from_kind}) -> `{to_dir}` ({to_kind}), \
+         all content keys verified"
+    );
     Ok(())
 }
 
@@ -317,7 +712,7 @@ fn cmd_pareto(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     let records_path: String = matches.get_one("records").expect("required");
     let objective_list: String = matches.get_one("objectives").expect("has default");
     let objectives = Objective::parse_list(&objective_list)?;
-    let records = read_json(&records_path)?;
+    let records = read_records(&records_path)?;
     let front = pareto_front(&records, &objectives)?;
 
     println!(

@@ -36,6 +36,18 @@ pub enum ExploreError {
         /// The offending value (NaN, `inf` or `-inf`).
         value: f64,
     },
+    /// A cache backend holds inconsistent data (an entry filed under the
+    /// wrong content key, a lossy migration round-trip, …).
+    Cache {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A checkpoint file does not match the sweep being resumed (different
+    /// spec, different shard size) or is internally inconsistent.
+    Checkpoint {
+        /// Explanation of the problem.
+        reason: String,
+    },
     /// Reading or writing spec/record/cache files failed.
     Io {
         /// The path involved, when known (a CLI takes several path arguments,
@@ -52,6 +64,20 @@ impl ExploreError {
     /// Creates an [`ExploreError::InvalidSpec`].
     pub fn invalid_spec(reason: impl Into<String>) -> Self {
         ExploreError::InvalidSpec {
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates an [`ExploreError::Cache`].
+    pub fn cache(reason: impl Into<String>) -> Self {
+        ExploreError::Cache {
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates an [`ExploreError::Checkpoint`].
+    pub fn checkpoint(reason: impl Into<String>) -> Self {
+        ExploreError::Checkpoint {
             reason: reason.into(),
         }
     }
@@ -85,6 +111,8 @@ impl fmt::Display for ExploreError {
                 "record #{index} has a non-finite `{objective}` metric ({value}); \
                  NaN/infinite objectives cannot be ranked on a Pareto frontier"
             ),
+            ExploreError::Cache { reason } => write!(f, "cache error: {reason}"),
+            ExploreError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
             ExploreError::Io {
                 path: Some(path),
                 source,
@@ -101,7 +129,10 @@ impl std::error::Error for ExploreError {
             ExploreError::Point { source, .. } => Some(source),
             ExploreError::Io { source, .. } => Some(source),
             ExploreError::Json(e) => Some(e),
-            ExploreError::InvalidSpec { .. } | ExploreError::NonFiniteMetric { .. } => None,
+            ExploreError::InvalidSpec { .. }
+            | ExploreError::NonFiniteMetric { .. }
+            | ExploreError::Cache { .. }
+            | ExploreError::Checkpoint { .. } => None,
         }
     }
 }

@@ -11,37 +11,41 @@
 //!   expansion is decodable lazily — [`SweepSpec::point_at`] maps any index
 //!   to its point in O(1) via mixed-radix arithmetic, and
 //!   [`SweepSpec::points`] iterates the whole product in O(1) memory;
-//! * [`run_sweep_streaming`] — the streaming, sharded executor: walks the
-//!   expansion in configurable chunks on a thread pool (`RAYON_NUM_THREADS`
-//!   sized), shares workload/accelerator artifacts within and across shards
-//!   behind [`std::sync::Arc`]s, pushes completed [`SweepRecord`]s into a
+//! * [`ExploreSession`] — the builder that runs sweeps: walks the expansion
+//!   in configurable shards on a thread pool (`RAYON_NUM_THREADS` sized),
+//!   shares workload/accelerator artifacts within and across shards behind
+//!   [`std::sync::Arc`]s, pushes completed [`SweepRecord`]s into a
 //!   [`RecordSink`] (in-memory, pretty JSON, JSONL, CSV — flushed per shard)
 //!   in a deterministic order so result files are byte-identical at any
-//!   thread count and any chunk size, and optionally keeps going past
-//!   failing points ([`ErrorPolicy::KeepGoing`]) so partial sweeps resume
-//!   through the cache;
-//! * [`run_sweep`] — the in-memory convenience wrapper (one shard, fail
-//!   fast, `Vec` of records);
-//! * [`SimCache`] — a content-hash result cache with atomic entry writes:
-//!   re-runs, overlapping sweeps and concurrent sweeps sharing a directory
-//!   skip every already-simulated configuration;
+//!   thread count, any chunk size and any cache backend, optionally keeps
+//!   going past failing points, and records per-shard outcomes in a sidecar
+//!   [checkpoint](ExploreSession::checkpoint) so interrupted sweeps resume
+//!   without re-simulating completed shards or re-attempting recorded
+//!   failures;
+//! * [`CacheBackend`] — pluggable content-hash result storage with three
+//!   implementations: [`DirCache`] (one JSON file per entry, the classic
+//!   layout), [`ShardedDirCache`] (256-way fan-out by first key byte, for
+//!   million-entry sweeps) and [`PackedSegmentCache`] (append-only segment
+//!   files plus an in-memory index); [`migrate_cache`] round-trips a cache
+//!   between backends with content-key verification;
 //! * [`pareto_front`] — non-dominated-point extraction over configurable
 //!   minimization [`Objective`]s (energy, latency, power, area, EDP);
 //!   records carrying NaN/infinite objectives are rejected instead of
 //!   silently joining every frontier.
 //!
 //! The `simphony-cli` binary exposes all of this as `sweep` (with
-//! `--chunk-size`, `--jsonl`, `--keep-going`), `pareto` and `run`
-//! subcommands; see `EXPERIMENTS.md` at the repository root.
+//! `--chunk-size`, `--jsonl`, `--keep-going`, `--backend`, `--checkpoint`),
+//! `resume`, `cache stats`/`cache migrate`, `pareto` and `run` subcommands;
+//! see `EXPERIMENTS.md` at the repository root.
 //!
 //! # Examples
 //!
 //! ```
-//! use simphony_explore::{run_sweep, pareto_front, Objective, SweepSpec};
+//! use simphony_explore::{pareto_front, ExploreSession, Objective, SweepSpec};
 //!
 //! // Fig. 9(a)-style wavelength sweep, 3 points.
 //! let spec = SweepSpec::new("wavelengths").with_wavelengths(vec![1, 2, 4]);
-//! let outcome = run_sweep(&spec, None)?;
+//! let outcome = ExploreSession::new(&spec).run_collect()?;
 //! assert_eq!(outcome.records.len(), 3);
 //!
 //! // More wavelengths -> fewer cycles on TeMPO.
@@ -56,44 +60,70 @@
 //! output:
 //!
 //! ```
-//! use simphony_explore::{run_sweep_streaming, StreamOptions, SweepSpec, VecSink};
+//! use simphony_explore::{ExploreSession, SweepSpec, VecSink};
 //!
 //! let spec = SweepSpec::new("wavelengths").with_wavelengths(vec![1, 2, 4]);
 //! let mut sink = VecSink::new();
-//! let outcome = run_sweep_streaming(
-//!     &spec,
-//!     None,
-//!     &StreamOptions::chunked(2),
-//!     &mut sink,
-//!     |shard| eprintln!("shard {}/{} done", shard.shard + 1, shard.shards),
-//! )?;
+//! let outcome = ExploreSession::new(&spec)
+//!     .chunk_size(2)
+//!     .sink(&mut sink)
+//!     .on_progress(|shard| eprintln!("shard {}/{} done", shard.shard + 1, shard.shards))
+//!     .run()?;
 //! assert_eq!(outcome.shards, 2);
 //! assert_eq!(sink.records().len(), 3);
 //! # Ok::<(), simphony_explore::ExploreError>(())
+//! ```
+//!
+//! # Migrating from the free functions
+//!
+//! `run_sweep` and `run_sweep_streaming` are deprecated thin wrappers over
+//! the session builder:
+//!
+//! ```text
+//! run_sweep(&spec, None)                  =>  ExploreSession::new(&spec).run_collect()
+//! run_sweep(&spec, Some(&cache))          =>  ExploreSession::new(&spec).cache(cache).run_collect()
+//! run_sweep_streaming(&spec, cache, &opts, &mut sink, progress)
+//!     =>  ExploreSession::new(&spec)
+//!             .cache(cache)               // any CacheBackend, not just DirCache
+//!             .chunk_size(n).keep_going() // or .options(opts)
+//!             .sink(&mut sink)
+//!             .on_progress(progress)
+//!             .run()
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
+mod checkpoint;
 mod error;
 mod pareto;
 mod record;
 mod runner;
+mod session;
 mod sink;
 mod spec;
 
-pub use cache::{content_key, CacheStats, SimCache};
+pub use cache::{
+    content_key, migrate_cache, BackendKind, BackendStats, CacheBackend, CacheStats, DirCache,
+    PackedSegmentCache, ShardedDirCache, SimCache,
+};
+pub use checkpoint::{
+    spec_fingerprint, Checkpoint, CheckpointFailure, CheckpointHeader, ShardCheckpoint,
+};
 pub use error::{ExploreError, Result};
 pub use pareto::{dominates, pareto_front, Objective};
 pub use record::{
-    csv_row, read_json, read_jsonl, to_csv, write_csv, write_json, write_jsonl, SweepRecord,
-    CSV_HEADER,
+    csv_row, read_json, read_jsonl, read_records, to_csv, write_csv, write_json, write_jsonl,
+    SweepRecord, CSV_HEADER,
 };
+#[allow(deprecated)]
+pub use runner::{run_sweep, run_sweep_streaming};
 pub use runner::{
-    run_sweep, run_sweep_streaming, simulate_point, ErrorPolicy, PointFailure, ShardProgress,
-    StreamOptions, StreamOutcome, SweepOutcome,
+    simulate_point, ErrorPolicy, FailureCause, PointFailure, ShardProgress, StreamOptions,
+    StreamOutcome, SweepOutcome,
 };
+pub use session::ExploreSession;
 pub use sink::{CsvSink, JsonFileSink, JsonlSink, MultiSink, RecordSink, VecSink};
 pub use spec::{ArchFamily, ArchKey, PointIter, SweepPoint, SweepSpec, WorkloadKey, WorkloadSpec};
 
@@ -106,7 +136,10 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SweepSpec>();
         assert_send_sync::<SweepRecord>();
-        assert_send_sync::<SimCache>();
+        assert_send_sync::<DirCache>();
+        assert_send_sync::<ShardedDirCache>();
+        assert_send_sync::<PackedSegmentCache>();
+        assert_send_sync::<Box<dyn CacheBackend>>();
         assert_send_sync::<ExploreError>();
     }
 }

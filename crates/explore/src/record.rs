@@ -167,6 +167,27 @@ pub fn read_jsonl(path: impl AsRef<Path>) -> Result<Vec<SweepRecord>> {
         .collect()
 }
 
+/// Reads records from either supported file format, sniffing the content: a
+/// file whose first non-whitespace byte is `[` is parsed as a pretty/compact
+/// JSON array ([`read_json`]), anything else as JSON Lines ([`read_jsonl`]).
+/// This lets `simphony-cli pareto` consume streamed `--jsonl` outputs
+/// directly.
+///
+/// # Errors
+///
+/// Propagates file-system and JSON-shape errors.
+pub fn read_records(path: impl AsRef<Path>) -> Result<Vec<SweepRecord>> {
+    let text = fs::read_to_string(&path).map_err(|e| ExploreError::io_at(&path, e))?;
+    if text.trim_start().starts_with('[') {
+        Ok(serde_json::from_str(&text)?)
+    } else {
+        text.lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(|line| Ok(serde_json::from_str(line)?))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +225,32 @@ mod tests {
         let text = serde_json::to_string(&records).unwrap();
         let back: Vec<SweepRecord> = serde_json::from_str(&text).unwrap();
         assert_eq!(back, records);
+    }
+
+    #[test]
+    fn read_records_sniffs_json_arrays_and_jsonl() {
+        let records = vec![dummy_record(0, 1.25), dummy_record(1, 2.5)];
+        let json =
+            std::env::temp_dir().join(format!("simphony-record-sniff-{}.json", std::process::id()));
+        let jsonl = std::env::temp_dir().join(format!(
+            "simphony-record-sniff-{}.jsonl",
+            std::process::id()
+        ));
+        write_json(&json, &records).unwrap();
+        write_jsonl(&jsonl, &records).unwrap();
+        assert_eq!(read_records(&json).unwrap(), records, "pretty JSON array");
+        assert_eq!(read_records(&jsonl).unwrap(), records, "JSON lines");
+        // Leading whitespace before the array must not confuse the sniff.
+        let padded = std::env::temp_dir().join(format!(
+            "simphony-record-sniff-pad-{}.json",
+            std::process::id()
+        ));
+        let text = format!("\n  {}", std::fs::read_to_string(&json).unwrap());
+        std::fs::write(&padded, text).unwrap();
+        assert_eq!(read_records(&padded).unwrap(), records);
+        for path in [json, jsonl, padded] {
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

@@ -1,37 +1,43 @@
 //! Streaming, sharded sweep execution with intra-sweep artifact sharing.
 //!
-//! [`run_sweep_streaming`] walks a [`SweepSpec`]'s expansion lazily (via
-//! [`SweepSpec::points`] — no full point `Vec` is ever materialized), in
-//! configurable shards. Each shard serves what it can from the result cache,
-//! groups the remaining points by their *artifact identities*
-//! ([`SweepPoint::workload_key`] and [`SweepPoint::arch_key`]), extracts each
-//! distinct workload and generates each distinct accelerator once (reusing
-//! `Arc`s still live from the previous shard), simulates the misses on a
-//! rayon-style thread pool, caches the successes, and pushes the shard's
-//! records into a [`RecordSink`] in deterministic expansion order before
-//! moving on. A fig9-style sweep whose 64 points share 4 distinct workloads
-//! therefore pays for 4 extractions, not 64 — and a million-point sweep holds
-//! one shard of points (plus that shard's distinct artifacts) in memory, not
-//! the whole expansion.
+//! The engine walks a [`SweepSpec`]'s expansion lazily (no full point `Vec`
+//! is ever materialized), in configurable shards. Each shard serves what it
+//! can from the result cache (any [`CacheBackend`]), groups the remaining
+//! points by their *artifact identities* ([`SweepPoint::workload_key`] and
+//! [`SweepPoint::arch_key`]), extracts each distinct workload and generates
+//! each distinct accelerator once (reusing `Arc`s still live from the
+//! previous shard), simulates the misses on a rayon-style thread pool, caches
+//! the successes, and pushes the shard's records into a [`RecordSink`] in
+//! deterministic expansion order before moving on. A fig9-style sweep whose
+//! 64 points share 4 distinct workloads therefore pays for 4 extractions, not
+//! 64 — and a million-point sweep holds one shard of points (plus that
+//! shard's distinct artifacts) in memory, not the whole expansion.
+//!
+//! The public entry point is the [`ExploreSession`](crate::ExploreSession)
+//! builder; [`run_sweep`] and [`run_sweep_streaming`] remain as deprecated
+//! thin wrappers over it.
 //!
 //! Failure handling is governed by [`ErrorPolicy`]:
 //!
-//! * [`ErrorPolicy::FailFast`] (the default, and [`run_sweep`]'s behaviour)
-//!   finishes the failing shard — so every success in it is cached — then
-//!   returns the first failing point's error in expansion order;
+//! * [`ErrorPolicy::FailFast`] (the default) finishes the failing shard — so
+//!   every success in it is cached — then returns the first failing point's
+//!   error in expansion order;
 //! * [`ErrorPolicy::KeepGoing`] records each failure as a [`PointFailure`] in
-//!   the [`StreamOutcome`] and keeps simulating. Combined with the cache this
-//!   makes interrupted or partially-failing sweeps resumable: re-running the
-//!   same spec hits the cache for every point that already succeeded and only
-//!   re-attempts the rest.
+//!   the [`StreamOutcome`] and keeps simulating. Combined with the cache (and
+//!   a [checkpoint](crate::Checkpoint), which also remembers the *failures*)
+//!   this makes interrupted or partially-failing sweeps resumable: re-running
+//!   the same spec skips completed shards, replays known-bad points without
+//!   re-attempting them, and only simulates what never finished.
 //!
 //! Records are emitted in the spec's deterministic expansion order — output
 //! files are byte-identical whether the sweep ran on one thread or many
 //! (`RAYON_NUM_THREADS` controls the pool size), in one shard or thousands,
-//! and artifact sharing does not change a single output bit versus per-point
-//! extraction (extraction and generation are pure functions of the key).
+//! with any [`CacheBackend`], and artifact sharing does not change a single
+//! output bit versus per-point extraction (extraction and generation are pure
+//! functions of the key).
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::sync::Arc;
 
 use rayon::prelude::*;
@@ -42,7 +48,8 @@ use simphony::{
 use simphony_onn::ModelWorkload;
 use simphony_units::BitWidth;
 
-use crate::cache::{CacheStats, SimCache};
+use crate::cache::{CacheBackend, CacheStats, SimCache};
+use crate::checkpoint::{Checkpoint, CheckpointFailure, ShardCheckpoint};
 use crate::error::{ExploreError, Result};
 use crate::record::SweepRecord;
 use crate::sink::{RecordSink, VecSink};
@@ -61,8 +68,7 @@ pub struct SweepOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ErrorPolicy {
     /// Finish the failing shard (so its successes are cached), then abort the
-    /// sweep with the first failing point's error in expansion order. This is
-    /// [`run_sweep`]'s behaviour.
+    /// sweep with the first failing point's error in expansion order.
     #[default]
     FailFast,
     /// Record every failure as a [`PointFailure`] in the outcome and keep
@@ -71,7 +77,8 @@ pub enum ErrorPolicy {
     KeepGoing,
 }
 
-/// Tuning knobs of [`run_sweep_streaming`].
+/// Tuning knobs of the streaming executor (see
+/// [`ExploreSession`](crate::ExploreSession)).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StreamOptions {
     /// Points per shard; `None` (or `Some(0)`) runs the whole sweep as one
@@ -105,6 +112,35 @@ impl StreamOptions {
     }
 }
 
+/// The effective points-per-shard a sweep of `total` points runs with.
+pub(crate) fn effective_shard_size(options: &StreamOptions, total: usize) -> usize {
+    match options.chunk_size {
+        Some(size) if size > 0 => size,
+        _ => total.max(1),
+    }
+}
+
+/// Why a point failed: a live simulator error from this run, or a failure
+/// replayed from a [checkpoint](crate::Checkpoint) of an earlier run (which
+/// is reported but never re-attempted).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureCause {
+    /// The simulator error, from this run.
+    Sim(SimError),
+    /// The rendered message of a failure recorded by an earlier run's
+    /// checkpoint.
+    Recorded(String),
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureCause::Sim(e) => e.fmt(f),
+            FailureCause::Recorded(msg) => f.write_str(msg),
+        }
+    }
+}
+
 /// One failing point of a [`ErrorPolicy::KeepGoing`] sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointFailure {
@@ -112,12 +148,13 @@ pub struct PointFailure {
     pub index: usize,
     /// Human-readable description of the failing configuration.
     pub label: String,
-    /// The underlying simulator error (artifact construction or simulation).
-    pub error: SimError,
+    /// The underlying cause (live simulator error, or replayed checkpoint
+    /// record).
+    pub error: FailureCause,
 }
 
-/// Progress snapshot passed to the [`run_sweep_streaming`] callback after
-/// each shard completes.
+/// Progress snapshot passed to the progress callback after each shard
+/// completes (or is skipped via checkpoint resume).
 #[derive(Debug, Clone, Copy)]
 pub struct ShardProgress {
     /// Zero-based index of the shard that just completed.
@@ -128,8 +165,13 @@ pub struct ShardProgress {
     pub points: usize,
     /// Cache hits in this shard.
     pub hits: usize,
-    /// Failed points in this shard.
+    /// Failed points in this shard (including failures replayed from a
+    /// checkpoint).
     pub failures: usize,
+    /// Points skipped because a checkpoint already records this shard as
+    /// complete (0 for a freshly-executed shard, equal to `points` for a
+    /// skipped one).
+    pub skipped: usize,
     /// Cumulative points processed so far (including this shard).
     pub done: usize,
     /// Total points in the sweep.
@@ -140,16 +182,26 @@ pub struct ShardProgress {
 /// the accounting.
 #[derive(Debug, Clone)]
 pub struct StreamOutcome {
-    /// How many points were served from the cache vs attempted.
+    /// How many points were served from the cache vs attempted. Points
+    /// skipped via checkpoint resume appear in neither counter.
     pub stats: CacheStats,
-    /// Every failing point, in expansion order. Empty on a fully successful
-    /// sweep and always empty under [`ErrorPolicy::FailFast`] (the first
-    /// failure is returned as the sweep's error instead).
+    /// Every failing point, in expansion order — both failures from this run
+    /// and failures replayed from the checkpoint (the first
+    /// [`replayed_failures`](Self::replayed_failures) entries). Always empty
+    /// on a fully successful sweep; under [`ErrorPolicy::FailFast`] a *live*
+    /// failure is returned as the sweep's error instead, but replayed
+    /// failures are still reported here without aborting.
     pub failures: Vec<PointFailure>,
+    /// How many of [`failures`](Self::failures) were replayed from the
+    /// checkpoint rather than attempted in this run.
+    pub replayed_failures: usize,
     /// Number of shards the sweep ran as.
     pub shards: usize,
     /// Total points in the expansion.
     pub total_points: usize,
+    /// Points skipped because the checkpoint already recorded their shard as
+    /// complete.
+    pub skipped_points: usize,
 }
 
 fn build_accelerator(point: &SweepPoint) -> SimResult<Accelerator> {
@@ -168,7 +220,7 @@ fn extract_workload(point: &SweepPoint) -> SimResult<ModelWorkload> {
 /// Simulates one fully-bound configuration, extracting its artifacts from
 /// scratch.
 ///
-/// This is the sharing-free path ([`run_sweep_streaming`] amortizes artifacts
+/// This is the sharing-free path (the streaming executor amortizes artifacts
 /// across a shard instead); it exists for single-point callers like
 /// `simphony-cli run` and produces bit-identical reports to the shared path.
 ///
@@ -198,7 +250,7 @@ fn simulate_point_with(
 ///
 /// Construction is fallible *per key*, not per store: a failing artifact is
 /// recorded as that key's error and only fails the points that need it — the
-/// rest of the shard still simulates (and caches), honouring `run_sweep`'s
+/// rest of the shard still simulates (and caches), honouring the engine's
 /// partial-progress contract.
 #[derive(Default)]
 struct ArtifactStore {
@@ -276,51 +328,83 @@ impl ArtifactStore {
     }
 }
 
-/// Runs a sweep as a stream of shards, pushing completed records into `sink`
-/// in deterministic expansion order and reporting per-shard progress through
-/// `progress`.
-///
-/// The expansion is walked lazily — memory is bounded by the shard size (see
-/// [`StreamOptions::chunk_size`]), not the sweep size. Durable sinks are
-/// flushed at every shard boundary, and successful points are written to the
-/// cache as their shard completes, so an interrupted sweep leaves both a
-/// readable output prefix and a cache that makes the re-run resume.
-///
-/// # Errors
-///
-/// Returns spec-validation, cache/sink I/O errors, and — under
-/// [`ErrorPolicy::FailFast`] — the first failing point's error (the failing
-/// shard is still completed first so its successes are cached). Under
-/// [`ErrorPolicy::KeepGoing`] failing points are reported in
-/// [`StreamOutcome::failures`] instead.
-pub fn run_sweep_streaming(
+/// The engine core behind [`ExploreSession`](crate::ExploreSession): runs a
+/// sweep as a stream of shards, pushing completed records into `sink` in
+/// deterministic expansion order, reporting per-shard progress, flushing the
+/// cache and sink at every shard boundary, and — when a checkpoint is given —
+/// recording each completed shard after its data is durable and skipping
+/// shards the checkpoint already records.
+pub(crate) fn execute(
     spec: &SweepSpec,
-    cache: Option<&SimCache>,
+    cache: Option<&dyn CacheBackend>,
     options: &StreamOptions,
     sink: &mut dyn RecordSink,
-    mut progress: impl FnMut(&ShardProgress),
+    progress: &mut dyn FnMut(&ShardProgress),
+    mut checkpoint: Option<&mut Checkpoint>,
 ) -> Result<StreamOutcome> {
-    let mut iter = spec.points()?;
-    let total = iter.len();
-    let shard_size = match options.chunk_size {
-        Some(size) if size > 0 => size,
-        _ => total.max(1),
-    };
+    spec.validate()?;
+    let total = spec.point_count()?;
+    let shard_size = effective_shard_size(options, total);
     let shards = total.div_ceil(shard_size);
+    let completed_shards = checkpoint.as_ref().map_or(0, |c| c.completed().len());
+    if completed_shards > shards {
+        return Err(ExploreError::checkpoint(format!(
+            "checkpoint records {completed_shards} shards but the sweep only has {shards}"
+        )));
+    }
 
     let mut carried = ArtifactStore::default();
     let mut stats = CacheStats::default();
     let mut failures: Vec<PointFailure> = Vec::new();
+    let mut replayed_failures = 0usize;
+    let mut skipped_points = 0usize;
     let mut first_error: Option<ExploreError> = None;
     let mut done = 0usize;
+    let mut emitted = checkpoint.as_ref().map_or(0, |c| c.emitted());
 
     for shard in 0..shards {
-        let points: Vec<SweepPoint> = iter.by_ref().take(shard_size).collect();
+        let start = shard * shard_size;
+        let end = (start + shard_size).min(total);
+        let shard_points = end - start;
+
+        // A shard the checkpoint already records is not re-run: its successes
+        // are durable (cache flushed before the shard line was appended, sink
+        // output already emitted by the interrupted run) and its failures are
+        // replayed for reporting without being re-attempted.
+        if shard < completed_shards {
+            let recorded = checkpoint
+                .as_ref()
+                .expect("completed_shards > 0 implies a checkpoint")
+                .completed()[shard]
+                .clone();
+            for failure in &recorded.failures {
+                failures.push(PointFailure {
+                    index: failure.index,
+                    label: failure.label.clone(),
+                    error: FailureCause::Recorded(failure.error.clone()),
+                });
+            }
+            replayed_failures += recorded.failures.len();
+            skipped_points += shard_points;
+            done += shard_points;
+            progress(&ShardProgress {
+                shard,
+                shards,
+                points: shard_points,
+                hits: 0,
+                failures: recorded.failures.len(),
+                skipped: shard_points,
+                done,
+                total,
+            });
+            continue;
+        }
 
         // Serve cache hits first; only misses go to the artifact store and
         // the thread pool. Points sit in `Option` slots so a missed point can
         // later be *moved* into its record instead of cloned.
-        let mut points: Vec<Option<SweepPoint>> = points.into_iter().map(Some).collect();
+        let mut points: Vec<Option<SweepPoint>> =
+            (start..end).map(|i| Some(spec.point_at(i))).collect();
         let mut slots: Vec<Option<SweepRecord>> = Vec::with_capacity(points.len());
         let mut miss_indices: Vec<usize> = Vec::new();
         for (slot, point) in points.iter().enumerate() {
@@ -333,7 +417,6 @@ pub fn run_sweep_streaming(
                 }
             }
         }
-        let shard_points = points.len();
         let shard_hits = shard_points - miss_indices.len();
         stats.hits += shard_hits;
         stats.misses += miss_indices.len();
@@ -349,7 +432,7 @@ pub fn run_sweep_streaming(
             .collect();
         drop(missed);
 
-        let mut shard_failures = 0usize;
+        let mut shard_failures: Vec<CheckpointFailure> = Vec::new();
         for (&slot, result) in miss_indices.iter().zip(computed) {
             let point = points[slot].take().expect("miss slot holds its point");
             match result {
@@ -361,29 +444,53 @@ pub fn run_sweep_streaming(
                     slots[slot] = Some(record);
                 }
                 Err(error) => {
-                    shard_failures += 1;
+                    let label = point.label();
                     if first_error.is_none() && options.error_policy == ErrorPolicy::FailFast {
                         first_error = Some(ExploreError::Point {
                             index: point.index,
-                            label: point.label(),
+                            label: label.clone(),
                             source: error.clone(),
                         });
                     }
+                    shard_failures.push(CheckpointFailure {
+                        index: point.index,
+                        label: label.clone(),
+                        error: error.to_string(),
+                    });
                     failures.push(PointFailure {
                         index: point.index,
-                        label: point.label(),
-                        error,
+                        label,
+                        error: FailureCause::Sim(error),
                     });
                 }
             }
         }
 
         // Emit the shard's completed records in expansion order (failed
-        // points simply have no record), then let durable sinks persist.
+        // points simply have no record), then make everything durable in
+        // dependency order: cache first, sink second, checkpoint last — a
+        // checkpointed shard is therefore always fully recoverable.
+        let mut shard_emitted = 0usize;
         for record in slots.into_iter().flatten() {
             sink.accept(record)?;
+            shard_emitted += 1;
+        }
+        if let Some(cache) = cache {
+            cache.flush()?;
         }
         sink.flush_shard()?;
+        emitted += shard_emitted;
+        let failed = shard_failures.len();
+        if let Some(ckpt) = checkpoint.as_deref_mut() {
+            ckpt.record_shard(ShardCheckpoint {
+                shard,
+                points: shard_points,
+                hits: shard_hits,
+                misses: shard_points - shard_hits,
+                emitted,
+                failures: shard_failures,
+            })?;
+        }
         // Next shard reuses whatever artifacts stay live across the boundary.
         // A fully-cache-hit shard builds nothing — keep the previous carry
         // then, or a warm stretch in the middle of a sweep would drop every
@@ -398,14 +505,16 @@ pub fn run_sweep_streaming(
             shards,
             points: shard_points,
             hits: shard_hits,
-            failures: shard_failures,
+            failures: failed,
+            skipped: 0,
             done,
             total,
         });
 
         if let Some(err) = first_error.take() {
             // FailFast: the failing shard was fully processed (successes
-            // cached and emitted); later shards are not attempted.
+            // cached, emitted and checkpointed); later shards are not
+            // attempted.
             return Err(err);
         }
     }
@@ -414,16 +523,47 @@ pub fn run_sweep_streaming(
     Ok(StreamOutcome {
         stats,
         failures,
+        replayed_failures,
         shards,
         total_points: total,
+        skipped_points,
     })
 }
 
-/// Runs a sweep in memory, optionally backed by a result cache.
+/// Runs a sweep as a stream of shards, pushing completed records into `sink`
+/// in deterministic expansion order and reporting per-shard progress through
+/// `progress`.
 ///
-/// This is a thin wrapper over [`run_sweep_streaming`] with a single shard
-/// and a [`VecSink`]; it exists for callers that want the whole record list
-/// at once.
+/// # Errors
+///
+/// Returns spec-validation, cache/sink I/O errors, and — under
+/// [`ErrorPolicy::FailFast`] — the first failing point's error (the failing
+/// shard is still completed first so its successes are cached). Under
+/// [`ErrorPolicy::KeepGoing`] failing points are reported in
+/// [`StreamOutcome::failures`] instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExploreSession::new(spec).options(..).sink(..).run()` — the builder also \
+            supports pluggable cache backends and checkpoint/resume"
+)]
+pub fn run_sweep_streaming(
+    spec: &SweepSpec,
+    cache: Option<&SimCache>,
+    options: &StreamOptions,
+    sink: &mut dyn RecordSink,
+    mut progress: impl FnMut(&ShardProgress),
+) -> Result<StreamOutcome> {
+    execute(
+        spec,
+        cache.map(|c| c as &dyn CacheBackend),
+        options,
+        sink,
+        &mut |shard| progress(shard),
+        None,
+    )
+}
+
+/// Runs a sweep in memory, optionally backed by a result cache.
 ///
 /// # Errors
 ///
@@ -434,9 +574,20 @@ pub fn run_sweep_streaming(
 /// including points whose *artifacts* built while another point's artifact
 /// did not — so a retry after fixing the spec only re-runs what actually
 /// needs running.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExploreSession::new(spec).run_collect()` (add `.cache(..)` for the result cache)"
+)]
 pub fn run_sweep(spec: &SweepSpec, cache: Option<&SimCache>) -> Result<SweepOutcome> {
     let mut sink = VecSink::new();
-    let outcome = run_sweep_streaming(spec, cache, &StreamOptions::unchunked(), &mut sink, |_| {})?;
+    let outcome = execute(
+        spec,
+        cache.map(|c| c as &dyn CacheBackend),
+        &StreamOptions::unchunked(),
+        &mut sink,
+        &mut |_| {},
+        None,
+    )?;
     Ok(SweepOutcome {
         records: sink.into_records(),
         stats: outcome.stats,
@@ -446,12 +597,13 @@ pub fn run_sweep(spec: &SweepSpec, cache: Option<&SimCache>) -> Result<SweepOutc
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::ExploreSession;
     use crate::spec::ArchFamily;
 
     #[test]
     fn single_point_sweep_matches_direct_simulation() {
         let spec = SweepSpec::new("one");
-        let outcome = run_sweep(&spec, None).unwrap();
+        let outcome = ExploreSession::new(&spec).run_collect().unwrap();
         assert_eq!(outcome.records.len(), 1);
         assert_eq!(outcome.stats, CacheStats { hits: 0, misses: 1 });
         let direct = simulate_point(&spec.expand().unwrap()[0]).unwrap();
@@ -472,13 +624,19 @@ mod tests {
         let spec = SweepSpec::new("partial")
             .with_arch(vec![ArchFamily::Tempo, ArchFamily::MziMesh])
             .with_workload(vec![crate::spec::WorkloadSpec::Bert { seq_len: 8 }]);
-        assert!(run_sweep(&spec, Some(&cache)).is_err());
+        assert!(ExploreSession::new(&spec)
+            .cache(cache.clone())
+            .run_collect()
+            .is_err());
         assert_eq!(cache.len().unwrap(), 1, "good point must be cached");
 
         let retry = SweepSpec::new("partial-retry")
             .with_arch(vec![ArchFamily::Tempo])
             .with_workload(vec![crate::spec::WorkloadSpec::Bert { seq_len: 8 }]);
-        let outcome = run_sweep(&retry, Some(&cache)).unwrap();
+        let outcome = ExploreSession::new(&retry)
+            .cache(cache)
+            .run_collect()
+            .unwrap();
         assert_eq!(outcome.stats, CacheStats { hits: 1, misses: 0 });
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -500,7 +658,10 @@ mod tests {
             .with_arch(vec![ArchFamily::Tempo, ArchFamily::Butterfly])
             .with_core_dims(vec![6])
             .with_wavelengths(vec![1, 2]);
-        let err = run_sweep(&spec, Some(&cache)).unwrap_err();
+        let err = ExploreSession::new(&spec)
+            .cache(cache.clone())
+            .run_collect()
+            .unwrap_err();
         match err {
             ExploreError::Point { index, label, .. } => {
                 // Expansion order: tempo λ1, tempo λ2, butterfly λ1, butterfly λ2.
@@ -519,7 +680,10 @@ mod tests {
             .with_arch(vec![ArchFamily::Tempo])
             .with_core_dims(vec![6])
             .with_wavelengths(vec![1, 2]);
-        let outcome = run_sweep(&retry, Some(&cache)).unwrap();
+        let outcome = ExploreSession::new(&retry)
+            .cache(cache)
+            .run_collect()
+            .unwrap();
         assert_eq!(outcome.stats, CacheStats { hits: 2, misses: 0 });
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -531,7 +695,7 @@ mod tests {
         let spec = SweepSpec::new("fail")
             .with_arch(vec![ArchFamily::MziMesh])
             .with_workload(vec![crate::spec::WorkloadSpec::Bert { seq_len: 32 }]);
-        let err = run_sweep(&spec, None).unwrap_err();
+        let err = ExploreSession::new(&spec).run_collect().unwrap_err();
         match err {
             ExploreError::Point { index, label, .. } => {
                 assert_eq!(index, 0);
@@ -548,16 +712,16 @@ mod tests {
             .with_core_dims(vec![6])
             .with_wavelengths(vec![1, 2]);
         let mut sink = VecSink::new();
-        let outcome = run_sweep_streaming(
-            &spec,
-            None,
-            &StreamOptions::chunked(1).keep_going(),
-            &mut sink,
-            |_| {},
-        )
-        .unwrap();
+        let outcome = ExploreSession::new(&spec)
+            .chunk_size(1)
+            .keep_going()
+            .sink(&mut sink)
+            .run()
+            .unwrap();
         assert_eq!(outcome.total_points, 4);
         assert_eq!(outcome.shards, 4);
+        assert_eq!(outcome.skipped_points, 0);
+        assert_eq!(outcome.replayed_failures, 0);
         let failed: Vec<usize> = outcome.failures.iter().map(|f| f.index).collect();
         assert_eq!(failed, vec![2, 3], "both butterfly points fail");
         for failure in &outcome.failures {
@@ -581,18 +745,16 @@ mod tests {
                 simphony::DataAwareness::Aware,
                 simphony::DataAwareness::Unaware,
             ]);
-        let reference = run_sweep(&spec, None).unwrap();
+        let reference = ExploreSession::new(&spec).run_collect().unwrap();
         for chunk in [1, 3, 8, 100] {
             let mut sink = VecSink::new();
             let mut seen_shards = Vec::new();
-            let outcome = run_sweep_streaming(
-                &spec,
-                None,
-                &StreamOptions::chunked(chunk),
-                &mut sink,
-                |p| seen_shards.push((p.shard, p.points, p.done)),
-            )
-            .unwrap();
+            let outcome = ExploreSession::new(&spec)
+                .chunk_size(chunk)
+                .sink(&mut sink)
+                .on_progress(|p| seen_shards.push((p.shard, p.points, p.done)))
+                .run()
+                .unwrap();
             assert_eq!(outcome.shards, 8usize.div_ceil(chunk));
             assert_eq!(seen_shards.len(), outcome.shards);
             assert_eq!(seen_shards.last().unwrap().2, 8, "all points processed");
@@ -615,7 +777,7 @@ mod tests {
                 simphony::DataAwareness::Aware,
                 simphony::DataAwareness::Unaware,
             ]);
-        let outcome = run_sweep(&spec, None).unwrap();
+        let outcome = ExploreSession::new(&spec).run_collect().unwrap();
         let points = spec.expand().unwrap();
         assert_eq!(outcome.records.len(), points.len());
         for (record, point) in outcome.records.iter().zip(&points) {
@@ -623,5 +785,24 @@ mod tests {
             let expected = SweepRecord::from_report(point.clone(), &direct);
             assert_eq!(record, &expected);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_session_api() {
+        // `run_sweep` / `run_sweep_streaming` are contractually thin wrappers
+        // over the session builder until downstream callers migrate.
+        let spec = SweepSpec::new("wrappers").with_wavelengths(vec![1, 2]);
+        let via_session = ExploreSession::new(&spec).run_collect().unwrap();
+        let via_wrapper = run_sweep(&spec, None).unwrap();
+        assert_eq!(via_wrapper.records, via_session.records);
+        assert_eq!(via_wrapper.stats, via_session.stats);
+
+        let mut sink = VecSink::new();
+        let outcome =
+            run_sweep_streaming(&spec, None, &StreamOptions::chunked(1), &mut sink, |_| {})
+                .unwrap();
+        assert_eq!(outcome.shards, 2);
+        assert_eq!(sink.records(), &via_session.records[..]);
     }
 }

@@ -219,6 +219,26 @@ impl JsonlSink {
             writer: BufWriter::new(file),
         })
     }
+
+    /// Opens the output file for appending (creating it if missing) — the
+    /// resume path: new records continue after an interrupted sweep's
+    /// already-flushed prefix instead of clobbering it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open errors.
+    pub fn append(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let file = fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        Ok(Self {
+            path,
+            writer: BufWriter::new(file),
+        })
+    }
 }
 
 impl RecordSink for JsonlSink {

@@ -5,8 +5,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use simphony_explore::{
-    dominates, pareto_front, run_sweep, ArchFamily, CacheStats, Objective, SimCache, SweepSpec,
-    WorkloadSpec,
+    dominates, pareto_front, ArchFamily, CacheStats, ExploreSession, Objective, SimCache,
+    SweepSpec, WorkloadSpec,
 };
 
 /// A fresh scratch directory under the target-adjacent temp dir.
@@ -76,9 +76,13 @@ fn records_are_byte_identical_across_thread_counts() {
     );
 
     std::env::set_var("RAYON_NUM_THREADS", "1");
-    let sequential = run_sweep(&spec, None).expect("sequential sweep runs");
+    let sequential = ExploreSession::new(&spec)
+        .run_collect()
+        .expect("sequential sweep runs");
     std::env::set_var("RAYON_NUM_THREADS", "8");
-    let parallel = run_sweep(&spec, None).expect("parallel sweep runs");
+    let parallel = ExploreSession::new(&spec)
+        .run_collect()
+        .expect("parallel sweep runs");
     std::env::remove_var("RAYON_NUM_THREADS");
 
     let seq_bytes = serde_json::to_string_pretty(&sequential.records).unwrap();
@@ -99,11 +103,17 @@ fn second_run_is_served_entirely_from_cache() {
         .with_wavelengths(vec![1, 2])
         .with_bitwidth(vec![4, 8]);
 
-    let first = run_sweep(&spec, Some(&cache)).expect("first run");
+    let first = ExploreSession::new(&spec)
+        .cache(cache.clone())
+        .run_collect()
+        .expect("first run");
     assert_eq!(first.stats, CacheStats { hits: 0, misses: 4 });
     assert_eq!(cache.len().unwrap(), 4);
 
-    let second = run_sweep(&spec, Some(&cache)).expect("second run");
+    let second = ExploreSession::new(&spec)
+        .cache(cache.clone())
+        .run_collect()
+        .expect("second run");
     assert_eq!(second.stats, CacheStats { hits: 4, misses: 0 });
     assert_eq!(
         serde_json::to_string(&second.records).unwrap(),
@@ -115,7 +125,10 @@ fn second_run_is_served_entirely_from_cache() {
     let wider = SweepSpec::new("cached-wider")
         .with_wavelengths(vec![1, 2, 3])
         .with_bitwidth(vec![4, 8]);
-    let third = run_sweep(&wider, Some(&cache)).expect("overlapping run");
+    let third = ExploreSession::new(&wider)
+        .cache(cache.clone())
+        .run_collect()
+        .expect("overlapping run");
     assert_eq!(third.stats, CacheStats { hits: 4, misses: 2 });
 
     std::fs::remove_dir_all(&dir).ok();
@@ -127,7 +140,9 @@ fn pareto_front_is_exactly_the_non_dominated_set() {
         .with_arch(vec![ArchFamily::Tempo, ArchFamily::Scatter])
         .with_wavelengths(vec![1, 2, 4])
         .with_bitwidth(vec![4, 8]);
-    let outcome = run_sweep(&spec, None).expect("sweep runs");
+    let outcome = ExploreSession::new(&spec)
+        .run_collect()
+        .expect("sweep runs");
     let objectives = [Objective::Energy, Objective::Latency, Objective::Area];
     let front = pareto_front(&outcome.records, &objectives).expect("finite metrics");
 

@@ -7,8 +7,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use simphony_explore::{
-    read_json, read_jsonl, run_sweep, run_sweep_streaming, to_csv, ArchFamily, CsvSink,
-    JsonFileSink, JsonlSink, MultiSink, SimCache, StreamOptions, SweepSpec, VecSink,
+    read_json, read_jsonl, to_csv, ArchFamily, CsvSink, ExploreSession, JsonFileSink, JsonlSink,
+    MultiSink, SimCache, SweepSpec, VecSink,
 };
 
 const GOLDEN_SPEC: &str = include_str!("golden/mixed_axis_spec.json");
@@ -34,14 +34,11 @@ fn chunked_streaming_reproduces_the_golden_bytes_at_every_chunk_size() {
         let dir = scratch_dir("golden");
         let json_path = dir.join("records.json");
         let mut sink = JsonFileSink::create(&json_path).expect("sink creates");
-        run_sweep_streaming(
-            &spec,
-            None,
-            &StreamOptions::chunked(chunk),
-            &mut sink,
-            |_| {},
-        )
-        .expect("streaming sweep runs");
+        ExploreSession::new(&spec)
+            .chunk_size(chunk)
+            .sink(&mut sink)
+            .run()
+            .expect("streaming sweep runs");
         let streamed = std::fs::read_to_string(&json_path).expect("output reads");
         assert_eq!(
             streamed, GOLDEN_RECORDS,
@@ -57,7 +54,9 @@ fn streaming_sinks_match_their_batch_writers() {
         .with_arch(vec![ArchFamily::Tempo, ArchFamily::Scatter])
         .with_wavelengths(vec![1, 2])
         .with_bitwidth(vec![4, 8]);
-    let reference = run_sweep(&spec, None).expect("reference sweep runs");
+    let reference = ExploreSession::new(&spec)
+        .run_collect()
+        .expect("reference sweep runs");
 
     let dir = scratch_dir("sinks");
     let json_path = dir.join("records.json");
@@ -67,7 +66,10 @@ fn streaming_sinks_match_their_batch_writers() {
         .with(Box::new(JsonFileSink::create(&json_path).unwrap()))
         .with(Box::new(JsonlSink::create(&jsonl_path).unwrap()))
         .with(Box::new(CsvSink::create(&csv_path).unwrap()));
-    run_sweep_streaming(&spec, None, &StreamOptions::chunked(3), &mut sink, |_| {})
+    ExploreSession::new(&spec)
+        .chunk_size(3)
+        .sink(&mut sink)
+        .run()
         .expect("streaming sweep runs");
 
     assert_eq!(
@@ -100,14 +102,13 @@ fn keep_going_sweeps_resume_through_the_cache() {
         .with_wavelengths(vec![1, 2]);
 
     let mut sink = VecSink::new();
-    let outcome = run_sweep_streaming(
-        &spec,
-        Some(&cache),
-        &StreamOptions::chunked(2).keep_going(),
-        &mut sink,
-        |_| {},
-    )
-    .expect("keep-going sweeps do not abort");
+    let outcome = ExploreSession::new(&spec)
+        .cache(cache.clone())
+        .chunk_size(2)
+        .keep_going()
+        .sink(&mut sink)
+        .run()
+        .expect("keep-going sweeps do not abort");
     assert_eq!(outcome.total_points, 4);
     assert_eq!(outcome.stats.misses, 4);
     assert_eq!(
@@ -121,14 +122,13 @@ fn keep_going_sweeps_resume_through_the_cache() {
     // Re-running the same sweep serves the good points from the cache and
     // only re-attempts the failures.
     let mut sink = VecSink::new();
-    let outcome = run_sweep_streaming(
-        &spec,
-        Some(&cache),
-        &StreamOptions::chunked(2).keep_going(),
-        &mut sink,
-        |_| {},
-    )
-    .expect("resumed sweep runs");
+    let outcome = ExploreSession::new(&spec)
+        .cache(cache.clone())
+        .chunk_size(2)
+        .keep_going()
+        .sink(&mut sink)
+        .run()
+        .expect("resumed sweep runs");
     assert_eq!(outcome.stats.hits, 2, "successes resume from the cache");
     assert_eq!(
         outcome.stats.misses, 2,
@@ -156,11 +156,17 @@ fn concurrent_sweeps_share_a_cache_directory_safely() {
         let dir_b = dir.clone();
         let a = scope.spawn(move || {
             let cache = SimCache::open(&dir_a).expect("cache opens");
-            run_sweep(&spec_a, Some(&cache)).expect("sweep A runs")
+            ExploreSession::new(&spec_a)
+                .cache(cache)
+                .run_collect()
+                .expect("sweep A runs")
         });
         let b = scope.spawn(move || {
             let cache = SimCache::open(&dir_b).expect("cache opens");
-            run_sweep(&spec_b, Some(&cache)).expect("sweep B runs")
+            ExploreSession::new(&spec_b)
+                .cache(cache)
+                .run_collect()
+                .expect("sweep B runs")
         });
         (a.join().unwrap(), b.join().unwrap())
     });
@@ -174,7 +180,10 @@ fn concurrent_sweeps_share_a_cache_directory_safely() {
     let spec_a2 = SweepSpec::new("shared-a")
         .with_wavelengths(vec![1, 2])
         .with_bitwidth(vec![4, 8]);
-    let rerun = run_sweep(&spec_a2, Some(&cache)).expect("rerun is all hits");
+    let rerun = ExploreSession::new(&spec_a2)
+        .cache(cache.clone())
+        .run_collect()
+        .expect("rerun is all hits");
     assert_eq!(rerun.stats.hits, 4);
     assert_eq!(
         serde_json::to_string(&rerun.records).unwrap(),

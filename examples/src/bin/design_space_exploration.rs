@@ -11,7 +11,7 @@
 //! cargo run -p simphony-examples --bin design_space_exploration
 //! ```
 
-use simphony_explore::{pareto_front, run_sweep, Objective, SweepSpec};
+use simphony_explore::{pareto_front, ExploreSession, Objective, SweepSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("design-space exploration: VGG-8 on TeMPO variants\n");
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_bitwidth(vec![4, 6, 8]);
     spec.seed = 7;
 
-    let outcome = run_sweep(&spec, None)?;
+    let outcome = ExploreSession::new(&spec).run_collect()?;
     println!(
         "{:<12} {:<8} {:>14} {:>14} {:>12}",
         "wavelengths", "bits", "energy (uJ)", "cycles", "EDP (uJ*ms)"
