@@ -13,31 +13,48 @@
 //! * `shared_warm`/`sharded_warm`/`packed_warm` — the session re-run against
 //!   a populated cache of each [`CacheBackend`] flavour, so every point is a
 //!   cache hit; the spread between them is the per-backend lookup cost;
-//! * `streaming_chunk16` — the session in shards of 16 points with no cache:
-//!   the bounded-memory execution path, sharing still-live artifacts across
-//!   shard boundaries. Its gap to `shared_cold` is the price of sharding
-//!   (per-shard artifact-store refresh + sink flushes).
+//! * `streaming_chunk16` — the session in shards of 16 points with no cache,
+//!   pipeline **off**: the strictly-alternating bounded-memory path. Its gap
+//!   to `shared_cold` is the price of sharding (per-shard artifact-store
+//!   refresh + sink flushes);
+//! * `pipelined_cold`/`pipelined_warm` — the same 16-point-shard sweep with
+//!   the two-stage pipeline on (the default): shard N+1 simulates while
+//!   shard N persists, and warm cache lookups run as parallel batches;
+//! * `slow_sink_serial`/`slow_sink_overlap` — the cold sharded sweep against
+//!   a sink whose per-shard flush costs a fixed sleep (a stand-in for a slow
+//!   filesystem): serially the sweep pays every flush in full, pipelined all
+//!   but the last flush hide under the next shard's compute;
+//! * `pareto_100k` — 2-objective Pareto extraction over 100 000 synthetic
+//!   records: the sort-based O(n log n) sweep (the old pairwise filter took
+//!   seconds at this size).
 //!
 //! Results go to `BENCH_sweep.json` (or the path given as the first CLI
 //! argument) so successive PRs have a committed perf trajectory to regress
 //! against. See EXPERIMENTS.md for how to read the numbers.
 
 use std::collections::HashSet;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use simphony_bench::fig9_style_sweep;
+use simphony_onn::SplitMix64;
+
 use simphony_explore::{
-    simulate_point, CacheBackend, DirCache, ExploreSession, PackedSegmentCache, ShardedDirCache,
-    SweepPoint, VecSink,
+    pareto_front, simulate_point, CacheBackend, DirCache, ExploreSession, Objective,
+    PackedSegmentCache, RecordSink, ShardedDirCache, SweepPoint, SweepRecord, VecSink,
 };
 
 /// Timed repetitions per engine; the minimum is reported (steadiest estimator
 /// for wall-clock benches on a shared machine).
 const REPS: usize = 5;
 
-fn time_ms(mut f: impl FnMut()) -> f64 {
+/// Sub-millisecond (warm-path) measurements use more repetitions: their
+/// scheduler noise is the same absolute ±0.1–0.2 ms as the long runs', which
+/// at 0.6 ms swamps a 5-rep minimum.
+const WARM_REPS: usize = 25;
+
+fn time_ms_reps(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let start = Instant::now();
         f();
         best = best.min(start.elapsed().as_secs_f64() * 1e3);
@@ -45,10 +62,60 @@ fn time_ms(mut f: impl FnMut()) -> f64 {
     best
 }
 
+fn time_ms(f: impl FnMut()) -> f64 {
+    time_ms_reps(REPS, f)
+}
+
 fn per_point_engine(points: &[SweepPoint]) {
     for point in points {
         simulate_point(point).expect("point simulates");
     }
+}
+
+/// A sink whose shard flush costs a fixed sleep — a deterministic stand-in
+/// for a slow filesystem or network share. Records themselves are counted
+/// and dropped so the measurement isolates the flush latency.
+struct SlowSink {
+    accepted: usize,
+    flush: Duration,
+}
+
+impl RecordSink for SlowSink {
+    fn accept(&mut self, _record: SweepRecord) -> simphony_explore::Result<()> {
+        self.accepted += 1;
+        Ok(())
+    }
+
+    fn flush_shard(&mut self) -> simphony_explore::Result<()> {
+        std::thread::sleep(self.flush);
+        Ok(())
+    }
+}
+
+/// 100k synthetic records over one base point: deterministic pseudo-random
+/// energy/latency metrics (seeded [`SplitMix64`]), plenty of frontier and
+/// dominated mass for the Pareto timing.
+fn synthetic_records(base: &SweepPoint, count: usize) -> Vec<SweepRecord> {
+    let mut rng = SplitMix64::new(0xBE7C);
+    (0..count)
+        .map(|index| {
+            let mut point = base.clone();
+            point.index = index;
+            let energy_uj = 1.0 + rng.next_f64() * 100.0;
+            let time_ms = 1.0 + rng.next_f64() * 100.0;
+            SweepRecord {
+                point,
+                energy_uj,
+                cycles: 1,
+                time_ms,
+                power_w: 1.0,
+                area_mm2: 1.0,
+                edp_uj_ms: energy_uj * time_ms,
+                glb_blocks: 1,
+                energy_by_kind_uj: std::collections::BTreeMap::new(),
+            }
+        })
+        .collect()
 }
 
 fn main() {
@@ -93,12 +160,25 @@ fn main() {
         let mut sink = VecSink::new();
         ExploreSession::new(&spec)
             .chunk_size(16)
+            .pipelined(false)
             .sink(&mut sink)
             .run()
             .expect("streaming sweep runs");
         assert_eq!(sink.records().len(), 64, "streaming covers every point");
     });
-    eprintln!("session, 16-point shards:              {streaming_chunk16_ms:.1} ms");
+    eprintln!("session, 16-point shards (serial):     {streaming_chunk16_ms:.1} ms");
+
+    let pipelined_cold_ms = time_ms(|| {
+        let mut sink = VecSink::new();
+        ExploreSession::new(&spec)
+            .chunk_size(16)
+            .pipelined(true)
+            .sink(&mut sink)
+            .run()
+            .expect("pipelined sweep runs");
+        assert_eq!(sink.records().len(), 64, "pipeline covers every point");
+    });
+    eprintln!("session, 16-point shards (pipelined):  {pipelined_cold_ms:.1} ms");
 
     // Warm re-runs against each cache backend: the same 64 points, all hits.
     let warm_run = |label: &str, open: &dyn Fn(&std::path::Path) -> Box<dyn CacheBackend>| {
@@ -111,7 +191,7 @@ fn main() {
             .cache_boxed(open(&dir))
             .run_collect()
             .expect("cache warm-up sweep runs");
-        let ms = time_ms(|| {
+        let ms = time_ms_reps(WARM_REPS, || {
             let outcome = ExploreSession::new(&spec)
                 .cache_boxed(open(&dir))
                 .run_collect()
@@ -121,6 +201,80 @@ fn main() {
         std::fs::remove_dir_all(&dir).ok();
         ms
     };
+
+    // Warm pipelined: shards of 16, batched parallel lookups, lookup of
+    // shard N+1 overlapping the (cheap) drain of shard N.
+    let pipelined_warm_ms = {
+        let dir = std::env::temp_dir().join(format!(
+            "simphony-bench-sweep-pipelined-warm-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("bench cache dir creates");
+        ExploreSession::new(&spec)
+            .cache(DirCache::open(&dir).expect("cache opens"))
+            .run_collect()
+            .expect("cache warm-up sweep runs");
+        let ms = time_ms_reps(WARM_REPS, || {
+            let mut sink = VecSink::new();
+            let outcome = ExploreSession::new(&spec)
+                .cache(DirCache::open(&dir).expect("cache opens"))
+                .chunk_size(16)
+                .pipelined(true)
+                .sink(&mut sink)
+                .run()
+                .expect("warm pipelined sweep runs");
+            assert_eq!(outcome.stats.misses, 0, "warm run must be all hits");
+        });
+        std::fs::remove_dir_all(&dir).ok();
+        ms
+    };
+    eprintln!("session, warm 16-pt shards (pipelined): {pipelined_warm_ms:.1} ms");
+
+    // Slow-sink overlap: every shard flush costs a fixed sleep. Serially the
+    // sweep pays all four flushes end to end; pipelined, each flush (except
+    // the last) hides under the next shard's simulation.
+    const SLOW_FLUSH_MS: u64 = 5;
+    let slow_sink_run = |chunk: usize, pipelined: bool| {
+        time_ms(|| {
+            let mut sink = SlowSink {
+                accepted: 0,
+                flush: Duration::from_millis(SLOW_FLUSH_MS),
+            };
+            ExploreSession::new(&spec)
+                .chunk_size(chunk)
+                .pipelined(pipelined)
+                .sink(&mut sink)
+                .run()
+                .expect("slow-sink sweep runs");
+            assert_eq!(sink.accepted, 64, "slow sink saw every record");
+        })
+    };
+    let slow_sink_serial_ms = slow_sink_run(16, false);
+    let slow_sink_overlap_ms = slow_sink_run(16, true);
+    eprintln!(
+        "slow sink ({SLOW_FLUSH_MS} ms/flush, 4 shards): serial {slow_sink_serial_ms:.1} ms, \
+         pipelined {slow_sink_overlap_ms:.1} ms"
+    );
+    // The overlap win grows with shard count: more flushes to hide.
+    let slow_sink_serial_chunk8_ms = slow_sink_run(8, false);
+    let slow_sink_overlap_chunk8_ms = slow_sink_run(8, true);
+    eprintln!(
+        "slow sink ({SLOW_FLUSH_MS} ms/flush, 8 shards): serial {slow_sink_serial_chunk8_ms:.1} ms, \
+         pipelined {slow_sink_overlap_chunk8_ms:.1} ms"
+    );
+
+    // 2-objective Pareto extraction at 100k records: the sort-based sweep.
+    let pareto_records = synthetic_records(&points[0], 100_000);
+    let mut front_len = 0usize;
+    let pareto_100k_ms = time_ms(|| {
+        let front = pareto_front(&pareto_records, &[Objective::Energy, Objective::Latency])
+            .expect("synthetic metrics are finite");
+        assert!(!front.is_empty());
+        front_len = front.len();
+    });
+    eprintln!(
+        "pareto, 100k records, 2 objectives:    {pareto_100k_ms:.1} ms ({front_len} on the front)"
+    );
     let shared_warm_ms = warm_run("dir", &|d| {
         Box::new(DirCache::open(d).expect("cache opens"))
     });
@@ -138,7 +292,7 @@ fn main() {
     eprintln!("cold-cache speedup vs per-point engine: {speedup:.2}x");
 
     let json = format!(
-        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"streaming_chunk16_ms\": {streaming_chunk16_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"sharded_warm_ms\": {sharded_warm_ms:.3},\n  \"packed_warm_ms\": {packed_warm_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
+        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"streaming_chunk16_ms\": {streaming_chunk16_ms:.3},\n  \"pipelined_cold_ms\": {pipelined_cold_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"sharded_warm_ms\": {sharded_warm_ms:.3},\n  \"packed_warm_ms\": {packed_warm_ms:.3},\n  \"pipelined_warm_ms\": {pipelined_warm_ms:.3},\n  \"slow_sink_flush_ms\": {SLOW_FLUSH_MS},\n  \"slow_sink_serial_ms\": {slow_sink_serial_ms:.3},\n  \"slow_sink_overlap_ms\": {slow_sink_overlap_ms:.3},\n  \"slow_sink_serial_chunk8_ms\": {slow_sink_serial_chunk8_ms:.3},\n  \"slow_sink_overlap_chunk8_ms\": {slow_sink_overlap_chunk8_ms:.3},\n  \"pareto_100k_ms\": {pareto_100k_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
         name = spec.name,
         points = points.len(),
         reps = REPS,

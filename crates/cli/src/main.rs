@@ -5,9 +5,11 @@
 //! * `sweep` — run a declarative design-space sweep from a JSON spec file,
 //!   with result caching (`--cache` + `--backend dir|sharded|packed`) and
 //!   JSON/CSV/JSONL outputs; `--chunk-size` streams the sweep in shards
-//!   (bounded memory, per-shard flushes and progress), `--keep-going`
-//!   records failing points instead of aborting, and `--checkpoint` records
-//!   per-shard outcomes so an interrupted sweep can be resumed;
+//!   (bounded memory, per-shard flushes and progress — shard N+1 simulates
+//!   while shard N persists, unless `--no-pipeline` disables the overlap),
+//!   `--keep-going` records failing points instead of aborting, and
+//!   `--checkpoint` records per-shard outcomes so an interrupted sweep can
+//!   be resumed;
 //! * `resume` — continue an interrupted `sweep --checkpoint` run: completed
 //!   shards are skipped, recorded failures are not re-attempted, and a
 //!   `--jsonl` output is truncated to its durable prefix and appended to;
@@ -51,6 +53,17 @@ fn backend_arg(help: &str) -> Arg {
         .value_name("KIND")
         .default_value("auto")
         .help(help.to_string())
+}
+
+fn no_pipeline_arg() -> Arg {
+    Arg::new("no-pipeline")
+        .long("no-pipeline")
+        .action(ArgAction::SetTrue)
+        .help(
+            "Run shards strictly serially instead of overlapping simulation \
+             with cache/output/checkpoint I/O on a writer thread (output is \
+             byte-identical either way)",
+        )
 }
 
 fn cli() -> Command {
@@ -124,6 +137,7 @@ fn cli() -> Command {
                              output `resume` can append to)",
                         ),
                 )
+                .arg(no_pipeline_arg())
                 .arg(
                     Arg::new("quiet")
                         .long("quiet")
@@ -161,6 +175,7 @@ fn cli() -> Command {
                 .arg(backend_arg(
                     "Cache backend: dir, sharded, packed, or auto (detect from the directory)",
                 ))
+                .arg(no_pipeline_arg())
                 .arg(
                     Arg::new("quiet")
                         .long("quiet")
@@ -526,6 +541,9 @@ fn cmd_sweep(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     if matches.get_flag("keep-going") {
         session = session.keep_going();
     }
+    if matches.get_flag("no-pipeline") {
+        session = session.pipelined(false);
+    }
     if let Some(cache) = cache {
         session = session.cache_boxed(cache);
     }
@@ -605,6 +623,9 @@ fn cmd_resume(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
         });
     if header.keep_going {
         session = session.keep_going();
+    }
+    if matches.get_flag("no-pipeline") {
+        session = session.pipelined(false);
     }
     if let Some(cache) = cache {
         session = session.cache_boxed(cache);

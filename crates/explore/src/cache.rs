@@ -34,6 +34,7 @@ use std::io::{Read as _, Seek as _, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{ExploreError, Result};
@@ -116,6 +117,22 @@ pub trait CacheBackend: Send + Sync {
     /// miss instead of returning another configuration's metrics.
     fn get(&self, point: &SweepPoint) -> Option<SweepRecord>;
 
+    /// Looks up every point of a batch at once, returning **exactly one**
+    /// slot per input point, in input order (`Some` for hits, `None` for
+    /// misses) — the executor asserts the arity, since a short result would
+    /// otherwise silently drop points from the sweep.
+    ///
+    /// The default implementation fans the individual [`get`](Self::get)s out
+    /// over the thread pool — backends are `Sync`, so lookups are pure
+    /// concurrent reads. A warm sweep's hot path is exactly this call: a
+    /// shard's worth of cache reads that used to run single-threaded. Override
+    /// only when a backend can batch more cleverly (e.g. one lock acquisition
+    /// for an in-memory index); the results must be identical to per-point
+    /// `get`s.
+    fn get_batch(&self, points: &[&SweepPoint]) -> Vec<Option<SweepRecord>> {
+        points.par_iter().map(|point| self.get(point)).collect()
+    }
+
     /// Stores the record for its point.
     ///
     /// Directory backends publish the entry durably before returning; the
@@ -126,6 +143,22 @@ pub trait CacheBackend: Send + Sync {
     ///
     /// Propagates file-system and serialization errors.
     fn put(&self, record: &SweepRecord) -> Result<()>;
+
+    /// Stores a record whose JSON rendering the caller already computed:
+    /// `key` must be [`content_key`]`(&record.point)` and `json` must be
+    /// `serde_json::to_string(record)` — the executor's compute stage renders
+    /// both on the worker threads, so the I/O stage never pays for
+    /// serialization. The default implementation ignores the pre-rendered
+    /// form and falls back to [`put`](Self::put), so third-party backends
+    /// stay correct without opting in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system and serialization errors.
+    fn put_serialized(&self, key: &str, json: &str, record: &SweepRecord) -> Result<()> {
+        let _ = (key, json);
+        self.put(record)
+    }
 
     /// Number of distinct entries currently stored (published or pending).
     ///
@@ -192,6 +225,12 @@ fn read_entry_file(path: &Path, point: &SweepPoint) -> Option<SweepRecord> {
 /// racing it, or a crash mid-write, would see a corrupt file that `get` then
 /// treats as a permanent miss.)
 fn write_entry_file(dir: &Path, key: &str, record: &SweepRecord) -> Result<()> {
+    write_entry_bytes(dir, key, serde_json::to_string(record)?.as_bytes())
+}
+
+/// [`write_entry_file`] with the record already rendered to JSON — the
+/// pre-serialized put path; entry bytes are identical either way.
+fn write_entry_bytes(dir: &Path, key: &str, json: &[u8]) -> Result<()> {
     static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let path = dir.join(format!("{key}.json"));
     // Same directory as the final path, so the rename stays on one
@@ -201,7 +240,7 @@ fn write_entry_file(dir: &Path, key: &str, record: &SweepRecord) -> Result<()> {
         std::process::id(),
         TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
-    fs::write(&tmp, serde_json::to_string(record)?).map_err(|e| ExploreError::io_at(&tmp, e))?;
+    fs::write(&tmp, json).map_err(|e| ExploreError::io_at(&tmp, e))?;
     fs::rename(&tmp, &path).map_err(|e| {
         let _ = fs::remove_file(&tmp);
         ExploreError::io_at(&path, e)
@@ -263,7 +302,7 @@ pub struct DirCache {
 }
 
 /// The pre-[`CacheBackend`] name of [`DirCache`], kept so existing callers
-/// (and the deprecated `run_sweep` wrappers) compile unchanged.
+/// compile unchanged.
 pub type SimCache = DirCache;
 
 impl DirCache {
@@ -331,6 +370,10 @@ impl CacheBackend for DirCache {
 
     fn put(&self, record: &SweepRecord) -> Result<()> {
         DirCache::put(self, record)
+    }
+
+    fn put_serialized(&self, key: &str, json: &str, _record: &SweepRecord) -> Result<()> {
+        write_entry_bytes(&self.dir, key, json.as_bytes())
     }
 
     fn len(&self) -> Result<usize> {
@@ -411,6 +454,12 @@ impl CacheBackend for ShardedDirCache {
         write_entry_file(&bucket, &key, record)
     }
 
+    fn put_serialized(&self, key: &str, json: &str, _record: &SweepRecord) -> Result<()> {
+        let bucket = self.bucket(key);
+        fs::create_dir_all(&bucket).map_err(|e| ExploreError::io_at(&bucket, e))?;
+        write_entry_bytes(&bucket, key, json.as_bytes())
+    }
+
     fn len(&self) -> Result<usize> {
         Ok(self.stats()?.entries)
     }
@@ -440,6 +489,23 @@ struct PackedEntry {
     record: SweepRecord,
 }
 
+/// Renders the segment line of one entry from the record's pre-rendered
+/// compact JSON. Pinned by a test to be byte-identical to
+/// `serde_json::to_string(&PackedEntry { key, record })`, so segment files
+/// written through the pre-serialized path read back like any other.
+fn packed_line(key: &str, record_json: &str) -> String {
+    format!("{{\"key\":\"{key}\",\"record\":{record_json}}}")
+}
+
+/// An entry accepted but not yet published: its key plus its fully-rendered
+/// segment line (serialization happens at `put`, on whatever thread called
+/// it — the executor's worker threads — never at `flush`).
+#[derive(Debug)]
+struct PendingEntry {
+    key: String,
+    line: String,
+}
+
 /// Where a published entry lives: which segment file, and the byte range of
 /// its line.
 #[derive(Debug, Clone, Copy)]
@@ -457,8 +523,9 @@ struct PackedState {
     segments: Vec<PathBuf>,
     /// Total bytes of published segment data.
     segment_bytes: u64,
-    /// Entries accepted but not yet published, in arrival order.
-    pending: Vec<PackedEntry>,
+    /// Entries accepted but not yet published, in arrival order, with their
+    /// segment lines already rendered.
+    pending: Vec<PendingEntry>,
     /// `pending` keyed for reads, holding the latest value per key.
     pending_map: HashMap<String, SweepRecord>,
     /// Per-handle counter making segment file names unique.
@@ -592,12 +659,18 @@ impl CacheBackend for PackedSegmentCache {
 
     fn put(&self, record: &SweepRecord) -> Result<()> {
         let key = content_key(&record.point);
+        let json = serde_json::to_string(record)?;
+        self.put_serialized(&key, &json, record)
+    }
+
+    fn put_serialized(&self, key: &str, json: &str, record: &SweepRecord) -> Result<()> {
+        let line = packed_line(key, json);
         let mut state = self.lock();
-        state.pending.push(PackedEntry {
-            key: key.clone(),
-            record: record.clone(),
+        state.pending.push(PendingEntry {
+            key: key.to_string(),
+            line,
         });
-        state.pending_map.insert(key, record.clone());
+        state.pending_map.insert(key.to_string(), record.clone());
         Ok(())
     }
 
@@ -629,14 +702,15 @@ impl CacheBackend for PackedSegmentCache {
         if state.pending.is_empty() {
             return Ok(());
         }
-        // Render the batch with per-line offsets, publish it as one segment
-        // via stage + atomic rename, then move the batch into the index.
+        // Concatenate the pre-rendered lines with per-line offsets, publish
+        // them as one segment via stage + atomic rename, then move the batch
+        // into the index. No serialization happens here — every line was
+        // rendered at `put` time.
         let mut buffer = String::new();
         let mut locs: Vec<(String, u64, usize)> = Vec::with_capacity(state.pending.len());
         for entry in &state.pending {
-            let line = serde_json::to_string(entry)?;
-            locs.push((entry.key.clone(), buffer.len() as u64, line.len()));
-            buffer.push_str(&line);
+            locs.push((entry.key.clone(), buffer.len() as u64, entry.line.len()));
+            buffer.push_str(&entry.line);
             buffer.push('\n');
         }
         // `rename` silently replaces an existing file, so probe for a free
@@ -684,7 +758,13 @@ impl CacheBackend for PackedSegmentCache {
 
     fn scan(&self, visit: &mut dyn FnMut(String, SweepRecord) -> Result<()>) -> Result<()> {
         // Snapshot key → location under the lock, then read outside it so
-        // `visit` can call back into the cache.
+        // `visit` can call back into the cache. Pending entries are parsed
+        // back from their rendered lines — scan is a tooling path, and the
+        // round-trip keeps the snapshot independent of the live maps. Unlike
+        // a corrupt *published* entry (disk damage, degrades to a skip), a
+        // pending line that fails to parse can only mean an out-of-contract
+        // `put_serialized` — it would be flushed to a segment yet invisible
+        // to migration, so surface it instead of silently dropping data.
         let (mut published, pending): (Vec<(String, EntryLoc)>, Vec<PackedEntry>) = {
             let state = self.lock();
             (
@@ -697,8 +777,16 @@ impl CacheBackend for PackedSegmentCache {
                     .pending
                     .iter()
                     .filter(|entry| !state.index.contains_key(&entry.key))
-                    .cloned()
-                    .collect(),
+                    .map(|entry| {
+                        serde_json::from_str::<PackedEntry>(&entry.line).map_err(|e| {
+                            ExploreError::cache(format!(
+                                "pending entry `{}` holds an unparseable segment line \
+                                 (malformed `put_serialized` JSON?): {e}",
+                                entry.key
+                            ))
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?,
             )
         };
         published.sort_by(|a, b| a.0.cmp(&b.0));
@@ -981,6 +1069,123 @@ mod tests {
             .any(|e| e.path().extension().is_some_and(|ext| ext == "tmp"));
         assert!(!stray_tmp, "staging files must not outlive put()");
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spliced_packed_lines_match_the_serde_rendering() {
+        // The pre-serialized put path splices segment lines from the record's
+        // compact JSON instead of serializing a `PackedEntry`; the bytes must
+        // be indistinguishable or segment files would fork into two dialects.
+        for record in sample_records(3) {
+            let key = content_key(&record.point);
+            let json = serde_json::to_string(&record).unwrap();
+            let entry = PackedEntry {
+                key: key.clone(),
+                record: record.clone(),
+            };
+            assert_eq!(
+                packed_line(&key, &json),
+                serde_json::to_string(&entry).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn put_serialized_writes_the_same_bytes_as_put() {
+        // Every backend: an entry stored through the pre-serialized fast path
+        // must be byte-identical on disk to one stored through plain `put`.
+        let records = sample_records(3);
+        for kind in BackendKind::ALL {
+            let plain_dir = scratch(&format!("preser-plain-{kind}"));
+            let fast_dir = scratch(&format!("preser-fast-{kind}"));
+            let plain = kind.open(&plain_dir).unwrap();
+            let fast = kind.open(&fast_dir).unwrap();
+            for record in &records {
+                plain.put(record).unwrap();
+                let key = content_key(&record.point);
+                let json = serde_json::to_string(record).unwrap();
+                fast.put_serialized(&key, &json, record).unwrap();
+            }
+            plain.flush().unwrap();
+            fast.flush().unwrap();
+            // Same entries readable, and the same bytes in every data file.
+            for record in &records {
+                assert_eq!(fast.get(&record.point).as_ref(), Some(record));
+            }
+            let collect = |dir: &Path| {
+                let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+                let mut stack = vec![dir.to_path_buf()];
+                while let Some(d) = stack.pop() {
+                    for entry in fs::read_dir(&d).unwrap().filter_map(|e| e.ok()) {
+                        let path = entry.path();
+                        if path.is_dir() {
+                            stack.push(path);
+                        } else {
+                            // Segment names embed a counter; compare contents.
+                            files.push((
+                                path.file_name().unwrap().to_string_lossy().into_owned(),
+                                fs::read(&path).unwrap(),
+                            ));
+                        }
+                    }
+                }
+                files.sort();
+                files
+            };
+            let plain_files = collect(&plain_dir);
+            let fast_files = collect(&fast_dir);
+            assert_eq!(
+                plain_files.iter().map(|(_, b)| b).collect::<Vec<_>>(),
+                fast_files.iter().map(|(_, b)| b).collect::<Vec<_>>(),
+                "{kind}: pre-serialized entries diverged from put()"
+            );
+            fs::remove_dir_all(&plain_dir).ok();
+            fs::remove_dir_all(&fast_dir).ok();
+        }
+    }
+
+    #[test]
+    fn packed_scan_surfaces_an_out_of_contract_pending_line() {
+        // `put_serialized` trusts the caller's pre-rendered JSON; if it is
+        // not actually the record's rendering, the entry would be flushed to
+        // a segment yet invisible to `scan` (and thus to `cache migrate`).
+        // Scan must error instead of silently dropping buffered data.
+        let dir = scratch("packed-bad-pending");
+        let cache = PackedSegmentCache::open(&dir).unwrap();
+        let record = sample_records(1).remove(0);
+        let key = content_key(&record.point);
+        cache
+            .put_serialized(&key, "{\"not\": \"a record\"", &record)
+            .unwrap();
+        let err = CacheBackend::scan(&cache, &mut |_, _| Ok(())).unwrap_err();
+        assert!(err.to_string().contains("unparseable segment line"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn get_batch_matches_per_point_gets() {
+        let records = sample_records(6);
+        for kind in BackendKind::ALL {
+            let dir = scratch(&format!("batch-{kind}"));
+            let cache = kind.open(&dir).unwrap();
+            // Store every other record, so the batch mixes hits and misses.
+            for record in records.iter().step_by(2) {
+                cache.put(record).unwrap();
+            }
+            cache.flush().unwrap();
+            let points: Vec<&SweepPoint> = records.iter().map(|r| &r.point).collect();
+            let batch = cache.get_batch(&points);
+            assert_eq!(batch.len(), records.len());
+            for (i, (record, slot)) in records.iter().zip(&batch).enumerate() {
+                assert_eq!(
+                    slot.as_ref(),
+                    cache.get(&record.point).as_ref(),
+                    "{kind}: slot {i} diverged from get()"
+                );
+                assert_eq!(slot.is_some(), i % 2 == 0, "{kind}: slot {i} hit/miss");
+            }
+            fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

@@ -14,29 +14,37 @@
 //! * [`ExploreSession`] — the builder that runs sweeps: walks the expansion
 //!   in configurable shards on a thread pool (`RAYON_NUM_THREADS` sized),
 //!   shares workload/accelerator artifacts within and across shards behind
-//!   [`std::sync::Arc`]s, pushes completed [`SweepRecord`]s into a
-//!   [`RecordSink`] (in-memory, pretty JSON, JSONL, CSV — flushed per shard)
-//!   in a deterministic order so result files are byte-identical at any
-//!   thread count, any chunk size and any cache backend, optionally keeps
-//!   going past failing points, and records per-shard outcomes in a sidecar
-//!   [checkpoint](ExploreSession::checkpoint) so interrupted sweeps resume
-//!   without re-simulating completed shards or re-attempting recorded
-//!   failures;
+//!   [`std::sync::Arc`]s, overlaps each shard's simulation with the previous
+//!   shard's durability I/O on a dedicated writer thread (the two-stage
+//!   [pipeline](ExploreSession::pipelined), on by default for multi-shard
+//!   sweeps), pushes completed [`SweepRecord`]s into a [`RecordSink`]
+//!   (in-memory, pretty JSON, JSONL, CSV — flushed per shard) in a
+//!   deterministic order so result files are byte-identical at any thread
+//!   count, any chunk size, any cache backend and with the pipeline on or
+//!   off, optionally keeps going past failing points, and records per-shard
+//!   outcomes in a sidecar [checkpoint](ExploreSession::checkpoint) so
+//!   interrupted sweeps resume without re-simulating completed shards or
+//!   re-attempting recorded failures;
 //! * [`CacheBackend`] — pluggable content-hash result storage with three
 //!   implementations: [`DirCache`] (one JSON file per entry, the classic
 //!   layout), [`ShardedDirCache`] (256-way fan-out by first key byte, for
 //!   million-entry sweeps) and [`PackedSegmentCache`] (append-only segment
-//!   files plus an in-memory index); [`migrate_cache`] round-trips a cache
-//!   between backends with content-key verification;
+//!   files plus an in-memory index); batch lookups run in parallel
+//!   ([`CacheBackend::get_batch`]) and fresh records are stored from their
+//!   pre-rendered JSON ([`CacheBackend::put_serialized`]);
+//!   [`migrate_cache`] round-trips a cache between backends with content-key
+//!   verification;
 //! * [`pareto_front`] — non-dominated-point extraction over configurable
-//!   minimization [`Objective`]s (energy, latency, power, area, EDP);
+//!   minimization [`Objective`]s (energy, latency, power, area, EDP); the
+//!   two-objective case runs in O(n log n) via a sort-based sweep, so
+//!   frontiers scale to streamed JSONL outputs with millions of records;
 //!   records carrying NaN/infinite objectives are rejected instead of
 //!   silently joining every frontier.
 //!
 //! The `simphony-cli` binary exposes all of this as `sweep` (with
-//! `--chunk-size`, `--jsonl`, `--keep-going`, `--backend`, `--checkpoint`),
-//! `resume`, `cache stats`/`cache migrate`, `pareto` and `run` subcommands;
-//! see `EXPERIMENTS.md` at the repository root.
+//! `--chunk-size`, `--jsonl`, `--keep-going`, `--backend`, `--checkpoint`,
+//! `--no-pipeline`), `resume`, `cache stats`/`cache migrate`, `pareto` and
+//! `run` subcommands; see `EXPERIMENTS.md` at the repository root.
 //!
 //! # Examples
 //!
@@ -74,9 +82,10 @@
 //! # Ok::<(), simphony_explore::ExploreError>(())
 //! ```
 //!
-//! # Migrating from the free functions
+//! # Migrating from the removed free functions
 //!
-//! `run_sweep` and `run_sweep_streaming` are deprecated thin wrappers over
+//! The pre-builder entry points `run_sweep` and `run_sweep_streaming` went
+//! through a deprecation cycle and have been removed; every use maps onto
 //! the session builder:
 //!
 //! ```text
@@ -117,8 +126,6 @@ pub use record::{
     csv_row, read_json, read_jsonl, read_records, to_csv, write_csv, write_json, write_jsonl,
     SweepRecord, CSV_HEADER,
 };
-#[allow(deprecated)]
-pub use runner::{run_sweep, run_sweep_streaming};
 pub use runner::{
     simulate_point, ErrorPolicy, FailureCause, PointFailure, ShardProgress, StreamOptions,
     StreamOutcome, SweepOutcome,

@@ -119,6 +119,14 @@ pub fn dominates(candidate: &SweepRecord, other: &SweepRecord, objectives: &[Obj
 /// strictly beats the other, and dropping one would hide a distinct
 /// configuration reaching the same operating point.
 ///
+/// Complexity scales with the objective count: one objective is a linear
+/// minimum scan, two objectives run Kung's sort-based sweep in O(n log n)
+/// (sort by the first objective, scan with a running minimum of the second),
+/// and three or more fall back to the general pairwise O(n²) check. All three
+/// paths keep exactly the same records — the faster ones are pure
+/// implementations of the same dominance relation, property-tested against
+/// the naive algorithm on randomized inputs.
+///
 /// # Errors
 ///
 /// Returns [`ExploreError::NonFiniteMetric`] when any record carries a NaN or
@@ -138,15 +146,94 @@ pub fn pareto_front(records: &[SweepRecord], objectives: &[Objective]) -> Result
             }
         }
     }
+    let keep = match objectives {
+        [single] => min_scan_mask(records, *single),
+        [first, second] => kung_mask(records, *first, *second),
+        _ => naive_mask(records, objectives),
+    };
     Ok(records
         .iter()
-        .filter(|candidate| {
+        .zip(&keep)
+        .filter(|(_, &kept)| kept)
+        .map(|(record, _)| record.clone())
+        .collect())
+}
+
+/// Single objective: a record is non-dominated iff its value is the minimum
+/// (all minima are kept — they tie). O(n).
+fn min_scan_mask(records: &[SweepRecord], objective: Objective) -> Vec<bool> {
+    let min = records
+        .iter()
+        .map(|r| objective.value(r))
+        .fold(f64::INFINITY, f64::min);
+    records.iter().map(|r| objective.value(r) == min).collect()
+}
+
+/// Two objectives: Kung's sort-based sweep. Indices are sorted by the first
+/// objective and scanned once, carrying the minimum second-objective value
+/// seen among records with a *strictly smaller* first objective. Within a
+/// group sharing the same first-objective value, only the records attaining
+/// the group's second-objective minimum can survive (any other is dominated
+/// by them), and the whole group falls if an earlier record already reached
+/// that minimum or better — `prev_min <= y` means some record with a strictly
+/// smaller first objective is no worse in the second, which dominates. Exact
+/// ties all survive together, preserving the documented tie contract.
+/// O(n log n).
+///
+/// Grouping uses *float* equality while the sort uses `total_cmp` (the only
+/// total order available): the two disagree on `-0.0` vs `0.0`, which
+/// dominance treats as equal but `total_cmp` orders apart. `total_cmp`
+/// refines float ordering, so a float-equal group is still contiguous after
+/// the sort — but it is *not* necessarily sorted by the second objective
+/// across the `-0.0`/`0.0` seam, which is why the group minimum is computed
+/// by scanning the group rather than read off its first element.
+fn kung_mask(records: &[SweepRecord], first: Objective, second: Objective) -> Vec<bool> {
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    order.sort_by(|&a, &b| {
+        first
+            .value(&records[a])
+            .total_cmp(&first.value(&records[b]))
+            .then(a.cmp(&b))
+    });
+    let mut keep = vec![false; records.len()];
+    let mut prev_min = f64::INFINITY;
+    let mut cursor = 0;
+    while cursor < order.len() {
+        // The contiguous group of records whose first-objective value is
+        // float-equal to the cursor's.
+        let x = first.value(&records[order[cursor]]);
+        let group_end = order[cursor..]
+            .iter()
+            .position(|&i| first.value(&records[i]) > x)
+            .map_or(order.len(), |offset| cursor + offset);
+        let group = &order[cursor..group_end];
+        let group_min = group
+            .iter()
+            .map(|&index| second.value(&records[index]))
+            .fold(f64::INFINITY, f64::min);
+        if group_min < prev_min {
+            for &index in group {
+                if second.value(&records[index]) == group_min {
+                    keep[index] = true;
+                }
+            }
+            prev_min = group_min;
+        }
+        cursor = group_end;
+    }
+    keep
+}
+
+/// Three or more objectives: the general pairwise dominance check. O(n²).
+fn naive_mask(records: &[SweepRecord], objectives: &[Objective]) -> Vec<bool> {
+    records
+        .iter()
+        .map(|candidate| {
             !records
                 .iter()
                 .any(|other| dominates(other, candidate, objectives))
         })
-        .cloned()
-        .collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -244,6 +331,169 @@ mod tests {
         assert_eq!(front.len(), 1);
         assert_eq!(front[0].point.index, 0);
         assert!(pareto_front(&records, &[Objective::Power]).is_err());
+    }
+
+    /// The reference implementation the fast paths are verified against: the
+    /// plain pairwise dominance filter, kept verbatim from before the
+    /// sort-based sweep landed.
+    fn naive_front(records: &[SweepRecord], objectives: &[Objective]) -> Vec<usize> {
+        records
+            .iter()
+            .filter(|candidate| {
+                !records
+                    .iter()
+                    .any(|other| dominates(other, candidate, objectives))
+            })
+            .map(|r| r.point.index)
+            .collect()
+    }
+
+    fn front_indices(records: &[SweepRecord], objectives: &[Objective]) -> Vec<usize> {
+        pareto_front(records, objectives)
+            .unwrap()
+            .iter()
+            .map(|r| r.point.index)
+            .collect()
+    }
+
+    #[test]
+    fn kungs_sweep_matches_the_naive_front_on_seeded_random_records() {
+        // Property test over seeded SplitMix64 record sets: the O(n log n)
+        // two-objective sweep (and the single-objective min scan) must keep
+        // exactly the records the O(n²) filter keeps, in the same order.
+        // Quantized values force plenty of exact ties and duplicate rows.
+        use simphony_onn::SplitMix64;
+        let mut rng = SplitMix64::new(0xD5E5);
+        for round in 0..40 {
+            let len = 1 + (rng.next_u64() % 120) as usize;
+            // Coarser grids in later rounds mean more ties.
+            let grid = [1000.0, 16.0, 4.0][round % 3];
+            let records: Vec<SweepRecord> = (0..len)
+                .map(|i| {
+                    // Quantized to force ties; occasionally sign-flipped so
+                    // the stream contains negatives and `-0.0` (the float
+                    // vs. total_cmp seam the sweep must handle).
+                    let value = |rng: &mut SplitMix64| {
+                        let v = (rng.next_f64() * grid).floor() / grid;
+                        if rng.next_u64().is_multiple_of(4) {
+                            -v
+                        } else {
+                            v
+                        }
+                    };
+                    record(i, value(&mut rng), value(&mut rng))
+                })
+                .collect();
+            let two = [Objective::Energy, Objective::Latency];
+            assert_eq!(
+                front_indices(&records, &two),
+                naive_front(&records, &two),
+                "round {round}: 2-objective sweep diverged from naive"
+            );
+            let one = [Objective::Energy];
+            assert_eq!(
+                front_indices(&records, &one),
+                naive_front(&records, &one),
+                "round {round}: 1-objective scan diverged from naive"
+            );
+            // EDP is energy*latency — correlated, which stresses tie groups
+            // differently than independent axes.
+            let correlated = [Objective::Edp, Objective::Latency];
+            assert_eq!(
+                front_indices(&records, &correlated),
+                naive_front(&records, &correlated),
+                "round {round}: correlated objectives diverged from naive"
+            );
+        }
+    }
+
+    #[test]
+    fn kungs_sweep_handles_duplicate_and_shared_coordinate_groups() {
+        // Hand-picked adversarial layout: duplicate points on and off the
+        // frontier, ties in one coordinate only, and a dominated record
+        // sharing its first objective with a frontier record.
+        let records = vec![
+            record(0, 1.0, 4.0), // frontier
+            record(1, 1.0, 4.0), // exact duplicate: kept too
+            record(2, 1.0, 5.0), // same energy, worse latency: dominated
+            record(3, 2.0, 4.0), // worse energy, same latency as #0: dominated
+            record(4, 2.0, 2.0), // frontier
+            record(5, 3.0, 2.0), // same latency as #4, worse energy: dominated
+            record(6, 4.0, 1.0), // frontier
+            record(7, 4.0, 1.0), // duplicate of a frontier point
+            record(8, 5.0, 0.5), // frontier (best latency)
+        ];
+        let objectives = [Objective::Energy, Objective::Latency];
+        assert_eq!(
+            front_indices(&records, &objectives),
+            naive_front(&records, &objectives)
+        );
+        assert_eq!(front_indices(&records, &objectives), vec![0, 1, 4, 6, 7, 8]);
+    }
+
+    #[test]
+    fn negative_zero_and_positive_zero_are_the_same_operating_point() {
+        // Dominance compares floats (where -0.0 == 0.0) while the sweep's
+        // sort uses total_cmp (where -0.0 < 0.0); the grouping must follow
+        // the float semantics or a non-dominated record straddling the
+        // -0.0/0.0 seam is silently dropped.
+        let objectives = [Objective::Energy, Objective::Latency];
+        // A record at (0.0, 3.0) is NOT dominated by (-0.0, 5.0): equal
+        // energy, strictly better latency.
+        let records = vec![record(0, -0.0, 5.0), record(1, 0.0, 3.0)];
+        assert_eq!(
+            front_indices(&records, &objectives),
+            naive_front(&records, &objectives)
+        );
+        assert_eq!(front_indices(&records, &objectives), vec![1]);
+        // Exact tie across the seam: both kept.
+        let records = vec![record(0, -0.0, 5.0), record(1, 0.0, 5.0)];
+        assert_eq!(
+            front_indices(&records, &objectives),
+            naive_front(&records, &objectives)
+        );
+        assert_eq!(front_indices(&records, &objectives), vec![0, 1]);
+        // Seam in the second objective: -0.0 and 0.0 latencies tie too.
+        let records = vec![
+            record(0, 1.0, -0.0),
+            record(1, 1.0, 0.0),
+            record(2, 2.0, 0.0), // dominated: worse energy, tied latency
+        ];
+        assert_eq!(
+            front_indices(&records, &objectives),
+            naive_front(&records, &objectives)
+        );
+        assert_eq!(front_indices(&records, &objectives), vec![0, 1]);
+        // And a dominated record *behind* the seam, with the frontier point
+        // on the -0.0 side.
+        let records = vec![
+            record(0, -0.0, 3.0),
+            record(1, 0.0, 5.0), // dominated: tied energy, worse latency
+            record(2, 0.5, 2.0),
+        ];
+        assert_eq!(
+            front_indices(&records, &objectives),
+            naive_front(&records, &objectives)
+        );
+        assert_eq!(front_indices(&records, &objectives), vec![0, 2]);
+    }
+
+    #[test]
+    fn three_objective_fronts_still_use_the_general_path_correctly() {
+        use simphony_onn::SplitMix64;
+        let mut rng = SplitMix64::new(7);
+        let records: Vec<SweepRecord> = (0..60)
+            .map(|i| {
+                let mut r = record(i, rng.next_f64(), rng.next_f64());
+                r.power_w = (rng.next_f64() * 8.0).floor();
+                r
+            })
+            .collect();
+        let objectives = [Objective::Energy, Objective::Latency, Objective::Power];
+        assert_eq!(
+            front_indices(&records, &objectives),
+            naive_front(&records, &objectives)
+        );
     }
 
     #[test]

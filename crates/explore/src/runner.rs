@@ -1,21 +1,35 @@
-//! Streaming, sharded sweep execution with intra-sweep artifact sharing.
+//! Streaming, sharded sweep execution with intra-sweep artifact sharing and
+//! a two-stage compute/I-O pipeline.
 //!
 //! The engine walks a [`SweepSpec`]'s expansion lazily (no full point `Vec`
-//! is ever materialized), in configurable shards. Each shard serves what it
-//! can from the result cache (any [`CacheBackend`]), groups the remaining
-//! points by their *artifact identities* ([`SweepPoint::workload_key`] and
-//! [`SweepPoint::arch_key`]), extracts each distinct workload and generates
-//! each distinct accelerator once (reusing `Arc`s still live from the
-//! previous shard), simulates the misses on a rayon-style thread pool, caches
-//! the successes, and pushes the shard's records into a [`RecordSink`] in
-//! deterministic expansion order before moving on. A fig9-style sweep whose
-//! 64 points share 4 distinct workloads therefore pays for 4 extractions, not
-//! 64 — and a million-point sweep holds one shard of points (plus that
-//! shard's distinct artifacts) in memory, not the whole expansion.
+//! is ever materialized), in configurable shards. Each shard runs through two
+//! stages:
+//!
+//! * the **compute stage** expands the shard's points, looks the whole batch
+//!   up in the result cache at once ([`CacheBackend::get_batch`], parallel by
+//!   default), groups the misses by their *artifact identities*
+//!   ([`SweepPoint::workload_key`] and [`SweepPoint::arch_key`]), extracts
+//!   each distinct workload and generates each distinct accelerator once
+//!   (reusing `Arc`s still live from the previous shard), simulates the
+//!   misses on a rayon-style thread pool, and renders each fresh record's
+//!   cache entry to JSON *on the worker threads*;
+//! * the **I/O stage** persists the completed shard with the durability
+//!   contract intact — cache writes and flush, then sink emission (in
+//!   deterministic expansion order) and flush, then the checkpoint append.
+//!
+//! By default (see [`StreamOptions::pipelined`]) the two stages overlap:
+//! computed shards flow through a bounded single-slot channel to a dedicated
+//! writer thread, so shard N+1 simulates while shard N persists and the
+//! thread pool never idles during a durability window. `--no-pipeline` (or
+//! [`pipelined(false)`](crate::ExploreSession::pipelined)) reverts to strict
+//! alternation; both paths run the same two stage functions, so their outputs
+//! are byte-identical. A fig9-style sweep whose 64 points share 4 distinct
+//! workloads pays for 4 extractions, not 64 — and a million-point sweep holds
+//! a few shards of points (plus their distinct artifacts) in memory, not the
+//! whole expansion.
 //!
 //! The public entry point is the [`ExploreSession`](crate::ExploreSession)
-//! builder; [`run_sweep`] and [`run_sweep_streaming`] remain as deprecated
-//! thin wrappers over it.
+//! builder.
 //!
 //! Failure handling is governed by [`ErrorPolicy`]:
 //!
@@ -36,9 +50,9 @@
 //! output bit versus per-point extraction (extraction and generation are pure
 //! functions of the key).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 use rayon::prelude::*;
 
@@ -48,11 +62,11 @@ use simphony::{
 use simphony_onn::ModelWorkload;
 use simphony_units::BitWidth;
 
-use crate::cache::{CacheBackend, CacheStats, SimCache};
+use crate::cache::{content_key, CacheBackend, CacheStats};
 use crate::checkpoint::{Checkpoint, CheckpointFailure, ShardCheckpoint};
 use crate::error::{ExploreError, Result};
 use crate::record::SweepRecord;
-use crate::sink::{RecordSink, VecSink};
+use crate::sink::RecordSink;
 use crate::spec::{ArchKey, SweepPoint, SweepSpec, WorkloadKey};
 
 /// The result of one in-memory sweep: ordered records plus cache accounting.
@@ -87,10 +101,18 @@ pub struct StreamOptions {
     pub chunk_size: Option<usize>,
     /// Failure handling (fail-fast by default).
     pub error_policy: ErrorPolicy,
+    /// Whether to overlap the compute stage with the durability I/O stage on
+    /// a dedicated writer thread (settable via
+    /// [`pipelined`](method@Self::pipelined)). `None` (the default) decides
+    /// automatically:
+    /// pipelined whenever more than one shard remains to execute — with a
+    /// single shard there is nothing to overlap. Output is byte-identical
+    /// either way; `Some(false)` is the escape hatch (`--no-pipeline`).
+    pub pipelined: Option<bool>,
 }
 
 impl StreamOptions {
-    /// One shard, fail-fast — the exact semantics of [`run_sweep`].
+    /// One shard, fail-fast — the engine's defaults.
     pub fn unchunked() -> Self {
         Self::default()
     }
@@ -108,6 +130,14 @@ impl StreamOptions {
     #[must_use]
     pub fn keep_going(mut self) -> Self {
         self.error_policy = ErrorPolicy::KeepGoing;
+        self
+    }
+
+    /// Forces the executor pipeline on or off (see
+    /// [`pipelined`](field@Self::pipelined)).
+    #[must_use]
+    pub fn pipelined(mut self, enabled: bool) -> Self {
+        self.pipelined = Some(enabled);
         self
     }
 }
@@ -328,19 +358,507 @@ impl ArtifactStore {
     }
 }
 
+/// A record ready for the I/O stage. Fresh simulations carry their cache
+/// entry pre-rendered (content key + compact JSON) so the writer thread
+/// stores bytes instead of serializing; cache hits carry nothing — they are
+/// already durable.
+struct PreparedRecord {
+    record: SweepRecord,
+    cache_entry: Option<(String, String)>,
+}
+
+/// One shard's compute-stage output: everything the I/O stage needs to
+/// persist it (records in expansion-order slots, the failures to checkpoint)
+/// plus the counters progress reporting wants.
+struct ComputedShard {
+    shard: usize,
+    points: usize,
+    hits: usize,
+    slots: Vec<Option<PreparedRecord>>,
+    checkpoint_failures: Vec<CheckpointFailure>,
+}
+
+/// Runs one shard's compute stage: point expansion, batched (parallel) cache
+/// lookups, artifact construction, parallel simulation, and record/cache-entry
+/// serialization — everything up to, but not including, durability I/O.
+/// `carried` is replaced with this shard's artifact store when the shard built
+/// one, so live artifacts flow across shard boundaries.
+fn compute_shard(
+    spec: &SweepSpec,
+    cache: Option<&dyn CacheBackend>,
+    shard: usize,
+    start: usize,
+    end: usize,
+    carried: &mut ArtifactStore,
+) -> Result<(ComputedShard, Vec<PointFailure>)> {
+    let shard_points = end - start;
+    let mut points: Vec<Option<SweepPoint>> =
+        (start..end).map(|i| Some(spec.point_at(i))).collect();
+
+    // Serve cache hits first; only misses go to the artifact store and the
+    // thread pool. The whole shard is looked up as one (parallel) batch.
+    // Points sit in `Option` slots so a missed point can later be *moved*
+    // into its record instead of cloned.
+    let lookups: Vec<Option<SweepRecord>> = match cache {
+        Some(cache) => {
+            let queried: Vec<&SweepPoint> = points
+                .iter()
+                .map(|p| p.as_ref().expect("all points present before execution"))
+                .collect();
+            let lookups = cache.get_batch(&queried);
+            // An out-of-contract override returning the wrong arity would
+            // otherwise silently drop trailing points from the sweep.
+            assert_eq!(
+                lookups.len(),
+                shard_points,
+                "CacheBackend::get_batch must return one slot per queried point"
+            );
+            lookups
+        }
+        None => (0..shard_points).map(|_| None).collect(),
+    };
+    let mut slots: Vec<Option<PreparedRecord>> = Vec::with_capacity(shard_points);
+    let mut miss_indices: Vec<usize> = Vec::new();
+    for (slot, lookup) in lookups.into_iter().enumerate() {
+        match lookup {
+            Some(record) => slots.push(Some(PreparedRecord {
+                record,
+                cache_entry: None,
+            })),
+            None => {
+                slots.push(None);
+                miss_indices.push(slot);
+            }
+        }
+    }
+    let hits = shard_points - miss_indices.len();
+
+    // A fully-warm shard is done: no artifacts to build, nothing to
+    // simulate. (Skipping the empty plumbing below keeps the per-shard cost
+    // of warm sweeps down to the lookups themselves.)
+    if miss_indices.is_empty() {
+        return Ok((
+            ComputedShard {
+                shard,
+                points: shard_points,
+                hits,
+                slots,
+                checkpoint_failures: Vec::new(),
+            },
+            Vec::new(),
+        ));
+    }
+
+    // Missed points move out of their slots and into the worker threads,
+    // which simulate, build the record around the point, and render the cache
+    // entry — JSON encoding happens here, in parallel, never in the I/O
+    // stage.
+    let missed: Vec<SweepPoint> = miss_indices
+        .iter()
+        .map(|&slot| points[slot].take().expect("miss slot holds its point"))
+        .collect();
+    let artifacts = {
+        let missed_refs: Vec<&SweepPoint> = missed.iter().collect();
+        ArtifactStore::build(&missed_refs, carried)
+    };
+    type PointResult = std::result::Result<PreparedRecord, PointFailure>;
+    let computed: Vec<Result<PointResult>> = missed
+        .into_par_iter()
+        .map(|point| match artifacts.simulate(&point) {
+            Ok(report) => {
+                let record = SweepRecord::from_report(point, &report);
+                let key = content_key(&record.point);
+                let json = serde_json::to_string(&record)?;
+                Ok(Ok(PreparedRecord {
+                    record,
+                    cache_entry: Some((key, json)),
+                }))
+            }
+            Err(error) => Ok(Err(PointFailure {
+                index: point.index,
+                label: point.label(),
+                error: FailureCause::Sim(error),
+            })),
+        })
+        .collect();
+
+    let mut checkpoint_failures: Vec<CheckpointFailure> = Vec::new();
+    let mut failures: Vec<PointFailure> = Vec::new();
+    for (&slot, result) in miss_indices.iter().zip(computed) {
+        match result? {
+            Ok(prepared) => slots[slot] = Some(prepared),
+            Err(failure) => {
+                checkpoint_failures.push(CheckpointFailure {
+                    index: failure.index,
+                    label: failure.label.clone(),
+                    error: failure.error.to_string(),
+                });
+                failures.push(failure);
+            }
+        }
+    }
+
+    // Next shard reuses whatever artifacts stay live across the boundary.
+    // (A fully-cache-hit shard returned early above and so kept the previous
+    // carry — a warm stretch in the middle of a sweep must not drop every
+    // live Arc and force the next cold shard to rebuild them.)
+    *carried = artifacts;
+
+    Ok((
+        ComputedShard {
+            shard,
+            points: shard_points,
+            hits,
+            slots,
+            checkpoint_failures,
+        },
+        failures,
+    ))
+}
+
+/// Runs one shard's I/O stage with the durability contract intact: cache
+/// writes (pre-rendered bytes), sink emission in expansion order (failed
+/// points simply have no record), cache flush, sink flush, checkpoint append
+/// — in that order, so a checkpointed shard is always fully recoverable.
+fn drain_shard(
+    computed: ComputedShard,
+    cache: Option<&dyn CacheBackend>,
+    sink: &mut dyn RecordSink,
+    checkpoint: &mut Option<&mut Checkpoint>,
+    emitted: &mut usize,
+) -> Result<()> {
+    let ComputedShard {
+        shard,
+        points,
+        hits,
+        slots,
+        checkpoint_failures,
+    } = computed;
+    if let Some(cache) = cache {
+        for prepared in slots.iter().flatten() {
+            if let Some((key, json)) = &prepared.cache_entry {
+                cache.put_serialized(key, json, &prepared.record)?;
+            }
+        }
+    }
+    let mut shard_emitted = 0usize;
+    for prepared in slots.into_iter().flatten() {
+        sink.accept(prepared.record)?;
+        shard_emitted += 1;
+    }
+    if let Some(cache) = cache {
+        cache.flush()?;
+    }
+    sink.flush_shard()?;
+    *emitted += shard_emitted;
+    if let Some(ckpt) = checkpoint.as_deref_mut() {
+        ckpt.record_shard(ShardCheckpoint {
+            shard,
+            points,
+            hits,
+            misses: points - hits,
+            emitted: *emitted,
+            failures: checkpoint_failures,
+        })?;
+    }
+    Ok(())
+}
+
+/// The fail-fast abort error of a live point failure (`None` for failures
+/// replayed from a checkpoint, which never abort).
+fn point_error(failure: &PointFailure) -> Option<ExploreError> {
+    match &failure.error {
+        FailureCause::Sim(source) => Some(ExploreError::Point {
+            index: failure.index,
+            label: failure.label.clone(),
+            source: source.clone(),
+        }),
+        FailureCause::Recorded(_) => None,
+    }
+}
+
+/// What the compute stage hands the writer thread.
+enum WriterMsg {
+    /// A computed shard to persist.
+    Shard(ComputedShard),
+    /// The last shard was submitted and drained cleanly; finalize the sink.
+    /// Deliberately *not* sent on a fail-fast or compute-stage abort, so an
+    /// aborted sweep leaves the sink unfinished exactly like the serial path.
+    Finish,
+}
+
+/// What the writer thread reports back to the compute stage.
+enum WriterNote {
+    /// One shard's I/O stage completed (or failed).
+    Drained { shard: usize, result: Result<()> },
+    /// The sink was finalized.
+    Finished(Result<()>),
+}
+
+/// Per-shard metadata the compute stage keeps until the writer confirms the
+/// shard durable — the progress callback fires only then.
+struct PendingShard {
+    shard: usize,
+    points: usize,
+    hits: usize,
+    failed: usize,
+}
+
+/// Everything the shard loop needs, bundled so the serial and pipelined
+/// executors share one signature (and, through [`compute_shard`] /
+/// [`drain_shard`], the exact same per-shard work — their outputs are
+/// byte-identical by construction).
+struct SweepRun<'a> {
+    spec: &'a SweepSpec,
+    cache: Option<&'a dyn CacheBackend>,
+    policy: ErrorPolicy,
+    shard_size: usize,
+    shards: usize,
+    total: usize,
+    /// First shard to execute (everything before it was skipped via
+    /// checkpoint resume).
+    first: usize,
+    /// Records already durable via the checkpointed prefix.
+    emitted: usize,
+    stats: CacheStats,
+    failures: Vec<PointFailure>,
+    done: usize,
+}
+
+impl SweepRun<'_> {
+    fn shard_range(&self, shard: usize) -> (usize, usize) {
+        let start = shard * self.shard_size;
+        (start, (start + self.shard_size).min(self.total))
+    }
+
+    /// Registers one computed shard's accounting; returns the fail-fast abort
+    /// error when the policy calls for one.
+    fn absorb(
+        &mut self,
+        computed: &ComputedShard,
+        shard_failures: Vec<PointFailure>,
+    ) -> Option<ExploreError> {
+        self.stats.hits += computed.hits;
+        self.stats.misses += computed.points - computed.hits;
+        let error = (self.policy == ErrorPolicy::FailFast)
+            .then(|| shard_failures.first().and_then(point_error))
+            .flatten();
+        self.failures.extend(shard_failures);
+        error
+    }
+
+    fn report(&mut self, meta: &PendingShard, progress: &mut dyn FnMut(&ShardProgress)) {
+        self.done += meta.points;
+        progress(&ShardProgress {
+            shard: meta.shard,
+            shards: self.shards,
+            points: meta.points,
+            hits: meta.hits,
+            failures: meta.failed,
+            skipped: 0,
+            done: self.done,
+            total: self.total,
+        });
+    }
+
+    /// The strictly-alternating executor: each shard's I/O stage runs inline
+    /// after its compute stage.
+    fn run_serial(
+        &mut self,
+        sink: &mut dyn RecordSink,
+        progress: &mut dyn FnMut(&ShardProgress),
+        mut checkpoint: Option<&mut Checkpoint>,
+    ) -> Result<()> {
+        let mut carried = ArtifactStore::default();
+        let mut emitted = self.emitted;
+        for shard in self.first..self.shards {
+            let (start, end) = self.shard_range(shard);
+            let (computed, shard_failures) =
+                compute_shard(self.spec, self.cache, shard, start, end, &mut carried)?;
+            let first_error = self.absorb(&computed, shard_failures);
+            let meta = PendingShard {
+                shard,
+                points: computed.points,
+                hits: computed.hits,
+                failed: computed.checkpoint_failures.len(),
+            };
+            drain_shard(computed, self.cache, sink, &mut checkpoint, &mut emitted)?;
+            self.report(&meta, progress);
+            if let Some(err) = first_error {
+                // FailFast: the failing shard was fully persisted (successes
+                // cached, emitted and checkpointed); later shards are not
+                // attempted.
+                return Err(err);
+            }
+        }
+        sink.finish()
+    }
+
+    /// Digests one feedback note from the writer thread: a cleanly-drained
+    /// shard fires the progress callback; a failed drain (or finish) records
+    /// the writer error and — mirroring the serial path — reports no progress
+    /// for that shard.
+    fn handle_note(
+        &mut self,
+        note: WriterNote,
+        pending: &mut VecDeque<PendingShard>,
+        progress: &mut dyn FnMut(&ShardProgress),
+        writer_error: &mut Option<ExploreError>,
+    ) {
+        match note {
+            WriterNote::Drained { shard, result } => {
+                let meta = pending.pop_front().expect("one note per submitted shard");
+                debug_assert_eq!(meta.shard, shard, "writer drains in submission order");
+                match result {
+                    Ok(()) => self.report(&meta, progress),
+                    Err(e) => {
+                        if writer_error.is_none() {
+                            *writer_error = Some(e);
+                        }
+                    }
+                }
+            }
+            WriterNote::Finished(Ok(())) => {}
+            WriterNote::Finished(Err(e)) => {
+                if writer_error.is_none() {
+                    *writer_error = Some(e);
+                }
+            }
+        }
+    }
+
+    /// The pipelined executor: computed shards flow through a bounded
+    /// single-slot channel to a dedicated writer thread, which drains them in
+    /// submission (= expansion) order under the unchanged durability contract.
+    /// Shard N+1 therefore simulates while shard N persists; with the
+    /// single-slot buffer the compute stage never runs more than two shards
+    /// ahead of durability, bounding memory to a few shards of records.
+    fn run_pipelined(
+        &mut self,
+        sink: &mut dyn RecordSink,
+        progress: &mut dyn FnMut(&ShardProgress),
+        mut checkpoint: Option<&mut Checkpoint>,
+    ) -> Result<()> {
+        let emitted_base = self.emitted;
+        let cache = self.cache;
+        let checkpoint_slot = checkpoint.take();
+        std::thread::scope(|scope| {
+            let (work_tx, work_rx) = mpsc::sync_channel::<WriterMsg>(1);
+            let (note_tx, note_rx) = mpsc::channel::<WriterNote>();
+            let writer = scope.spawn(move || {
+                let mut checkpoint = checkpoint_slot;
+                let mut emitted = emitted_base;
+                while let Ok(msg) = work_rx.recv() {
+                    match msg {
+                        WriterMsg::Shard(computed) => {
+                            let shard = computed.shard;
+                            let result =
+                                drain_shard(computed, cache, sink, &mut checkpoint, &mut emitted);
+                            let errored = result.is_err();
+                            let _ = note_tx.send(WriterNote::Drained { shard, result });
+                            if errored {
+                                // Dropping the receiver unblocks a compute
+                                // stage waiting on the single-slot channel.
+                                return;
+                            }
+                        }
+                        WriterMsg::Finish => {
+                            let _ = note_tx.send(WriterNote::Finished(sink.finish()));
+                            return;
+                        }
+                    }
+                }
+                // Sender dropped without `Finish`: fail-fast or compute-stage
+                // abort — leave the sink unfinished, like the serial path.
+            });
+
+            let mut pending: VecDeque<PendingShard> = VecDeque::new();
+            let mut writer_error: Option<ExploreError> = None;
+            let mut compute_error: Option<ExploreError> = None;
+            let mut first_error: Option<ExploreError> = None;
+            let mut carried = ArtifactStore::default();
+
+            for shard in self.first..self.shards {
+                // Surface progress notes between shards so callbacks stay
+                // timely, and stop computing once the writer has failed.
+                while let Ok(note) = note_rx.try_recv() {
+                    self.handle_note(note, &mut pending, progress, &mut writer_error);
+                }
+                if writer_error.is_some() {
+                    break;
+                }
+                let (start, end) = self.shard_range(shard);
+                let (computed, shard_failures) =
+                    match compute_shard(self.spec, self.cache, shard, start, end, &mut carried) {
+                        Ok(result) => result,
+                        Err(e) => {
+                            compute_error = Some(e);
+                            break;
+                        }
+                    };
+                first_error = self.absorb(&computed, shard_failures);
+                pending.push_back(PendingShard {
+                    shard,
+                    points: computed.points,
+                    hits: computed.hits,
+                    failed: computed.checkpoint_failures.len(),
+                });
+                // The failing shard (under FailFast) is still submitted — and
+                // therefore fully persisted — before the abort.
+                if work_tx.send(WriterMsg::Shard(computed)).is_err() {
+                    // The writer exited after an error; the note carrying it
+                    // is already in (or on its way into) the feedback queue.
+                    break;
+                }
+                if first_error.is_some() {
+                    break;
+                }
+            }
+            if writer_error.is_none() && compute_error.is_none() && first_error.is_none() {
+                let _ = work_tx.send(WriterMsg::Finish);
+            }
+            drop(work_tx);
+            // Drain every remaining note; the writer exits once its queue
+            // empties (or immediately after an error), closing the channel.
+            while let Ok(note) = note_rx.recv() {
+                self.handle_note(note, &mut pending, progress, &mut writer_error);
+            }
+            if let Err(panic) = writer.join() {
+                std::panic::resume_unwind(panic);
+            }
+            // Error precedence mirrors the serial path: an I/O-stage error
+            // surfaces first (its shard precedes anything still in flight),
+            // then a compute-stage engine error, then the fail-fast point
+            // error.
+            if let Some(e) = writer_error {
+                return Err(e);
+            }
+            if let Some(e) = compute_error {
+                return Err(e);
+            }
+            if let Some(e) = first_error {
+                return Err(e);
+            }
+            Ok(())
+        })
+    }
+}
+
 /// The engine core behind [`ExploreSession`](crate::ExploreSession): runs a
 /// sweep as a stream of shards, pushing completed records into `sink` in
 /// deterministic expansion order, reporting per-shard progress, flushing the
 /// cache and sink at every shard boundary, and — when a checkpoint is given —
 /// recording each completed shard after its data is durable and skipping
-/// shards the checkpoint already records.
+/// shards the checkpoint already records. Unless disabled (see
+/// [`StreamOptions::pipelined`]), shard compute overlaps the previous shard's
+/// durability I/O on a dedicated writer thread.
 pub(crate) fn execute(
     spec: &SweepSpec,
     cache: Option<&dyn CacheBackend>,
     options: &StreamOptions,
     sink: &mut dyn RecordSink,
     progress: &mut dyn FnMut(&ShardProgress),
-    mut checkpoint: Option<&mut Checkpoint>,
+    checkpoint: Option<&mut Checkpoint>,
 ) -> Result<StreamOutcome> {
     spec.validate()?;
     let total = spec.point_count()?;
@@ -353,176 +871,68 @@ pub(crate) fn execute(
         )));
     }
 
-    let mut carried = ArtifactStore::default();
-    let mut stats = CacheStats::default();
-    let mut failures: Vec<PointFailure> = Vec::new();
+    let mut run = SweepRun {
+        spec,
+        cache,
+        policy: options.error_policy,
+        shard_size,
+        shards,
+        total,
+        first: completed_shards,
+        emitted: checkpoint.as_ref().map_or(0, |c| c.emitted()),
+        stats: CacheStats::default(),
+        failures: Vec::new(),
+        done: 0,
+    };
     let mut replayed_failures = 0usize;
     let mut skipped_points = 0usize;
-    let mut first_error: Option<ExploreError> = None;
-    let mut done = 0usize;
-    let mut emitted = checkpoint.as_ref().map_or(0, |c| c.emitted());
 
-    for shard in 0..shards {
-        let start = shard * shard_size;
-        let end = (start + shard_size).min(total);
+    // A shard the checkpoint already records is not re-run: its successes are
+    // durable (cache flushed before the shard line was appended, sink output
+    // already emitted by the interrupted run) and its failures are replayed
+    // for reporting without being re-attempted.
+    for shard in 0..completed_shards {
+        let (start, end) = run.shard_range(shard);
         let shard_points = end - start;
-
-        // A shard the checkpoint already records is not re-run: its successes
-        // are durable (cache flushed before the shard line was appended, sink
-        // output already emitted by the interrupted run) and its failures are
-        // replayed for reporting without being re-attempted.
-        if shard < completed_shards {
-            let recorded = checkpoint
-                .as_ref()
-                .expect("completed_shards > 0 implies a checkpoint")
-                .completed()[shard]
-                .clone();
-            for failure in &recorded.failures {
-                failures.push(PointFailure {
-                    index: failure.index,
-                    label: failure.label.clone(),
-                    error: FailureCause::Recorded(failure.error.clone()),
-                });
-            }
-            replayed_failures += recorded.failures.len();
-            skipped_points += shard_points;
-            done += shard_points;
-            progress(&ShardProgress {
-                shard,
-                shards,
-                points: shard_points,
-                hits: 0,
-                failures: recorded.failures.len(),
-                skipped: shard_points,
-                done,
-                total,
+        let recorded = checkpoint
+            .as_ref()
+            .expect("completed_shards > 0 implies a checkpoint")
+            .completed()[shard]
+            .clone();
+        for failure in &recorded.failures {
+            run.failures.push(PointFailure {
+                index: failure.index,
+                label: failure.label.clone(),
+                error: FailureCause::Recorded(failure.error.clone()),
             });
-            continue;
         }
-
-        // Serve cache hits first; only misses go to the artifact store and
-        // the thread pool. Points sit in `Option` slots so a missed point can
-        // later be *moved* into its record instead of cloned.
-        let mut points: Vec<Option<SweepPoint>> =
-            (start..end).map(|i| Some(spec.point_at(i))).collect();
-        let mut slots: Vec<Option<SweepRecord>> = Vec::with_capacity(points.len());
-        let mut miss_indices: Vec<usize> = Vec::new();
-        for (slot, point) in points.iter().enumerate() {
-            let point = point.as_ref().expect("all points present before execution");
-            match cache.and_then(|c| c.get(point)) {
-                Some(record) => slots.push(Some(record)),
-                None => {
-                    slots.push(None);
-                    miss_indices.push(slot);
-                }
-            }
-        }
-        let shard_hits = shard_points - miss_indices.len();
-        stats.hits += shard_hits;
-        stats.misses += miss_indices.len();
-
-        let missed: Vec<&SweepPoint> = miss_indices
-            .iter()
-            .map(|&slot| points[slot].as_ref().expect("miss slot holds its point"))
-            .collect();
-        let artifacts = ArtifactStore::build(&missed, &carried);
-        let computed: Vec<SimResult<SimulationReport>> = missed
-            .par_iter()
-            .map(|point| artifacts.simulate(point))
-            .collect();
-        drop(missed);
-
-        let mut shard_failures: Vec<CheckpointFailure> = Vec::new();
-        for (&slot, result) in miss_indices.iter().zip(computed) {
-            let point = points[slot].take().expect("miss slot holds its point");
-            match result {
-                Ok(report) => {
-                    let record = SweepRecord::from_report(point, &report);
-                    if let Some(cache) = cache {
-                        cache.put(&record)?;
-                    }
-                    slots[slot] = Some(record);
-                }
-                Err(error) => {
-                    let label = point.label();
-                    if first_error.is_none() && options.error_policy == ErrorPolicy::FailFast {
-                        first_error = Some(ExploreError::Point {
-                            index: point.index,
-                            label: label.clone(),
-                            source: error.clone(),
-                        });
-                    }
-                    shard_failures.push(CheckpointFailure {
-                        index: point.index,
-                        label: label.clone(),
-                        error: error.to_string(),
-                    });
-                    failures.push(PointFailure {
-                        index: point.index,
-                        label,
-                        error: FailureCause::Sim(error),
-                    });
-                }
-            }
-        }
-
-        // Emit the shard's completed records in expansion order (failed
-        // points simply have no record), then make everything durable in
-        // dependency order: cache first, sink second, checkpoint last — a
-        // checkpointed shard is therefore always fully recoverable.
-        let mut shard_emitted = 0usize;
-        for record in slots.into_iter().flatten() {
-            sink.accept(record)?;
-            shard_emitted += 1;
-        }
-        if let Some(cache) = cache {
-            cache.flush()?;
-        }
-        sink.flush_shard()?;
-        emitted += shard_emitted;
-        let failed = shard_failures.len();
-        if let Some(ckpt) = checkpoint.as_deref_mut() {
-            ckpt.record_shard(ShardCheckpoint {
-                shard,
-                points: shard_points,
-                hits: shard_hits,
-                misses: shard_points - shard_hits,
-                emitted,
-                failures: shard_failures,
-            })?;
-        }
-        // Next shard reuses whatever artifacts stay live across the boundary.
-        // A fully-cache-hit shard builds nothing — keep the previous carry
-        // then, or a warm stretch in the middle of a sweep would drop every
-        // live Arc and force the next cold shard to rebuild them.
-        if !miss_indices.is_empty() {
-            carried = artifacts;
-        }
-
-        done += shard_points;
+        replayed_failures += recorded.failures.len();
+        skipped_points += shard_points;
+        run.done += shard_points;
         progress(&ShardProgress {
             shard,
             shards,
             points: shard_points,
-            hits: shard_hits,
-            failures: failed,
-            skipped: 0,
-            done,
+            hits: 0,
+            failures: recorded.failures.len(),
+            skipped: shard_points,
+            done: run.done,
             total,
         });
-
-        if let Some(err) = first_error.take() {
-            // FailFast: the failing shard was fully processed (successes
-            // cached, emitted and checkpointed); later shards are not
-            // attempted.
-            return Err(err);
-        }
     }
 
-    sink.finish()?;
+    // Overlap pays only when more than one shard remains: with a single
+    // shard there is no I/O window to hide the next shard's compute in.
+    let pipelined = options.pipelined.unwrap_or(shards - completed_shards > 1);
+    if pipelined {
+        run.run_pipelined(sink, progress, checkpoint)?;
+    } else {
+        run.run_serial(sink, progress, checkpoint)?;
+    }
+
     Ok(StreamOutcome {
-        stats,
-        failures,
+        stats: run.stats,
+        failures: run.failures,
         replayed_failures,
         shards,
         total_points: total,
@@ -530,74 +940,12 @@ pub(crate) fn execute(
     })
 }
 
-/// Runs a sweep as a stream of shards, pushing completed records into `sink`
-/// in deterministic expansion order and reporting per-shard progress through
-/// `progress`.
-///
-/// # Errors
-///
-/// Returns spec-validation, cache/sink I/O errors, and — under
-/// [`ErrorPolicy::FailFast`] — the first failing point's error (the failing
-/// shard is still completed first so its successes are cached). Under
-/// [`ErrorPolicy::KeepGoing`] failing points are reported in
-/// [`StreamOutcome::failures`] instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ExploreSession::new(spec).options(..).sink(..).run()` — the builder also \
-            supports pluggable cache backends and checkpoint/resume"
-)]
-pub fn run_sweep_streaming(
-    spec: &SweepSpec,
-    cache: Option<&SimCache>,
-    options: &StreamOptions,
-    sink: &mut dyn RecordSink,
-    mut progress: impl FnMut(&ShardProgress),
-) -> Result<StreamOutcome> {
-    execute(
-        spec,
-        cache.map(|c| c as &dyn CacheBackend),
-        options,
-        sink,
-        &mut |shard| progress(shard),
-        None,
-    )
-}
-
-/// Runs a sweep in memory, optionally backed by a result cache.
-///
-/// # Errors
-///
-/// Returns the first failing point's error in expansion order (points are
-/// still attempted in parallel; failures abort the sweep rather than
-/// producing partial files), or a spec-validation/cache I/O error. Points
-/// that simulated successfully are cached even when another point fails —
-/// including points whose *artifacts* built while another point's artifact
-/// did not — so a retry after fixing the spec only re-runs what actually
-/// needs running.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ExploreSession::new(spec).run_collect()` (add `.cache(..)` for the result cache)"
-)]
-pub fn run_sweep(spec: &SweepSpec, cache: Option<&SimCache>) -> Result<SweepOutcome> {
-    let mut sink = VecSink::new();
-    let outcome = execute(
-        spec,
-        cache.map(|c| c as &dyn CacheBackend),
-        &StreamOptions::unchunked(),
-        &mut sink,
-        &mut |_| {},
-        None,
-    )?;
-    Ok(SweepOutcome {
-        records: sink.into_records(),
-        stats: outcome.stats,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::SimCache;
     use crate::session::ExploreSession;
+    use crate::sink::VecSink;
     use crate::spec::ArchFamily;
 
     #[test]
@@ -788,21 +1136,91 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_session_api() {
-        // `run_sweep` / `run_sweep_streaming` are contractually thin wrappers
-        // over the session builder until downstream callers migrate.
-        let spec = SweepSpec::new("wrappers").with_wavelengths(vec![1, 2]);
-        let via_session = ExploreSession::new(&spec).run_collect().unwrap();
-        let via_wrapper = run_sweep(&spec, None).unwrap();
-        assert_eq!(via_wrapper.records, via_session.records);
-        assert_eq!(via_wrapper.stats, via_session.stats);
-
-        let mut sink = VecSink::new();
-        let outcome =
-            run_sweep_streaming(&spec, None, &StreamOptions::chunked(1), &mut sink, |_| {})
+    fn pipelined_execution_matches_the_serial_path_exactly() {
+        // Records, stats, failure lists and shard accounting must be
+        // indistinguishable between the overlapped and strictly-alternating
+        // executors, at every chunk size, including a failing sweep.
+        let spec = SweepSpec::new("pipeline-equiv")
+            .with_wavelengths(vec![1, 2])
+            .with_sparsity(vec![0.0, 0.5])
+            .with_data_awareness(vec![
+                simphony::DataAwareness::Aware,
+                simphony::DataAwareness::Unaware,
+            ]);
+        for chunk in [1, 3, 8, 100] {
+            let mut serial_sink = VecSink::new();
+            let serial = ExploreSession::new(&spec)
+                .chunk_size(chunk)
+                .pipelined(false)
+                .sink(&mut serial_sink)
+                .run()
                 .unwrap();
-        assert_eq!(outcome.shards, 2);
-        assert_eq!(sink.records(), &via_session.records[..]);
+            let mut piped_sink = VecSink::new();
+            let mut seen = Vec::new();
+            let piped = ExploreSession::new(&spec)
+                .chunk_size(chunk)
+                .pipelined(true)
+                .sink(&mut piped_sink)
+                .on_progress(|p| seen.push((p.shard, p.points, p.done)))
+                .run()
+                .unwrap();
+            assert_eq!(piped_sink.records(), serial_sink.records());
+            assert_eq!(piped.stats, serial.stats);
+            assert_eq!(piped.shards, serial.shards);
+            assert_eq!(seen.len(), piped.shards, "one progress call per shard");
+            assert_eq!(
+                seen.last().unwrap().2,
+                8,
+                "progress reports every point done"
+            );
+            assert!(
+                seen.windows(2).all(|w| w[0].0 + 1 == w[1].0),
+                "progress arrives in shard order"
+            );
+        }
+
+        // Failing sweep: same fail-fast error, same partial output.
+        let failing = SweepSpec::new("pipeline-equiv-fail")
+            .with_arch(vec![ArchFamily::Tempo, ArchFamily::Butterfly])
+            .with_core_dims(vec![6])
+            .with_wavelengths(vec![1, 2]);
+        let mut serial_sink = VecSink::new();
+        let serial_err = ExploreSession::new(&failing)
+            .chunk_size(1)
+            .pipelined(false)
+            .sink(&mut serial_sink)
+            .run()
+            .unwrap_err();
+        let mut piped_sink = VecSink::new();
+        let piped_err = ExploreSession::new(&failing)
+            .chunk_size(1)
+            .pipelined(true)
+            .sink(&mut piped_sink)
+            .run()
+            .unwrap_err();
+        assert_eq!(piped_err.to_string(), serial_err.to_string());
+        assert_eq!(piped_sink.records(), serial_sink.records());
+    }
+
+    #[test]
+    fn forced_pipeline_works_with_a_single_shard() {
+        // Auto mode picks the serial path for one shard; forcing the pipeline
+        // must still produce identical output (writer handles exactly one
+        // submission, then the finish message).
+        let spec = SweepSpec::new("pipeline-one-shard").with_wavelengths(vec![1, 2]);
+        let mut serial_sink = VecSink::new();
+        ExploreSession::new(&spec)
+            .pipelined(false)
+            .sink(&mut serial_sink)
+            .run()
+            .unwrap();
+        let mut piped_sink = VecSink::new();
+        let outcome = ExploreSession::new(&spec)
+            .pipelined(true)
+            .sink(&mut piped_sink)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.shards, 1);
+        assert_eq!(piped_sink.records(), serial_sink.records());
     }
 }

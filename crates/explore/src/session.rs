@@ -1,9 +1,7 @@
 //! The [`ExploreSession`] builder — the one entry point to the sweep engine.
 //!
-//! Where the engine used to expose two diverging free functions
-//! (`run_sweep(spec, Option<&SimCache>)` and
-//! `run_sweep_streaming(spec, cache, options, sink, progress)`), a session is
-//! built up from named parts and then [`run`](ExploreSession::run):
+//! A session is built up from named parts and then
+//! [`run`](ExploreSession::run):
 //!
 //! ```
 //! use simphony_explore::{DirCache, ExploreSession, JsonlSink, SweepSpec};
@@ -65,8 +63,8 @@ pub struct ExploreSession<'a> {
 }
 
 impl<'a> ExploreSession<'a> {
-    /// A session over `spec` with the defaults of the old `run_sweep`: no
-    /// cache, one shard, fail-fast, no sink (use
+    /// A session over `spec` with the engine defaults: no cache, one shard,
+    /// fail-fast, auto-pipelined, no sink (use
     /// [`run_collect`](Self::run_collect) or [`sink`](Self::sink)), no
     /// progress callback, no checkpoint.
     pub fn new(spec: &'a SweepSpec) -> Self {
@@ -118,6 +116,19 @@ impl<'a> ExploreSession<'a> {
     #[must_use]
     pub fn fail_fast(mut self) -> Self {
         self.options.error_policy = ErrorPolicy::FailFast;
+        self
+    }
+
+    /// Forces the two-stage executor pipeline on or off. By default the
+    /// engine decides automatically: shard compute overlaps the previous
+    /// shard's durability I/O (cache writes, sink flush, checkpoint append)
+    /// on a dedicated writer thread whenever more than one shard remains.
+    /// Output is byte-identical either way — `pipelined(false)` is the
+    /// escape hatch (`--no-pipeline` on the CLI) for debugging or for
+    /// environments where the extra thread is unwelcome.
+    #[must_use]
+    pub fn pipelined(mut self, enabled: bool) -> Self {
+        self.options.pipelined = Some(enabled);
         self
     }
 

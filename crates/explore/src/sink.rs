@@ -1,7 +1,7 @@
 //! Streaming record sinks.
 //!
-//! The streaming executor ([`run_sweep_streaming`](crate::run_sweep_streaming))
-//! pushes completed [`SweepRecord`]s into a [`RecordSink`] in deterministic
+//! The streaming executor ([`ExploreSession`](crate::ExploreSession)) pushes
+//! completed [`SweepRecord`]s into a [`RecordSink`] in deterministic
 //! expansion order, one shard at a time, instead of accumulating the whole
 //! sweep in memory and writing files at the end. Sinks therefore see records
 //! incrementally; durable sinks persist what they have at every shard
@@ -10,8 +10,8 @@
 //!
 //! Provided sinks:
 //!
-//! * [`VecSink`] — in-memory collection, the compatibility path behind
-//!   [`run_sweep`](crate::run_sweep);
+//! * [`VecSink`] — in-memory collection, the path behind
+//!   [`run_collect`](crate::ExploreSession::run_collect);
 //! * [`JsonFileSink`] — pretty-printed JSON array, byte-identical to
 //!   [`write_json`](crate::write_json) of the same records; streamed element
 //!   by element into a staging file and atomically renamed into place on
@@ -37,7 +37,13 @@ use crate::record::{csv_row, SweepRecord, CSV_HEADER};
 /// [`ErrorPolicy::KeepGoing`](crate::ErrorPolicy::KeepGoing)),
 /// [`flush_shard`](Self::flush_shard) after each shard, and
 /// [`finish`](Self::finish) exactly once after the last shard.
-pub trait RecordSink {
+///
+/// Implementations stay **single-threaded**: the executor only ever drives a
+/// sink from one thread at a time, with calls in the order above, so no
+/// internal synchronization is needed. The `Send` bound exists because the
+/// pipelined executor moves the sink onto its dedicated writer thread — the
+/// sink crosses a thread boundary once, it is never shared.
+pub trait RecordSink: Send {
     /// Accepts the next completed record.
     ///
     /// # Errors
@@ -440,8 +446,8 @@ mod tests {
             let mut sink = JsonFileSink::create(&path).unwrap();
             sink.accept(dummy_record(1, 1.0)).unwrap();
             sink.flush_shard().unwrap();
-            // Dropped here without finish(), as run_sweep_streaming does on
-            // a fail-fast error.
+            // Dropped here without finish(), as the executor does on a
+            // fail-fast error.
         }
         assert_eq!(read_json(&path).unwrap(), old, "old output clobbered");
         let dir = path.parent().unwrap();

@@ -78,6 +78,131 @@ fn every_backend_reproduces_the_golden_bytes_at_every_chunk_size() {
 }
 
 #[test]
+fn the_pipeline_is_byte_identical_to_the_serial_path_on_every_backend() {
+    // Sink bytes, cache contents and checkpoint files of a pipelined sweep
+    // must be indistinguishable from the strictly-serial executor's, for
+    // every backend at every chunk size — cold and warm.
+    let spec: SweepSpec = serde_json::from_str(GOLDEN_SPEC).expect("golden spec parses");
+    for kind in BackendKind::ALL {
+        for chunk in [1, 3, 8, 32, 1000] {
+            let dir = scratch_dir(&format!("pipe-{kind}-{chunk}"));
+            let run = |pipelined: bool, tag: &str| {
+                let jsonl = dir.join(format!("{tag}.jsonl"));
+                let ckpt = dir.join(format!("{tag}.ckpt"));
+                let cache_dir = dir.join(format!("cache-{tag}"));
+                let mut sink = JsonlSink::create(&jsonl).expect("sink creates");
+                ExploreSession::new(&spec)
+                    .cache_boxed(kind.open(&cache_dir).expect("backend opens"))
+                    .chunk_size(chunk)
+                    .pipelined(pipelined)
+                    .checkpoint(&ckpt)
+                    .sink(&mut sink)
+                    .run()
+                    .expect("sweep runs");
+                drop(sink);
+                (jsonl, ckpt, cache_dir)
+            };
+            let (serial_jsonl, serial_ckpt, serial_cache) = run(false, "serial");
+            let (piped_jsonl, piped_ckpt, piped_cache) = run(true, "piped");
+            assert_eq!(
+                std::fs::read(&piped_jsonl).unwrap(),
+                std::fs::read(&serial_jsonl).unwrap(),
+                "{kind} chunk {chunk}: pipelined sink bytes diverged"
+            );
+            assert_eq!(
+                std::fs::read(&piped_ckpt).unwrap(),
+                std::fs::read(&serial_ckpt).unwrap(),
+                "{kind} chunk {chunk}: pipelined checkpoint diverged"
+            );
+            // Cache contents: identical key → record maps (file names can
+            // differ for packed segments, whose names embed a counter).
+            let snapshot = |cache_dir: &std::path::Path| {
+                let backend = kind.open(cache_dir).expect("backend reopens");
+                let mut entries: Vec<(String, SweepRecord)> = Vec::new();
+                backend
+                    .scan(&mut |key, record| {
+                        entries.push((key, record));
+                        Ok(())
+                    })
+                    .expect("scan succeeds");
+                entries
+            };
+            assert_eq!(
+                snapshot(&piped_cache),
+                snapshot(&serial_cache),
+                "{kind} chunk {chunk}: pipelined cache contents diverged"
+            );
+            // Warm pipelined rerun over the serial path's cache: all hits,
+            // same bytes again.
+            let warm_jsonl = dir.join("warm.jsonl");
+            let mut sink = JsonlSink::create(&warm_jsonl).expect("sink creates");
+            let warm = ExploreSession::new(&spec)
+                .cache_boxed(kind.open(&serial_cache).expect("backend reopens"))
+                .chunk_size(chunk)
+                .pipelined(true)
+                .sink(&mut sink)
+                .run()
+                .expect("warm sweep runs");
+            drop(sink);
+            assert_eq!(warm.stats.hits, warm.total_points);
+            assert_eq!(
+                std::fs::read(&warm_jsonl).unwrap(),
+                std::fs::read(&serial_jsonl).unwrap(),
+                "{kind} chunk {chunk}: warm pipelined bytes diverged"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn the_pipeline_is_byte_identical_under_injected_failures() {
+    // keep-going sweep with two failing points: the pipelined executor must
+    // emit the same JSONL prefix, record the same failures in the same order,
+    // and checkpoint the same shard lines as the serial one.
+    let spec = SweepSpec::new("pipe-failures")
+        .with_arch(vec![
+            simphony_explore::ArchFamily::Tempo,
+            simphony_explore::ArchFamily::Butterfly,
+        ])
+        .with_core_dims(vec![6])
+        .with_wavelengths(vec![1, 2]);
+    let dir = scratch_dir("pipe-failures");
+    let run = |pipelined: bool, tag: &str| {
+        let jsonl = dir.join(format!("{tag}.jsonl"));
+        let ckpt = dir.join(format!("{tag}.ckpt"));
+        let mut sink = JsonlSink::create(&jsonl).expect("sink creates");
+        let outcome = ExploreSession::new(&spec)
+            .chunk_size(1)
+            .keep_going()
+            .pipelined(pipelined)
+            .checkpoint(&ckpt)
+            .sink(&mut sink)
+            .run()
+            .expect("keep-going sweep completes");
+        drop(sink);
+        (jsonl, ckpt, outcome)
+    };
+    let (serial_jsonl, serial_ckpt, serial) = run(false, "serial");
+    let (piped_jsonl, piped_ckpt, piped) = run(true, "piped");
+    assert_eq!(
+        std::fs::read(&piped_jsonl).unwrap(),
+        std::fs::read(&serial_jsonl).unwrap()
+    );
+    assert_eq!(
+        std::fs::read(&piped_ckpt).unwrap(),
+        std::fs::read(&serial_ckpt).unwrap()
+    );
+    assert_eq!(piped.failures.len(), serial.failures.len());
+    for (a, b) in piped.failures.iter().zip(&serial.failures) {
+        assert_eq!((a.index, &a.label), (b.index, &b.label));
+        assert_eq!(a.error.to_string(), b.error.to_string());
+    }
+    assert_eq!(piped.stats, serial.stats);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn backends_are_interchangeable_mid_sweep_via_migration() {
     // Populate a flat cache, migrate it to the packed backend, and finish the
     // sweep against the migrated copy: the records must be identical and the

@@ -1,11 +1,12 @@
 //! Vendored minimal stand-in for the `rayon` crate.
 //!
 //! The build environment has no crates.io access, so this crate implements the
-//! one parallel pattern the workspace uses — order-preserving `par_iter().map(
-//! ).collect::<Vec<_>>()` over a slice — on top of `std::thread::scope`. Work
-//! is split into contiguous chunks, one per worker, and the per-chunk results
-//! are concatenated in order, so output ordering is identical to a sequential
-//! map regardless of thread count.
+//! two parallel patterns the workspace uses — order-preserving `par_iter().map(
+//! ).collect::<Vec<_>>()` over a slice, and its owned sibling
+//! `into_par_iter().map().collect::<Vec<_>>()` over a `Vec` — on top of
+//! `std::thread::scope`. Work is distributed across workers and the per-worker
+//! results are reassembled by index, so output ordering is identical to a
+//! sequential map regardless of thread count.
 //!
 //! The `RAYON_NUM_THREADS` environment variable is honoured exactly like real
 //! rayon: it caps the number of worker threads, and `RAYON_NUM_THREADS=1`
@@ -17,12 +18,15 @@ use std::thread;
 
 /// Common traits, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::IntoParallelRefIterator;
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
 /// Number of worker threads parallel operations will use: the
 /// `RAYON_NUM_THREADS` environment variable when set to a positive integer,
-/// otherwise the machine's available parallelism.
+/// otherwise the machine's available parallelism. The environment variable is
+/// re-read on every call (tests flip it mid-process); the machine parallelism
+/// is a syscall and never changes, so it is probed once — this function sits
+/// on per-shard executor paths.
 pub fn current_num_threads() -> usize {
     if let Ok(raw) = env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = raw.trim().parse::<usize>() {
@@ -31,9 +35,12 @@ pub fn current_num_threads() -> usize {
             }
         }
     }
-    thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *MACHINE.get_or_init(|| {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Types that can hand out a borrowing parallel iterator, mirroring
@@ -99,6 +106,109 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     }
 }
 
+/// Types that can be consumed into an owning parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`. Unlike [`IntoParallelRefIterator`],
+/// the closure receives each element *by value*, so workers can move out of
+/// the input (e.g. build a result that takes ownership of the item) without
+/// cloning.
+pub trait IntoParallelIterator {
+    /// Element type yielded by value.
+    type Item: Send;
+
+    /// An owning parallel iterator over the elements.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// Owning parallel iterator over a `Vec`.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Maps each element through `f`, to be consumed by
+    /// [`IntoParMap::collect`].
+    pub fn map<R, F>(self, f: F) -> IntoParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        IntoParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Pending owning parallel map, executed on [`collect`](IntoParMap::collect).
+pub struct IntoParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> IntoParMap<T, F> {
+    /// Runs the map across worker threads and collects results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_owned(self.items, &self.f))
+    }
+}
+
+fn par_map_owned<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let len = items.len();
+    let workers = current_num_threads().min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // The same strided assignment as the borrowing map (see
+    // `par_map_ordered`), but the items are moved into per-worker queues up
+    // front so each worker owns what it processes.
+    let mut queues: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (index, item) in items.into_iter().enumerate() {
+        queues[index % workers].push((index, item));
+    }
+    let tagged: Vec<(usize, R)> = thread::scope(|scope| {
+        let handles: Vec<_> = queues
+            .into_iter()
+            .map(|queue| {
+                scope.spawn(move || {
+                    queue
+                        .into_iter()
+                        .map(|(index, item)| (index, f(item)))
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| match handle.join() {
+                Ok(results) => results,
+                // Re-raise the worker's own payload (real rayon does the
+                // same), so callers observe the original panic message.
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for (index, value) in tagged {
+        out[index] = Some(value);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index produced"))
+        .collect()
+}
+
 fn par_map_ordered<'a, T: Sync, R: Send>(
     items: &'a [T],
     f: &(impl Fn(&'a T) -> R + Sync),
@@ -129,7 +239,12 @@ fn par_map_ordered<'a, T: Sync, R: Send>(
             .collect();
         handles
             .into_iter()
-            .flat_map(|handle| handle.join().expect("rayon shim worker panicked"))
+            .flat_map(|handle| match handle.join() {
+                Ok(results) => results,
+                // Re-raise the worker's own payload (real rayon does the
+                // same), so callers observe the original panic message.
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
             .collect()
     });
     let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
@@ -150,6 +265,22 @@ mod tests {
         let items: Vec<u64> = (0..1000).collect();
         let doubled: Vec<u64> = items.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owned_map_preserves_order_and_moves_items() {
+        // Non-Clone payload: the closure must receive items by value.
+        struct Owned(u64);
+        let items: Vec<Owned> = (0..500).map(Owned).collect();
+        let tripled: Vec<u64> = items.into_par_iter().map(|Owned(x)| x * 3).collect();
+        assert_eq!(tripled, (0..500).map(|x| x * 3).collect::<Vec<_>>());
+
+        let empty: Vec<Owned> = Vec::new();
+        let out: Vec<u64> = empty.into_par_iter().map(|Owned(x)| x).collect();
+        assert!(out.is_empty());
+        let one = vec![Owned(41)];
+        let out: Vec<u64> = one.into_par_iter().map(|Owned(x)| x + 1).collect();
+        assert_eq!(out, vec![42]);
     }
 
     #[test]
