@@ -26,7 +26,12 @@
 //!   but the last flush hide under the next shard's compute;
 //! * `pareto_100k` — 2-objective Pareto extraction over 100 000 synthetic
 //!   records: the sort-based O(n log n) sweep (the old pairwise filter took
-//!   seconds at this size).
+//!   seconds at this size);
+//! * `serve_sim_10k_reqs` — one `simphony-traffic` discrete-event engine run
+//!   serving 10 000 requests on a 4-slot fleet (pure queueing, no photonic
+//!   probes): the per-point cost of a serving sweep;
+//! * `serve_sweep_cold` — a full 16-point serving sweep end to end,
+//!   including the photonic probe simulations that build the service tables.
 //!
 //! Results go to `BENCH_sweep.json` (or the path given as the first CLI
 //! argument) so successive PRs have a committed perf trajectory to regress
@@ -41,6 +46,10 @@ use simphony_onn::SplitMix64;
 use simphony_explore::{
     pareto_front, simulate_point, CacheBackend, DirCache, ExploreSession, Objective,
     PackedSegmentCache, RecordSink, ShardedDirCache, SweepPoint, SweepRecord, VecSink,
+};
+use simphony_traffic::{
+    run_engine, run_serving_collect, ArrivalKind, Discipline, EngineConfig, ServiceCost,
+    ServiceDistribution, ServingSpec,
 };
 
 /// Timed repetitions per engine; the minimum is reported (steadiest estimator
@@ -275,6 +284,52 @@ fn main() {
     eprintln!(
         "pareto, 100k records, 2 objectives:    {pareto_100k_ms:.1} ms ({front_len} on the front)"
     );
+
+    // Serving engine, queueing only: 10k requests through a heterogeneous
+    // 4-slot fleet near saturation (exponential service, JSQ, batches of 4).
+    let serve_slots: Vec<Vec<ServiceCost>> = (0..4)
+        .map(|slot| {
+            vec![
+                ServiceCost {
+                    time_ms: 0.8 + 0.1 * slot as f64,
+                    energy_uj: 10.0,
+                },
+                ServiceCost {
+                    time_ms: 1.6 + 0.1 * slot as f64,
+                    energy_uj: 25.0,
+                },
+            ]
+        })
+        .collect();
+    let serve_sim_10k_reqs_ms = time_ms(|| {
+        let report = run_engine(&EngineConfig {
+            slots: &serve_slots,
+            class_weights: &[3.0, 1.0],
+            arrival: ArrivalKind::Poisson { rate_rps: 3500.0 },
+            service: ServiceDistribution::Exponential,
+            discipline: Discipline::JoinShortestQueue,
+            batch_size: 4,
+            batch_alpha: 0.5,
+            queue_capacity: 0,
+            warmup: 500,
+            requests: 10_000,
+            seed: 0x5EED,
+        });
+        assert_eq!(report.completed, 10_000, "engine serves every request");
+    });
+    eprintln!("serving engine, 10k requests:          {serve_sim_10k_reqs_ms:.1} ms");
+
+    // Serving sweep end to end: photonic probe simulations (service tables)
+    // plus 16 queueing points over load x discipline x batch axes.
+    let serve_spec = ServingSpec::new("bench")
+        .with_offered_load(vec![1000.0, 2500.0, 5000.0, 10_000.0])
+        .with_discipline(vec![Discipline::CentralFcfs, Discipline::JoinShortestQueue])
+        .with_batch_size(vec![1, 4]);
+    let serve_sweep_cold_ms = time_ms(|| {
+        let records = run_serving_collect(&serve_spec).expect("serving sweep runs");
+        assert_eq!(records.len(), 16, "serving sweep covers every point");
+    });
+    eprintln!("serving sweep, cold (16 points):       {serve_sweep_cold_ms:.1} ms");
     let shared_warm_ms = warm_run("dir", &|d| {
         Box::new(DirCache::open(d).expect("cache opens"))
     });
@@ -292,7 +347,7 @@ fn main() {
     eprintln!("cold-cache speedup vs per-point engine: {speedup:.2}x");
 
     let json = format!(
-        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"streaming_chunk16_ms\": {streaming_chunk16_ms:.3},\n  \"pipelined_cold_ms\": {pipelined_cold_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"sharded_warm_ms\": {sharded_warm_ms:.3},\n  \"packed_warm_ms\": {packed_warm_ms:.3},\n  \"pipelined_warm_ms\": {pipelined_warm_ms:.3},\n  \"slow_sink_flush_ms\": {SLOW_FLUSH_MS},\n  \"slow_sink_serial_ms\": {slow_sink_serial_ms:.3},\n  \"slow_sink_overlap_ms\": {slow_sink_overlap_ms:.3},\n  \"slow_sink_serial_chunk8_ms\": {slow_sink_serial_chunk8_ms:.3},\n  \"slow_sink_overlap_chunk8_ms\": {slow_sink_overlap_chunk8_ms:.3},\n  \"pareto_100k_ms\": {pareto_100k_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
+        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"streaming_chunk16_ms\": {streaming_chunk16_ms:.3},\n  \"pipelined_cold_ms\": {pipelined_cold_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"sharded_warm_ms\": {sharded_warm_ms:.3},\n  \"packed_warm_ms\": {packed_warm_ms:.3},\n  \"pipelined_warm_ms\": {pipelined_warm_ms:.3},\n  \"slow_sink_flush_ms\": {SLOW_FLUSH_MS},\n  \"slow_sink_serial_ms\": {slow_sink_serial_ms:.3},\n  \"slow_sink_overlap_ms\": {slow_sink_overlap_ms:.3},\n  \"slow_sink_serial_chunk8_ms\": {slow_sink_serial_chunk8_ms:.3},\n  \"slow_sink_overlap_chunk8_ms\": {slow_sink_overlap_chunk8_ms:.3},\n  \"pareto_100k_ms\": {pareto_100k_ms:.3},\n  \"serve_sim_10k_reqs_ms\": {serve_sim_10k_reqs_ms:.3},\n  \"serve_sweep_cold_ms\": {serve_sweep_cold_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
         name = spec.name,
         points = points.len(),
         reps = REPS,

@@ -16,20 +16,29 @@
 //! * `cache` — maintenance verbs: `cache stats` (entry count, bytes,
 //!   hit/miss of the last checkpointed session) and `cache migrate`
 //!   (round-trip a cache between backends with content-key verification);
-//! * `pareto` — extract the Pareto frontier from a sweep record file (pretty
-//!   JSON array or JSONL, auto-detected);
+//! * `serve-sim` — run a queueing-level serving simulation from a
+//!   `ServingSpec` JSON file: an accelerator fleet under a request stream,
+//!   swept over offered load, fleet size, queue discipline and batch size,
+//!   with the same JSON/CSV/JSONL outputs as `sweep`;
+//! * `pareto` — extract the Pareto frontier from a record file (pretty JSON
+//!   array or JSONL, auto-detected); serving records are recognised by
+//!   content and rank on the serving objectives (p99 latency, throughput,
+//!   energy per request);
 //! * `run` — simulate a single configuration and print the full report;
-//! * `spec` — print an example sweep spec to start from.
+//! * `spec` — print an example sweep spec to start from (`--serving` for a
+//!   serving spec).
 
 use std::process::ExitCode;
 
 use clap::{Arg, ArgAction, Command};
 
 use simphony_explore::{
-    migrate_cache, pareto_front, read_records, to_csv, write_json, ArchFamily, BackendKind,
-    CacheBackend, Checkpoint, CsvSink, ExploreError, ExploreSession, JsonFileSink, JsonlSink,
-    MultiSink, Objective, ShardProgress, StreamOutcome, SweepSpec, WorkloadSpec,
+    migrate_cache, pareto_front, read_records, read_records_as, to_csv, write_json, ArchFamily,
+    BackendKind, CacheBackend, Checkpoint, CsvRecord, CsvSink, ExploreError, ExploreSession,
+    JsonFileSink, JsonlSink, MultiSink, Objective, ShardProgress, StreamOutcome, SweepSpec,
+    VecSink, WorkloadSpec,
 };
+use simphony_traffic::{run_serving_with, Discipline, ServingRecord, ServingSpec};
 
 fn arch_family_list() -> String {
     ArchFamily::ALL
@@ -244,6 +253,49 @@ fn cli() -> Command {
                 ),
         )
         .subcommand(
+            Command::new("serve-sim")
+                .about("Simulate an accelerator fleet serving a request stream (queueing level)")
+                .arg(
+                    Arg::new("spec")
+                        .long("spec")
+                        .value_name("FILE")
+                        .required(true)
+                        .help("Path to the ServingSpec JSON file (see `spec --serving`)"),
+                )
+                .arg(
+                    Arg::new("out")
+                        .long("out")
+                        .value_name("FILE")
+                        .help("Write serving records as pretty JSON to this path"),
+                )
+                .arg(
+                    Arg::new("csv")
+                        .long("csv")
+                        .value_name("FILE")
+                        .help("Additionally write serving records as CSV to this path"),
+                )
+                .arg(Arg::new("jsonl").long("jsonl").value_name("FILE").help(
+                    "Additionally write serving records as JSON Lines (flushed per \
+                             shard; feed to `pareto` for a serving frontier)",
+                ))
+                .arg(
+                    Arg::new("chunk-size")
+                        .long("chunk-size")
+                        .value_name("N")
+                        .default_value("64")
+                        .help(
+                            "Points per shard; points inside a shard run in parallel, but \
+                             the output is byte-identical at any chunk size or thread count",
+                        ),
+                )
+                .arg(
+                    Arg::new("quiet")
+                        .long("quiet")
+                        .action(ArgAction::SetTrue)
+                        .help("Suppress the per-run summary"),
+                ),
+        )
+        .subcommand(
             Command::new("pareto")
                 .about("Extract the Pareto frontier from a sweep record file")
                 .arg(
@@ -347,7 +399,16 @@ fn cli() -> Command {
                         .help("Clock frequency, GHz"),
                 ),
         )
-        .subcommand(Command::new("spec").about("Print an example sweep spec JSON to stdout"))
+        .subcommand(
+            Command::new("spec")
+                .about("Print an example spec JSON to stdout (sweep by default)")
+                .arg(
+                    Arg::new("serving")
+                        .long("serving")
+                        .action(ArgAction::SetTrue)
+                        .help("Print an example serving spec for `serve-sim` instead"),
+                ),
+        )
 }
 
 fn main() -> ExitCode {
@@ -360,9 +421,10 @@ fn main() -> ExitCode {
             Some(("migrate", sub)) => cmd_cache_migrate(sub),
             _ => unreachable!("subcommand_required guarantees a match"),
         },
+        Some(("serve-sim", sub)) => cmd_serve_sim(sub),
         Some(("pareto", sub)) => cmd_pareto(sub),
         Some(("run", sub)) => cmd_run(sub),
-        Some(("spec", _)) => cmd_spec(),
+        Some(("spec", sub)) => cmd_spec(sub),
         _ => unreachable!("subcommand_required guarantees a match"),
     };
     match result {
@@ -729,23 +791,125 @@ fn cmd_cache_migrate(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     Ok(())
 }
 
-fn cmd_pareto(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
-    let records_path: String = matches.get_one("records").expect("required");
-    let objective_list: String = matches.get_one("objectives").expect("has default");
-    let objectives = Objective::parse_list(&objective_list)?;
-    let records = read_records(&records_path)?;
-    let front = pareto_front(&records, &objectives)?;
+fn cmd_serve_sim(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    let spec_path: String = matches.get_one("spec").expect("required");
+    let text =
+        std::fs::read_to_string(&spec_path).map_err(|e| ExploreError::io_at(&spec_path, e))?;
+    let spec: ServingSpec = serde_json::from_str(&text)?;
+    let chunk_size: usize = matches.get_one("chunk-size").expect("has default");
+    let quiet = matches.get_flag("quiet");
 
+    let out = matches.get_one::<String>("out");
+    let csv = matches.get_one::<String>("csv");
+    let jsonl = matches.get_one::<String>("jsonl");
+    if out.is_none() && csv.is_none() && jsonl.is_none() {
+        // No output file: print a human-readable line per point instead.
+        let mut sink = VecSink::new();
+        let outcome = run_serving_with(&spec, &mut sink, chunk_size)?;
+        for r in sink.records() {
+            println!(
+                "#{} {}: p50 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms | {:.1} req/s | \
+                 util {:.1}% | {:.2} uJ/req | {} dropped",
+                r.point.index,
+                r.label,
+                r.p50_ms,
+                r.p99_ms,
+                r.p999_ms,
+                r.throughput_rps,
+                r.utilization * 100.0,
+                r.energy_per_request_uj,
+                r.dropped,
+            );
+        }
+        if !quiet {
+            println!(
+                "serving `{}`: {} points over {} shards",
+                spec.name, outcome.points, outcome.shards
+            );
+        }
+        return Ok(());
+    }
+
+    let mut sink: MultiSink<ServingRecord> = MultiSink::new();
+    if let Some(path) = out {
+        sink.push(Box::new(JsonFileSink::create(path)?));
+    }
+    if let Some(path) = csv {
+        sink.push(Box::new(CsvSink::create(path)?));
+    }
+    if let Some(path) = jsonl {
+        sink.push(Box::new(JsonlSink::create(path)?));
+    }
+    let outcome = run_serving_with(&spec, &mut sink, chunk_size)?;
+    if !quiet {
+        println!(
+            "serving `{}`: {} points over {} shards",
+            spec.name, outcome.points, outcome.shards
+        );
+    }
+    Ok(())
+}
+
+/// True when the record file holds serving records. `p99_ms` is the schema
+/// discriminator: serving records always serialize it, sweep records never
+/// do, so sniffing the first record is unambiguous.
+fn is_serving_record_file(path: &str) -> Result<bool, ExploreError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ExploreError::io_at(path, e))?;
+    let first: Option<serde_json::Value> = if text.trim_start().starts_with('[') {
+        let all: serde_json::Value = serde_json::from_str(&text)?;
+        all.as_array().and_then(|a| a.first().cloned())
+    } else {
+        match text.lines().find(|line| !line.trim().is_empty()) {
+            Some(line) => Some(serde_json::from_str(line)?),
+            None => None,
+        }
+    };
+    Ok(first.is_some_and(|record| record.get("p99_ms").is_some()))
+}
+
+/// Renders any CSV-capable record list under its own header — the batch
+/// sibling of the streaming [`CsvSink`].
+fn csv_render<R: CsvRecord>(records: &[R]) -> String {
+    let mut out = String::from(R::csv_header());
+    out.push('\n');
+    for record in records {
+        out.push_str(&record.csv_line());
+        out.push('\n');
+    }
+    out
+}
+
+fn print_front_summary(objectives: &[Objective], kept: usize, total: usize) {
     println!(
-        "pareto frontier over [{}]: {} of {} points",
+        "pareto frontier over [{}]: {kept} of {total} points",
         objectives
             .iter()
             .map(|o| o.name())
             .collect::<Vec<_>>()
             .join(", "),
-        front.len(),
-        records.len()
     );
+}
+
+fn cmd_pareto(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    let records_path: String = matches.get_one("records").expect("required");
+    let objective_list: String = matches.get_one("objectives").expect("has default");
+    let objectives = Objective::parse_list(&objective_list)?;
+
+    if is_serving_record_file(&records_path)? {
+        let records: Vec<ServingRecord> = read_records_as(&records_path)?;
+        let front = pareto_front(&records, &objectives)?;
+        print_front_summary(&objectives, front.len(), records.len());
+        print!("{}", csv_render(&front));
+        if let Some(out) = matches.get_one::<String>("out") {
+            let text = serde_json::to_string_pretty(&front)?;
+            std::fs::write(&out, text + "\n").map_err(|e| ExploreError::io_at(&out, e))?;
+        }
+        return Ok(());
+    }
+
+    let records = read_records(&records_path)?;
+    let front = pareto_front(&records, &objectives)?;
+    print_front_summary(&objectives, front.len(), records.len());
     print!("{}", to_csv(&front));
     if let Some(out) = matches.get_one::<String>("out") {
         write_json(out, &front)?;
@@ -812,7 +976,16 @@ fn cmd_run(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     Ok(())
 }
 
-fn cmd_spec() -> Result<(), ExploreError> {
+fn cmd_spec(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    if matches.get_flag("serving") {
+        let example = ServingSpec::new("example")
+            .with_offered_load(vec![500.0, 1000.0, 2000.0, 4000.0])
+            .with_fleet_size(vec![1, 2])
+            .with_discipline(Discipline::ALL.to_vec())
+            .with_batch_size(vec![1, 4]);
+        println!("{}", serde_json::to_string_pretty(&example)?);
+        return Ok(());
+    }
     let example = SweepSpec::new("example")
         .with_arch(vec![ArchFamily::Tempo, ArchFamily::Scatter])
         .with_wavelengths(vec![1, 2, 4, 8])

@@ -61,7 +61,9 @@ pub use energy::{
 };
 pub use error::{Result, SimError};
 pub use link_budget::{laser_power_per_path, link_budget, LinkBudgetReport};
-pub use simulator::{LayerReport, MappingPlan, SimulationConfig, SimulationReport, Simulator};
+pub use simulator::{
+    LayerReport, MappingPlan, ServiceProfile, SimulationConfig, SimulationReport, Simulator,
+};
 
 #[cfg(test)]
 mod tests {

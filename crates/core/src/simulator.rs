@@ -162,6 +162,30 @@ pub struct SimulationReport {
     pub glb_blocks: usize,
 }
 
+/// The per-request serving cost distilled from a full [`SimulationReport`]:
+/// what a queueing-level simulator needs to model this workload as one
+/// request class — how long one inference occupies an accelerator and how
+/// much energy it burns. Everything else in the report (layer breakdowns,
+/// link budgets, area) is amortized fleet state, not per-request cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceProfile {
+    /// Wall-clock service time of one inference request.
+    pub latency: Time,
+    /// Energy consumed by one inference request.
+    pub energy: Energy,
+}
+
+impl SimulationReport {
+    /// Distills this report into the per-request [`ServiceProfile`] consumed
+    /// by the `simphony-traffic` serving simulator.
+    pub fn service_profile(&self) -> ServiceProfile {
+        ServiceProfile {
+            latency: self.total_time,
+            energy: self.total_energy,
+        }
+    }
+}
+
 impl fmt::Display for SimulationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

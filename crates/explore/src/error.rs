@@ -24,6 +24,17 @@ pub enum ExploreError {
         /// The underlying simulator error.
         source: SimError,
     },
+    /// Pareto extraction was asked to rank an objective the record schema
+    /// does not carry (e.g. `p99_latency` over single-inference sweep
+    /// records, or `energy` over serving records). Reported as its own
+    /// variant so the CLI prints which objectives *are* available instead of
+    /// a serde blob.
+    MissingObjective {
+        /// Name of the requested objective absent from the records.
+        objective: &'static str,
+        /// Names of the objectives these records do carry.
+        available: Vec<&'static str>,
+    },
     /// A record offered to Pareto extraction carries a NaN or infinite
     /// objective value. A NaN metric can never be dominated (every comparison
     /// against it is false), so such a record would silently land on every
@@ -102,6 +113,15 @@ impl fmt::Display for ExploreError {
                 label,
                 source,
             } => write!(f, "sweep point #{index} ({label}) failed: {source}"),
+            ExploreError::MissingObjective {
+                objective,
+                available,
+            } => write!(
+                f,
+                "these records do not carry objective `{objective}` \
+                 (objectives available for this record type: {})",
+                available.join(", ")
+            ),
             ExploreError::NonFiniteMetric {
                 index,
                 objective,
@@ -130,6 +150,7 @@ impl std::error::Error for ExploreError {
             ExploreError::Io { source, .. } => Some(source),
             ExploreError::Json(e) => Some(e),
             ExploreError::InvalidSpec { .. }
+            | ExploreError::MissingObjective { .. }
             | ExploreError::NonFiniteMetric { .. }
             | ExploreError::Cache { .. }
             | ExploreError::Checkpoint { .. } => None,

@@ -35,8 +35,11 @@
 //!   [`migrate_cache`] round-trips a cache between backends with content-key
 //!   verification;
 //! * [`pareto_front`] — non-dominated-point extraction over configurable
-//!   minimization [`Objective`]s (energy, latency, power, area, EDP); the
-//!   two-objective case runs in O(n log n) via a sort-based sweep, so
+//!   minimization [`Objective`]s, generic over any [`ParetoRecord`] type
+//!   (sweep records with energy/latency/power/area/EDP, `simphony-traffic`
+//!   serving records with p99 latency/throughput/energy-per-request); the
+//!   two-objective case runs in O(n log n) via a sort-based sweep and the
+//!   three-objective case in O(n log² n) via a divide-and-conquer sweep, so
 //!   frontiers scale to streamed JSONL outputs with millions of records;
 //!   records carrying NaN/infinite objectives are rejected instead of
 //!   silently joining every frontier.
@@ -121,14 +124,14 @@ pub use checkpoint::{
     spec_fingerprint, Checkpoint, CheckpointFailure, CheckpointHeader, ShardCheckpoint,
 };
 pub use error::{ExploreError, Result};
-pub use pareto::{dominates, pareto_front, Objective};
+pub use pareto::{dominates, pareto_front, Objective, ParetoRecord};
 pub use record::{
-    csv_row, read_json, read_jsonl, read_records, to_csv, write_csv, write_json, write_jsonl,
-    SweepRecord, CSV_HEADER,
+    csv_escape, csv_row, read_json, read_jsonl, read_records, read_records_as, to_csv, write_csv,
+    write_json, write_jsonl, CsvRecord, SweepRecord, CSV_HEADER,
 };
 pub use runner::{
-    simulate_point, ErrorPolicy, FailureCause, PointFailure, ShardProgress, StreamOptions,
-    StreamOutcome, SweepOutcome,
+    build_accelerator, extract_workload, simulate_point, simulate_point_with, ErrorPolicy,
+    FailureCause, PointFailure, ShardProgress, StreamOptions, StreamOutcome, SweepOutcome,
 };
 pub use session::ExploreSession;
 pub use sink::{CsvSink, JsonFileSink, JsonlSink, MultiSink, RecordSink, VecSink};

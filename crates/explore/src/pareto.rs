@@ -1,4 +1,4 @@
-//! Pareto-frontier extraction over sweep records.
+//! Pareto-frontier extraction over sweep and serving records.
 
 use std::fmt;
 
@@ -7,7 +7,14 @@ use serde::{Deserialize, Serialize};
 use crate::error::{ExploreError, Result};
 use crate::record::SweepRecord;
 
-/// A minimization objective over [`SweepRecord`] metrics.
+/// A minimization objective over record metrics.
+///
+/// The first five objectives are single-inference metrics carried by
+/// [`SweepRecord`]; the last three are serving-level metrics carried by
+/// `simphony-traffic`'s serving records. No record schema carries all eight —
+/// [`ParetoRecord::objective_value`] returns `None` for the ones outside its
+/// schema, and [`pareto_front`] turns that into a clear
+/// [`ExploreError::MissingObjective`] listing what *is* available.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Objective {
     /// Minimize total energy.
@@ -20,16 +27,26 @@ pub enum Objective {
     Area,
     /// Minimize the energy-delay product.
     Edp,
+    /// Minimize the p99 sojourn latency of a serving run.
+    P99Latency,
+    /// Maximize serving throughput. Ranked internally as the *negated*
+    /// throughput so the frontier machinery stays a pure minimizer.
+    Throughput,
+    /// Minimize the energy per completed request of a serving run.
+    EnergyPerRequest,
 }
 
 impl Objective {
     /// Every objective, in a stable order.
-    pub const ALL: [Objective; 5] = [
+    pub const ALL: [Objective; 8] = [
         Objective::Energy,
         Objective::Latency,
         Objective::Power,
         Objective::Area,
         Objective::Edp,
+        Objective::P99Latency,
+        Objective::Throughput,
+        Objective::EnergyPerRequest,
     ];
 
     /// Short lowercase name used on the command line.
@@ -40,6 +57,9 @@ impl Objective {
             Objective::Power => "power",
             Objective::Area => "area",
             Objective::Edp => "edp",
+            Objective::P99Latency => "p99_latency",
+            Objective::Throughput => "throughput",
+            Objective::EnergyPerRequest => "energy_per_request",
         }
     }
 
@@ -72,17 +92,6 @@ impl Objective {
         }
         Ok(objectives)
     }
-
-    /// The metric this objective minimizes.
-    pub fn value(self, record: &SweepRecord) -> f64 {
-        match self {
-            Objective::Energy => record.energy_uj,
-            Objective::Latency => record.time_ms,
-            Objective::Power => record.power_w,
-            Objective::Area => record.area_mm2,
-            Objective::Edp => record.edp_uj_ms,
-        }
-    }
 }
 
 impl fmt::Display for Objective {
@@ -91,18 +100,52 @@ impl fmt::Display for Objective {
     }
 }
 
+/// A record type whose metrics can be ranked on a Pareto frontier.
+///
+/// Implementations return the *minimization* value of every objective their
+/// schema carries ([`Objective::Throughput`] is a maximization metric, so its
+/// value is the negated throughput) and `None` for the rest, which
+/// [`pareto_front`] reports as [`ExploreError::MissingObjective`].
+pub trait ParetoRecord {
+    /// The minimization value of `objective`, or `None` when this record type
+    /// does not carry it.
+    fn objective_value(&self, objective: Objective) -> Option<f64>;
+
+    /// Zero-based point index, used in error messages and tie-breaking.
+    fn record_index(&self) -> usize;
+}
+
+impl ParetoRecord for SweepRecord {
+    fn objective_value(&self, objective: Objective) -> Option<f64> {
+        match objective {
+            Objective::Energy => Some(self.energy_uj),
+            Objective::Latency => Some(self.time_ms),
+            Objective::Power => Some(self.power_w),
+            Objective::Area => Some(self.area_mm2),
+            Objective::Edp => Some(self.edp_uj_ms),
+            Objective::P99Latency | Objective::Throughput | Objective::EnergyPerRequest => None,
+        }
+    }
+
+    fn record_index(&self) -> usize {
+        self.point.index
+    }
+}
+
 /// Whether `candidate` dominates `other`: no worse in every objective and
 /// strictly better in at least one.
 ///
 /// NaN poisons this relation — every comparison against a NaN metric is
 /// false, so a NaN record can never be dominated and would silently join
-/// every frontier. [`pareto_front`] therefore rejects non-finite objective
-/// values up front; callers comparing records directly should do the same.
-pub fn dominates(candidate: &SweepRecord, other: &SweepRecord, objectives: &[Objective]) -> bool {
+/// every frontier. An objective absent from the record schema behaves like
+/// NaN here (all comparisons false). [`pareto_front`] therefore rejects
+/// non-finite and missing objective values up front; callers comparing
+/// records directly should do the same.
+pub fn dominates<R: ParetoRecord>(candidate: &R, other: &R, objectives: &[Objective]) -> bool {
     let mut strictly_better = false;
-    for objective in objectives {
-        let a = objective.value(candidate);
-        let b = objective.value(other);
+    for &objective in objectives {
+        let a = candidate.objective_value(objective).unwrap_or(f64::NAN);
+        let b = other.objective_value(objective).unwrap_or(f64::NAN);
         if a > b {
             return false;
         }
@@ -120,36 +163,60 @@ pub fn dominates(candidate: &SweepRecord, other: &SweepRecord, objectives: &[Obj
 /// configuration reaching the same operating point.
 ///
 /// Complexity scales with the objective count: one objective is a linear
-/// minimum scan, two objectives run Kung's sort-based sweep in O(n log n)
-/// (sort by the first objective, scan with a running minimum of the second),
-/// and three or more fall back to the general pairwise O(n²) check. All three
-/// paths keep exactly the same records — the faster ones are pure
-/// implementations of the same dominance relation, property-tested against
-/// the naive algorithm on randomized inputs.
+/// minimum scan, two objectives run Kung's sort-based sweep in O(n log n),
+/// three objectives run the divide-and-conquer sweep (split on the first
+/// objective, marry the halves with a 2-D sweep) in O(n log² n), and four or
+/// more fall back to the general pairwise O(n²) check. All paths keep exactly
+/// the same records — the faster ones are pure implementations of the same
+/// dominance relation, property-tested against the naive algorithm on
+/// randomized inputs.
 ///
 /// # Errors
 ///
-/// Returns [`ExploreError::NonFiniteMetric`] when any record carries a NaN or
-/// infinite value in one of the requested objectives. A NaN record can never
-/// be dominated ([`dominates`] returns false for every comparison against
-/// it), so without this check it would silently land on every frontier.
-pub fn pareto_front(records: &[SweepRecord], objectives: &[Objective]) -> Result<Vec<SweepRecord>> {
+/// Returns [`ExploreError::MissingObjective`] when the record type does not
+/// carry a requested objective (e.g. `p99_latency` over sweep records), and
+/// [`ExploreError::NonFiniteMetric`] when any record carries a NaN or
+/// infinite value in one of the requested objectives — a NaN record can never
+/// be dominated, so without this check it would silently land on every
+/// frontier.
+pub fn pareto_front<R: ParetoRecord + Clone>(
+    records: &[R],
+    objectives: &[Objective],
+) -> Result<Vec<R>> {
+    // Validate and extract one value column per objective up front, so the
+    // mask algorithms below work on plain floats.
+    let mut columns: Vec<Vec<f64>> = objectives
+        .iter()
+        .map(|_| Vec::with_capacity(records.len()))
+        .collect();
     for record in records {
-        for &objective in objectives {
-            let value = objective.value(record);
+        for (column, &objective) in columns.iter_mut().zip(objectives) {
+            let value = record.objective_value(objective).ok_or_else(|| {
+                ExploreError::MissingObjective {
+                    objective: objective.name(),
+                    available: Objective::ALL
+                        .into_iter()
+                        .filter(|o| record.objective_value(*o).is_some())
+                        .map(Objective::name)
+                        .collect(),
+                }
+            })?;
             if !value.is_finite() {
                 return Err(ExploreError::NonFiniteMetric {
-                    index: record.point.index,
+                    index: record.record_index(),
                     objective: objective.name(),
                     value,
                 });
             }
+            column.push(value);
         }
     }
-    let keep = match objectives {
-        [single] => min_scan_mask(records, *single),
-        [first, second] => kung_mask(records, *first, *second),
-        _ => naive_mask(records, objectives),
+    let keep = match &columns[..] {
+        [] => return Err(ExploreError::invalid_spec("no objectives given")),
+        [single] => min_scan_mask(single),
+        [first, second] => kung_mask(first, second),
+        [first, second, third] => kung3_mask(first, second, third),
+        _ => naive_mask(&columns),
     };
     Ok(records
         .iter()
@@ -161,78 +228,191 @@ pub fn pareto_front(records: &[SweepRecord], objectives: &[Objective]) -> Result
 
 /// Single objective: a record is non-dominated iff its value is the minimum
 /// (all minima are kept — they tie). O(n).
-fn min_scan_mask(records: &[SweepRecord], objective: Objective) -> Vec<bool> {
-    let min = records
-        .iter()
-        .map(|r| objective.value(r))
-        .fold(f64::INFINITY, f64::min);
-    records.iter().map(|r| objective.value(r) == min).collect()
+fn min_scan_mask(values: &[f64]) -> Vec<bool> {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    values.iter().map(|&v| v == min).collect()
 }
 
-/// Two objectives: Kung's sort-based sweep. Indices are sorted by the first
-/// objective and scanned once, carrying the minimum second-objective value
-/// seen among records with a *strictly smaller* first objective. Within a
-/// group sharing the same first-objective value, only the records attaining
-/// the group's second-objective minimum can survive (any other is dominated
-/// by them), and the whole group falls if an earlier record already reached
-/// that minimum or better — `prev_min <= y` means some record with a strictly
-/// smaller first objective is no worse in the second, which dominates. Exact
-/// ties all survive together, preserving the documented tie contract.
-/// O(n log n).
+/// Two objectives: Kung's sort-based sweep, expressed as the shared
+/// subset sweep over the full index range. O(n log n).
+fn kung_mask(xs: &[f64], ys: &[f64]) -> Vec<bool> {
+    let mut keep = vec![true; xs.len()];
+    let order: Vec<usize> = (0..xs.len()).collect();
+    kung2_subset(&order, xs, ys, &mut keep);
+    keep
+}
+
+/// The 2-D dominance sweep over a subset of indices: clears `keep` for every
+/// subset member dominated *within the subset* under the `(ys, zs)` pair.
+///
+/// Indices are sorted by `ys` and scanned once, carrying the minimum `zs`
+/// value seen among members with a *strictly smaller* `ys`. Within a group
+/// sharing the same `ys` value, only the members attaining the group's `zs`
+/// minimum can survive (any other is dominated by them), and the whole group
+/// falls if an earlier member already reached that minimum or better —
+/// `prev_min <= z` means some member with a strictly smaller `ys` is no worse
+/// in `zs`, which dominates. Exact ties all survive together, preserving the
+/// documented tie contract.
 ///
 /// Grouping uses *float* equality while the sort uses `total_cmp` (the only
 /// total order available): the two disagree on `-0.0` vs `0.0`, which
 /// dominance treats as equal but `total_cmp` orders apart. `total_cmp`
 /// refines float ordering, so a float-equal group is still contiguous after
-/// the sort — but it is *not* necessarily sorted by the second objective
-/// across the `-0.0`/`0.0` seam, which is why the group minimum is computed
-/// by scanning the group rather than read off its first element.
-fn kung_mask(records: &[SweepRecord], first: Objective, second: Objective) -> Vec<bool> {
-    let mut order: Vec<usize> = (0..records.len()).collect();
-    order.sort_by(|&a, &b| {
-        first
-            .value(&records[a])
-            .total_cmp(&first.value(&records[b]))
-            .then(a.cmp(&b))
-    });
-    let mut keep = vec![false; records.len()];
+/// the sort — but it is *not* necessarily sorted by `zs` across the
+/// `-0.0`/`0.0` seam, which is why the group minimum is computed by scanning
+/// the group rather than read off its first element.
+fn kung2_subset(subset: &[usize], ys: &[f64], zs: &[f64], keep: &mut [bool]) {
+    let mut order: Vec<usize> = subset.to_vec();
+    order.sort_by(|&a, &b| ys[a].total_cmp(&ys[b]).then(a.cmp(&b)));
     let mut prev_min = f64::INFINITY;
     let mut cursor = 0;
     while cursor < order.len() {
-        // The contiguous group of records whose first-objective value is
-        // float-equal to the cursor's.
-        let x = first.value(&records[order[cursor]]);
+        // The contiguous group of members whose `ys` value is float-equal to
+        // the cursor's.
+        let y = ys[order[cursor]];
         let group_end = order[cursor..]
             .iter()
-            .position(|&i| first.value(&records[i]) > x)
+            .position(|&i| ys[i] > y)
             .map_or(order.len(), |offset| cursor + offset);
         let group = &order[cursor..group_end];
-        let group_min = group
-            .iter()
-            .map(|&index| second.value(&records[index]))
-            .fold(f64::INFINITY, f64::min);
+        let group_min = group.iter().map(|&i| zs[i]).fold(f64::INFINITY, f64::min);
         if group_min < prev_min {
-            for &index in group {
-                if second.value(&records[index]) == group_min {
-                    keep[index] = true;
+            for &i in group {
+                if zs[i] != group_min {
+                    keep[i] = false;
                 }
             }
             prev_min = group_min;
+        } else {
+            for &i in group {
+                keep[i] = false;
+            }
         }
         cursor = group_end;
     }
+}
+
+/// Three objectives: divide-and-conquer sweep. Indices are sorted by the
+/// first objective, then recursively split at a float-equal-group boundary
+/// (so every cross-half pair differs *strictly* in the first objective); each
+/// half is solved independently, and the halves are married with a 2-D sweep
+/// over the remaining two objectives. A slice sharing one first-objective
+/// value degenerates to the plain 2-D problem. O(n log² n).
+fn kung3_mask(xs: &[f64], ys: &[f64], zs: &[f64]) -> Vec<bool> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]).then(a.cmp(&b)));
+    let mut keep = vec![true; xs.len()];
+    solve3(&order, xs, ys, zs, &mut keep);
     keep
 }
 
-/// Three or more objectives: the general pairwise dominance check. O(n²).
-fn naive_mask(records: &[SweepRecord], objectives: &[Objective]) -> Vec<bool> {
-    records
+/// Clears `keep` for every member of `order` (sorted by `xs` under
+/// `total_cmp`) dominated by another member of `order`.
+fn solve3(order: &[usize], xs: &[f64], ys: &[f64], zs: &[f64], keep: &mut [bool]) {
+    if order.len() <= 1 {
+        return;
+    }
+    // One float-equal x group: dominance degenerates to the (y, z) plane,
+    // where strictness must come from y or z since x ties everywhere.
+    let x0 = xs[order[0]];
+    if order.iter().all(|&i| xs[i] == x0) {
+        kung2_subset(order, ys, zs, keep);
+        return;
+    }
+    // Split at the float-equal-group boundary nearest the middle, never
+    // through a group: every pair straddling the boundary then differs
+    // strictly in x, so the marry step needs no equal-x special case.
+    let mid = order.len() / 2;
+    let xm = xs[order[mid]];
+    let group_start = order[..mid]
         .iter()
-        .map(|candidate| {
-            !records
-                .iter()
-                .any(|other| dominates(other, candidate, objectives))
-        })
+        .rposition(|&i| xs[i] != xm)
+        .map_or(0, |p| p + 1);
+    let group_end = order[mid..]
+        .iter()
+        .position(|&i| xs[i] != xm)
+        .map_or(order.len(), |p| mid + p);
+    let boundary = if group_start == 0 {
+        group_end
+    } else if group_end == order.len() || mid - group_start <= group_end - mid {
+        group_start
+    } else {
+        group_end
+    };
+    let (low, high) = order.split_at(boundary);
+    solve3(low, xs, ys, zs, keep);
+    solve3(high, xs, ys, zs, keep);
+    marry3(low, high, ys, zs, keep);
+}
+
+/// Clears `keep` for survivors of `high` dominated by a survivor of `low`,
+/// where every member of `low` has a *strictly smaller* x than every member
+/// of `high` (guaranteed by the group-boundary split). Strictness in x is
+/// already settled, so `a` dominates `b` iff `a.y <= b.y && a.z <= b.z` —
+/// a single merged sweep over y carrying the running minimum z of `low`.
+///
+/// Only `low`'s survivors are consulted: if `a1 ∈ low` is dominated by
+/// `a2 ∈ low`, then `a2` is no worse than `a1` everywhere, so anything `a1`
+/// would eliminate `a2` eliminates too.
+fn marry3(low: &[usize], high: &[usize], ys: &[f64], zs: &[f64], keep: &mut [bool]) {
+    let low_survivors: Vec<usize> = low.iter().copied().filter(|&i| keep[i]).collect();
+    if low_survivors.is_empty() {
+        return;
+    }
+    let high_survivors: Vec<usize> = high.iter().copied().filter(|&i| keep[i]).collect();
+    if high_survivors.is_empty() {
+        return;
+    }
+    let mut merged: Vec<(usize, bool)> = low_survivors
+        .iter()
+        .map(|&i| (i, true))
+        .chain(high_survivors.iter().map(|&i| (i, false)))
+        .collect();
+    merged.sort_by(|&(a, _), &(b, _)| ys[a].total_cmp(&ys[b]).then(a.cmp(&b)));
+    let mut min_z = f64::INFINITY;
+    let mut cursor = 0;
+    while cursor < merged.len() {
+        // Process one float-equal y group at a time: a `low` member with a
+        // float-equal y satisfies `a.y <= b.y`, so its z must join the
+        // running minimum *before* the group's `high` members are tested —
+        // and `total_cmp` may order `-0.0` after a high member's `0.0`.
+        let y = ys[merged[cursor].0];
+        let group_end = merged[cursor..]
+            .iter()
+            .position(|&(i, _)| ys[i] > y)
+            .map_or(merged.len(), |offset| cursor + offset);
+        for &(i, is_low) in &merged[cursor..group_end] {
+            if is_low {
+                min_z = min_z.min(zs[i]);
+            }
+        }
+        for &(i, is_low) in &merged[cursor..group_end] {
+            if !is_low && min_z <= zs[i] {
+                keep[i] = false;
+            }
+        }
+        cursor = group_end;
+    }
+}
+
+/// Four or more objectives: the general pairwise dominance check. O(n²).
+fn naive_mask(columns: &[Vec<f64>]) -> Vec<bool> {
+    let n = columns.first().map_or(0, Vec::len);
+    let dominated_by = |a: usize, b: usize| {
+        // Whether record `b` dominates record `a`.
+        let mut strictly_better = false;
+        for column in columns {
+            if column[b] > column[a] {
+                return false;
+            }
+            if column[b] < column[a] {
+                strictly_better = true;
+            }
+        }
+        strictly_better
+    };
+    (0..n)
+        .map(|a| !(0..n).any(|b| dominated_by(a, b)))
         .collect()
 }
 
@@ -333,9 +513,34 @@ mod tests {
         assert!(pareto_front(&records, &[Objective::Power]).is_err());
     }
 
+    #[test]
+    fn serving_objectives_over_sweep_records_error_with_the_available_list() {
+        // Sweep records carry no serving metrics: the error must name the
+        // absent objective and list the ones this schema does carry, so the
+        // CLI message is actionable instead of a serde blob.
+        let records = vec![record(0, 1.0, 1.0)];
+        let err = pareto_front(&records, &[Objective::Energy, Objective::P99Latency]).unwrap_err();
+        match err {
+            ExploreError::MissingObjective {
+                objective,
+                available,
+            } => {
+                assert_eq!(objective, "p99_latency");
+                assert_eq!(available, vec!["energy", "latency", "power", "area", "edp"]);
+            }
+            other => panic!("expected MissingObjective, got {other}"),
+        }
+        let rendered = format!(
+            "{}",
+            pareto_front(&records, &[Objective::Throughput]).unwrap_err()
+        );
+        assert!(rendered.contains("`throughput`"), "names the objective");
+        assert!(rendered.contains("energy, latency"), "lists what exists");
+    }
+
     /// The reference implementation the fast paths are verified against: the
     /// plain pairwise dominance filter, kept verbatim from before the
-    /// sort-based sweep landed.
+    /// sort-based sweeps landed.
     fn naive_front(records: &[SweepRecord], objectives: &[Objective]) -> Vec<usize> {
         records
             .iter()
@@ -408,6 +613,75 @@ mod tests {
     }
 
     #[test]
+    fn divide_and_conquer_matches_the_naive_front_on_seeded_random_records() {
+        // The 3-objective divide-and-conquer sweep against the O(n²)
+        // reference, over the same adversarial value streams as the 2-D
+        // property test: quantized grids force duplicate coordinates and
+        // whole duplicate rows, sign flips inject negatives and `-0.0`
+        // (stressing both the equal-x split guarantee and the marry step's
+        // group-before-test ordering across the `-0.0`/`0.0` seam).
+        use simphony_onn::SplitMix64;
+        let mut rng = SplitMix64::new(0x3D3D);
+        for round in 0..40 {
+            let len = 1 + (rng.next_u64() % 150) as usize;
+            let grid = [1000.0, 16.0, 4.0, 2.0][round % 4];
+            let records: Vec<SweepRecord> = (0..len)
+                .map(|i| {
+                    let value = |rng: &mut SplitMix64| {
+                        let v = (rng.next_f64() * grid).floor() / grid;
+                        if rng.next_u64().is_multiple_of(4) {
+                            -v
+                        } else {
+                            v
+                        }
+                    };
+                    let mut r = record(i, value(&mut rng), value(&mut rng));
+                    r.power_w = value(&mut rng);
+                    r
+                })
+                .collect();
+            let three = [Objective::Energy, Objective::Latency, Objective::Power];
+            assert_eq!(
+                front_indices(&records, &three),
+                naive_front(&records, &three),
+                "round {round}: 3-objective divide-and-conquer diverged from naive"
+            );
+            // Correlated third axis (EDP = energy*latency) stresses tie
+            // groups that the independent-axis rounds cannot reach.
+            let correlated = [Objective::Energy, Objective::Latency, Objective::Edp];
+            assert_eq!(
+                front_indices(&records, &correlated),
+                naive_front(&records, &correlated),
+                "round {round}: correlated 3-objective sweep diverged from naive"
+            );
+        }
+    }
+
+    #[test]
+    fn four_objectives_still_use_the_general_path_correctly() {
+        use simphony_onn::SplitMix64;
+        let mut rng = SplitMix64::new(7);
+        let records: Vec<SweepRecord> = (0..60)
+            .map(|i| {
+                let mut r = record(i, rng.next_f64(), rng.next_f64());
+                r.power_w = (rng.next_f64() * 8.0).floor();
+                r.area_mm2 = (rng.next_f64() * 4.0).floor();
+                r
+            })
+            .collect();
+        let objectives = [
+            Objective::Energy,
+            Objective::Latency,
+            Objective::Power,
+            Objective::Area,
+        ];
+        assert_eq!(
+            front_indices(&records, &objectives),
+            naive_front(&records, &objectives)
+        );
+    }
+
+    #[test]
     fn kungs_sweep_handles_duplicate_and_shared_coordinate_groups() {
         // Hand-picked adversarial layout: duplicate points on and off the
         // frontier, ties in one coordinate only, and a dominated record
@@ -429,6 +703,32 @@ mod tests {
             naive_front(&records, &objectives)
         );
         assert_eq!(front_indices(&records, &objectives), vec![0, 1, 4, 6, 7, 8]);
+    }
+
+    #[test]
+    fn divide_and_conquer_handles_equal_x_planes_and_duplicates() {
+        // Whole planes sharing the first objective (the recursion's 2-D
+        // degenerate case), duplicates across planes, and a point dominated
+        // only across the plane boundary (strict in x, tied in y and z).
+        let mut records = vec![
+            record(0, 1.0, 4.0), // x=1 plane, frontier
+            record(1, 1.0, 4.0), // exact duplicate: kept
+            record(2, 1.0, 5.0), // dominated within its plane (worse latency)
+            record(3, 2.0, 4.0), // dominated across planes by #0: tied (y,z), worse x
+            record(4, 2.0, 3.0), // frontier
+            record(5, 2.0, 3.0), // duplicate frontier point
+            record(6, 3.0, 1.0), // frontier (best latency at power 1)
+        ];
+        for r in &mut records {
+            r.power_w = 1.0;
+        }
+        records[2].power_w = 1.0;
+        let objectives = [Objective::Energy, Objective::Latency, Objective::Power];
+        assert_eq!(
+            front_indices(&records, &objectives),
+            naive_front(&records, &objectives)
+        );
+        assert_eq!(front_indices(&records, &objectives), vec![0, 1, 4, 5, 6]);
     }
 
     #[test]
@@ -476,30 +776,34 @@ mod tests {
             naive_front(&records, &objectives)
         );
         assert_eq!(front_indices(&records, &objectives), vec![0, 2]);
-    }
-
-    #[test]
-    fn three_objective_fronts_still_use_the_general_path_correctly() {
-        use simphony_onn::SplitMix64;
-        let mut rng = SplitMix64::new(7);
-        let records: Vec<SweepRecord> = (0..60)
-            .map(|i| {
-                let mut r = record(i, rng.next_f64(), rng.next_f64());
-                r.power_w = (rng.next_f64() * 8.0).floor();
-                r
-            })
-            .collect();
-        let objectives = [Objective::Energy, Objective::Latency, Objective::Power];
+        // The seam in the *first* objective of the 3-D sweep: the split must
+        // keep -0.0 and 0.0 in one plane or #1 is spuriously eliminated.
+        let objectives3 = [Objective::Energy, Objective::Latency, Objective::Power];
+        let records = vec![
+            record(0, -0.0, 5.0),
+            record(1, 0.0, 3.0),
+            record(2, 1.0, 1.0),
+        ];
         assert_eq!(
-            front_indices(&records, &objectives),
-            naive_front(&records, &objectives)
+            front_indices(&records, &objectives3),
+            naive_front(&records, &objectives3)
         );
+        assert_eq!(front_indices(&records, &objectives3), vec![1, 2]);
     }
 
     #[test]
     fn objective_lists_parse_and_reject() {
         let parsed = Objective::parse_list("energy, latency").unwrap();
         assert_eq!(parsed, vec![Objective::Energy, Objective::Latency]);
+        let serving = Objective::parse_list("p99_latency,throughput,energy_per_request").unwrap();
+        assert_eq!(
+            serving,
+            vec![
+                Objective::P99Latency,
+                Objective::Throughput,
+                Objective::EnergyPerRequest
+            ]
+        );
         assert!(Objective::parse_list("energy,bogus").is_err());
         assert!(Objective::parse_list("").is_err());
     }

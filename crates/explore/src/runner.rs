@@ -234,14 +234,31 @@ pub struct StreamOutcome {
     pub skipped_points: usize,
 }
 
-fn build_accelerator(point: &SweepPoint) -> SimResult<Accelerator> {
+/// Builds the accelerator a sweep point describes.
+///
+/// Public so downstream crates (the `simphony-traffic` serving simulator)
+/// can build one accelerator per fleet template and share it behind an `Arc`
+/// across service-table probes, exactly as the streaming executor shares
+/// artifacts within a shard.
+///
+/// # Errors
+///
+/// Propagates architecture-generation errors.
+pub fn build_accelerator(point: &SweepPoint) -> SimResult<Accelerator> {
     let arch = point.arch.generate(point.arch_params(), point.clock_ghz)?;
     Accelerator::builder(format!("{}_sweep", point.arch))
         .sub_arch(arch)
         .build()
 }
 
-fn extract_workload(point: &SweepPoint) -> SimResult<ModelWorkload> {
+/// Extracts the workload a sweep point describes.
+///
+/// Public for the same artifact-sharing reason as [`build_accelerator`].
+///
+/// # Errors
+///
+/// Propagates workload-extraction errors.
+pub fn extract_workload(point: &SweepPoint) -> SimResult<ModelWorkload> {
     point
         .workload
         .extract(BitWidth::new(point.bits), point.sparsity, point.seed)
@@ -265,7 +282,15 @@ pub fn simulate_point(point: &SweepPoint) -> SimResult<SimulationReport> {
 }
 
 /// Simulates a point against pre-built (possibly shared) artifacts.
-fn simulate_point_with(
+///
+/// Produces bit-identical reports to [`simulate_point`]; public so callers
+/// probing many configurations against one accelerator (the serving
+/// simulator's service tables) pay artifact construction once.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn simulate_point_with(
     point: &SweepPoint,
     accel: &Arc<Accelerator>,
     workload: &ModelWorkload,

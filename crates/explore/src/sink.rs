@@ -19,18 +19,22 @@
 //!   (a partial JSON array would be corrupt, unlike a JSONL/CSV prefix);
 //! * [`JsonlSink`] — JSON Lines, one compact record per line, flushed at each
 //!   shard boundary (append-friendly: every flushed line is final);
-//! * [`CsvSink`] — CSV with the standard [`CSV_HEADER`] columns,
-//!   byte-identical to [`to_csv`](crate::to_csv), flushed per shard;
+//! * [`CsvSink`] — CSV with the record type's [`CsvRecord`] columns,
+//!   byte-identical to [`to_csv`](crate::to_csv) for sweep records, flushed
+//!   per shard;
 //! * [`MultiSink`] — fans records out to several sinks at once.
 
 use std::fs;
 use std::io::{BufWriter, Write as _};
+use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
 
-use crate::error::{ExploreError, Result};
-use crate::record::{csv_row, SweepRecord, CSV_HEADER};
+use serde::Serialize;
 
-/// Receives completed sweep records in deterministic expansion order.
+use crate::error::{ExploreError, Result};
+use crate::record::{CsvRecord, SweepRecord};
+
+/// Receives completed records in deterministic expansion order.
 ///
 /// The executor calls [`accept`](Self::accept) once per completed point (in
 /// the spec's expansion order, skipping failed points under
@@ -38,19 +42,23 @@ use crate::record::{csv_row, SweepRecord, CSV_HEADER};
 /// [`flush_shard`](Self::flush_shard) after each shard, and
 /// [`finish`](Self::finish) exactly once after the last shard.
 ///
+/// The trait is generic over the record type so the same file sinks stream
+/// sweep records and `simphony-traffic` serving records alike; the default
+/// `R = SweepRecord` keeps the common case spelled `dyn RecordSink`.
+///
 /// Implementations stay **single-threaded**: the executor only ever drives a
 /// sink from one thread at a time, with calls in the order above, so no
 /// internal synchronization is needed. The `Send` bound exists because the
 /// pipelined executor moves the sink onto its dedicated writer thread — the
 /// sink crosses a thread boundary once, it is never shared.
-pub trait RecordSink: Send {
+pub trait RecordSink<R = SweepRecord>: Send {
     /// Accepts the next completed record.
     ///
     /// # Errors
     ///
     /// Propagates serialization and I/O errors; an erroring sink aborts the
     /// sweep.
-    fn accept(&mut self, record: SweepRecord) -> Result<()>;
+    fn accept(&mut self, record: R) -> Result<()>;
 
     /// Called after each shard completes; durable sinks flush buffered output
     /// to disk here so interrupted sweeps leave a readable prefix.
@@ -74,30 +82,40 @@ pub trait RecordSink: Send {
 }
 
 /// In-memory sink: collects records into a `Vec`.
-#[derive(Debug, Default)]
-pub struct VecSink {
-    records: Vec<SweepRecord>,
+#[derive(Debug)]
+pub struct VecSink<R = SweepRecord> {
+    records: Vec<R>,
 }
 
-impl VecSink {
+// Manual impl: deriving `Default` would demand `R: Default` even though an
+// empty `Vec` needs no such bound.
+impl<R> Default for VecSink<R> {
+    fn default() -> Self {
+        Self {
+            records: Vec::new(),
+        }
+    }
+}
+
+impl<R> VecSink<R> {
     /// An empty sink.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// The records accepted so far.
-    pub fn records(&self) -> &[SweepRecord] {
+    pub fn records(&self) -> &[R] {
         &self.records
     }
 
     /// Consumes the sink, returning the collected records.
-    pub fn into_records(self) -> Vec<SweepRecord> {
+    pub fn into_records(self) -> Vec<R> {
         self.records
     }
 }
 
-impl RecordSink for VecSink {
-    fn accept(&mut self, record: SweepRecord) -> Result<()> {
+impl<R: Send> RecordSink<R> for VecSink<R> {
+    fn accept(&mut self, record: R) -> Result<()> {
         self.records.push(record);
         Ok(())
     }
@@ -118,14 +136,17 @@ fn io_err(path: &Path, e: std::io::Error) -> ExploreError {
 /// [`finish`](RecordSink::finish): a failing or interrupted sweep leaves any
 /// pre-existing file at `path` untouched (the stage file is removed on drop).
 #[derive(Debug)]
-pub struct JsonFileSink {
+pub struct JsonFileSink<R = SweepRecord> {
     path: PathBuf,
     stage: PathBuf,
     writer: Option<BufWriter<fs::File>>,
     count: usize,
+    // `fn(R)` keeps the marker `Send + Sync` whatever `R` is: the sink holds
+    // no record, it only serializes them as they pass through.
+    _record: PhantomData<fn(R)>,
 }
 
-impl JsonFileSink {
+impl<R> JsonFileSink<R> {
     /// Opens the staging file next to `path` (same directory, so the final
     /// rename stays on one filesystem). `path` itself is not touched until
     /// [`finish`](RecordSink::finish).
@@ -144,6 +165,7 @@ impl JsonFileSink {
             stage,
             writer: Some(BufWriter::new(file)),
             count: 0,
+            _record: PhantomData,
         })
     }
 
@@ -154,8 +176,8 @@ impl JsonFileSink {
     }
 }
 
-impl RecordSink for JsonFileSink {
-    fn accept(&mut self, record: SweepRecord) -> Result<()> {
+impl<R: Serialize> RecordSink<R> for JsonFileSink<R> {
+    fn accept(&mut self, record: R) -> Result<()> {
         let pretty = serde_json::to_string_pretty(&record)?;
         let mut chunk = String::with_capacity(pretty.len() + pretty.len() / 8 + 4);
         chunk.push_str(if self.count == 0 { "[" } else { "," });
@@ -192,7 +214,7 @@ impl RecordSink for JsonFileSink {
     }
 }
 
-impl Drop for JsonFileSink {
+impl<R> Drop for JsonFileSink<R> {
     fn drop(&mut self) {
         // Not finished (failed or interrupted sweep): discard the stage file,
         // leaving whatever was previously published at `path` intact.
@@ -206,12 +228,13 @@ impl Drop for JsonFileSink {
 /// every shard boundary so each flushed line is final and the file is always
 /// a valid prefix of the full output.
 #[derive(Debug)]
-pub struct JsonlSink {
+pub struct JsonlSink<R = SweepRecord> {
     path: PathBuf,
     writer: BufWriter<fs::File>,
+    _record: PhantomData<fn(R)>,
 }
 
-impl JsonlSink {
+impl<R> JsonlSink<R> {
     /// Creates (truncating) the output file.
     ///
     /// # Errors
@@ -223,6 +246,7 @@ impl JsonlSink {
         Ok(Self {
             path,
             writer: BufWriter::new(file),
+            _record: PhantomData,
         })
     }
 
@@ -243,12 +267,13 @@ impl JsonlSink {
         Ok(Self {
             path,
             writer: BufWriter::new(file),
+            _record: PhantomData,
         })
     }
 }
 
-impl RecordSink for JsonlSink {
-    fn accept(&mut self, record: SweepRecord) -> Result<()> {
+impl<R: Serialize> RecordSink<R> for JsonlSink<R> {
+    fn accept(&mut self, record: R) -> Result<()> {
         let mut line = serde_json::to_string(&record)?;
         line.push('\n');
         self.writer
@@ -265,16 +290,17 @@ impl RecordSink for JsonlSink {
     }
 }
 
-/// Streaming CSV sink with the standard [`CSV_HEADER`] columns, flushed at
-/// every shard boundary; byte-identical to [`to_csv`](crate::to_csv) of the
-/// full record list.
+/// Streaming CSV sink with the record type's [`CsvRecord`] columns, flushed
+/// at every shard boundary; for sweep records, byte-identical to
+/// [`to_csv`](crate::to_csv) of the full record list.
 #[derive(Debug)]
-pub struct CsvSink {
+pub struct CsvSink<R = SweepRecord> {
     path: PathBuf,
     writer: BufWriter<fs::File>,
+    _record: PhantomData<fn(R)>,
 }
 
-impl CsvSink {
+impl<R: CsvRecord> CsvSink<R> {
     /// Creates (truncating) the output file and writes the header line.
     ///
     /// # Errors
@@ -285,16 +311,20 @@ impl CsvSink {
         let file = fs::File::create(&path).map_err(|e| io_err(&path, e))?;
         let mut writer = BufWriter::new(file);
         writer
-            .write_all(CSV_HEADER.as_bytes())
+            .write_all(R::csv_header().as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
             .map_err(|e| io_err(&path, e))?;
-        Ok(Self { path, writer })
+        Ok(Self {
+            path,
+            writer,
+            _record: PhantomData,
+        })
     }
 }
 
-impl RecordSink for CsvSink {
-    fn accept(&mut self, record: SweepRecord) -> Result<()> {
-        let mut row = csv_row(&record);
+impl<R: CsvRecord> RecordSink<R> for CsvSink<R> {
+    fn accept(&mut self, record: R) -> Result<()> {
+        let mut row = record.csv_line();
         row.push('\n');
         self.writer
             .write_all(row.as_bytes())
@@ -311,12 +341,19 @@ impl RecordSink for CsvSink {
 }
 
 /// Fans records out to several sinks (e.g. JSON + CSV + JSONL in one sweep).
-#[derive(Default)]
-pub struct MultiSink {
-    sinks: Vec<Box<dyn RecordSink>>,
+pub struct MultiSink<R = SweepRecord> {
+    sinks: Vec<Box<dyn RecordSink<R>>>,
 }
 
-impl MultiSink {
+// Manual impl: deriving `Default` would demand `R: Default` even though an
+// empty fan-out needs no such bound.
+impl<R> Default for MultiSink<R> {
+    fn default() -> Self {
+        Self { sinks: Vec::new() }
+    }
+}
+
+impl<R> MultiSink<R> {
     /// An empty fan-out (accepts and drops everything).
     pub fn new() -> Self {
         Self::default()
@@ -324,13 +361,13 @@ impl MultiSink {
 
     /// Adds a sink to the fan-out.
     #[must_use]
-    pub fn with(mut self, sink: Box<dyn RecordSink>) -> Self {
+    pub fn with(mut self, sink: Box<dyn RecordSink<R>>) -> Self {
         self.sinks.push(sink);
         self
     }
 
     /// Adds a sink to the fan-out.
-    pub fn push(&mut self, sink: Box<dyn RecordSink>) {
+    pub fn push(&mut self, sink: Box<dyn RecordSink<R>>) {
         self.sinks.push(sink);
     }
 
@@ -345,8 +382,8 @@ impl MultiSink {
     }
 }
 
-impl RecordSink for MultiSink {
-    fn accept(&mut self, record: SweepRecord) -> Result<()> {
+impl<R: Clone> RecordSink<R> for MultiSink<R> {
+    fn accept(&mut self, record: R) -> Result<()> {
         if let Some((last, rest)) = self.sinks.split_last_mut() {
             for sink in rest {
                 sink.accept(record.clone())?;
@@ -429,7 +466,7 @@ mod tests {
     #[test]
     fn empty_json_file_sink_writes_an_empty_array() {
         let path = scratch("empty.json");
-        let mut sink = JsonFileSink::create(&path).unwrap();
+        let mut sink: JsonFileSink = JsonFileSink::create(&path).unwrap();
         sink.finish().unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "[]\n");
         std::fs::remove_file(&path).ok();

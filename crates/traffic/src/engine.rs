@@ -1,0 +1,773 @@
+//! The deterministic discrete-event serving engine.
+//!
+//! The engine is deliberately decoupled from the photonic simulator: it takes
+//! per-slot, per-class [`ServiceCost`] tables (plain milliseconds and
+//! microjoules, however they were obtained) and simulates a fleet of
+//! accelerator slots serving a request stream. All randomness — arrival
+//! times, class draws, service-time draws, think times — comes from one
+//! seeded [`SplitMix64`] consumed in event order, and event ties are broken
+//! by insertion sequence, so a run is a pure function of its
+//! [`EngineConfig`]: same config, same [`ServingReport`], bit for bit, on
+//! any machine at any thread count.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use simphony_onn::SplitMix64;
+
+use crate::spec::{Discipline, ServiceDistribution};
+
+/// The serving cost of one request class on one slot: how long one request
+/// occupies the slot and how much energy it burns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceCost {
+    /// Base service time of a single-request batch, milliseconds.
+    pub time_ms: f64,
+    /// Energy of a single-request batch, microjoules.
+    pub energy_uj: f64,
+}
+
+/// How requests arrive, with every parameter bound (rates in requests per
+/// second, think time in milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalKind {
+    /// Open-loop Poisson arrivals at `rate_rps`.
+    Poisson {
+        /// Mean arrival rate, requests/s.
+        rate_rps: f64,
+    },
+    /// Open-loop deterministic arrivals every `1000 / rate_rps` ms.
+    FixedRate {
+        /// Arrival rate, requests/s.
+        rate_rps: f64,
+    },
+    /// Closed loop: `clients` clients, each with one outstanding request and
+    /// an exponential think pause of mean `think_ms` between completion and
+    /// the next request.
+    ClosedLoop {
+        /// Number of clients.
+        clients: usize,
+        /// Mean think time, milliseconds (0 = back-to-back).
+        think_ms: f64,
+    },
+}
+
+/// One fully-bound engine run: the service tables plus every policy knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig<'a> {
+    /// Per-slot service tables: `slots[s][c]` is the cost of class `c` on
+    /// slot `s`. Every slot must cover every class.
+    pub slots: &'a [Vec<ServiceCost>],
+    /// Relative arrival weight per class (normalized internally).
+    pub class_weights: &'a [f64],
+    /// Arrival process.
+    pub arrival: ArrivalKind,
+    /// Service-time variability around the base time.
+    pub service: ServiceDistribution,
+    /// Queue discipline.
+    pub discipline: Discipline,
+    /// Maximum requests a slot serves at once.
+    pub batch_size: usize,
+    /// Fraction of marginal batch service time amortized away: a batch of
+    /// `m` takes `base * (1 + (m - 1) * (1 - batch_alpha))` where `base` is
+    /// the slowest member's single-request time, and each member is charged
+    /// `energy * (1 + (m - 1) * (1 - batch_alpha)) / m`.
+    pub batch_alpha: f64,
+    /// Per-queue capacity (0 = unbounded); a full queue drops the arrival.
+    pub queue_capacity: usize,
+    /// Completions discarded before measurement starts.
+    pub warmup: usize,
+    /// Measured completions to collect before stopping.
+    pub requests: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The measured outcome of one engine run.
+///
+/// All latency metrics are *sojourn* times (queueing wait plus service) over
+/// the measured window — the `requests` completions after the first `warmup`
+/// are discarded; `dropped` counts the whole run including warmup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Measured completions (>= the configured `requests`; a final batch may
+    /// push past the target).
+    pub completed: usize,
+    /// Arrivals dropped at a full queue over the whole run.
+    pub dropped: usize,
+    /// Mean sojourn, milliseconds.
+    pub mean_ms: f64,
+    /// Median sojourn, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile sojourn, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile sojourn, milliseconds.
+    pub p999_ms: f64,
+    /// Completed requests per second over the measured window.
+    pub throughput_rps: f64,
+    /// Mean fraction of slots busy over the whole run.
+    pub utilization: f64,
+    /// Time-averaged number of requests in the system (queued + in service)
+    /// over the measured window — the `L` of Little's law.
+    pub avg_in_system: f64,
+    /// Mean energy per measured request, microjoules.
+    pub energy_per_request_uj: f64,
+    /// Simulated time at stop, milliseconds.
+    pub sim_time_ms: f64,
+}
+
+/// What a scheduled event does when it fires.
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// A request enters the system; `client` is its closed-loop client, or
+    /// `None` under an open-loop process.
+    Arrival { client: Option<usize> },
+    /// Slot `slot` finishes its current batch.
+    Departure { slot: usize },
+}
+
+/// A heap entry ordered by time, ties broken by insertion sequence — the
+/// second key makes the ordering total (and deterministic) even when floats
+/// collide exactly.
+#[derive(Debug)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    // Reversed so the std max-heap pops the *earliest* event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// One request in flight.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    class: usize,
+    arrival_ms: f64,
+    client: Option<usize>,
+}
+
+/// One accelerator slot.
+#[derive(Debug, Default)]
+struct Slot {
+    /// Per-slot FCFS queue (unused under a centralized discipline).
+    queue: VecDeque<Request>,
+    /// The batch currently in service (empty = idle).
+    batch: Vec<Request>,
+    /// When the current batch started.
+    batch_start: f64,
+    /// Total busy time of completed batches.
+    busy_ms: f64,
+}
+
+impl Slot {
+    fn busy(&self) -> bool {
+        !self.batch.is_empty()
+    }
+}
+
+/// Draws from `Exp(1/mean)` — mean `mean`, via inverse transform. `1 - u`
+/// keeps the argument of `ln` strictly positive (`u` is in `[0, 1)`).
+fn exponential(rng: &mut SplitMix64, mean: f64) -> f64 {
+    -(1.0 - rng.next_f64()).ln() * mean
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// The full engine state of one run.
+struct Engine<'a> {
+    cfg: &'a EngineConfig<'a>,
+    rng: SplitMix64,
+    events: BinaryHeap<Event>,
+    next_seq: u64,
+    slots: Vec<Slot>,
+    /// The shared queue of [`Discipline::CentralFcfs`]. Invariant: non-empty
+    /// only while every slot is busy (arrivals prefer idle slots, freed
+    /// slots drain it immediately).
+    central: VecDeque<Request>,
+    /// Next slot for round-robin dispatch.
+    rr_next: usize,
+    /// Cumulative class weights for the class draw.
+    cumulative_weights: Vec<f64>,
+    // --- accounting ---
+    clock_ms: f64,
+    in_system: usize,
+    /// Integral of `in_system` over time.
+    area: f64,
+    completed_total: usize,
+    dropped: usize,
+    sojourns_ms: Vec<f64>,
+    measured_energy_uj: f64,
+    window_start_ms: f64,
+    area_at_window_start: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a EngineConfig<'a>) -> Self {
+        let mut acc = 0.0;
+        let cumulative_weights = cfg
+            .class_weights
+            .iter()
+            .map(|w| {
+                acc += w;
+                acc
+            })
+            .collect();
+        Self {
+            cfg,
+            rng: SplitMix64::new(cfg.seed),
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            slots: (0..cfg.slots.len()).map(|_| Slot::default()).collect(),
+            central: VecDeque::new(),
+            rr_next: 0,
+            cumulative_weights,
+            clock_ms: 0.0,
+            in_system: 0,
+            area: 0.0,
+            completed_total: 0,
+            dropped: 0,
+            sojourns_ms: Vec::with_capacity(cfg.requests),
+            measured_energy_uj: 0.0,
+            window_start_ms: 0.0,
+            area_at_window_start: 0.0,
+        }
+    }
+
+    fn schedule(&mut self, time: f64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Event { time, seq, kind });
+    }
+
+    fn draw_class(&mut self) -> usize {
+        if self.cumulative_weights.len() == 1 {
+            return 0;
+        }
+        let total = *self.cumulative_weights.last().expect("at least one class");
+        let target = self.rng.next_f64() * total;
+        self.cumulative_weights
+            .iter()
+            .position(|&cum| target < cum)
+            .unwrap_or(self.cumulative_weights.len() - 1)
+    }
+
+    fn draw_interarrival(&mut self) -> f64 {
+        match self.cfg.arrival {
+            ArrivalKind::Poisson { rate_rps } => exponential(&mut self.rng, 1000.0 / rate_rps),
+            ArrivalKind::FixedRate { rate_rps } => 1000.0 / rate_rps,
+            ArrivalKind::ClosedLoop { .. } => {
+                unreachable!("closed-loop arrivals are completion-driven")
+            }
+        }
+    }
+
+    fn draw_think(&mut self) -> f64 {
+        match self.cfg.arrival {
+            ArrivalKind::ClosedLoop { think_ms, .. } if think_ms > 0.0 => {
+                exponential(&mut self.rng, think_ms)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Starts serving `batch` on `slot` now, scheduling its departure.
+    fn start_batch(&mut self, slot: usize, batch: Vec<Request>, now: f64) {
+        debug_assert!(!batch.is_empty() && batch.len() <= self.cfg.batch_size);
+        let base_ms = batch
+            .iter()
+            .map(|r| self.cfg.slots[slot][r.class].time_ms)
+            .fold(0.0, f64::max);
+        let m = batch.len() as f64;
+        let factor = 1.0 + (m - 1.0) * (1.0 - self.cfg.batch_alpha);
+        let mut duration = base_ms * factor;
+        if self.cfg.service == ServiceDistribution::Exponential {
+            duration *= exponential(&mut self.rng, 1.0);
+        }
+        self.slots[slot].batch = batch;
+        self.slots[slot].batch_start = now;
+        self.schedule(now + duration, EventKind::Departure { slot });
+    }
+
+    /// Routes one accepted-or-dropped arrival. Returns whether it was
+    /// accepted (callers never need it, but it documents the two outcomes).
+    fn dispatch(&mut self, request: Request, now: f64) -> bool {
+        let capacity = self.cfg.queue_capacity;
+        let accepted = match self.cfg.discipline {
+            Discipline::CentralFcfs => {
+                if let Some(idle) = (0..self.slots.len()).find(|&s| !self.slots[s].busy()) {
+                    self.start_batch(idle, vec![request], now);
+                    true
+                } else if capacity == 0 || self.central.len() < capacity {
+                    self.central.push_back(request);
+                    true
+                } else {
+                    false
+                }
+            }
+            Discipline::RoundRobin => {
+                let slot = self.rr_next % self.slots.len();
+                self.rr_next += 1;
+                self.queue_or_serve(slot, request, now)
+            }
+            Discipline::JoinShortestQueue => {
+                // Load = queued + in service; ties go to the lowest index.
+                let slot = (0..self.slots.len())
+                    .min_by_key(|&s| self.slots[s].queue.len() + self.slots[s].batch.len())
+                    .expect("fleet is non-empty");
+                self.queue_or_serve(slot, request, now)
+            }
+        };
+        if accepted {
+            self.in_system += 1;
+        } else {
+            self.dropped += 1;
+            if let Some(client) = request.client {
+                // A closed-loop client retries after a fresh think pause
+                // (validation forbids bounded queues with zero think time,
+                // which would livelock here).
+                let think = self.draw_think();
+                self.schedule(
+                    now + think,
+                    EventKind::Arrival {
+                        client: Some(client),
+                    },
+                );
+            }
+        }
+        accepted
+    }
+
+    fn queue_or_serve(&mut self, slot: usize, request: Request, now: f64) -> bool {
+        if !self.slots[slot].busy() && self.slots[slot].queue.is_empty() {
+            self.start_batch(slot, vec![request], now);
+            true
+        } else if self.cfg.queue_capacity == 0
+            || self.slots[slot].queue.len() < self.cfg.queue_capacity
+        {
+            self.slots[slot].queue.push_back(request);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completes `slot`'s batch; returns true once the measured target is
+    /// reached.
+    fn depart(&mut self, slot: usize, now: f64) -> bool {
+        self.slots[slot].busy_ms += now - self.slots[slot].batch_start;
+        let batch = std::mem::take(&mut self.slots[slot].batch);
+        let m = batch.len() as f64;
+        let factor = 1.0 + (m - 1.0) * (1.0 - self.cfg.batch_alpha);
+        for request in batch {
+            self.completed_total += 1;
+            self.in_system -= 1;
+            if self.completed_total > self.cfg.warmup {
+                self.sojourns_ms.push(now - request.arrival_ms);
+                self.measured_energy_uj +=
+                    self.cfg.slots[slot][request.class].energy_uj * factor / m;
+            } else if self.completed_total == self.cfg.warmup {
+                // Measurement window opens at the last discarded completion.
+                self.window_start_ms = now;
+                self.area_at_window_start = self.area;
+            }
+            if let Some(client) = request.client {
+                let think = self.draw_think();
+                self.schedule(
+                    now + think,
+                    EventKind::Arrival {
+                        client: Some(client),
+                    },
+                );
+            }
+        }
+        if self.sojourns_ms.len() >= self.cfg.requests {
+            return true;
+        }
+        // The freed slot greedily takes the next batch from its queue.
+        let queue = match self.cfg.discipline {
+            Discipline::CentralFcfs => &mut self.central,
+            _ => &mut self.slots[slot].queue,
+        };
+        let take = queue.len().min(self.cfg.batch_size);
+        if take > 0 {
+            let batch: Vec<Request> = queue.drain(..take).collect();
+            self.start_batch(slot, batch, now);
+        }
+        false
+    }
+
+    fn run(mut self) -> ServingReport {
+        // Seed the event queue.
+        match self.cfg.arrival {
+            ArrivalKind::ClosedLoop { clients, .. } => {
+                for client in 0..clients {
+                    self.schedule(
+                        0.0,
+                        EventKind::Arrival {
+                            client: Some(client),
+                        },
+                    );
+                }
+            }
+            _ => {
+                let first = self.draw_interarrival();
+                self.schedule(first, EventKind::Arrival { client: None });
+            }
+        }
+        let stop_ms = loop {
+            let event = self
+                .events
+                .pop()
+                .expect("arrival processes are self-perpetuating");
+            self.area += self.in_system as f64 * (event.time - self.clock_ms);
+            self.clock_ms = event.time;
+            match event.kind {
+                EventKind::Arrival { client } => {
+                    let class = self.draw_class();
+                    if client.is_none() {
+                        let next = self.clock_ms + self.draw_interarrival();
+                        self.schedule(next, EventKind::Arrival { client: None });
+                    }
+                    let request = Request {
+                        class,
+                        arrival_ms: self.clock_ms,
+                        client,
+                    };
+                    self.dispatch(request, self.clock_ms);
+                }
+                EventKind::Departure { slot } => {
+                    if self.depart(slot, self.clock_ms) {
+                        break self.clock_ms;
+                    }
+                }
+            }
+        };
+        // Slots still mid-batch at stop count their partial busy time.
+        let busy_ms: f64 = self
+            .slots
+            .iter()
+            .map(|s| {
+                s.busy_ms
+                    + if s.busy() {
+                        stop_ms - s.batch_start
+                    } else {
+                        0.0
+                    }
+            })
+            .sum();
+        let mut sorted = self.sojourns_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        let measured = self.sojourns_ms.len();
+        let window_ms = stop_ms - self.window_start_ms;
+        // A degenerate window (every measured completion at one instant)
+        // falls back to the whole run so throughput stays finite.
+        let (window_ms, window_area) = if window_ms > 0.0 {
+            (window_ms, self.area - self.area_at_window_start)
+        } else {
+            (stop_ms.max(f64::MIN_POSITIVE), self.area)
+        };
+        ServingReport {
+            completed: measured,
+            dropped: self.dropped,
+            mean_ms: self.sojourns_ms.iter().sum::<f64>() / measured as f64,
+            p50_ms: percentile(&sorted, 0.50),
+            p99_ms: percentile(&sorted, 0.99),
+            p999_ms: percentile(&sorted, 0.999),
+            throughput_rps: measured as f64 / window_ms * 1000.0,
+            utilization: busy_ms / (self.slots.len() as f64 * stop_ms.max(f64::MIN_POSITIVE)),
+            avg_in_system: window_area / window_ms,
+            energy_per_request_uj: self.measured_energy_uj / measured as f64,
+            sim_time_ms: stop_ms,
+        }
+    }
+}
+
+/// Runs one serving scenario to completion.
+///
+/// # Panics
+///
+/// Panics (in debug builds, via `debug_assert`) on configurations the
+/// [`ServingSpec`](crate::ServingSpec) validator rejects: empty fleets or
+/// class lists, slots whose tables do not cover every class, zero batch
+/// sizes or measured-request targets.
+pub fn run_engine(cfg: &EngineConfig<'_>) -> ServingReport {
+    debug_assert!(!cfg.slots.is_empty(), "fleet must have at least one slot");
+    debug_assert!(
+        cfg.slots
+            .iter()
+            .all(|table| table.len() == cfg.class_weights.len()),
+        "every slot must cover every class"
+    );
+    debug_assert!(cfg.batch_size >= 1 && cfg.requests >= 1);
+    Engine::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(time_ms: f64) -> ServiceCost {
+        ServiceCost {
+            time_ms,
+            energy_uj: time_ms * 10.0,
+        }
+    }
+
+    fn base_config<'a>(
+        slots: &'a [Vec<ServiceCost>],
+        weights: &'a [f64],
+        arrival: ArrivalKind,
+    ) -> EngineConfig<'a> {
+        EngineConfig {
+            slots,
+            class_weights: weights,
+            arrival,
+            service: ServiceDistribution::Deterministic,
+            discipline: Discipline::CentralFcfs,
+            batch_size: 1,
+            batch_alpha: 0.5,
+            queue_capacity: 0,
+            warmup: 100,
+            requests: 2000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fixed_rate_below_capacity_has_no_queueing() {
+        // One slot, 1 ms deterministic service, one arrival every 2 ms:
+        // every request finds the server idle, so sojourn == service time
+        // and utilization == 0.5 exactly.
+        let slots = vec![vec![cost(1.0)]];
+        let weights = [1.0];
+        let cfg = base_config(&slots, &weights, ArrivalKind::FixedRate { rate_rps: 500.0 });
+        let report = run_engine(&cfg);
+        assert_eq!(report.dropped, 0);
+        assert!(
+            (report.mean_ms - 1.0).abs() < 1e-9,
+            "mean {}",
+            report.mean_ms
+        );
+        assert!((report.p999_ms - 1.0).abs() < 1e-9);
+        assert!(
+            (report.utilization - 0.5).abs() < 0.01,
+            "utilization {}",
+            report.utilization
+        );
+        assert!((report.throughput_rps - 500.0).abs() < 1.0);
+        // Energy per request is the single-request cost (batches of 1).
+        assert!((report.energy_per_request_uj - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mm1_mean_sojourn_matches_the_closed_form() {
+        // M/M/1 at rho = 0.6: W = 1 / (mu - lambda) with mu = 1000/ms and
+        // lambda = 600/s => W = 2.5 ms. Tolerance covers sampling noise at
+        // 60k measured requests.
+        let slots = vec![vec![cost(1.0)]];
+        let weights = [1.0];
+        let mut cfg = base_config(&slots, &weights, ArrivalKind::Poisson { rate_rps: 600.0 });
+        cfg.service = ServiceDistribution::Exponential;
+        cfg.warmup = 2000;
+        cfg.requests = 60_000;
+        let report = run_engine(&cfg);
+        let expected_w = 2.5;
+        assert!(
+            (report.mean_ms - expected_w).abs() / expected_w < 0.05,
+            "mean sojourn {} ms, expected ~{} ms",
+            report.mean_ms,
+            expected_w
+        );
+        assert!(
+            (report.utilization - 0.6).abs() < 0.03,
+            "utilization {}, expected ~0.6",
+            report.utilization
+        );
+        // The percentile ladder is monotone.
+        assert!(report.p50_ms <= report.p99_ms && report.p99_ms <= report.p999_ms);
+    }
+
+    #[test]
+    fn littles_law_holds_on_closed_loop_runs() {
+        // L = X * W over the measured window, with L measured as the time
+        // average of requests in system (clients in think state excluded —
+        // they are outside the queueing system).
+        let slots = vec![vec![cost(1.0)], vec![cost(1.0)]];
+        let weights = [1.0];
+        let mut cfg = base_config(
+            &slots,
+            &weights,
+            ArrivalKind::ClosedLoop {
+                clients: 8,
+                think_ms: 3.0,
+            },
+        );
+        cfg.service = ServiceDistribution::Exponential;
+        cfg.discipline = Discipline::CentralFcfs;
+        cfg.warmup = 2000;
+        cfg.requests = 40_000;
+        let report = run_engine(&cfg);
+        let x_per_ms = report.throughput_rps / 1000.0;
+        let predicted_l = x_per_ms * report.mean_ms;
+        assert!(
+            (report.avg_in_system - predicted_l).abs() / predicted_l < 0.03,
+            "L {} vs X*W {}",
+            report.avg_in_system,
+            predicted_l
+        );
+    }
+
+    #[test]
+    fn bounded_queues_drop_overload_instead_of_growing() {
+        // Offered load 2x capacity into a queue of 4: drops must absorb
+        // roughly half the arrivals, and the queue bound caps the sojourn at
+        // (capacity + 1) service times.
+        let slots = vec![vec![cost(1.0)]];
+        let weights = [1.0];
+        let mut cfg = base_config(
+            &slots,
+            &weights,
+            ArrivalKind::FixedRate { rate_rps: 2000.0 },
+        );
+        cfg.queue_capacity = 4;
+        cfg.warmup = 200;
+        cfg.requests = 5000;
+        let report = run_engine(&cfg);
+        assert!(report.dropped > 0, "overload must drop");
+        assert!(
+            report.p999_ms <= 5.0 + 1e-9,
+            "sojourn bounded by queue depth, got {}",
+            report.p999_ms
+        );
+        // Throughput saturates at the service capacity (1000/s), not the
+        // offered 2000/s.
+        assert!(
+            (report.throughput_rps - 1000.0).abs() < 20.0,
+            "throughput {}",
+            report.throughput_rps
+        );
+    }
+
+    #[test]
+    fn batching_amortizes_service_time_under_overload() {
+        // Same overload, batch of 4 at alpha = 1 (perfectly parallel):
+        // effective capacity quadruples, so the backlog drains and
+        // throughput follows the offered rate instead of saturating.
+        let slots = vec![vec![cost(1.0)]];
+        let weights = [1.0];
+        let mut cfg = base_config(
+            &slots,
+            &weights,
+            ArrivalKind::FixedRate { rate_rps: 2000.0 },
+        );
+        cfg.warmup = 200;
+        cfg.requests = 5000;
+        let saturated = run_engine(&cfg);
+        cfg.batch_size = 4;
+        cfg.batch_alpha = 1.0;
+        let batched = run_engine(&cfg);
+        assert!(
+            batched.throughput_rps > 1.8 * saturated.throughput_rps,
+            "batched {} vs saturated {}",
+            batched.throughput_rps,
+            saturated.throughput_rps
+        );
+        // Perfect amortization splits the batch energy across its members.
+        assert!(batched.energy_per_request_uj < saturated.energy_per_request_uj);
+    }
+
+    #[test]
+    fn jsq_beats_round_robin_on_heterogeneous_fleets() {
+        // A fast and a slow slot: round-robin sends every other request to
+        // the slow slot regardless of backlog; JSQ routes by queue length
+        // and keeps the tail lower.
+        let slots = vec![vec![cost(1.0)], vec![cost(4.0)]];
+        let weights = [1.0];
+        let mut cfg = base_config(&slots, &weights, ArrivalKind::Poisson { rate_rps: 700.0 });
+        cfg.service = ServiceDistribution::Exponential;
+        cfg.warmup = 500;
+        cfg.requests = 20_000;
+        cfg.discipline = Discipline::RoundRobin;
+        let rr = run_engine(&cfg);
+        cfg.discipline = Discipline::JoinShortestQueue;
+        let jsq = run_engine(&cfg);
+        assert!(
+            jsq.p99_ms < rr.p99_ms,
+            "JSQ p99 {} must beat RR p99 {}",
+            jsq.p99_ms,
+            rr.p99_ms
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible_and_seed_sensitive() {
+        let slots = vec![vec![cost(0.8), cost(1.6)]];
+        let weights = [3.0, 1.0];
+        let mut cfg = base_config(&slots, &weights, ArrivalKind::Poisson { rate_rps: 400.0 });
+        cfg.service = ServiceDistribution::Exponential;
+        cfg.requests = 3000;
+        let a = run_engine(&cfg);
+        let b = run_engine(&cfg);
+        assert_eq!(a, b, "same seed, same report, bit for bit");
+        cfg.seed = 8;
+        let c = run_engine(&cfg);
+        assert_ne!(a, c, "different seed, different sample path");
+    }
+
+    #[test]
+    fn class_mix_follows_the_weights() {
+        // Two classes at weights 3:1 with distinct energies; the blended
+        // energy per request converges near the weighted mean.
+        let slots = vec![vec![
+            ServiceCost {
+                time_ms: 1.0,
+                energy_uj: 10.0,
+            },
+            ServiceCost {
+                time_ms: 1.0,
+                energy_uj: 50.0,
+            },
+        ]];
+        let weights = [3.0, 1.0];
+        let mut cfg = base_config(&slots, &weights, ArrivalKind::Poisson { rate_rps: 200.0 });
+        cfg.warmup = 500;
+        cfg.requests = 20_000;
+        let report = run_engine(&cfg);
+        let expected = 0.75 * 10.0 + 0.25 * 50.0;
+        assert!(
+            (report.energy_per_request_uj - expected).abs() / expected < 0.05,
+            "blended energy {} vs expected {}",
+            report.energy_per_request_uj,
+            expected
+        );
+    }
+}

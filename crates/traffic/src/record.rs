@@ -1,0 +1,199 @@
+//! Serving result records: the flat, sinkable rendering of one engine run.
+
+use serde::{Deserialize, Serialize};
+
+use simphony_explore::{csv_escape, CsvRecord, Objective, ParetoRecord};
+
+use crate::engine::ServingReport;
+use crate::spec::{ServingPoint, ServingSpec};
+
+/// The metrics of one serving point, flattened for JSONL/CSV sinks and
+/// Pareto extraction — the serving-side sibling of
+/// [`SweepRecord`](simphony_explore::SweepRecord).
+///
+/// The `p99_ms` field doubles as the schema discriminator: sweep records
+/// never carry it, so `simphony-cli pareto` sniffs it to pick the record
+/// type of a result file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingRecord {
+    /// The configuration that produced these metrics.
+    pub point: ServingPoint,
+    /// Scenario label: spec name plus the bound axis values (free-form; CSV
+    /// output escapes it).
+    pub label: String,
+    /// Measured completions.
+    pub completed: usize,
+    /// Dropped arrivals over the whole run.
+    pub dropped: usize,
+    /// Mean sojourn, milliseconds.
+    pub mean_ms: f64,
+    /// Median sojourn, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile sojourn, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile sojourn, milliseconds.
+    pub p999_ms: f64,
+    /// Completed requests per second over the measured window.
+    pub throughput_rps: f64,
+    /// Mean fraction of slots busy.
+    pub utilization: f64,
+    /// Time-averaged requests in system over the measured window.
+    pub avg_in_system: f64,
+    /// Mean energy per measured request, microjoules.
+    pub energy_per_request_uj: f64,
+    /// Simulated time at stop, milliseconds.
+    pub sim_time_ms: f64,
+}
+
+impl ServingRecord {
+    /// Flattens one engine report into a record for `point` of `spec`.
+    pub fn from_report(spec: &ServingSpec, point: ServingPoint, report: &ServingReport) -> Self {
+        let label = format!(
+            "{}@load{}_fleet{}_{}_batch{}",
+            spec.name, point.offered_load, point.fleet_size, point.discipline, point.batch_size
+        );
+        Self {
+            point,
+            label,
+            completed: report.completed,
+            dropped: report.dropped,
+            mean_ms: report.mean_ms,
+            p50_ms: report.p50_ms,
+            p99_ms: report.p99_ms,
+            p999_ms: report.p999_ms,
+            throughput_rps: report.throughput_rps,
+            utilization: report.utilization,
+            avg_in_system: report.avg_in_system,
+            energy_per_request_uj: report.energy_per_request_uj,
+            sim_time_ms: report.sim_time_ms,
+        }
+    }
+}
+
+impl ParetoRecord for ServingRecord {
+    fn objective_value(&self, objective: Objective) -> Option<f64> {
+        match objective {
+            Objective::P99Latency => Some(self.p99_ms),
+            // Throughput is a maximization metric; the frontier engine
+            // minimizes, so it ranks the negated value.
+            Objective::Throughput => Some(-self.throughput_rps),
+            Objective::EnergyPerRequest => Some(self.energy_per_request_uj),
+            Objective::Energy
+            | Objective::Latency
+            | Objective::Power
+            | Objective::Area
+            | Objective::Edp => None,
+        }
+    }
+
+    fn record_index(&self) -> usize {
+        self.point.index
+    }
+}
+
+/// Header of the serving-record CSV rendering.
+pub const SERVING_CSV_HEADER: &str = "index,label,offered_load,fleet_size,discipline,batch_size,\
+completed,dropped,mean_ms,p50_ms,p99_ms,p999_ms,throughput_rps,utilization,avg_in_system,\
+energy_per_request_uj,sim_time_ms";
+
+impl CsvRecord for ServingRecord {
+    fn csv_header() -> &'static str {
+        SERVING_CSV_HEADER
+    }
+
+    fn csv_line(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.point.index,
+            csv_escape(&self.label),
+            self.point.offered_load,
+            self.point.fleet_size,
+            self.point.discipline,
+            self.point.batch_size,
+            self.completed,
+            self.dropped,
+            self.mean_ms,
+            self.p50_ms,
+            self.p99_ms,
+            self.p999_ms,
+            self.throughput_rps,
+            self.utilization,
+            self.avg_in_system,
+            self.energy_per_request_uj,
+            self.sim_time_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Discipline;
+
+    fn record(index: usize, p99_ms: f64, throughput_rps: f64) -> ServingRecord {
+        ServingRecord {
+            point: ServingPoint {
+                index,
+                offered_load: 100.0,
+                fleet_size: 1,
+                discipline: Discipline::CentralFcfs,
+                batch_size: 1,
+            },
+            label: format!("test#{index}"),
+            completed: 100,
+            dropped: 0,
+            mean_ms: p99_ms / 2.0,
+            p50_ms: p99_ms / 3.0,
+            p99_ms,
+            p999_ms: p99_ms * 1.5,
+            throughput_rps,
+            utilization: 0.5,
+            avg_in_system: 1.0,
+            energy_per_request_uj: 12.0,
+            sim_time_ms: 1000.0,
+        }
+    }
+
+    #[test]
+    fn serving_objectives_rank_and_throughput_is_maximized() {
+        use simphony_explore::pareto_front;
+        // #1 dominates #0 (lower p99, higher throughput); #2 trades off.
+        let records = vec![
+            record(0, 10.0, 100.0),
+            record(1, 5.0, 200.0),
+            record(2, 2.0, 50.0),
+        ];
+        let front =
+            pareto_front(&records, &[Objective::P99Latency, Objective::Throughput]).unwrap();
+        let kept: Vec<usize> = front.iter().map(|r| r.point.index).collect();
+        assert_eq!(kept, vec![1, 2]);
+        // Sweep-only objectives over serving records are a clear error.
+        let err = pareto_front(&records, &[Objective::Energy]).unwrap_err();
+        assert!(err.to_string().contains("p99_latency"), "{err}");
+    }
+
+    #[test]
+    fn comma_bearing_labels_survive_the_csv_rendering() {
+        let mut r = record(0, 1.0, 10.0);
+        r.label = "fleet,hetero \"2+2\"".into();
+        let line = r.csv_line();
+        assert!(
+            line.starts_with("0,\"fleet,hetero \"\"2+2\"\"\",100,"),
+            "label must be RFC-4180 quoted: {line}"
+        );
+        // Clean labels stay unquoted and the column count matches the header.
+        let clean = record(1, 1.0, 10.0);
+        assert_eq!(
+            clean.csv_line().split(',').count(),
+            SERVING_CSV_HEADER.split(',').count()
+        );
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let r = record(3, 4.0, 80.0);
+        let text = serde_json::to_string(&r).unwrap();
+        let back: ServingRecord = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,213 @@
+//! End-to-end serving-simulation tests: heterogeneous fleets through the
+//! real photonic simulator, determinism across execution shapes, and golden
+//! byte-identity.
+
+use simphony_explore::{pareto_front, read_records_as, Objective};
+use simphony_traffic::{
+    run_serving_collect, run_serving_with, ArrivalProcess, Discipline, FleetTemplate, RequestClass,
+    ServingRecord, ServingSpec,
+};
+
+/// A small heterogeneous scenario: a TeMPO and an MRR-bank template serving
+/// two weighted GEMM classes.
+fn hetero_spec(name: &str) -> ServingSpec {
+    use simphony_explore::{ArchFamily, WorkloadSpec};
+    let mut spec = ServingSpec::new(name);
+    spec.fleet = vec![
+        FleetTemplate::new(ArchFamily::Tempo),
+        FleetTemplate::new(ArchFamily::MrrBank),
+    ];
+    spec.classes = vec![
+        RequestClass::new(WorkloadSpec::validation_gemm()),
+        RequestClass {
+            workload: WorkloadSpec::Gemm {
+                m: 64,
+                k: 32,
+                n: 64,
+            },
+            bits: 8,
+            sparsity: 0.0,
+            weight: 0.5,
+        },
+    ];
+    spec.warmup = 50;
+    spec.requests = 400;
+    spec
+}
+
+#[test]
+fn open_loop_hetero_fleet_reports_sane_metrics() {
+    let spec = hetero_spec("open-hetero")
+        .with_offered_load(vec![2000.0])
+        .with_fleet_size(vec![2, 4])
+        .with_discipline(vec![Discipline::CentralFcfs, Discipline::JoinShortestQueue]);
+    let records = run_serving_collect(&spec).expect("open-loop sweep runs");
+    assert_eq!(records.len(), 4);
+    for r in &records {
+        assert_eq!(r.completed, 400, "{}", r.label);
+        assert!(r.p50_ms > 0.0 && r.p50_ms <= r.p99_ms && r.p99_ms <= r.p999_ms);
+        assert!(r.throughput_rps > 0.0);
+        assert!(r.energy_per_request_uj > 0.0);
+        assert!((0.0..=1.0).contains(&r.utilization));
+    }
+    // Doubling the fleet at fixed load cannot worsen the p99 under either
+    // discipline (same seed, same arrival stream shape).
+    let by_point = |fleet: usize, d: Discipline| {
+        records
+            .iter()
+            .find(|r| r.point.fleet_size == fleet && r.point.discipline == d)
+            .unwrap()
+    };
+    for d in [Discipline::CentralFcfs, Discipline::JoinShortestQueue] {
+        assert!(
+            by_point(4, d).p99_ms <= by_point(2, d).p99_ms * 1.05,
+            "{d}: fleet of 4 should not have a worse tail than fleet of 2"
+        );
+    }
+}
+
+#[test]
+fn closed_loop_hetero_fleet_reports_sane_metrics() {
+    let mut spec = hetero_spec("closed-hetero")
+        .with_offered_load(vec![8.0])
+        .with_fleet_size(vec![2]);
+    spec.arrival = ArrivalProcess::ClosedLoop { think_ms: 1.0 };
+    let records = run_serving_collect(&spec).expect("closed-loop sweep runs");
+    assert_eq!(records.len(), 1);
+    let r = &records[0];
+    assert_eq!(r.completed, 400);
+    assert!(r.dropped == 0, "unbounded queues drop nothing");
+    // At most 8 requests can ever be in the system.
+    assert!(r.avg_in_system <= 8.0 + 1e-9);
+    assert!(r.throughput_rps > 0.0 && r.energy_per_request_uj > 0.0);
+}
+
+#[test]
+fn sweeps_are_byte_identical_across_chunk_sizes() {
+    // The executor parallelizes inside each shard; chunk size changes the
+    // parallel split entirely, so byte-identical JSONL across chunk sizes
+    // (including the fully serial chunk of 1) is the determinism contract.
+    let spec = hetero_spec("determinism")
+        .with_offered_load(vec![1000.0, 3000.0])
+        .with_discipline(vec![Discipline::CentralFcfs, Discipline::RoundRobin])
+        .with_batch_size(vec![1, 4]);
+    let dir = std::env::temp_dir();
+    let paths: Vec<std::path::PathBuf> = [1usize, 3, 64]
+        .iter()
+        .map(|chunk| {
+            let path = dir.join(format!(
+                "simphony-serving-det-{chunk}-{}.jsonl",
+                std::process::id()
+            ));
+            let mut sink = simphony_explore::JsonlSink::create(&path).expect("sink creates");
+            let outcome = run_serving_with(&spec, &mut sink, *chunk).expect("sweep runs");
+            assert_eq!(outcome.points, 8);
+            path
+        })
+        .collect();
+    let reference = std::fs::read(&paths[0]).unwrap();
+    assert!(!reference.is_empty());
+    for path in &paths[1..] {
+        assert_eq!(
+            std::fs::read(path).unwrap(),
+            reference,
+            "chunk size changed the output bytes"
+        );
+    }
+    for path in paths {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn serving_records_flow_through_sinks_and_pareto() {
+    let spec = hetero_spec("pipeline")
+        .with_offered_load(vec![500.0, 2000.0, 6000.0])
+        .with_batch_size(vec![1, 8]);
+    let dir = std::env::temp_dir();
+    let jsonl = dir.join(format!(
+        "simphony-serving-pipe-{}.jsonl",
+        std::process::id()
+    ));
+    let csv = dir.join(format!("simphony-serving-pipe-{}.csv", std::process::id()));
+    let mut sink = simphony_explore::MultiSink::new()
+        .with(Box::new(
+            simphony_explore::JsonlSink::create(&jsonl).unwrap(),
+        ))
+        .with(Box::new(simphony_explore::CsvSink::create(&csv).unwrap()));
+    run_serving_with(&spec, &mut sink, 4).expect("sweep runs");
+    let records: Vec<ServingRecord> = read_records_as(&jsonl).expect("records read back");
+    assert_eq!(records.len(), 6);
+    // The CSV mirrors the records line for line under the serving header.
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert_eq!(csv_text.lines().count(), 7);
+    assert!(csv_text.starts_with("index,label,offered_load"));
+    // A 3-objective serving frontier extracts cleanly.
+    let front = pareto_front(
+        &records,
+        &[
+            Objective::P99Latency,
+            Objective::Throughput,
+            Objective::EnergyPerRequest,
+        ],
+    )
+    .expect("serving frontier extracts");
+    assert!(!front.is_empty() && front.len() <= records.len());
+    std::fs::remove_file(jsonl).ok();
+    std::fs::remove_file(csv).ok();
+}
+
+const GOLDEN_SPEC: &str = include_str!("golden/serving_spec.json");
+const GOLDEN_RECORDS: &str = include_str!("golden/serving_records.jsonl");
+
+/// The scenario frozen in `golden/serving_spec.json`: heterogeneous fleet,
+/// two classes, exponential service, all three disciplines and two batch
+/// sizes.
+fn golden_spec() -> ServingSpec {
+    let mut spec = hetero_spec("golden")
+        .with_offered_load(vec![1500.0, 4000.0])
+        .with_fleet_size(vec![2])
+        .with_discipline(Discipline::ALL.to_vec())
+        .with_batch_size(vec![1, 4]);
+    spec.service = simphony_traffic::ServiceDistribution::Exponential;
+    spec.warmup = 30;
+    spec.requests = 150;
+    spec
+}
+
+/// Regenerates the golden files after a *deliberate* serving-semantics
+/// change: `cargo test -p simphony-traffic --test serving -- --ignored
+/// regenerate`.
+#[test]
+#[ignore = "writes the golden files; run explicitly after deliberate changes"]
+fn regenerate_golden_files() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let spec = golden_spec();
+    let spec_text = serde_json::to_string_pretty(&spec).unwrap() + "\n";
+    std::fs::write(dir.join("serving_spec.json"), spec_text).unwrap();
+    let records = run_serving_collect(&spec).expect("golden sweep runs");
+    let mut rendered = String::new();
+    for record in &records {
+        rendered.push_str(&serde_json::to_string(record).unwrap());
+        rendered.push('\n');
+    }
+    std::fs::write(dir.join("serving_records.jsonl"), rendered).unwrap();
+}
+
+#[test]
+fn serving_sweep_matches_the_golden_bytes() {
+    // `golden/serving_records.jsonl` was generated from
+    // `golden/serving_spec.json` when the engine landed; any diff is a
+    // serving-semantics change and must be deliberate (regenerate the file).
+    let spec: ServingSpec = serde_json::from_str(GOLDEN_SPEC).expect("golden spec parses");
+    let records = run_serving_collect(&spec).expect("golden sweep runs");
+    let mut rendered = String::new();
+    for record in &records {
+        rendered.push_str(&serde_json::to_string(record).expect("record serializes"));
+        rendered.push('\n');
+    }
+    assert_eq!(
+        rendered, GOLDEN_RECORDS,
+        "serving records diverged from the golden bytes"
+    );
+}
