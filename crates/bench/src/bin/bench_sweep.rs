@@ -20,6 +20,14 @@
 //! * `pipelined_cold`/`pipelined_warm` — the same 16-point-shard sweep with
 //!   the two-stage pipeline on (the default): shard N+1 simulates while
 //!   shard N persists, and warm cache lookups run as parallel batches;
+//! * `retry_overhead_clean` — `pipelined_cold` with a 3-attempt
+//!   [`RetryPolicy`] attached: the clean-path price of wrapping every cache
+//!   put and sink flush in the retry machinery when nothing ever fails
+//!   (should be indistinguishable from `pipelined_cold`);
+//! * `coexec_2proc_cold` — the same sweep co-executed by two workers through
+//!   a shard-lease directory: the primary session plus a second in-process
+//!   [`join_sweep`] worker standing in for a second process (identical
+//!   protocol: same manifest, leases and part files, plus the merge pass);
 //! * `slow_sink_serial`/`slow_sink_overlap` — the cold sharded sweep against
 //!   a sink whose per-shard flush costs a fixed sleep (a stand-in for a slow
 //!   filesystem): serially the sweep pays every flush in full, pipelined all
@@ -44,8 +52,9 @@ use simphony_bench::fig9_style_sweep;
 use simphony_onn::SplitMix64;
 
 use simphony_explore::{
-    pareto_front, simulate_point, CacheBackend, DirCache, ExploreSession, Objective,
-    PackedSegmentCache, RecordSink, ShardedDirCache, SweepPoint, SweepRecord, VecSink,
+    join_sweep, pareto_front, simulate_point, CacheBackend, DirCache, ExploreSession, LeaseConfig,
+    Objective, PackedSegmentCache, RecordSink, RetryPolicy, ShardedDirCache, SweepPoint,
+    SweepRecord, VecSink,
 };
 use simphony_traffic::{
     run_engine, run_serving_collect, ArrivalKind, Discipline, EngineConfig, ServiceCost,
@@ -188,6 +197,62 @@ fn main() {
         assert_eq!(sink.records().len(), 64, "pipeline covers every point");
     });
     eprintln!("session, 16-point shards (pipelined):  {pipelined_cold_ms:.1} ms");
+
+    // The same pipelined sweep with a retry policy attached but never
+    // exercised: the clean-path overhead of the retry machinery.
+    let retry_overhead_clean_ms = time_ms(|| {
+        let mut sink = VecSink::new();
+        ExploreSession::new(&spec)
+            .chunk_size(16)
+            .pipelined(true)
+            .retry(RetryPolicy::new(3))
+            .sink(&mut sink)
+            .run()
+            .expect("retry-wrapped sweep runs");
+        assert_eq!(sink.records().len(), 64, "retry path covers every point");
+    });
+    eprintln!("session, pipelined + idle retries:     {retry_overhead_clean_ms:.1} ms");
+
+    // Two workers co-executing through a lease directory: the primary session
+    // plus an in-process `join_sweep` worker (the protocol is identical to a
+    // second OS process — manifest, leases, fsynced part files, merge pass).
+    let coexec_reps = std::sync::atomic::AtomicUsize::new(0);
+    let coexec_2proc_cold_ms = time_ms(|| {
+        let rep = coexec_reps.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "simphony-bench-coexec-{}-{rep}",
+            std::process::id()
+        ));
+        let lease_config = || LeaseConfig::default().poll_ms(1);
+        let joiner = {
+            let spec = spec.clone();
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                join_sweep(
+                    &spec,
+                    None,
+                    dir,
+                    lease_config().owner("bench-joiner"),
+                    RetryPolicy::none(),
+                    &mut |_| {},
+                )
+                .expect("joiner worker runs")
+            })
+        };
+        let mut sink = VecSink::new();
+        ExploreSession::new(&spec)
+            .chunk_size(16)
+            .keep_going()
+            .coexecute(&dir)
+            .lease_config(lease_config().owner("bench-primary"))
+            .sink(&mut sink)
+            .run()
+            .expect("co-executed sweep runs");
+        joiner.join().expect("joiner thread joins");
+        assert_eq!(sink.records().len(), 64, "co-execution covers every point");
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    eprintln!("session, 2-worker co-execution (cold): {coexec_2proc_cold_ms:.1} ms");
 
     // Warm re-runs against each cache backend: the same 64 points, all hits.
     let warm_run = |label: &str, open: &dyn Fn(&std::path::Path) -> Box<dyn CacheBackend>| {
@@ -347,7 +412,7 @@ fn main() {
     eprintln!("cold-cache speedup vs per-point engine: {speedup:.2}x");
 
     let json = format!(
-        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"streaming_chunk16_ms\": {streaming_chunk16_ms:.3},\n  \"pipelined_cold_ms\": {pipelined_cold_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"sharded_warm_ms\": {sharded_warm_ms:.3},\n  \"packed_warm_ms\": {packed_warm_ms:.3},\n  \"pipelined_warm_ms\": {pipelined_warm_ms:.3},\n  \"slow_sink_flush_ms\": {SLOW_FLUSH_MS},\n  \"slow_sink_serial_ms\": {slow_sink_serial_ms:.3},\n  \"slow_sink_overlap_ms\": {slow_sink_overlap_ms:.3},\n  \"slow_sink_serial_chunk8_ms\": {slow_sink_serial_chunk8_ms:.3},\n  \"slow_sink_overlap_chunk8_ms\": {slow_sink_overlap_chunk8_ms:.3},\n  \"pareto_100k_ms\": {pareto_100k_ms:.3},\n  \"serve_sim_10k_reqs_ms\": {serve_sim_10k_reqs_ms:.3},\n  \"serve_sweep_cold_ms\": {serve_sweep_cold_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
+        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"streaming_chunk16_ms\": {streaming_chunk16_ms:.3},\n  \"pipelined_cold_ms\": {pipelined_cold_ms:.3},\n  \"retry_overhead_clean_ms\": {retry_overhead_clean_ms:.3},\n  \"coexec_2proc_cold_ms\": {coexec_2proc_cold_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"sharded_warm_ms\": {sharded_warm_ms:.3},\n  \"packed_warm_ms\": {packed_warm_ms:.3},\n  \"pipelined_warm_ms\": {pipelined_warm_ms:.3},\n  \"slow_sink_flush_ms\": {SLOW_FLUSH_MS},\n  \"slow_sink_serial_ms\": {slow_sink_serial_ms:.3},\n  \"slow_sink_overlap_ms\": {slow_sink_overlap_ms:.3},\n  \"slow_sink_serial_chunk8_ms\": {slow_sink_serial_chunk8_ms:.3},\n  \"slow_sink_overlap_chunk8_ms\": {slow_sink_overlap_chunk8_ms:.3},\n  \"pareto_100k_ms\": {pareto_100k_ms:.3},\n  \"serve_sim_10k_reqs_ms\": {serve_sim_10k_reqs_ms:.3},\n  \"serve_sweep_cold_ms\": {serve_sweep_cold_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
         name = spec.name,
         points = points.len(),
         reps = REPS,

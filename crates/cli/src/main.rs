@@ -13,6 +13,10 @@
 //! * `resume` — continue an interrupted `sweep --checkpoint` run: completed
 //!   shards are skipped, recorded failures are not re-attempted, and a
 //!   `--jsonl` output is truncated to its durable prefix and appended to;
+//! * `join` — attach this process as a worker to a co-executed sweep
+//!   (`sweep --lease-dir`): claims shards through the shared lease
+//!   directory, re-claims stale leases of dead workers, and publishes
+//!   computed shards as part files for the primary to merge;
 //! * `cache` — maintenance verbs: `cache stats` (entry count, bytes,
 //!   hit/miss of the last checkpointed session) and `cache migrate`
 //!   (round-trip a cache between backends with content-key verification);
@@ -27,15 +31,25 @@
 //! * `run` — simulate a single configuration and print the full report;
 //! * `spec` — print an example sweep spec to start from (`--serving` for a
 //!   serving spec).
+//!
+//! Failure-handling flags shared by the durable verbs: `--retries N` wraps
+//! cache and output writes in exponential backoff with decorrelated jitter,
+//! and `--fault-plan FILE` injects a deterministic, seeded fault schedule
+//! into the durability chain (for chaos testing — see `EXPERIMENTS.md`).
+//!
+//! Exit codes: 0 on success, 1 on a hard error, 2 on a usage error, and
+//! 3 when a `--keep-going` sweep completed but recorded point failures.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use clap::{Arg, ArgAction, Command};
 
 use simphony_explore::{
-    migrate_cache, pareto_front, read_records, read_records_as, to_csv, write_json, ArchFamily,
-    BackendKind, CacheBackend, Checkpoint, CsvRecord, CsvSink, ExploreError, ExploreSession,
-    JsonFileSink, JsonlSink, MultiSink, Objective, ShardProgress, StreamOutcome, SweepSpec,
+    join_sweep, migrate_cache, pareto_front, read_records, read_records_as, to_csv, write_json,
+    ArchFamily, BackendKind, CacheBackend, Checkpoint, CsvRecord, CsvSink, ExploreError,
+    ExploreSession, FaultInjector, FaultPlan, FaultyCache, FaultySink, JsonFileSink, JsonlSink,
+    LeaseConfig, MultiSink, Objective, RetryPolicy, ShardProgress, StreamOutcome, SweepSpec,
     VecSink, WorkloadSpec,
 };
 use simphony_traffic::{run_serving_with, Discipline, ServingRecord, ServingSpec};
@@ -62,6 +76,41 @@ fn backend_arg(help: &str) -> Arg {
         .value_name("KIND")
         .default_value("auto")
         .help(help.to_string())
+}
+
+fn retries_arg() -> Arg {
+    Arg::new("retries")
+        .long("retries")
+        .value_name("N")
+        .default_value("0")
+        .help(
+            "Retry failed cache and output writes up to N extra times with \
+             exponential backoff and decorrelated jitter before giving up",
+        )
+}
+
+fn fault_plan_arg() -> Arg {
+    Arg::new("fault-plan")
+        .long("fault-plan")
+        .value_name("FILE")
+        .help(
+            "Inject a deterministic fault schedule (JSON FaultPlan: seeded \
+             transient-error rate plus exact-op faults) into the cache and \
+             output writes — for chaos-testing failure handling, see \
+             EXPERIMENTS.md",
+        )
+}
+
+fn lease_timeout_arg() -> Arg {
+    Arg::new("lease-timeout")
+        .long("lease-timeout")
+        .value_name("MS")
+        .default_value("10000")
+        .help(
+            "Age in milliseconds past which another worker's shard lease \
+             counts as stale and is re-claimed (owners renew every quarter \
+             of this)",
+        )
 }
 
 fn no_pipeline_arg() -> Arg {
@@ -146,12 +195,64 @@ fn cli() -> Command {
                              output `resume` can append to)",
                         ),
                 )
+                .arg(
+                    Arg::new("lease-dir")
+                        .long("lease-dir")
+                        .value_name("DIR")
+                        .help(
+                            "Co-execute the sweep through this shared lease directory: \
+                             other processes attach with `join`, this one merges their \
+                             published shards into the outputs (requires --keep-going)",
+                        ),
+                )
+                .arg(lease_timeout_arg())
+                .arg(retries_arg())
+                .arg(fault_plan_arg())
                 .arg(no_pipeline_arg())
                 .arg(
                     Arg::new("quiet")
                         .long("quiet")
                         .action(ArgAction::SetTrue)
                         .help("Suppress the per-sweep summary and per-shard progress"),
+                ),
+        )
+        .subcommand(
+            Command::new("join")
+                .about("Attach this process as a worker to a co-executed sweep")
+                .arg(
+                    Arg::new("spec")
+                        .long("spec")
+                        .value_name("FILE")
+                        .required(true)
+                        .help("Path to the SweepSpec JSON file of the co-executed sweep"),
+                )
+                .arg(
+                    Arg::new("lease-dir")
+                        .long("lease-dir")
+                        .value_name("DIR")
+                        .required(true)
+                        .help(
+                            "Lease directory of the primary (`sweep --lease-dir`); this \
+                             worker claims shards there and publishes computed parts",
+                        ),
+                )
+                .arg(
+                    Arg::new("cache")
+                        .long("cache")
+                        .value_name("DIR")
+                        .help("Content-hash result cache directory (created if missing)"),
+                )
+                .arg(backend_arg(
+                    "Cache backend: dir, sharded, packed, or auto (detect from the directory)",
+                ))
+                .arg(lease_timeout_arg())
+                .arg(retries_arg())
+                .arg(fault_plan_arg())
+                .arg(
+                    Arg::new("quiet")
+                        .long("quiet")
+                        .action(ArgAction::SetTrue)
+                        .help("Suppress the per-join summary and per-shard progress"),
                 ),
         )
         .subcommand(
@@ -184,6 +285,8 @@ fn cli() -> Command {
                 .arg(backend_arg(
                     "Cache backend: dir, sharded, packed, or auto (detect from the directory)",
                 ))
+                .arg(retries_arg())
+                .arg(fault_plan_arg())
                 .arg(no_pipeline_arg())
                 .arg(
                     Arg::new("quiet")
@@ -411,28 +514,71 @@ fn cli() -> Command {
         )
 }
 
+/// Exit code of a `--keep-going` sweep that completed but recorded point
+/// failures: distinct from hard errors (1) and usage errors (2) so scripts
+/// can tell "finished with a ledger to inspect" from "did not finish".
+const EXIT_RECORDED_FAILURES: u8 = 3;
+
 fn main() -> ExitCode {
     let matches = cli().get_matches();
+    // `sweep`, `join` and `resume` pick their own success exit code (a
+    // completed sweep with ledgered failures exits 3); everything else maps
+    // Ok onto 0.
     let result = match matches.subcommand() {
         Some(("sweep", sub)) => cmd_sweep(sub),
+        Some(("join", sub)) => cmd_join(sub),
         Some(("resume", sub)) => cmd_resume(sub),
         Some(("cache", sub)) => match sub.subcommand() {
-            Some(("stats", sub)) => cmd_cache_stats(sub),
-            Some(("migrate", sub)) => cmd_cache_migrate(sub),
+            Some(("stats", sub)) => cmd_cache_stats(sub).map(|()| ExitCode::SUCCESS),
+            Some(("migrate", sub)) => cmd_cache_migrate(sub).map(|()| ExitCode::SUCCESS),
             _ => unreachable!("subcommand_required guarantees a match"),
         },
-        Some(("serve-sim", sub)) => cmd_serve_sim(sub),
-        Some(("pareto", sub)) => cmd_pareto(sub),
-        Some(("run", sub)) => cmd_run(sub),
-        Some(("spec", sub)) => cmd_spec(sub),
+        Some(("serve-sim", sub)) => cmd_serve_sim(sub).map(|()| ExitCode::SUCCESS),
+        Some(("pareto", sub)) => cmd_pareto(sub).map(|()| ExitCode::SUCCESS),
+        Some(("run", sub)) => cmd_run(sub).map(|()| ExitCode::SUCCESS),
+        Some(("spec", sub)) => cmd_spec(sub).map(|()| ExitCode::SUCCESS),
         _ => unreachable!("subcommand_required guarantees a match"),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(err) => {
             eprintln!("error: {err}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The retry policy requested by `--retries` (none when 0).
+fn retry_policy(matches: &clap::ArgMatches) -> RetryPolicy {
+    let retries: u32 = matches.get_one("retries").expect("has default");
+    if retries == 0 {
+        RetryPolicy::none()
+    } else {
+        // N retries = N + 1 attempts.
+        RetryPolicy::new(retries + 1)
+    }
+}
+
+/// Loads `--fault-plan` into a shared injector, if the flag was given.
+fn load_fault_injector(
+    matches: &clap::ArgMatches,
+) -> Result<Option<Arc<FaultInjector>>, ExploreError> {
+    match matches.get_one::<String>("fault-plan") {
+        Some(path) => Ok(Some(FaultInjector::new(FaultPlan::load(path)?))),
+        None => Ok(None),
+    }
+}
+
+/// Wraps an opened cache in the fault injector, when one is active.
+fn maybe_faulty_cache(
+    cache: Option<Box<dyn CacheBackend>>,
+    injector: Option<&Arc<FaultInjector>>,
+) -> Option<Box<dyn CacheBackend>> {
+    match (cache, injector) {
+        (Some(inner), Some(injector)) => {
+            Some(Box::new(FaultyCache::new(inner, Arc::clone(injector))))
+        }
+        (cache, _) => cache,
     }
 }
 
@@ -534,15 +680,35 @@ fn print_outcome(spec: &SweepSpec, outcome: &StreamOutcome, quiet: bool) {
             outcome.total_points,
         );
     }
+    if outcome.cache_degraded > 0 {
+        eprintln!(
+            "warning: {} cache writes were dropped after exhausting retries; every \
+             record still reached the output, but those points will re-simulate on \
+             the next run",
+            outcome.cache_degraded,
+        );
+    }
 }
 
-fn cmd_sweep(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+/// A completed sweep's exit code: 0 when clean, [`EXIT_RECORDED_FAILURES`]
+/// when the failure ledger is non-empty.
+fn outcome_exit(outcome: &StreamOutcome) -> ExitCode {
+    if outcome.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_RECORDED_FAILURES)
+    }
+}
+
+fn cmd_sweep(matches: &clap::ArgMatches) -> Result<ExitCode, ExploreError> {
     let spec = load_spec(matches)?;
 
+    let injector = load_fault_injector(matches)?;
     let cache = match matches.get_one::<String>("cache") {
         Some(dir) => Some(open_backend(&dir, matches.get_one("backend"))?),
         None => None,
     };
+    let cache = maybe_faulty_cache(cache, injector.as_ref());
     let chunk_size: usize = matches.get_one("chunk-size").expect("has default");
     let quiet = matches.get_flag("quiet");
 
@@ -612,6 +778,13 @@ fn cmd_sweep(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     if let Some(path) = &checkpoint {
         session = session.checkpoint(path);
     }
+    session = session.retry(retry_policy(matches));
+    if let Some(lease_dir) = matches.get_one::<String>("lease-dir") {
+        let timeout_ms: u64 = matches.get_one("lease-timeout").expect("has default");
+        session = session
+            .coexecute(lease_dir)
+            .lease_config(LeaseConfig::default().timeout_ms(timeout_ms));
+    }
 
     if to_stdout {
         // With no output file the records go to stdout — --quiet only
@@ -627,14 +800,69 @@ fn cmd_sweep(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
                 outcome.stats.misses,
             );
         }
+        Ok(ExitCode::SUCCESS)
     } else {
-        let outcome = session.sink(&mut sink).run()?;
+        let outcome = match &injector {
+            Some(injector) => {
+                let mut faulty = FaultySink::new(&mut sink, Arc::clone(injector));
+                session.sink(&mut faulty).run()?
+            }
+            None => session.sink(&mut sink).run()?,
+        };
         print_outcome(&spec, &outcome, quiet);
+        Ok(outcome_exit(&outcome))
     }
-    Ok(())
 }
 
-fn cmd_resume(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+fn cmd_join(matches: &clap::ArgMatches) -> Result<ExitCode, ExploreError> {
+    let spec = load_spec(matches)?;
+    let lease_dir: String = matches.get_one("lease-dir").expect("required");
+    let timeout_ms: u64 = matches.get_one("lease-timeout").expect("has default");
+    let quiet = matches.get_flag("quiet");
+
+    let injector = load_fault_injector(matches)?;
+    let cache = match matches.get_one::<String>("cache") {
+        Some(dir) => Some(open_backend(&dir, matches.get_one("backend"))?),
+        None => None,
+    };
+    let cache = maybe_faulty_cache(cache, injector.as_ref());
+
+    let outcome = join_sweep(
+        &spec,
+        cache.as_deref(),
+        &lease_dir,
+        LeaseConfig::default().timeout_ms(timeout_ms),
+        retry_policy(matches),
+        &mut |shard: &ShardProgress| {
+            if !quiet {
+                print_shard_progress(shard);
+            }
+        },
+    )?;
+    if !quiet {
+        println!(
+            "joined `{}` via `{lease_dir}`: computed {} of {} shards \
+             ({} points, {} cached, {} simulated)",
+            spec.name,
+            outcome.shards_computed,
+            outcome.total_shards,
+            outcome.points_computed,
+            outcome.stats.hits,
+            outcome.stats.misses,
+        );
+    }
+    if outcome.cache_degraded > 0 {
+        eprintln!(
+            "warning: {} cache writes were dropped after exhausting retries; every \
+             record still reached its part file, but those points will re-simulate \
+             on the next run",
+            outcome.cache_degraded,
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_resume(matches: &clap::ArgMatches) -> Result<ExitCode, ExploreError> {
     let spec = load_spec(matches)?;
     let checkpoint_path: String = matches.get_one("checkpoint").expect("required");
     let quiet = matches.get_flag("quiet");
@@ -644,11 +872,25 @@ fn cmd_resume(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     let (header, completed) = Checkpoint::load(&checkpoint_path)?;
     spec.validate()?;
     let total = spec.point_count()?;
-    if header.spec_key != simphony_explore::spec_fingerprint(&spec) || header.total_points != total
-    {
+    let fingerprint = simphony_explore::spec_fingerprint(&spec);
+    let mut diverged = Vec::new();
+    if header.spec_key != fingerprint {
+        diverged.push(format!(
+            "spec fingerprint (checkpoint {}, current spec {fingerprint})",
+            header.spec_key
+        ));
+    }
+    if header.total_points != total {
+        diverged.push(format!(
+            "total points (checkpoint {}, current spec {total})",
+            header.total_points
+        ));
+    }
+    if !diverged.is_empty() {
         return Err(ExploreError::checkpoint(format!(
-            "`{checkpoint_path}` belongs to a different sweep spec; \
-             pass the spec file the checkpoint was created with"
+            "`{checkpoint_path}` records a different sweep — diverging: {}; pass \
+             the spec file the checkpoint was created with",
+            diverged.join("; ")
         )));
     }
 
@@ -670,14 +912,17 @@ fn cmd_resume(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     truncate_jsonl_prefix(&jsonl, emitted)?;
     let mut sink = JsonlSink::append(&jsonl)?;
 
+    let injector = load_fault_injector(matches)?;
     let cache = match matches.get_one::<String>("cache") {
         Some(dir) => Some(open_backend(&dir, matches.get_one("backend"))?),
         None => None,
     };
+    let cache = maybe_faulty_cache(cache, injector.as_ref());
 
     let mut session = ExploreSession::new(&spec)
         .chunk_size(header.shard_size)
         .checkpoint(&checkpoint_path)
+        .retry(retry_policy(matches))
         .on_progress(|shard: &ShardProgress| {
             if !quiet && shard.shards > 1 {
                 print_shard_progress(shard);
@@ -692,12 +937,18 @@ fn cmd_resume(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     if let Some(cache) = cache {
         session = session.cache_boxed(cache);
     }
-    let outcome = session.sink(&mut sink).run()?;
+    let outcome = match &injector {
+        Some(injector) => {
+            let mut faulty = FaultySink::new(&mut sink, Arc::clone(injector));
+            session.sink(&mut faulty).run()?
+        }
+        None => session.sink(&mut sink).run()?,
+    };
     print_outcome(&spec, &outcome, quiet);
     if !quiet {
         println!("resumed `{jsonl}` from {emitted} checkpointed records");
     }
-    Ok(())
+    Ok(outcome_exit(&outcome))
 }
 
 /// Truncates a JSONL file to its first `keep` lines. Errors if the file holds

@@ -733,7 +733,21 @@ impl CacheBackend for PackedSegmentCache {
                 .expect("segment paths always carry a file name")
                 .to_string_lossy()
         ));
-        fs::write(&tmp, buffer.as_bytes()).map_err(|e| ExploreError::io_at(&tmp, e))?;
+        // Write + fsync the staged segment before the rename publishes it:
+        // `flush` is the durability boundary the checkpoint ordering relies
+        // on (cache flush -> sink flush -> sink sync -> checkpoint append),
+        // so a published segment must never point at bytes the kernel could
+        // still lose to a power cut.
+        let stage = || -> std::io::Result<()> {
+            let mut file = fs::File::create(&tmp)?;
+            use std::io::Write as _;
+            file.write_all(buffer.as_bytes())?;
+            file.sync_all()
+        };
+        stage().map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            ExploreError::io_at(&tmp, e)
+        })?;
         fs::rename(&tmp, &path).map_err(|e| {
             let _ = fs::remove_file(&tmp);
             ExploreError::io_at(&path, e)

@@ -30,8 +30,11 @@ use crate::cache::fnv1a64;
 use crate::error::{ExploreError, Result};
 use crate::spec::SweepSpec;
 
-/// Format version of the checkpoint file.
-pub(crate) const CHECKPOINT_VERSION: u32 = 1;
+/// Format version of the checkpoint file. Version 2 added the
+/// `cache_degraded` shard counter (the vendored serde has no field defaults,
+/// so the new field is a format break; v1 files are rejected with a version
+/// diagnostic instead of being misparsed as torn tails).
+pub(crate) const CHECKPOINT_VERSION: u32 = 2;
 
 /// The content fingerprint of a sweep spec, as recorded in checkpoint
 /// headers: a stable hash of the spec's canonical JSON form. Two specs with
@@ -91,6 +94,10 @@ pub struct ShardCheckpoint {
     pub emitted: usize,
     /// Every point of this shard that failed.
     pub failures: Vec<CheckpointFailure>,
+    /// Cache writes of this shard that exhausted their retry budget under
+    /// `KeepGoing` and were skipped: the records still reached the sink, only
+    /// the cache misses them (a re-run re-simulates those points).
+    pub cache_degraded: usize,
 }
 
 /// An open checkpoint file: the parsed prefix of completed shards plus an
@@ -139,6 +146,52 @@ fn parse(text: &str) -> Result<Option<(CheckpointHeader, Vec<ShardCheckpoint>, u
     Ok(header.map(|h| (h, completed, valid_len)))
 }
 
+/// Renders a header mismatch naming exactly which fields diverged, so the
+/// operator learns whether they passed the wrong spec, the wrong shard size,
+/// or are holding a checkpoint from an older format.
+fn header_mismatch(
+    path: &Path,
+    found: &CheckpointHeader,
+    expected: &CheckpointHeader,
+) -> ExploreError {
+    let mut diverged = Vec::new();
+    if found.version != expected.version {
+        diverged.push(format!(
+            "format version (checkpoint v{}, engine v{})",
+            found.version, expected.version
+        ));
+    }
+    if found.spec_key != expected.spec_key {
+        diverged.push(format!(
+            "spec fingerprint (checkpoint {}, current spec {})",
+            found.spec_key, expected.spec_key
+        ));
+    }
+    if found.shard_size != expected.shard_size {
+        diverged.push(format!(
+            "shard size (checkpoint {} points/shard, requested {})",
+            found.shard_size, expected.shard_size
+        ));
+    }
+    if found.total_points != expected.total_points {
+        diverged.push(format!(
+            "total points (checkpoint {}, current spec {})",
+            found.total_points, expected.total_points
+        ));
+    }
+    if found.keep_going != expected.keep_going {
+        diverged.push(format!(
+            "error policy (checkpoint keep_going={}, requested keep_going={})",
+            found.keep_going, expected.keep_going
+        ));
+    }
+    ExploreError::checkpoint(format!(
+        "`{}` records a different sweep — diverging: {}; delete it to start over",
+        path.display(),
+        diverged.join("; "),
+    ))
+}
+
 impl Checkpoint {
     /// Opens (or creates) the checkpoint at `path` for a sweep with the given
     /// expected header, resuming from whatever consistent prefix is already
@@ -160,15 +213,7 @@ impl Checkpoint {
         let completed = match existing {
             Some((header, completed, valid_len, file_len)) => {
                 if header != *expected {
-                    return Err(ExploreError::checkpoint(format!(
-                        "`{}` records a different sweep (spec {} at {} points/shard, \
-                         {} total, keep_going={}); delete it to start over",
-                        path.display(),
-                        header.spec_key,
-                        header.shard_size,
-                        header.total_points,
-                        header.keep_going,
-                    )));
+                    return Err(header_mismatch(&path, &header, expected));
                 }
                 if valid_len < file_len {
                     // Drop the torn tail so the next append starts a fresh line.
@@ -252,9 +297,13 @@ impl Checkpoint {
         }
         let mut line = serde_json::to_string(&shard)?;
         line.push('\n');
+        // The checkpoint is the source of truth for what `resume` skips:
+        // fsync the append so a recorded shard survives power loss, not just
+        // process death (the sink was synced before this line was written).
         self.file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.flush())
+            .and_then(|()| self.file.sync_all())
             .map_err(|e| ExploreError::io_at(&self.path, e))?;
         self.completed.push(shard);
         Ok(())
@@ -292,6 +341,7 @@ mod tests {
                 label: format!("point {}", shard * 2),
                 error: "boom".to_string(),
             }],
+            cache_degraded: 0,
         }
     }
 
@@ -354,6 +404,56 @@ mod tests {
         other_header.shard_size = 2;
         let err = Checkpoint::resume(&path, &other_header).unwrap_err();
         assert!(err.to_string().contains("different sweep"));
+        fs::remove_file(&path).ok();
+    }
+
+    /// One test arm per header field: the mismatch message must name exactly
+    /// the field that diverged, with both values.
+    #[test]
+    fn header_mismatches_name_the_diverging_field() {
+        let path = scratch("diverge");
+        fs::remove_file(&path).ok();
+        let spec = SweepSpec::new("diverge").with_wavelengths(vec![1, 2, 3, 4]);
+        let header = header_for(&spec);
+        drop(Checkpoint::resume(&path, &header).unwrap());
+
+        let diverge = |mutate: &dyn Fn(&mut CheckpointHeader), needle: &str, absent: &str| {
+            let mut expected = header.clone();
+            mutate(&mut expected);
+            let message = Checkpoint::resume(&path, &expected)
+                .unwrap_err()
+                .to_string();
+            assert!(message.contains(needle), "missing `{needle}` in: {message}");
+            assert!(
+                !message.contains(absent),
+                "`{absent}` wrongly reported in: {message}"
+            );
+        };
+        diverge(
+            &|h| h.spec_key = "feedfacefeedface".to_string(),
+            "spec fingerprint (checkpoint",
+            "shard size",
+        );
+        diverge(
+            &|h| h.shard_size = 7,
+            "shard size (checkpoint 2 points/shard, requested 7)",
+            "spec fingerprint",
+        );
+        diverge(
+            &|h| h.total_points = 9,
+            "total points (checkpoint 4, current spec 9)",
+            "shard size",
+        );
+        diverge(
+            &|h| h.keep_going = false,
+            "error policy (checkpoint keep_going=true, requested keep_going=false)",
+            "total points",
+        );
+        diverge(
+            &|h| h.version = CHECKPOINT_VERSION + 1,
+            "format version (checkpoint v2, engine v3)",
+            "error policy",
+        );
         fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,1088 @@
+//! Shard-lease ledger: crash-safe multi-process co-execution of one sweep.
+//!
+//! N independent processes drain one checkpointed sweep through a shared
+//! *lease directory*. The protocol has three kinds of files, all published
+//! with the workspace's atomic-rename discipline:
+//!
+//! * **`coexec.json`** — the manifest binding the directory to one sweep
+//!   (spec fingerprint, shard size, total points). The first arriving worker
+//!   publishes it atomically; everyone else validates against it, so two
+//!   processes can never co-execute *different* sweeps through one
+//!   directory.
+//! * **`shard-NNNNNNNN.lease`** — an exclusive claim on one shard. Ownership
+//!   is decided solely by `O_CREAT|O_EXCL` ([`fs::OpenOptions::create_new`]):
+//!   whoever creates the file owns the shard. The file carries the owner id
+//!   and a monotonic heartbeat counter; a background thread renews the lease
+//!   (bumping the beat, refreshing the mtime) every quarter-timeout while
+//!   the shard computes. A lease whose mtime is older than the configured
+//!   timeout is *stale* — its owner is presumed dead — and any worker may
+//!   clear it and re-claim the shard (straggler re-claim).
+//! * **`shard-NNNNNNNN.part`** — one computed shard's results: a
+//!   [`ShardCheckpoint`] meta line followed by the shard's records as
+//!   compact JSONL. Parts are staged, fsynced, and renamed into place, so a
+//!   part either exists completely or not at all — part existence *is* the
+//!   shard's completion marker, surviving `kill -9` of the worker that
+//!   computed it.
+//!
+//! The *primary* process (the one holding the sweep's sink — see
+//! [`ExploreSession::coexecute`](crate::ExploreSession::coexecute)) merges
+//! parts into its sink strictly in shard order, re-parsing each record line;
+//! the vendored serializer renders parse → re-serialize byte-identically, so
+//! merged output matches a single-process run byte for byte. Joining workers
+//! ([`join_sweep`], `simphony-cli join`) only compute and publish parts.
+//!
+//! **Why a takeover race is benign.** Two workers can transiently both
+//! believe they own a shard: the original owner computing slowly past the
+//! timeout, and the re-claimer that took its stale lease. Neither output
+//! wins incorrectly — shard bytes are a deterministic pure function of the
+//! spec, and part publication is an atomic rename of identical content, so
+//! whichever part lands (or lands second) is the same bytes. Leases exist to
+//! avoid *duplicated work*, not to guard correctness; correctness comes from
+//! determinism plus atomic publication.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheBackend, CacheStats};
+use crate::checkpoint::{spec_fingerprint, Checkpoint, ShardCheckpoint};
+use crate::error::{ExploreError, Result};
+use crate::record::SweepRecord;
+use crate::retry::RetryPolicy;
+use crate::runner::{
+    compute_shard, effective_shard_size, ArtifactStore, ErrorPolicy, FailureCause, PointFailure,
+    ShardProgress, StreamOptions, StreamOutcome,
+};
+use crate::sink::RecordSink;
+use crate::spec::SweepSpec;
+
+/// Format version of the co-execution manifest.
+pub(crate) const LEASE_VERSION: u32 = 1;
+
+/// Tuning of the lease protocol.
+#[derive(Debug, Clone)]
+pub struct LeaseConfig {
+    /// Age (of the lease file's mtime) past which a lease counts as stale
+    /// and may be re-claimed. The owner renews every `timeout_ms / 4`, so a
+    /// healthy worker never comes close. Default: 10 000 ms.
+    pub timeout_ms: u64,
+    /// How long an idle worker sleeps between scans for claimable shards or
+    /// ready parts. Default: 25 ms.
+    pub poll_ms: u64,
+    /// How long [`join_sweep`] waits for the manifest to appear before
+    /// concluding no primary is coming. Default: 10 000 ms.
+    pub manifest_wait_ms: u64,
+    /// Owner id written into claimed leases; shown in diagnostics. Default:
+    /// `pid<process id>`.
+    pub owner: String,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        Self {
+            timeout_ms: 10_000,
+            poll_ms: 25,
+            manifest_wait_ms: 10_000,
+            owner: format!("pid{}", std::process::id()),
+        }
+    }
+}
+
+impl LeaseConfig {
+    /// Sets the stale-lease timeout.
+    #[must_use]
+    pub fn timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the idle poll interval.
+    #[must_use]
+    pub fn poll_ms(mut self, ms: u64) -> Self {
+        self.poll_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the manifest wait budget of joining workers.
+    #[must_use]
+    pub fn manifest_wait_ms(mut self, ms: u64) -> Self {
+        self.manifest_wait_ms = ms;
+        self
+    }
+
+    /// Sets the owner id.
+    #[must_use]
+    pub fn owner(mut self, owner: impl Into<String>) -> Self {
+        self.owner = owner.into();
+        self
+    }
+}
+
+/// The manifest binding a lease directory to one sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoexecManifest {
+    /// Lease-protocol format version.
+    pub version: u32,
+    /// [`spec_fingerprint`] of the sweep spec.
+    pub spec_key: String,
+    /// Points per shard every worker must use (shard boundaries must agree
+    /// for parts to merge).
+    pub shard_size: usize,
+    /// Total points in the expansion.
+    pub total_points: usize,
+}
+
+/// Body of a lease file: who owns the shard, and the monotonic heartbeat.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LeaseBody {
+    owner: String,
+    beat: u64,
+}
+
+/// Process-wide counter making staged-file names unique.
+fn nonce() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// A shared lease directory: manifest, leases and parts of one co-executed
+/// sweep.
+#[derive(Debug, Clone)]
+pub struct LeaseLedger {
+    dir: PathBuf,
+    config: LeaseConfig,
+}
+
+impl LeaseLedger {
+    /// Opens (creating if missing) the lease directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation errors.
+    pub fn open(dir: impl Into<PathBuf>, config: LeaseConfig) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| ExploreError::io_at(&dir, e))?;
+        Ok(Self { dir, config })
+    }
+
+    /// The lease directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &LeaseConfig {
+        &self.config
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("coexec.json")
+    }
+
+    fn lease_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard:08}.lease"))
+    }
+
+    fn part_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard:08}.part"))
+    }
+
+    /// Publishes `expected` as the directory's manifest if none exists yet
+    /// (atomically — a torn manifest is impossible), or validates an
+    /// existing one against it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Checkpoint`] naming every diverging field
+    /// when the directory already serves a different sweep.
+    pub fn ensure_manifest(&self, expected: &CoexecManifest) -> Result<()> {
+        let path = self.manifest_path();
+        if !path.exists() {
+            // Stage, then hard-link into place: like `create_new`, the link
+            // fails if someone else won the race, but unlike a direct write
+            // the published file is complete from its first instant.
+            let stage = self.dir.join(format!(".coexec.{}.tmp", nonce()));
+            let mut text = serde_json::to_string(expected)?;
+            text.push('\n');
+            fs::write(&stage, text).map_err(|e| ExploreError::io_at(&stage, e))?;
+            let linked = fs::hard_link(&stage, &path);
+            let _ = fs::remove_file(&stage);
+            match linked {
+                Ok(()) => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {}
+                Err(e) => return Err(ExploreError::io_at(&path, e)),
+            }
+        }
+        let found = self.read_manifest()?.ok_or_else(|| {
+            ExploreError::checkpoint(format!("`{}` vanished mid-validation", path.display()))
+        })?;
+        if found == *expected {
+            return Ok(());
+        }
+        let mut diverged = Vec::new();
+        if found.version != expected.version {
+            diverged.push(format!(
+                "protocol version (directory v{}, engine v{})",
+                found.version, expected.version
+            ));
+        }
+        if found.spec_key != expected.spec_key {
+            diverged.push(format!(
+                "spec fingerprint (directory {}, current spec {})",
+                found.spec_key, expected.spec_key
+            ));
+        }
+        if found.shard_size != expected.shard_size {
+            diverged.push(format!(
+                "shard size (directory {} points/shard, requested {})",
+                found.shard_size, expected.shard_size
+            ));
+        }
+        if found.total_points != expected.total_points {
+            diverged.push(format!(
+                "total points (directory {}, current spec {})",
+                found.total_points, expected.total_points
+            ));
+        }
+        Err(ExploreError::checkpoint(format!(
+            "lease dir `{}` serves a different sweep — diverging: {}",
+            self.dir.display(),
+            diverged.join("; "),
+        )))
+    }
+
+    /// Reads the manifest, if one has been published.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and parse errors.
+    pub fn read_manifest(&self) -> Result<Option<CoexecManifest>> {
+        let path = self.manifest_path();
+        match fs::read_to_string(&path) {
+            Ok(text) => Ok(Some(serde_json::from_str(text.trim_end())?)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(ExploreError::io_at(&path, e)),
+        }
+    }
+
+    /// Polls for the manifest until it appears or
+    /// [`manifest_wait_ms`](LeaseConfig::manifest_wait_ms) elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Checkpoint`] on timeout.
+    pub fn wait_manifest(&self) -> Result<CoexecManifest> {
+        let mut waited = 0u64;
+        loop {
+            if let Some(manifest) = self.read_manifest()? {
+                return Ok(manifest);
+            }
+            if waited >= self.config.manifest_wait_ms {
+                return Err(ExploreError::checkpoint(format!(
+                    "no co-execution manifest appeared in `{}` within {} ms — is the \
+                     primary (`sweep --lease-dir`) running?",
+                    self.dir.display(),
+                    self.config.manifest_wait_ms,
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(self.config.poll_ms));
+            waited += self.config.poll_ms;
+        }
+    }
+
+    /// Whether `shard`'s part has been published (the shard is complete).
+    pub fn part_exists(&self, shard: usize) -> bool {
+        self.part_path(shard).exists()
+    }
+
+    /// Attempts to claim `shard`: returns a guard (heartbeating in the
+    /// background, releasing the lease on drop) on success, `None` when the
+    /// shard is already done or freshly leased to someone else. A lease whose
+    /// mtime exceeds the timeout is cleared and re-claimed — though the
+    /// `create_new` on the cleared path may still lose to another contender,
+    /// which is the point: **creation is the sole ownership decider**.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (not `AlreadyExists`, which means "not ours").
+    pub fn try_claim(&self, shard: usize) -> Result<Option<LeaseGuard>> {
+        if self.part_exists(shard) {
+            return Ok(None);
+        }
+        let path = self.lease_path(shard);
+        if let Some(guard) = self.create_lease(&path)? {
+            return Ok(Some(guard));
+        }
+        let stale = match fs::metadata(&path) {
+            Ok(meta) => meta
+                .modified()
+                .ok()
+                .and_then(|mtime| mtime.elapsed().ok())
+                .is_some_and(|age| age >= Duration::from_millis(self.config.timeout_ms)),
+            // Freed between the failed create and this stat: claim on the
+            // next poll rather than looping here.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(e) => return Err(ExploreError::io_at(&path, e)),
+        };
+        if !stale {
+            return Ok(None);
+        }
+        // Clear the stale lease by renaming it away (losing this rename race
+        // to another contender is fine — see above) and contend on a fresh
+        // create_new.
+        let tomb = self.dir.join(format!(".tomb-{shard:08}.{}", nonce()));
+        if fs::rename(&path, &tomb).is_ok() {
+            let _ = fs::remove_file(&tomb);
+        }
+        self.create_lease(&path)
+    }
+
+    /// One `create_new` attempt on the lease path; `None` when someone else
+    /// holds it.
+    fn create_lease(&self, path: &Path) -> Result<Option<LeaseGuard>> {
+        let mut file = match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+        {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => return Ok(None),
+            Err(e) => return Err(ExploreError::io_at(path, e)),
+        };
+        let body = LeaseBody {
+            owner: self.config.owner.clone(),
+            beat: 0,
+        };
+        let text = serde_json::to_string(&body)?;
+        file.write_all(text.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| ExploreError::io_at(path, e))?;
+        drop(file);
+        Ok(Some(LeaseGuard::start(
+            path.to_path_buf(),
+            self.dir.clone(),
+            self.config.owner.clone(),
+            self.config.timeout_ms,
+        )))
+    }
+
+    /// Publishes one computed shard: the meta line (with *shard-local*
+    /// `emitted`) followed by `body` (the shard's records, one compact JSON
+    /// line each), staged, fsynced, and renamed into place. Re-publishing an
+    /// already-published shard is harmless — shard content is deterministic,
+    /// so the rename replaces identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn publish_part(&self, shard: usize, meta: &ShardCheckpoint, body: &str) -> Result<()> {
+        let part = self.part_path(shard);
+        let stage = self.dir.join(format!(".part-{shard:08}.{}.tmp", nonce()));
+        let mut text = serde_json::to_string(meta)?;
+        text.push('\n');
+        text.push_str(body);
+        let write = || -> std::io::Result<()> {
+            let mut file = fs::File::create(&stage)?;
+            file.write_all(text.as_bytes())?;
+            // The rename makes the part the shard's completion marker; the
+            // marker must never point at bytes the kernel could still lose.
+            file.sync_all()
+        };
+        if let Err(e) = write() {
+            let _ = fs::remove_file(&stage);
+            return Err(ExploreError::io_at(&stage, e));
+        }
+        fs::rename(&stage, &part).map_err(|e| ExploreError::io_at(&part, e))
+    }
+
+    /// Reads one published part back: its meta line and its records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Checkpoint`] on a mislabeled or truncated
+    /// part (publication is atomic, so either indicates directory tampering).
+    pub fn read_part(&self, shard: usize) -> Result<(ShardCheckpoint, Vec<SweepRecord>)> {
+        let path = self.part_path(shard);
+        let text = fs::read_to_string(&path).map_err(|e| ExploreError::io_at(&path, e))?;
+        let mut lines = text.lines();
+        let meta: ShardCheckpoint = match lines.next() {
+            Some(line) => serde_json::from_str(line)?,
+            None => {
+                return Err(ExploreError::checkpoint(format!(
+                    "`{}` is empty — parts are published atomically, so this \
+                     file was not written by the lease protocol",
+                    path.display()
+                )))
+            }
+        };
+        if meta.shard != shard {
+            return Err(ExploreError::checkpoint(format!(
+                "`{}` is mislabeled: carries shard {} metadata",
+                path.display(),
+                meta.shard
+            )));
+        }
+        let mut records = Vec::with_capacity(meta.emitted);
+        for line in lines {
+            records.push(serde_json::from_str(line)?);
+        }
+        if records.len() != meta.emitted {
+            return Err(ExploreError::checkpoint(format!(
+                "`{}` holds {} records but its meta line promises {}",
+                path.display(),
+                records.len(),
+                meta.emitted
+            )));
+        }
+        Ok((meta, records))
+    }
+}
+
+/// An owned shard lease. A background thread renews it (bumping the
+/// heartbeat, refreshing the mtime) every quarter-timeout; dropping the
+/// guard stops the heartbeat and removes the lease file — if it is still
+/// ours. Renewal stops by itself when a re-claimer has taken the lease over
+/// (the owner in the file is no longer us).
+#[derive(Debug)]
+pub struct LeaseGuard {
+    path: PathBuf,
+    owner: String,
+    stop: Arc<AtomicBool>,
+    heartbeat: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LeaseGuard {
+    fn start(path: PathBuf, stage_dir: PathBuf, owner: String, timeout_ms: u64) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let interval = (timeout_ms / 4).max(1);
+        let heartbeat = {
+            let stop = Arc::clone(&stop);
+            let path = path.clone();
+            let owner = owner.clone();
+            std::thread::spawn(move || {
+                let mut beat = 0u64;
+                'beating: loop {
+                    // Sleep the renewal interval in short slices so dropping
+                    // the guard never blocks on a long sleep.
+                    let mut slept = 0u64;
+                    while slept < interval {
+                        if stop.load(Ordering::SeqCst) {
+                            break 'beating;
+                        }
+                        let slice = (interval - slept).min(10);
+                        std::thread::sleep(Duration::from_millis(slice));
+                        slept += slice;
+                    }
+                    beat += 1;
+                    if Self::renew(&path, &stage_dir, &owner, beat).is_err() {
+                        // Taken over (or the directory is gone): stop
+                        // renewing; the compute finishes and publishes its
+                        // part regardless, which is safe by determinism.
+                        break;
+                    }
+                }
+            })
+        };
+        Self {
+            path,
+            owner,
+            stop,
+            heartbeat: Some(heartbeat),
+        }
+    }
+
+    /// One renewal: verify we still own the lease, then atomically replace
+    /// it with a bumped heartbeat (rename refreshes the mtime the staleness
+    /// check reads).
+    fn renew(path: &Path, stage_dir: &Path, owner: &str, beat: u64) -> std::io::Result<()> {
+        let text = fs::read_to_string(path)?;
+        let current: LeaseBody = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        if current.owner != owner {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "lease taken over",
+            ));
+        }
+        let renewed = LeaseBody {
+            owner: owner.to_string(),
+            beat,
+        };
+        let body = serde_json::to_string(&renewed)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let stage = stage_dir.join(format!(".renew.{}.tmp", nonce()));
+        fs::write(&stage, body)?;
+        fs::rename(&stage, path)
+    }
+
+    /// The current heartbeat count recorded in the lease file, for tests and
+    /// diagnostics (`None` when the file is gone or no longer parseable as
+    /// ours).
+    pub fn beat(&self) -> Option<u64> {
+        let text = fs::read_to_string(&self.path).ok()?;
+        let body: LeaseBody = serde_json::from_str(&text).ok()?;
+        (body.owner == self.owner).then_some(body.beat)
+    }
+}
+
+impl Drop for LeaseGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.heartbeat.take() {
+            let _ = thread.join();
+        }
+        // Release the lease only if it is still ours — a re-claimer that
+        // took it over now owns the path.
+        if let Ok(text) = fs::read_to_string(&self.path) {
+            let ours = serde_json::from_str::<LeaseBody>(&text)
+                .map(|body| body.owner == self.owner)
+                .unwrap_or(false);
+            if ours {
+                let _ = fs::remove_file(&self.path);
+            }
+        }
+    }
+}
+
+/// Claims the first claimable shard in `[from, shards)`, skipping shards
+/// whose parts are already published.
+fn claim_available(
+    ledger: &LeaseLedger,
+    from: usize,
+    shards: usize,
+) -> Result<Option<(usize, LeaseGuard)>> {
+    for shard in from..shards {
+        if let Some(guard) = ledger.try_claim(shard)? {
+            return Ok(Some((shard, guard)));
+        }
+    }
+    Ok(None)
+}
+
+/// Computes one claimed shard and publishes its part: cache writes (under
+/// `retry`, degrading on exhaustion — co-execution implies `KeepGoing`),
+/// then the staged/fsynced/renamed part file. Fresh records reuse the JSON
+/// already rendered for their cache entry, so the part's record lines are
+/// the exact bytes a [`JsonlSink`](crate::JsonlSink) would write.
+fn compute_and_publish(
+    spec: &SweepSpec,
+    cache: Option<&dyn CacheBackend>,
+    retry: RetryPolicy,
+    ledger: &LeaseLedger,
+    shard: usize,
+    points: std::ops::Range<usize>,
+    carried: &mut ArtifactStore,
+) -> Result<ShardCheckpoint> {
+    let (computed, _live_failures) =
+        compute_shard(spec, cache, shard, points.start, points.end, carried)?;
+    let mut cache_degraded = 0usize;
+    if let Some(cache) = cache {
+        for prepared in computed.slots.iter().flatten() {
+            if let Some((key, json)) = &prepared.cache_entry {
+                if retry
+                    .run(|| cache.put_serialized(key, json, &prepared.record))
+                    .is_err()
+                {
+                    cache_degraded += 1;
+                }
+            }
+        }
+        if retry.run(|| cache.flush()).is_err() {
+            cache_degraded += 1;
+        }
+    }
+    let mut body = String::new();
+    let mut emitted = 0usize;
+    for prepared in computed.slots.iter().flatten() {
+        match &prepared.cache_entry {
+            Some((_, json)) => body.push_str(json),
+            None => body.push_str(&serde_json::to_string(&prepared.record)?),
+        }
+        body.push('\n');
+        emitted += 1;
+    }
+    let meta = ShardCheckpoint {
+        shard,
+        points: computed.points,
+        hits: computed.hits,
+        misses: computed.points - computed.hits,
+        emitted,
+        failures: computed.checkpoint_failures,
+        cache_degraded,
+    };
+    ledger.publish_part(shard, &meta, &body)?;
+    Ok(meta)
+}
+
+/// The co-executing primary: claims and computes shards like any worker, and
+/// additionally merges published parts — strictly in shard order — into the
+/// session's sink, checkpointing each merged shard. Returns once every shard
+/// is merged, however many workers computed them.
+///
+/// Failures computed by the fleet surface in [`StreamOutcome::failures`] as
+/// [`FailureCause::Recorded`] (the part file carries rendered messages, not
+/// live simulator errors); only checkpoint-replayed ones count toward
+/// [`StreamOutcome::replayed_failures`]. [`StreamOutcome::stats`] accounts
+/// the whole fleet's hits and misses. The pipelining option is ignored —
+/// claiming, computing and merging already overlap across processes.
+pub(crate) fn execute_coexec(
+    spec: &SweepSpec,
+    cache: Option<&dyn CacheBackend>,
+    options: &StreamOptions,
+    sink: &mut dyn RecordSink,
+    progress: &mut dyn FnMut(&ShardProgress),
+    mut checkpoint: Option<&mut Checkpoint>,
+    ledger: &LeaseLedger,
+) -> Result<StreamOutcome> {
+    spec.validate()?;
+    if options.error_policy != ErrorPolicy::KeepGoing {
+        return Err(ExploreError::invalid_spec(
+            "co-execution requires ErrorPolicy::KeepGoing: a fail-fast abort cannot be \
+             propagated to independent worker processes, so the combination is refused \
+             rather than half-honoured (add .keep_going() / --keep-going)",
+        ));
+    }
+    let total = spec.point_count()?;
+    let shard_size = effective_shard_size(options, total);
+    let shards = total.div_ceil(shard_size);
+    ledger.ensure_manifest(&CoexecManifest {
+        version: LEASE_VERSION,
+        spec_key: spec_fingerprint(spec),
+        shard_size,
+        total_points: total,
+    })?;
+
+    let completed_shards = checkpoint.as_ref().map_or(0, |c| c.completed().len());
+    if completed_shards > shards {
+        return Err(ExploreError::checkpoint(format!(
+            "checkpoint records {completed_shards} shards but the sweep only has {shards}"
+        )));
+    }
+    let retry = options.retry;
+    let mut stats = CacheStats::default();
+    let mut failures: Vec<PointFailure> = Vec::new();
+    let mut replayed_failures = 0usize;
+    let mut skipped_points = 0usize;
+    let mut cache_degraded = 0usize;
+    let mut done = 0usize;
+    let mut emitted = checkpoint.as_ref().map_or(0, |c| c.emitted());
+
+    // Checkpoint-replay mirrors the single-process executor: recorded shards
+    // are already durable in the primary's sink, so they are neither
+    // re-merged nor re-computed.
+    for shard in 0..completed_shards {
+        let start = shard * shard_size;
+        let shard_points = (start + shard_size).min(total) - start;
+        let recorded = checkpoint
+            .as_ref()
+            .expect("completed_shards > 0 implies a checkpoint")
+            .completed()[shard]
+            .clone();
+        for failure in &recorded.failures {
+            failures.push(PointFailure {
+                index: failure.index,
+                label: failure.label.clone(),
+                error: FailureCause::Recorded(failure.error.clone()),
+            });
+        }
+        replayed_failures += recorded.failures.len();
+        skipped_points += shard_points;
+        done += shard_points;
+        progress(&ShardProgress {
+            shard,
+            shards,
+            points: shard_points,
+            hits: 0,
+            failures: recorded.failures.len(),
+            skipped: shard_points,
+            done,
+            total,
+        });
+    }
+
+    let mut carried = ArtifactStore::default();
+    let mut next_merge = completed_shards;
+    while next_merge < shards {
+        let mut progressed = false;
+        // Merge every part that is ready, strictly in shard order.
+        while next_merge < shards && ledger.part_exists(next_merge) {
+            let shard = next_merge;
+            let (meta, records) = ledger.read_part(shard)?;
+            for record in records {
+                sink.accept(record)?;
+            }
+            retry.run(|| sink.flush_shard())?;
+            emitted += meta.emitted;
+            stats.hits += meta.hits;
+            stats.misses += meta.misses;
+            cache_degraded += meta.cache_degraded;
+            for failure in &meta.failures {
+                failures.push(PointFailure {
+                    index: failure.index,
+                    label: failure.label.clone(),
+                    error: FailureCause::Recorded(failure.error.clone()),
+                });
+            }
+            let failed = meta.failures.len();
+            if let Some(ckpt) = checkpoint.as_deref_mut() {
+                retry.run(|| sink.sync())?;
+                ckpt.record_shard(ShardCheckpoint {
+                    shard,
+                    points: meta.points,
+                    hits: meta.hits,
+                    misses: meta.misses,
+                    // Cumulative in the checkpoint, shard-local in the part.
+                    emitted,
+                    failures: meta.failures,
+                    cache_degraded: meta.cache_degraded,
+                })?;
+            }
+            done += meta.points;
+            progress(&ShardProgress {
+                shard,
+                shards,
+                points: meta.points,
+                hits: meta.hits,
+                failures: failed,
+                skipped: 0,
+                done,
+                total,
+            });
+            next_merge += 1;
+            progressed = true;
+        }
+        if next_merge >= shards {
+            break;
+        }
+        // Compute: claim the lowest open shard (preferring the one blocking
+        // the merge) and publish its part.
+        if let Some((shard, guard)) = claim_available(ledger, next_merge, shards)? {
+            let start = shard * shard_size;
+            let end = (start + shard_size).min(total);
+            compute_and_publish(spec, cache, retry, ledger, shard, start..end, &mut carried)?;
+            drop(guard);
+            progressed = true;
+        }
+        if !progressed {
+            // Everything claimable is leased elsewhere and no part is ready:
+            // wait for the fleet (or for a lease to go stale).
+            std::thread::sleep(Duration::from_millis(ledger.config.poll_ms));
+        }
+    }
+    sink.finish()?;
+
+    Ok(StreamOutcome {
+        stats,
+        failures,
+        replayed_failures,
+        shards,
+        total_points: total,
+        skipped_points,
+        cache_degraded,
+    })
+}
+
+/// What a joining worker did for the sweep.
+#[derive(Debug, Clone, Default)]
+pub struct JoinOutcome {
+    /// Shards this worker claimed, computed and published.
+    pub shards_computed: usize,
+    /// Points those shards held.
+    pub points_computed: usize,
+    /// Total shards in the sweep.
+    pub total_shards: usize,
+    /// Cache accounting of this worker's computed shards.
+    pub stats: CacheStats,
+    /// Cache writes this worker degraded after exhausting `retry`.
+    pub cache_degraded: usize,
+}
+
+/// Attaches this process to a co-executed sweep as a pure worker: waits for
+/// the primary's manifest, validates it against `spec`, then claims, computes
+/// and publishes shards until every shard of the sweep has a part — dead
+/// workers' stale leases included, so a join outlives the primary that
+/// started the sweep. Returns without touching any sink; merging is the
+/// primary's job.
+///
+/// `progress` fires once per shard this worker computes.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Checkpoint`] when no manifest appears within the
+/// configured wait, or when the manifest belongs to a different sweep;
+/// propagates spec-validation, simulation-engine and I/O errors.
+pub fn join_sweep(
+    spec: &SweepSpec,
+    cache: Option<&dyn CacheBackend>,
+    lease_dir: impl Into<PathBuf>,
+    config: LeaseConfig,
+    retry: RetryPolicy,
+    progress: &mut dyn FnMut(&ShardProgress),
+) -> Result<JoinOutcome> {
+    spec.validate()?;
+    let total = spec.point_count()?;
+    let ledger = LeaseLedger::open(lease_dir, config)?;
+    let manifest = ledger.wait_manifest()?;
+    ledger.ensure_manifest(&CoexecManifest {
+        version: LEASE_VERSION,
+        spec_key: spec_fingerprint(spec),
+        // The primary's manifest dictates the shard geometry; joining
+        // workers adopt it rather than bringing their own chunk size.
+        shard_size: manifest.shard_size,
+        total_points: total,
+    })?;
+    let shard_size = manifest.shard_size;
+    let shards = total.div_ceil(shard_size);
+
+    let mut outcome = JoinOutcome {
+        total_shards: shards,
+        ..JoinOutcome::default()
+    };
+    let mut carried = ArtifactStore::default();
+    let mut done = 0usize;
+    loop {
+        if (0..shards).all(|shard| ledger.part_exists(shard)) {
+            return Ok(outcome);
+        }
+        match claim_available(&ledger, 0, shards)? {
+            Some((shard, guard)) => {
+                let start = shard * shard_size;
+                let end = (start + shard_size).min(total);
+                let meta = compute_and_publish(
+                    spec,
+                    cache,
+                    retry,
+                    &ledger,
+                    shard,
+                    start..end,
+                    &mut carried,
+                )?;
+                drop(guard);
+                outcome.shards_computed += 1;
+                outcome.points_computed += meta.points;
+                outcome.stats.hits += meta.hits;
+                outcome.stats.misses += meta.misses;
+                outcome.cache_degraded += meta.cache_degraded;
+                done += meta.points;
+                progress(&ShardProgress {
+                    shard,
+                    shards,
+                    points: meta.points,
+                    hits: meta.hits,
+                    failures: meta.failures.len(),
+                    skipped: 0,
+                    done,
+                    total,
+                });
+            }
+            None => {
+                std::thread::sleep(Duration::from_millis(ledger.config.poll_ms));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simphony_onn::SplitMix64;
+
+    fn scratch(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "simphony-lease-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ledger(dir: &Path, owner: &str, timeout_ms: u64) -> LeaseLedger {
+        LeaseLedger::open(
+            dir,
+            LeaseConfig::default()
+                .timeout_ms(timeout_ms)
+                .poll_ms(1)
+                .owner(owner),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn a_fresh_lease_is_exclusive() {
+        let dir = scratch("exclusive");
+        let a = ledger(&dir, "a", 60_000);
+        let b = ledger(&dir, "b", 60_000);
+        let guard = a.try_claim(0).unwrap();
+        assert!(guard.is_some(), "first claim wins");
+        assert!(
+            b.try_claim(0).unwrap().is_none(),
+            "fresh lease is not claimable"
+        );
+        drop(guard);
+        assert!(
+            b.try_claim(0).unwrap().is_some(),
+            "released lease is claimable"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_published_part_blocks_claims() {
+        let dir = scratch("part-blocks");
+        let a = ledger(&dir, "a", 60_000);
+        let meta = ShardCheckpoint {
+            shard: 0,
+            points: 0,
+            hits: 0,
+            misses: 0,
+            emitted: 0,
+            failures: Vec::new(),
+            cache_degraded: 0,
+        };
+        a.publish_part(0, &meta, "").unwrap();
+        assert!(a.try_claim(0).unwrap().is_none(), "done shards stay done");
+        let (read_back, records) = a.read_part(0).unwrap();
+        assert_eq!(read_back, meta);
+        assert!(records.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_leases_are_taken_over() {
+        let dir = scratch("stale");
+        let a = ledger(&dir, "a", 40);
+        // A dead worker's lease: the raw file without a heartbeating guard.
+        fs::write(
+            dir.join("shard-00000000.lease"),
+            "{\"owner\":\"dead\",\"beat\":0}",
+        )
+        .unwrap();
+        assert!(
+            a.try_claim(0).unwrap().is_none(),
+            "not stale yet — mtime is fresh"
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        let guard = a.try_claim(0).unwrap();
+        assert!(guard.is_some(), "stale lease must be re-claimable");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn heartbeats_keep_a_slow_owner_alive() {
+        let dir = scratch("heartbeat");
+        let a = ledger(&dir, "a", 40);
+        let b = ledger(&dir, "b", 40);
+        let guard = a.try_claim(0).unwrap().unwrap();
+        // Sleep far past the timeout; renewals every ~10 ms keep the mtime
+        // fresh, so the contender must keep losing.
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(
+            b.try_claim(0).unwrap().is_none(),
+            "heartbeat must keep the lease fresh"
+        );
+        assert!(
+            guard.beat().is_some_and(|beat| beat >= 1),
+            "the heartbeat counter must have advanced"
+        );
+        drop(guard);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite: two workers contending for the same expired lease resolve
+    /// to exactly one owner — hammered over seeded jitter schedules.
+    #[test]
+    fn contended_takeover_resolves_to_exactly_one_owner() {
+        for seed in 0..8u64 {
+            let dir = scratch(&format!("hammer-{seed}"));
+            fs::write(
+                dir.join("shard-00000000.lease"),
+                "{\"owner\":\"dead\",\"beat\":7}",
+            )
+            .unwrap();
+            // Age the lease past a 20 ms timeout.
+            std::thread::sleep(Duration::from_millis(30));
+            let winners: Vec<String> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|contender| {
+                        let dir = dir.clone();
+                        scope.spawn(move || {
+                            let owner = format!("w{contender}");
+                            let ledger = ledger(&dir, &owner, 20);
+                            let mut rng = SplitMix64::new(seed ^ (contender as u64) << 8);
+                            // Jitter the contenders into different
+                            // interleavings per seed.
+                            std::thread::sleep(Duration::from_micros(rng.next_u64() % 500));
+                            ledger.try_claim(0).unwrap().map(|guard| {
+                                // Hold briefly so late contenders see a
+                                // fresh (unclaimable) lease, then release.
+                                std::thread::sleep(Duration::from_millis(2));
+                                drop(guard);
+                                owner
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .filter_map(|h| h.join().unwrap())
+                    .collect()
+            });
+            assert_eq!(
+                winners.len(),
+                1,
+                "seed {seed}: exactly one contender must win the stale lease, got {winners:?}"
+            );
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn manifests_publish_once_and_reject_divergence() {
+        let dir = scratch("manifest");
+        let a = ledger(&dir, "a", 60_000);
+        let manifest = CoexecManifest {
+            version: LEASE_VERSION,
+            spec_key: "cafe".to_string(),
+            shard_size: 8,
+            total_points: 64,
+        };
+        a.ensure_manifest(&manifest).unwrap();
+        a.ensure_manifest(&manifest).unwrap();
+        assert_eq!(a.read_manifest().unwrap().unwrap(), manifest);
+        let mut other = manifest.clone();
+        other.shard_size = 16;
+        other.spec_key = "beef".to_string();
+        let message = a.ensure_manifest(&other).unwrap_err().to_string();
+        assert!(message.contains("shard size"), "{message}");
+        assert!(message.contains("spec fingerprint"), "{message}");
+        assert!(!message.contains("total points"), "{message}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn waiting_for_a_manifest_times_out_with_a_hint() {
+        let dir = scratch("manifest-wait");
+        let ledger = LeaseLedger::open(
+            &dir,
+            LeaseConfig::default()
+                .poll_ms(1)
+                .manifest_wait_ms(5)
+                .owner("w"),
+        )
+        .unwrap();
+        let message = ledger.wait_manifest().unwrap_err().to_string();
+        assert!(message.contains("no co-execution manifest"), "{message}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

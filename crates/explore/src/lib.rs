@@ -109,8 +109,11 @@
 mod cache;
 mod checkpoint;
 mod error;
+mod fault;
+mod lease;
 mod pareto;
 mod record;
+mod retry;
 mod runner;
 mod session;
 mod sink;
@@ -124,11 +127,14 @@ pub use checkpoint::{
     spec_fingerprint, Checkpoint, CheckpointFailure, CheckpointHeader, ShardCheckpoint,
 };
 pub use error::{ExploreError, Result};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultyCache, FaultySink, PlannedFault};
+pub use lease::{join_sweep, CoexecManifest, JoinOutcome, LeaseConfig, LeaseGuard, LeaseLedger};
 pub use pareto::{dominates, pareto_front, Objective, ParetoRecord};
 pub use record::{
     csv_escape, csv_row, read_json, read_jsonl, read_records, read_records_as, to_csv, write_csv,
     write_json, write_jsonl, CsvRecord, SweepRecord, CSV_HEADER,
 };
+pub use retry::RetryPolicy;
 pub use runner::{
     build_accelerator, extract_workload, simulate_point, simulate_point_with, ErrorPolicy,
     FailureCause, PointFailure, ShardProgress, StreamOptions, StreamOutcome, SweepOutcome,

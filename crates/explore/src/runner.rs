@@ -66,6 +66,7 @@ use crate::cache::{content_key, CacheBackend, CacheStats};
 use crate::checkpoint::{Checkpoint, CheckpointFailure, ShardCheckpoint};
 use crate::error::{ExploreError, Result};
 use crate::record::SweepRecord;
+use crate::retry::RetryPolicy;
 use crate::sink::RecordSink;
 use crate::spec::{ArchKey, SweepPoint, SweepSpec, WorkloadKey};
 
@@ -109,6 +110,10 @@ pub struct StreamOptions {
     /// single shard there is nothing to overlap. Output is byte-identical
     /// either way; `Some(false)` is the escape hatch (`--no-pipeline`).
     pub pipelined: Option<bool>,
+    /// Retry policy for the durability chain (cache `put`/`flush`, sink
+    /// flushes). [`RetryPolicy::none`] — one attempt per operation — by
+    /// default.
+    pub retry: RetryPolicy,
 }
 
 impl StreamOptions {
@@ -138,6 +143,13 @@ impl StreamOptions {
     #[must_use]
     pub fn pipelined(mut self, enabled: bool) -> Self {
         self.pipelined = Some(enabled);
+        self
+    }
+
+    /// Sets the durability-chain retry policy.
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 }
@@ -232,6 +244,12 @@ pub struct StreamOutcome {
     /// Points skipped because the checkpoint already recorded their shard as
     /// complete.
     pub skipped_points: usize,
+    /// Cache writes that exhausted their [`RetryPolicy`] under
+    /// [`ErrorPolicy::KeepGoing`] and were skipped in this run: the records
+    /// still reached the sink, only their cache copies are missing (a re-run
+    /// re-simulates those points). Always 0 under the default no-retry,
+    /// fail-fast configuration.
+    pub cache_degraded: usize,
 }
 
 /// Builds the accelerator a sweep point describes.
@@ -308,7 +326,7 @@ pub fn simulate_point_with(
 /// rest of the shard still simulates (and caches), honouring the engine's
 /// partial-progress contract.
 #[derive(Default)]
-struct ArtifactStore {
+pub(crate) struct ArtifactStore {
     workloads: HashMap<WorkloadKey, std::result::Result<Arc<ModelWorkload>, SimError>>,
     accelerators: HashMap<ArchKey, std::result::Result<Arc<Accelerator>, SimError>>,
 }
@@ -387,20 +405,20 @@ impl ArtifactStore {
 /// entry pre-rendered (content key + compact JSON) so the writer thread
 /// stores bytes instead of serializing; cache hits carry nothing — they are
 /// already durable.
-struct PreparedRecord {
-    record: SweepRecord,
-    cache_entry: Option<(String, String)>,
+pub(crate) struct PreparedRecord {
+    pub(crate) record: SweepRecord,
+    pub(crate) cache_entry: Option<(String, String)>,
 }
 
 /// One shard's compute-stage output: everything the I/O stage needs to
 /// persist it (records in expansion-order slots, the failures to checkpoint)
 /// plus the counters progress reporting wants.
-struct ComputedShard {
-    shard: usize,
-    points: usize,
-    hits: usize,
-    slots: Vec<Option<PreparedRecord>>,
-    checkpoint_failures: Vec<CheckpointFailure>,
+pub(crate) struct ComputedShard {
+    pub(crate) shard: usize,
+    pub(crate) points: usize,
+    pub(crate) hits: usize,
+    pub(crate) slots: Vec<Option<PreparedRecord>>,
+    pub(crate) checkpoint_failures: Vec<CheckpointFailure>,
 }
 
 /// Runs one shard's compute stage: point expansion, batched (parallel) cache
@@ -408,7 +426,7 @@ struct ComputedShard {
 /// serialization — everything up to, but not including, durability I/O.
 /// `carried` is replaced with this shard's artifact store when the shard built
 /// one, so live artifacts flow across shard boundaries.
-fn compute_shard(
+pub(crate) fn compute_shard(
     spec: &SweepSpec,
     cache: Option<&dyn CacheBackend>,
     shard: usize,
@@ -543,15 +561,28 @@ fn compute_shard(
 
 /// Runs one shard's I/O stage with the durability contract intact: cache
 /// writes (pre-rendered bytes), sink emission in expansion order (failed
-/// points simply have no record), cache flush, sink flush, checkpoint append
-/// — in that order, so a checkpointed shard is always fully recoverable.
+/// points simply have no record), cache flush, sink flush — plus an fsync
+/// when a checkpoint will vouch for the shard — then the checkpoint append,
+/// in that order, so a checkpointed shard is always fully recoverable.
+///
+/// Cache writes and flushes run under `retry`; when one still fails after
+/// the policy is exhausted, [`ErrorPolicy::KeepGoing`] degrades instead of
+/// aborting — the record reaches the sink regardless (it was only the cache
+/// copy that was lost; a re-run re-simulates that point) and the skip is
+/// ledgered in the returned count and the shard's checkpoint line. Sink
+/// errors stay hard under either policy: a sink that lost a record cannot
+/// be reconciled after the fact.
+///
+/// Returns how many cache operations were degraded.
 fn drain_shard(
     computed: ComputedShard,
     cache: Option<&dyn CacheBackend>,
     sink: &mut dyn RecordSink,
     checkpoint: &mut Option<&mut Checkpoint>,
     emitted: &mut usize,
-) -> Result<()> {
+    policy: ErrorPolicy,
+    retry: RetryPolicy,
+) -> Result<usize> {
     let ComputedShard {
         shard,
         points,
@@ -559,10 +590,21 @@ fn drain_shard(
         slots,
         checkpoint_failures,
     } = computed;
+    let mut cache_degraded = 0usize;
+    let mut degrade = |result: Result<()>| -> Result<()> {
+        match result {
+            Ok(()) => Ok(()),
+            Err(_) if policy == ErrorPolicy::KeepGoing => {
+                cache_degraded += 1;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    };
     if let Some(cache) = cache {
         for prepared in slots.iter().flatten() {
             if let Some((key, json)) = &prepared.cache_entry {
-                cache.put_serialized(key, json, &prepared.record)?;
+                degrade(retry.run(|| cache.put_serialized(key, json, &prepared.record)))?;
             }
         }
     }
@@ -572,11 +614,14 @@ fn drain_shard(
         shard_emitted += 1;
     }
     if let Some(cache) = cache {
-        cache.flush()?;
+        degrade(retry.run(|| cache.flush()))?;
     }
-    sink.flush_shard()?;
+    retry.run(|| sink.flush_shard())?;
     *emitted += shard_emitted;
     if let Some(ckpt) = checkpoint.as_deref_mut() {
+        // The checkpoint line promises the shard's records are durable; force
+        // them onto stable storage before making that promise.
+        retry.run(|| sink.sync())?;
         ckpt.record_shard(ShardCheckpoint {
             shard,
             points,
@@ -584,9 +629,10 @@ fn drain_shard(
             misses: points - hits,
             emitted: *emitted,
             failures: checkpoint_failures,
+            cache_degraded,
         })?;
     }
-    Ok(())
+    Ok(cache_degraded)
 }
 
 /// The fail-fast abort error of a live point failure (`None` for failures
@@ -614,8 +660,9 @@ enum WriterMsg {
 
 /// What the writer thread reports back to the compute stage.
 enum WriterNote {
-    /// One shard's I/O stage completed (or failed).
-    Drained { shard: usize, result: Result<()> },
+    /// One shard's I/O stage completed (or failed); success carries the
+    /// shard's cache-degraded count.
+    Drained { shard: usize, result: Result<usize> },
     /// The sink was finalized.
     Finished(Result<()>),
 }
@@ -637,6 +684,7 @@ struct SweepRun<'a> {
     spec: &'a SweepSpec,
     cache: Option<&'a dyn CacheBackend>,
     policy: ErrorPolicy,
+    retry: RetryPolicy,
     shard_size: usize,
     shards: usize,
     total: usize,
@@ -648,6 +696,8 @@ struct SweepRun<'a> {
     stats: CacheStats,
     failures: Vec<PointFailure>,
     done: usize,
+    /// Cache writes degraded (skipped after exhausting retries) in this run.
+    cache_degraded: usize,
 }
 
 impl SweepRun<'_> {
@@ -707,7 +757,15 @@ impl SweepRun<'_> {
                 hits: computed.hits,
                 failed: computed.checkpoint_failures.len(),
             };
-            drain_shard(computed, self.cache, sink, &mut checkpoint, &mut emitted)?;
+            self.cache_degraded += drain_shard(
+                computed,
+                self.cache,
+                sink,
+                &mut checkpoint,
+                &mut emitted,
+                self.policy,
+                self.retry,
+            )?;
             self.report(&meta, progress);
             if let Some(err) = first_error {
                 // FailFast: the failing shard was fully persisted (successes
@@ -735,7 +793,10 @@ impl SweepRun<'_> {
                 let meta = pending.pop_front().expect("one note per submitted shard");
                 debug_assert_eq!(meta.shard, shard, "writer drains in submission order");
                 match result {
-                    Ok(()) => self.report(&meta, progress),
+                    Ok(degraded) => {
+                        self.cache_degraded += degraded;
+                        self.report(&meta, progress);
+                    }
                     Err(e) => {
                         if writer_error.is_none() {
                             *writer_error = Some(e);
@@ -766,6 +827,8 @@ impl SweepRun<'_> {
     ) -> Result<()> {
         let emitted_base = self.emitted;
         let cache = self.cache;
+        let policy = self.policy;
+        let retry = self.retry;
         let checkpoint_slot = checkpoint.take();
         std::thread::scope(|scope| {
             let (work_tx, work_rx) = mpsc::sync_channel::<WriterMsg>(1);
@@ -777,8 +840,15 @@ impl SweepRun<'_> {
                     match msg {
                         WriterMsg::Shard(computed) => {
                             let shard = computed.shard;
-                            let result =
-                                drain_shard(computed, cache, sink, &mut checkpoint, &mut emitted);
+                            let result = drain_shard(
+                                computed,
+                                cache,
+                                sink,
+                                &mut checkpoint,
+                                &mut emitted,
+                                policy,
+                                retry,
+                            );
                             let errored = result.is_err();
                             let _ = note_tx.send(WriterNote::Drained { shard, result });
                             if errored {
@@ -900,6 +970,7 @@ pub(crate) fn execute(
         spec,
         cache,
         policy: options.error_policy,
+        retry: options.retry,
         shard_size,
         shards,
         total,
@@ -908,6 +979,7 @@ pub(crate) fn execute(
         stats: CacheStats::default(),
         failures: Vec::new(),
         done: 0,
+        cache_degraded: 0,
     };
     let mut replayed_failures = 0usize;
     let mut skipped_points = 0usize;
@@ -962,6 +1034,7 @@ pub(crate) fn execute(
         shards,
         total_points: total,
         skipped_points,
+        cache_degraded: run.cache_degraded,
     })
 }
 

@@ -40,6 +40,8 @@ use std::path::PathBuf;
 use crate::cache::CacheBackend;
 use crate::checkpoint::{Checkpoint, CheckpointHeader};
 use crate::error::Result;
+use crate::lease::{execute_coexec, LeaseConfig, LeaseLedger};
+use crate::retry::RetryPolicy;
 use crate::runner::{
     effective_shard_size, execute, ErrorPolicy, ShardProgress, StreamOptions, StreamOutcome,
     SweepOutcome,
@@ -60,6 +62,8 @@ pub struct ExploreSession<'a> {
     sink: Option<&'a mut dyn RecordSink>,
     progress: Option<ProgressCallback<'a>>,
     checkpoint: Option<PathBuf>,
+    lease_dir: Option<PathBuf>,
+    lease: LeaseConfig,
 }
 
 impl<'a> ExploreSession<'a> {
@@ -75,6 +79,8 @@ impl<'a> ExploreSession<'a> {
             sink: None,
             progress: None,
             checkpoint: None,
+            lease_dir: None,
+            lease: LeaseConfig::default(),
         }
     }
 
@@ -172,6 +178,49 @@ impl<'a> ExploreSession<'a> {
         self
     }
 
+    /// Sets the durability-chain retry policy: cache `put`/`flush` and sink
+    /// flushes are re-attempted on transient failure with exponential backoff
+    /// and decorrelated jitter (see [`RetryPolicy`]). Default:
+    /// [`RetryPolicy::none`] — one attempt per operation. Under
+    /// [`keep_going`](Self::keep_going), a cache write that still fails after
+    /// the policy is exhausted is *degraded* (the record reaches the sink,
+    /// the skip is counted in [`StreamOutcome::cache_degraded`]) instead of
+    /// aborting the sweep.
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.options.retry = policy;
+        self
+    }
+
+    /// Co-executes the sweep with other worker processes through a shared
+    /// lease directory (created if missing): shards are claimed via
+    /// create-exclusive lease files, published as atomically-renamed part
+    /// files, and merged — in shard order — into this session's sink by this
+    /// process, which acts as the *primary*. Additional processes attach with
+    /// [`join_sweep`](crate::join_sweep) (`simphony-cli join`); a worker that
+    /// dies mid-shard loses its lease after the
+    /// [`lease_config`](Self::lease_config) timeout and its shard is
+    /// re-claimed.
+    ///
+    /// Requires [`keep_going`](Self::keep_going): fail-fast across a fleet of
+    /// independent processes is ill-defined (a remote worker cannot abort the
+    /// primary's sink mid-merge), so [`run`](Self::run) refuses the
+    /// combination. Merged output is byte-identical to a single-process run
+    /// of the same spec.
+    #[must_use]
+    pub fn coexecute(mut self, lease_dir: impl Into<PathBuf>) -> Self {
+        self.lease_dir = Some(lease_dir.into());
+        self
+    }
+
+    /// Tunes the lease protocol ([`coexecute`](Self::coexecute)): stale-lease
+    /// timeout, poll interval, owner label.
+    #[must_use]
+    pub fn lease_config(mut self, config: LeaseConfig) -> Self {
+        self.lease = config;
+        self
+    }
+
     /// Runs the sweep, streaming records to the configured sink (or
     /// discarding them when none is set — the cache and checkpoint still see
     /// everything).
@@ -238,6 +287,8 @@ impl<'a> ExploreSession<'a> {
             sink: _,
             mut progress,
             checkpoint,
+            lease_dir,
+            lease,
         } = self;
         let mut checkpoint = match checkpoint {
             Some(path) => {
@@ -257,6 +308,18 @@ impl<'a> ExploreSession<'a> {
                 f(shard);
             }
         };
+        if let Some(dir) = lease_dir {
+            let ledger = LeaseLedger::open(dir, lease)?;
+            return execute_coexec(
+                spec,
+                cache.as_deref(),
+                &options,
+                sink,
+                &mut callback,
+                checkpoint.as_mut(),
+                &ledger,
+            );
+        }
         execute(
             spec,
             cache.as_deref(),
@@ -312,6 +375,13 @@ impl RecordSink for CollectTee<'_, '_> {
             sink.flush_shard()?;
         }
         self.primary.flush_shard()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if let Some(sink) = self.secondary.as_deref_mut() {
+            sink.sync()?;
+        }
+        self.primary.sync()
     }
 
     fn finish(&mut self) -> Result<()> {

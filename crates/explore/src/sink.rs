@@ -70,6 +70,20 @@ pub trait RecordSink<R = SweepRecord>: Send {
         Ok(())
     }
 
+    /// Forces flushed output onto stable storage (`fsync`). The executor
+    /// calls this after [`flush_shard`](Self::flush_shard) and *before*
+    /// appending the shard to a checkpoint, so a checkpoint never vouches for
+    /// records the kernel still holds in page cache — the ordering a
+    /// `kill -9` (or power loss) is survived by. Only called when a
+    /// checkpoint is present; non-durable sinks keep the no-op default.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
     /// Called once after the final shard; finalizes the output (closing
     /// delimiters, final flush).
     ///
@@ -200,6 +214,15 @@ impl<R: Serialize> RecordSink<R> for JsonFileSink<R> {
         self.writer().flush().map_err(|e| io_err(&stage, e))
     }
 
+    fn sync(&mut self) -> Result<()> {
+        let stage = self.stage.clone();
+        let writer = self.writer();
+        writer
+            .flush()
+            .and_then(|()| writer.get_ref().sync_all())
+            .map_err(|e| io_err(&stage, e))
+    }
+
     fn finish(&mut self) -> Result<()> {
         let tail = if self.count == 0 { "[]\n" } else { "\n]\n" };
         let stage = self.stage.clone();
@@ -285,6 +308,13 @@ impl<R: Serialize> RecordSink<R> for JsonlSink<R> {
         self.writer.flush().map_err(|e| io_err(&self.path, e))
     }
 
+    fn sync(&mut self) -> Result<()> {
+        self.writer
+            .flush()
+            .and_then(|()| self.writer.get_ref().sync_all())
+            .map_err(|e| io_err(&self.path, e))
+    }
+
     fn finish(&mut self) -> Result<()> {
         self.writer.flush().map_err(|e| io_err(&self.path, e))
     }
@@ -333,6 +363,13 @@ impl<R: CsvRecord> RecordSink<R> for CsvSink<R> {
 
     fn flush_shard(&mut self) -> Result<()> {
         self.writer.flush().map_err(|e| io_err(&self.path, e))
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.writer
+            .flush()
+            .and_then(|()| self.writer.get_ref().sync_all())
+            .map_err(|e| io_err(&self.path, e))
     }
 
     fn finish(&mut self) -> Result<()> {
@@ -396,6 +433,13 @@ impl<R: Clone> RecordSink<R> for MultiSink<R> {
     fn flush_shard(&mut self) -> Result<()> {
         for sink in &mut self.sinks {
             sink.flush_shard()?;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        for sink in &mut self.sinks {
+            sink.sync()?;
         }
         Ok(())
     }

@@ -1,0 +1,255 @@
+//! Integration tests of multi-process co-execution: lease-directory sweeps
+//! must reproduce the single-process bytes exactly — with joiners attached,
+//! with dead workers' stale leases re-claimed, and across checkpoint resume —
+//! and must never emit a record twice.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use simphony_explore::{
+    join_sweep, read_jsonl, ArchFamily, ExploreSession, JsonlSink, LeaseConfig, RetryPolicy,
+    SweepSpec,
+};
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let unique = format!(
+        "simphony-coexec-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    );
+    let dir = std::env::temp_dir().join(unique);
+    std::fs::create_dir_all(&dir).expect("scratch dir creates");
+    dir
+}
+
+fn small_spec() -> SweepSpec {
+    SweepSpec::new("coexec")
+        .with_arch(vec![ArchFamily::Tempo, ArchFamily::Scatter])
+        .with_wavelengths(vec![1, 2, 4])
+        .with_bitwidth(vec![4, 8])
+}
+
+/// The single-process JSONL bytes every co-executed variant must reproduce.
+fn golden_bytes(spec: &SweepSpec, dir: &std::path::Path) -> String {
+    let path = dir.join("golden.jsonl");
+    let mut sink = JsonlSink::create(&path).expect("sink creates");
+    ExploreSession::new(spec)
+        .chunk_size(4)
+        .sink(&mut sink)
+        .run()
+        .expect("golden sweep runs");
+    std::fs::read_to_string(&path).expect("golden reads")
+}
+
+fn assert_no_duplicate_indices(jsonl_path: &std::path::Path) {
+    let records = read_jsonl(jsonl_path).expect("output parses");
+    let mut indices: Vec<usize> = records.iter().map(|r| r.point.index).collect();
+    let emitted = indices.len();
+    indices.sort_unstable();
+    indices.dedup();
+    assert_eq!(
+        indices.len(),
+        emitted,
+        "a record index was emitted more than once"
+    );
+}
+
+#[test]
+fn a_lone_primary_coexecutes_to_the_single_process_bytes() {
+    let dir = scratch_dir("lone");
+    let golden = golden_bytes(&small_spec(), &dir);
+    let spec = small_spec();
+    let out = dir.join("coexec.jsonl");
+    let mut sink = JsonlSink::create(&out).expect("sink creates");
+    let outcome = ExploreSession::new(&spec)
+        .chunk_size(4)
+        .keep_going()
+        .coexecute(dir.join("leases"))
+        .sink(&mut sink)
+        .run()
+        .expect("co-executed sweep runs");
+    assert_eq!(outcome.total_points, 12);
+    assert_eq!(outcome.shards, 3);
+    assert!(outcome.failures.is_empty());
+    assert_eq!(
+        std::fs::read_to_string(&out).expect("output reads"),
+        golden,
+        "a primary with no joiners must still match the plain run byte for byte"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_joiner_thread_shares_the_work_without_duplicating_records() {
+    let dir = scratch_dir("joiner");
+    let golden = golden_bytes(&small_spec(), &dir);
+    let spec = small_spec();
+    let lease_dir = dir.join("leases");
+    let out = dir.join("coexec.jsonl");
+
+    let joiner = {
+        let spec = small_spec();
+        let lease_dir = lease_dir.clone();
+        std::thread::spawn(move || {
+            join_sweep(
+                &spec,
+                None,
+                lease_dir,
+                LeaseConfig::default().poll_ms(2).owner("joiner"),
+                RetryPolicy::none(),
+                &mut |_| {},
+            )
+        })
+    };
+    let mut sink = JsonlSink::create(&out).expect("sink creates");
+    let outcome = ExploreSession::new(&spec)
+        .chunk_size(2)
+        .keep_going()
+        .coexecute(&lease_dir)
+        .lease_config(LeaseConfig::default().poll_ms(2).owner("primary"))
+        .sink(&mut sink)
+        .run()
+        .expect("co-executed sweep runs");
+    let join_outcome = joiner
+        .join()
+        .expect("joiner thread joins")
+        .expect("join_sweep succeeds");
+
+    assert_eq!(outcome.total_points, 12);
+    assert_eq!(join_outcome.total_shards, 6);
+    // Fleet-wide accounting: every point was computed exactly once somewhere.
+    assert_eq!(outcome.stats.hits + outcome.stats.misses, 12);
+    assert_eq!(
+        std::fs::read_to_string(&out).expect("output reads"),
+        golden,
+        "two workers' merged output must match the plain run byte for byte"
+    );
+    assert_no_duplicate_indices(&out);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_dead_workers_stale_lease_is_reclaimed() {
+    let dir = scratch_dir("stale");
+    let golden = golden_bytes(&small_spec(), &dir);
+    let spec = small_spec();
+    let lease_dir = dir.join("leases");
+    std::fs::create_dir_all(&lease_dir).expect("lease dir creates");
+    // A worker that died mid-shard: its lease file, never renewed.
+    std::fs::write(
+        lease_dir.join("shard-00000001.lease"),
+        "{\"owner\":\"dead\",\"beat\":3}",
+    )
+    .expect("dead lease writes");
+    std::thread::sleep(std::time::Duration::from_millis(80));
+
+    let out = dir.join("coexec.jsonl");
+    let mut sink = JsonlSink::create(&out).expect("sink creates");
+    ExploreSession::new(&spec)
+        .chunk_size(4)
+        .keep_going()
+        .coexecute(&lease_dir)
+        .lease_config(LeaseConfig::default().timeout_ms(50).poll_ms(2))
+        .sink(&mut sink)
+        .run()
+        .expect("the primary must re-claim the dead worker's shard and finish");
+    assert_eq!(
+        std::fs::read_to_string(&out).expect("output reads"),
+        golden,
+        "recovery through a stale-lease takeover must not change the bytes"
+    );
+    assert_no_duplicate_indices(&out);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn coexecution_refuses_fail_fast() {
+    let dir = scratch_dir("fail-fast");
+    let spec = small_spec();
+    let mut sink = JsonlSink::create(dir.join("out.jsonl")).expect("sink creates");
+    let err = ExploreSession::new(&spec)
+        .chunk_size(4)
+        .coexecute(dir.join("leases"))
+        .sink(&mut sink)
+        .run()
+        .expect_err("fail-fast cannot span processes");
+    assert!(
+        err.to_string().contains("KeepGoing"),
+        "the error must say what to change: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_joiner_rejects_a_diverging_sweep() {
+    let dir = scratch_dir("diverge");
+    let spec = small_spec();
+    let lease_dir = dir.join("leases");
+    let mut sink = JsonlSink::create(dir.join("out.jsonl")).expect("sink creates");
+    ExploreSession::new(&spec)
+        .chunk_size(4)
+        .keep_going()
+        .coexecute(&lease_dir)
+        .sink(&mut sink)
+        .run()
+        .expect("primary runs");
+
+    let other = small_spec().with_wavelengths(vec![1, 2, 4, 8]);
+    let err = join_sweep(
+        &other,
+        None,
+        &lease_dir,
+        LeaseConfig::default().manifest_wait_ms(100).poll_ms(2),
+        RetryPolicy::none(),
+        &mut |_| {},
+    )
+    .expect_err("a different spec must be rejected");
+    let message = err.to_string();
+    assert!(message.contains("spec fingerprint"), "{message}");
+    assert!(message.contains("total points"), "{message}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_checkpointed_coexecution_resumes_without_recomputing() {
+    let dir = scratch_dir("checkpoint");
+    let golden = golden_bytes(&small_spec(), &dir);
+    let spec = small_spec();
+    let lease_dir = dir.join("leases");
+    let ckpt = dir.join("sweep.ckpt");
+    let out = dir.join("coexec.jsonl");
+
+    let mut sink = JsonlSink::create(&out).expect("sink creates");
+    let outcome = ExploreSession::new(&spec)
+        .chunk_size(4)
+        .keep_going()
+        .coexecute(&lease_dir)
+        .checkpoint(&ckpt)
+        .sink(&mut sink)
+        .run()
+        .expect("checkpointed co-execution runs");
+    assert_eq!(outcome.skipped_points, 0);
+    assert_eq!(std::fs::read_to_string(&out).expect("output reads"), golden);
+
+    // Re-running against the same checkpoint replays everything: no claims,
+    // no recomputation, no new records appended.
+    let mut sink = JsonlSink::append(&out).expect("sink appends");
+    let outcome = ExploreSession::new(&spec)
+        .chunk_size(4)
+        .keep_going()
+        .coexecute(&lease_dir)
+        .checkpoint(&ckpt)
+        .sink(&mut sink)
+        .run()
+        .expect("fully checkpointed co-execution replays");
+    assert_eq!(outcome.skipped_points, 12);
+    assert_eq!(outcome.stats.hits + outcome.stats.misses, 0);
+    assert_eq!(
+        std::fs::read_to_string(&out).expect("output reads"),
+        golden,
+        "a replayed co-execution must append nothing"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
