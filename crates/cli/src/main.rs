@@ -29,6 +29,11 @@
 //!   content and rank on the serving objectives (p99 latency, throughput,
 //!   energy per request);
 //! * `run` — simulate a single configuration and print the full report;
+//! * `serve` — host the exploration engine as a long-running TCP daemon
+//!   (newline-delimited JSON protocol): resident artifact store, shared
+//!   result cache, admission control, responses byte-identical to the
+//!   equivalent CLI invocations; `serve --check ADDR` health-checks a
+//!   running daemon (exit 0 live, 1 dead);
 //! * `spec` — print an example sweep spec to start from (`--serving` for a
 //!   serving spec).
 //!
@@ -52,6 +57,7 @@ use simphony_explore::{
     LeaseConfig, MultiSink, Objective, RetryPolicy, ShardProgress, StreamOutcome, SweepSpec,
     VecSink, WorkloadSpec,
 };
+use simphony_serve::{ServeConfig, Server, PROTOCOL_VERSION};
 use simphony_traffic::{run_serving_with, Discipline, ServingRecord, ServingSpec};
 
 fn arch_family_list() -> String {
@@ -426,6 +432,97 @@ fn cli() -> Command {
                         .long("out")
                         .value_name("FILE")
                         .help("Write the frontier as pretty JSON to this path"),
+                )
+                .arg(
+                    Arg::new("jsonl")
+                        .long("jsonl")
+                        .value_name("FILE")
+                        .help("Additionally write the frontier as JSON Lines to this path"),
+                ),
+        )
+        .subcommand(
+            Command::new("serve")
+                .about("Run (or health-check) the long-running exploration daemon")
+                .arg(
+                    Arg::new("addr")
+                        .long("addr")
+                        .value_name("ADDR")
+                        .default_value("127.0.0.1:7744")
+                        .help("Bind address; port 0 picks an ephemeral port (printed on start)"),
+                )
+                .arg(Arg::new("check").long("check").value_name("ADDR").help(
+                    "Health-check a running daemon at ADDR instead of serving: \
+                             exit 0 when it answers the version handshake and a ping, 1 \
+                             otherwise",
+                ))
+                .arg(Arg::new("cache").long("cache").value_name("DIR").help(
+                    "Share this content-hash result cache across every connection \
+                             (created if missing)",
+                ))
+                .arg(backend_arg(
+                    "Cache backend: dir, sharded, packed, or auto (detect from the directory)",
+                ))
+                .arg(
+                    Arg::new("max-points")
+                        .long("max-points")
+                        .value_name("N")
+                        .default_value("65536")
+                        .help(
+                            "Per-request point budget: bigger sweeps are rejected as usage \
+                             errors (0 = unlimited); clients can lower it per request, \
+                             never raise it",
+                        ),
+                )
+                .arg(
+                    Arg::new("max-pending")
+                        .long("max-pending")
+                        .value_name("N")
+                        .default_value("32")
+                        .help(
+                            "Admission bound: at most N requests queued or executing; \
+                             excess requests get an immediate `server busy` error \
+                             (0 = unlimited)",
+                        ),
+                )
+                .arg(
+                    Arg::new("bulk-threshold")
+                        .long("bulk-threshold")
+                        .value_name("N")
+                        .default_value("256")
+                        .help(
+                            "Sweeps above N points serialize on the bulk lane so they \
+                             cannot starve interactive requests",
+                        ),
+                )
+                .arg(
+                    Arg::new("chunk-size")
+                        .long("chunk-size")
+                        .value_name("N")
+                        .default_value("64")
+                        .help(
+                            "Default points per shard for daemon sweeps (responses stream \
+                             and flush per shard); requests may override it",
+                        ),
+                )
+                .arg(
+                    Arg::new("artifact-entries")
+                        .long("artifact-entries")
+                        .value_name("N")
+                        .default_value("256")
+                        .help(
+                            "Resident artifact-store budget: max workloads + accelerators \
+                             kept warm across requests (0 = unlimited)",
+                        ),
+                )
+                .arg(
+                    Arg::new("artifact-bytes")
+                        .long("artifact-bytes")
+                        .value_name("B")
+                        .default_value("536870912")
+                        .help(
+                            "Resident artifact-store budget in estimated bytes \
+                             (0 = unlimited)",
+                        ),
                 ),
         )
         .subcommand(
@@ -534,6 +631,7 @@ fn main() -> ExitCode {
             _ => unreachable!("subcommand_required guarantees a match"),
         },
         Some(("serve-sim", sub)) => cmd_serve_sim(sub).map(|()| ExitCode::SUCCESS),
+        Some(("serve", sub)) => cmd_serve(sub).map(|()| ExitCode::SUCCESS),
         Some(("pareto", sub)) => cmd_pareto(sub).map(|()| ExitCode::SUCCESS),
         Some(("run", sub)) => cmd_run(sub).map(|()| ExitCode::SUCCESS),
         Some(("spec", sub)) => cmd_spec(sub).map(|()| ExitCode::SUCCESS),
@@ -1012,6 +1110,12 @@ fn cmd_cache_stats(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     println!("cache `{dir}` ({kind} backend)");
     println!("  entries: {}", stats.entries);
     println!("  bytes:   {}", stats.bytes);
+    // Segment-file count and shadowed (dead, superseded) keys only exist in
+    // the packed layout; the directory backends report both as 0.
+    if stats.segments > 0 || stats.shadowed > 0 || kind == BackendKind::Packed {
+        println!("  segments: {}", stats.segments);
+        println!("  shadowed: {}", stats.shadowed);
+    }
     if let Some(checkpoint) = matches.get_one::<String>("checkpoint") {
         let (_, completed) = Checkpoint::load(checkpoint)?;
         let hits: usize = completed.iter().map(|s| s.hits).sum();
@@ -1101,6 +1205,49 @@ fn cmd_serve_sim(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     Ok(())
 }
 
+fn cmd_serve(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    // `--check` is the scriptable health probe: handshake + ping, exit 0/1.
+    if let Some(addr) = matches.get_one::<String>("check") {
+        simphony_serve::check(&addr, std::time::Duration::from_secs(2))?;
+        println!("ok: daemon at `{addr}` answers protocol {PROTOCOL_VERSION}");
+        return Ok(());
+    }
+
+    let cache: Option<Arc<dyn CacheBackend>> = match matches.get_one::<String>("cache") {
+        Some(dir) => Some(Arc::from(open_backend(&dir, matches.get_one("backend"))?)),
+        None => None,
+    };
+    let artifact_entries: usize = matches.get_one("artifact-entries").expect("has default");
+    let artifact_bytes: u64 = matches.get_one("artifact-bytes").expect("has default");
+    let config = ServeConfig {
+        addr: matches.get_one::<String>("addr").expect("has default"),
+        max_points: matches.get_one("max-points").expect("has default"),
+        max_pending: matches.get_one("max-pending").expect("has default"),
+        bulk_threshold: matches.get_one("bulk-threshold").expect("has default"),
+        chunk_size: matches.get_one("chunk-size").expect("has default"),
+        artifact_budget: simphony_explore::ArtifactBudget {
+            max_entries: artifact_entries,
+            max_bytes: artifact_bytes,
+        },
+    };
+    let server = Server::start(config, cache)?;
+    // The resolved address (port 0 becomes a real port) goes to stdout so
+    // scripts and tests can discover where the daemon landed.
+    println!(
+        "simphony-serve listening on {} (protocol {PROTOCOL_VERSION})",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    std::io::stdout()
+        .flush()
+        .map_err(|e| ExploreError::io_at("stdout", e))?;
+    // Blocks until a client sends a `shutdown` request.
+    server.join();
+    // Best-effort farewell: whoever captured stdout may be gone by now.
+    let _ = writeln!(std::io::stdout(), "simphony-serve: shutdown complete");
+    Ok(())
+}
+
 /// True when the record file holds serving records. `p99_ms` is the schema
 /// discriminator: serving records always serialize it, sweep records never
 /// do, so sniffing the first record is unambiguous.
@@ -1155,6 +1302,14 @@ fn cmd_pareto(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
             let text = serde_json::to_string_pretty(&front)?;
             std::fs::write(&out, text + "\n").map_err(|e| ExploreError::io_at(&out, e))?;
         }
+        if let Some(path) = matches.get_one::<String>("jsonl") {
+            let mut text = String::new();
+            for record in &front {
+                text.push_str(&serde_json::to_string(record)?);
+                text.push('\n');
+            }
+            std::fs::write(&path, text).map_err(|e| ExploreError::io_at(&path, e))?;
+        }
         return Ok(());
     }
 
@@ -1164,6 +1319,9 @@ fn cmd_pareto(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     print!("{}", to_csv(&front));
     if let Some(out) = matches.get_one::<String>("out") {
         write_json(out, &front)?;
+    }
+    if let Some(path) = matches.get_one::<String>("jsonl") {
+        simphony_explore::write_jsonl(path, &front)?;
     }
     Ok(())
 }

@@ -32,7 +32,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{Read as _, Seek as _, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -97,6 +97,13 @@ pub struct BackendStats {
     pub entries: usize,
     /// Bytes of published (durable) cache data on disk.
     pub bytes: u64,
+    /// Published segment files ([`PackedSegmentCache`] only; the directory
+    /// backends have no segments and report 0).
+    pub segments: usize,
+    /// Stored lines shadowed by a later write under the same content key —
+    /// dead bytes a `cache compact` would reclaim ([`PackedSegmentCache`]
+    /// only; the directory backends overwrite in place and report 0).
+    pub shadowed: usize,
 }
 
 /// Object-safe storage interface of the sweep result cache.
@@ -203,6 +210,49 @@ pub trait CacheBackend: Send + Sync {
     ///
     /// Propagates directory-read errors and errors returned by `visit`.
     fn scan(&self, visit: &mut dyn FnMut(String, SweepRecord) -> Result<()>) -> Result<()>;
+}
+
+/// A shared handle to a backend is itself a backend, delegating every method
+/// (including the overridable ones, so the inner backend's batch and
+/// pre-serialized fast paths stay in effect). This is what lets a server hold
+/// one `Arc<dyn CacheBackend>` and hand clones to concurrently-running
+/// sessions without re-opening the store per connection.
+impl<T: CacheBackend + ?Sized> CacheBackend for Arc<T> {
+    fn get(&self, point: &SweepPoint) -> Option<SweepRecord> {
+        (**self).get(point)
+    }
+
+    fn get_batch(&self, points: &[&SweepPoint]) -> Vec<Option<SweepRecord>> {
+        (**self).get_batch(points)
+    }
+
+    fn put(&self, record: &SweepRecord) -> Result<()> {
+        (**self).put(record)
+    }
+
+    fn put_serialized(&self, key: &str, json: &str, record: &SweepRecord) -> Result<()> {
+        (**self).put_serialized(key, json, record)
+    }
+
+    fn len(&self) -> Result<usize> {
+        (**self).len()
+    }
+
+    fn is_empty(&self) -> Result<bool> {
+        (**self).is_empty()
+    }
+
+    fn stats(&self) -> Result<BackendStats> {
+        (**self).stats()
+    }
+
+    fn flush(&self) -> Result<()> {
+        (**self).flush()
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(String, SweepRecord) -> Result<()>) -> Result<()> {
+        (**self).scan(visit)
+    }
 }
 
 /// Reads one `<key>.json` entry file, verifying it against the queried point.
@@ -530,6 +580,9 @@ struct PackedState {
     pending_map: HashMap<String, SweepRecord>,
     /// Per-handle counter making segment file names unique.
     counter: u64,
+    /// Published lines superseded by a later line under the same key —
+    /// duplicates a future `cache compact` would drop.
+    shadowed: usize,
 }
 
 /// An append-only packed cache: entries buffer in memory and
@@ -599,7 +652,7 @@ impl PackedSegmentCache {
                 let line = &bytes[offset..offset + nl];
                 if let Ok(text) = std::str::from_utf8(line) {
                     if let Ok(entry) = serde_json::from_str::<PackedEntry>(text) {
-                        state.index.insert(
+                        let previous = state.index.insert(
                             entry.key,
                             EntryLoc {
                                 segment,
@@ -607,6 +660,9 @@ impl PackedSegmentCache {
                                 len: line.len(),
                             },
                         );
+                        if previous.is_some() {
+                            state.shadowed += 1;
+                        }
                     }
                 }
                 offset += nl + 1;
@@ -694,6 +750,8 @@ impl CacheBackend for PackedSegmentCache {
         Ok(BackendStats {
             entries: state.index.len() + unpublished,
             bytes: state.segment_bytes,
+            segments: state.segments.len(),
+            shadowed: state.shadowed,
         })
     }
 
@@ -756,7 +814,7 @@ impl CacheBackend for PackedSegmentCache {
         state.segments.push(path);
         state.segment_bytes += buffer.len() as u64;
         for (key, offset, len) in locs {
-            state.index.insert(
+            let previous = state.index.insert(
                 key,
                 EntryLoc {
                     segment,
@@ -764,6 +822,9 @@ impl CacheBackend for PackedSegmentCache {
                     len,
                 },
             );
+            if previous.is_some() {
+                state.shadowed += 1;
+            }
         }
         state.pending.clear();
         state.pending_map.clear();
@@ -1301,6 +1362,67 @@ mod tests {
         let stats = cache.stats().unwrap();
         assert_eq!(stats.entries, 3);
         assert!(stats.bytes > 0);
+        assert_eq!(stats.segments, 2);
+        assert_eq!(stats.shadowed, 0, "no key was ever rewritten");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn packed_cache_counts_shadowed_rewrites() {
+        let dir = scratch("packed-shadowed");
+        let records = sample_records(2);
+        {
+            let cache = PackedSegmentCache::open(&dir).unwrap();
+            cache.put(&records[0]).unwrap();
+            cache.put(&records[1]).unwrap();
+            cache.flush().unwrap();
+            // Rewriting a key in a later segment shadows the published line.
+            cache.put(&records[0]).unwrap();
+            cache.flush().unwrap();
+            let stats = cache.stats().unwrap();
+            assert_eq!(stats.entries, 2, "a rewrite is not a new entry");
+            assert_eq!(stats.segments, 2);
+            assert_eq!(stats.shadowed, 1);
+            // A duplicate within one pending batch shadows the earlier line
+            // of the same segment.
+            cache.put(&records[1]).unwrap();
+            cache.put(&records[1]).unwrap();
+            cache.flush().unwrap();
+            assert_eq!(cache.stats().unwrap().shadowed, 3);
+        }
+        // Reopening rebuilds the count from the segment scan.
+        let cache = PackedSegmentCache::open(&dir).unwrap();
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.segments, 3);
+        assert_eq!(stats.shadowed, 3);
+        // The directory backends report zero for both packed-only fields.
+        let flat_dir = scratch("packed-shadowed-flat");
+        let flat = DirCache::open(&flat_dir).unwrap();
+        flat.put(&records[0]).unwrap();
+        flat.put(&records[0]).unwrap();
+        let flat_stats = flat.stats().unwrap();
+        assert_eq!((flat_stats.segments, flat_stats.shadowed), (0, 0));
+        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(&flat_dir).ok();
+    }
+
+    #[test]
+    fn arc_handle_is_a_backend() {
+        // The blanket impl lets one store be shared by value across threads
+        // while still dispatching to the inner backend's overrides.
+        let dir = scratch("packed-arc");
+        let records = sample_records(2);
+        let cache: Arc<dyn CacheBackend> = Arc::new(PackedSegmentCache::open(&dir).unwrap());
+        let handle = Arc::clone(&cache);
+        handle.put(&records[0]).unwrap();
+        handle.flush().unwrap();
+        assert_eq!(cache.get(&records[0].point).as_ref(), Some(&records[0]));
+        let refs: Vec<&SweepPoint> = records.iter().map(|r| &r.point).collect();
+        let batch = handle.get_batch(&refs);
+        assert_eq!(batch[0].as_ref(), Some(&records[0]));
+        assert_eq!(batch[1], None);
+        assert_eq!(handle.stats().unwrap().segments, 1);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,8 +15,10 @@
 //!   and a monotonic heartbeat counter; a background thread renews the lease
 //!   (bumping the beat, refreshing the mtime) every quarter-timeout while
 //!   the shard computes. A lease whose mtime is older than the configured
-//!   timeout is *stale* — its owner is presumed dead — and any worker may
-//!   clear it and re-claim the shard (straggler re-claim).
+//!   timeout is *stale* — its owner is presumed dead — and a worker may
+//!   clear it and re-claim the shard (straggler re-claim). Clearing is
+//!   serialized through a per-shard `.takeover-NNNNNNNN.lock` file so a slow
+//!   contender cannot sweep away the lease a faster one just re-created.
 //! * **`shard-NNNNNNNN.part`** — one computed shard's results: a
 //!   [`ShardCheckpoint`] meta line followed by the shard's records as
 //!   compact JSONL. Parts are staged, fsynced, and renamed into place, so a
@@ -307,9 +309,10 @@ impl LeaseLedger {
     /// Attempts to claim `shard`: returns a guard (heartbeating in the
     /// background, releasing the lease on drop) on success, `None` when the
     /// shard is already done or freshly leased to someone else. A lease whose
-    /// mtime exceeds the timeout is cleared and re-claimed — though the
-    /// `create_new` on the cleared path may still lose to another contender,
-    /// which is the point: **creation is the sole ownership decider**.
+    /// mtime exceeds the timeout is cleared and re-claimed; clearing is
+    /// serialized through a per-shard takeover lock, and the `create_new` on
+    /// the cleared path remains the decider: **creation is the sole ownership
+    /// decider**.
     ///
     /// # Errors
     ///
@@ -322,28 +325,65 @@ impl LeaseLedger {
         if let Some(guard) = self.create_lease(&path)? {
             return Ok(Some(guard));
         }
-        let stale = match fs::metadata(&path) {
-            Ok(meta) => meta
+        if !self.is_stale(&path)? {
+            return Ok(None);
+        }
+        // Clearing must be exclusive. With a blind rename here, contender B
+        // can stat the old lease as stale, contender A can clear it and
+        // `create_new` a fresh one, and B's rename then sweeps A's *fresh*
+        // lease away — two owners. So takeover goes through a per-shard lock
+        // file: only the contender whose `create_new` on the lock succeeds
+        // may clear the lease, and it re-checks staleness under the lock
+        // first. Everyone else backs off to the next poll, removing the lock
+        // itself if its holder died mid-takeover (same age rule).
+        let lock = self.dir.join(format!(".takeover-{shard:08}.lock"));
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lock)
+        {
+            Ok(file) => drop(file),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                if self.is_stale(&lock)? {
+                    let _ = fs::remove_file(&lock);
+                }
+                return Ok(None);
+            }
+            Err(e) => return Err(ExploreError::io_at(&lock, e)),
+        }
+        let result = self.clear_and_claim(&path, shard);
+        let _ = fs::remove_file(&lock);
+        result
+    }
+
+    /// The body of a takeover, run only while holding the shard's takeover
+    /// lock: re-verify the lease is still stale (it may have been cleared and
+    /// re-created fresh while we raced for the lock), rename it away, and
+    /// contend on a fresh `create_new`.
+    fn clear_and_claim(&self, path: &Path, shard: usize) -> Result<Option<LeaseGuard>> {
+        if !self.is_stale(path)? {
+            return Ok(None);
+        }
+        let tomb = self.dir.join(format!(".tomb-{shard:08}.{}", nonce()));
+        if fs::rename(path, &tomb).is_ok() {
+            let _ = fs::remove_file(&tomb);
+        }
+        self.create_lease(path)
+    }
+
+    /// Whether the file at `path` is older than the lease timeout. A missing
+    /// file is *not* stale: `NotFound` means it was freed or cleared, and the
+    /// caller should contend on a fresh `create_new` rather than clear.
+    fn is_stale(&self, path: &Path) -> Result<bool> {
+        match fs::metadata(path) {
+            Ok(meta) => Ok(meta
                 .modified()
                 .ok()
                 .and_then(|mtime| mtime.elapsed().ok())
-                .is_some_and(|age| age >= Duration::from_millis(self.config.timeout_ms)),
-            // Freed between the failed create and this stat: claim on the
-            // next poll rather than looping here.
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
-            Err(e) => return Err(ExploreError::io_at(&path, e)),
-        };
-        if !stale {
-            return Ok(None);
+                .is_some_and(|age| age >= Duration::from_millis(self.config.timeout_ms))),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(ExploreError::io_at(path, e)),
         }
-        // Clear the stale lease by renaming it away (losing this rename race
-        // to another contender is fine — see above) and contend on a fresh
-        // create_new.
-        let tomb = self.dir.join(format!(".tomb-{shard:08}.{}", nonce()));
-        if fs::rename(&path, &tomb).is_ok() {
-            let _ = fs::remove_file(&tomb);
-        }
-        self.create_lease(&path)
     }
 
     /// One `create_new` attempt on the lease path; `None` when someone else
@@ -580,10 +620,10 @@ fn compute_and_publish(
     ledger: &LeaseLedger,
     shard: usize,
     points: std::ops::Range<usize>,
-    carried: &mut ArtifactStore,
+    artifacts: &std::sync::Mutex<ArtifactStore>,
 ) -> Result<ShardCheckpoint> {
     let (computed, _live_failures) =
-        compute_shard(spec, cache, shard, points.start, points.end, carried)?;
+        compute_shard(spec, cache, shard, points.start, points.end, artifacts)?;
     let mut cache_degraded = 0usize;
     if let Some(cache) = cache {
         for prepared in computed.slots.iter().flatten() {
@@ -634,6 +674,7 @@ fn compute_and_publish(
 /// [`StreamOutcome::replayed_failures`]. [`StreamOutcome::stats`] accounts
 /// the whole fleet's hits and misses. The pipelining option is ignored —
 /// claiming, computing and merging already overlap across processes.
+#[allow(clippy::too_many_arguments)] // internal plumbing mirror of execute()
 pub(crate) fn execute_coexec(
     spec: &SweepSpec,
     cache: Option<&dyn CacheBackend>,
@@ -642,6 +683,7 @@ pub(crate) fn execute_coexec(
     progress: &mut dyn FnMut(&ShardProgress),
     mut checkpoint: Option<&mut Checkpoint>,
     ledger: &LeaseLedger,
+    artifacts: &std::sync::Mutex<ArtifactStore>,
 ) -> Result<StreamOutcome> {
     spec.validate()?;
     if options.error_policy != ErrorPolicy::KeepGoing {
@@ -709,7 +751,6 @@ pub(crate) fn execute_coexec(
         });
     }
 
-    let mut carried = ArtifactStore::default();
     let mut next_merge = completed_shards;
     while next_merge < shards {
         let mut progressed = false;
@@ -768,7 +809,7 @@ pub(crate) fn execute_coexec(
         if let Some((shard, guard)) = claim_available(ledger, next_merge, shards)? {
             let start = shard * shard_size;
             let end = (start + shard_size).min(total);
-            compute_and_publish(spec, cache, retry, ledger, shard, start..end, &mut carried)?;
+            compute_and_publish(spec, cache, retry, ledger, shard, start..end, artifacts)?;
             drop(guard);
             progressed = true;
         }
@@ -847,7 +888,7 @@ pub fn join_sweep(
         total_shards: shards,
         ..JoinOutcome::default()
     };
-    let mut carried = ArtifactStore::default();
+    let artifacts = std::sync::Mutex::new(ArtifactStore::default());
     let mut done = 0usize;
     loop {
         if (0..shards).all(|shard| ledger.part_exists(shard)) {
@@ -864,7 +905,7 @@ pub fn join_sweep(
                     &ledger,
                     shard,
                     start..end,
-                    &mut carried,
+                    &artifacts,
                 )?;
                 drop(guard);
                 outcome.shards_computed += 1;

@@ -136,8 +136,10 @@ pub use record::{
 };
 pub use retry::RetryPolicy;
 pub use runner::{
-    build_accelerator, extract_workload, simulate_point, simulate_point_with, ErrorPolicy,
-    FailureCause, PointFailure, ShardProgress, StreamOptions, StreamOutcome, SweepOutcome,
+    build_accelerator, extract_workload, simulate_point, simulate_point_shared,
+    simulate_point_with, ArtifactBudget, ArtifactStore, ArtifactStoreStats, ErrorPolicy,
+    FailureCause, PointFailure, ShardProgress, SharedArtifactStore, StreamOptions, StreamOutcome,
+    SweepOutcome,
 };
 pub use session::ExploreSession;
 pub use sink::{CsvSink, JsonFileSink, JsonlSink, MultiSink, RecordSink, VecSink};

@@ -318,51 +318,310 @@ pub fn simulate_point_with(
         .simulate(workload, &MappingPlan::default())
 }
 
+/// Default entry cap of a session-local [`ArtifactStore`].
+const DEFAULT_ARTIFACT_ENTRIES: usize = 256;
+
+/// Default byte budget of a session-local [`ArtifactStore`] (512 MiB of
+/// estimated artifact memory).
+const DEFAULT_ARTIFACT_BYTES: u64 = 512 * 1024 * 1024;
+
+/// Capacity limits of an [`ArtifactStore`]. `0` in either field means that
+/// dimension is unlimited; the default bounds a store to
+/// 256 entries / 512 MiB, so a long sweep (or a long-lived server) cannot
+/// accumulate every workload it ever touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactBudget {
+    /// Maximum resident artifacts (workloads + accelerators); 0 = unlimited.
+    pub max_entries: usize,
+    /// Maximum estimated resident bytes; 0 = unlimited.
+    pub max_bytes: u64,
+}
+
+impl Default for ArtifactBudget {
+    fn default() -> Self {
+        Self {
+            max_entries: DEFAULT_ARTIFACT_ENTRIES,
+            max_bytes: DEFAULT_ARTIFACT_BYTES,
+        }
+    }
+}
+
+impl ArtifactBudget {
+    /// No limits — the pre-budget behaviour, for callers that manage store
+    /// lifetime themselves.
+    pub fn unbounded() -> Self {
+        Self {
+            max_entries: 0,
+            max_bytes: 0,
+        }
+    }
+}
+
+/// Usage counters of an [`ArtifactStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArtifactStoreStats {
+    /// Artifacts currently resident (workloads + accelerators).
+    pub entries: usize,
+    /// Estimated bytes of resident artifact data.
+    pub bytes: u64,
+    /// Lookups served from the store since it was created.
+    pub hits: u64,
+    /// Lookups that had to build the artifact.
+    pub misses: u64,
+    /// Artifacts evicted to stay within budget.
+    pub evictions: u64,
+}
+
+/// One resident artifact with the accounting LRU eviction needs.
+struct Resident<T> {
+    value: Arc<T>,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// A budgeted, LRU-evicting store of successfully-built sweep artifacts
+/// (extracted workloads and generated accelerators), keyed by their content
+/// identities ([`SweepPoint::workload_key`] / [`SweepPoint::arch_key`]).
+///
+/// The executor consults one store across every shard of a sweep, so
+/// artifacts that stay live across shard boundaries are built once. Wrapped
+/// in [`SharedArtifactStore`] the same store outlives individual sweeps —
+/// this is what lets a resident server skip artifact construction entirely
+/// on warm requests. Eviction is least-recently-used across both artifact
+/// kinds; evicting never breaks an in-flight shard, which holds its own
+/// `Arc` clones.
+///
+/// Failed builds are *not* stored: a failing key is re-attempted by the next
+/// shard that needs it, keeping error attribution shard-local.
+pub struct ArtifactStore {
+    budget: ArtifactBudget,
+    clock: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    workloads: HashMap<WorkloadKey, Resident<ModelWorkload>>,
+    accelerators: HashMap<ArchKey, Resident<Accelerator>>,
+}
+
+/// A shareable handle to a resident [`ArtifactStore`]: clone it into every
+/// [`ExploreSession`](crate::ExploreSession) (or server connection) that
+/// should reuse the same hot artifacts.
+pub type SharedArtifactStore = Arc<std::sync::Mutex<ArtifactStore>>;
+
+impl Default for ArtifactStore {
+    fn default() -> Self {
+        Self::new(ArtifactBudget::default())
+    }
+}
+
+impl ArtifactStore {
+    /// An empty store enforcing `budget`.
+    pub fn new(budget: ArtifactBudget) -> Self {
+        Self {
+            budget,
+            clock: 0,
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            workloads: HashMap::new(),
+            accelerators: HashMap::new(),
+        }
+    }
+
+    /// An empty store behind a [`SharedArtifactStore`] handle.
+    pub fn shared(budget: ArtifactBudget) -> SharedArtifactStore {
+        Arc::new(std::sync::Mutex::new(Self::new(budget)))
+    }
+
+    /// Current residency and lifetime hit/miss/eviction counters.
+    pub fn stats(&self) -> ArtifactStoreStats {
+        ArtifactStoreStats {
+            entries: self.workloads.len() + self.accelerators.len(),
+            bytes: self.bytes,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+
+    fn touch(clock: &mut u64) -> u64 {
+        *clock += 1;
+        *clock
+    }
+
+    fn lookup_workload(&mut self, key: &WorkloadKey) -> Option<Arc<ModelWorkload>> {
+        match self.workloads.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = Self::touch(&mut self.clock);
+                self.hits += 1;
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn lookup_accelerator(&mut self, key: &ArchKey) -> Option<Arc<Accelerator>> {
+        match self.accelerators.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = Self::touch(&mut self.clock);
+                self.hits += 1;
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert_workload(&mut self, key: WorkloadKey, value: Arc<ModelWorkload>) {
+        let bytes = workload_bytes(&value);
+        let last_used = Self::touch(&mut self.clock);
+        if let Some(old) = self.workloads.insert(
+            key,
+            Resident {
+                value,
+                bytes,
+                last_used,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.evict_to_budget();
+    }
+
+    fn insert_accelerator(&mut self, key: ArchKey, value: Arc<Accelerator>) {
+        let bytes = accelerator_bytes(&value);
+        let last_used = Self::touch(&mut self.clock);
+        if let Some(old) = self.accelerators.insert(
+            key,
+            Resident {
+                value,
+                bytes,
+                last_used,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.evict_to_budget();
+    }
+
+    /// Evicts least-recently-used artifacts (of either kind) until the store
+    /// is back within budget. In-flight shards are unaffected — they hold
+    /// their own `Arc`s — so eviction only costs a future rebuild.
+    fn evict_to_budget(&mut self) {
+        let over = |store: &Self| {
+            let entries = store.workloads.len() + store.accelerators.len();
+            (store.budget.max_entries > 0 && entries > store.budget.max_entries)
+                || (store.budget.max_bytes > 0 && store.bytes > store.budget.max_bytes)
+        };
+        while over(self) {
+            let oldest_workload = self
+                .workloads
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (k.clone(), e.last_used));
+            let oldest_accelerator = self
+                .accelerators
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, e)| (k, e.last_used));
+            match (oldest_workload, oldest_accelerator) {
+                (Some((key, wl_used)), Some((_, acc_used))) if wl_used <= acc_used => {
+                    let old = self.workloads.remove(&key).expect("key just observed");
+                    self.bytes -= old.bytes;
+                }
+                (_, Some((key, _))) => {
+                    let old = self.accelerators.remove(&key).expect("key just observed");
+                    self.bytes -= old.bytes;
+                }
+                (Some((key, _)), None) => {
+                    let old = self.workloads.remove(&key).expect("key just observed");
+                    self.bytes -= old.bytes;
+                }
+                (None, None) => return,
+            }
+            self.evictions += 1;
+        }
+    }
+}
+
+/// Estimated resident size of an extracted workload: its weight tensors
+/// dominate, so sum them plus a fixed per-layer overhead.
+fn workload_bytes(workload: &ModelWorkload) -> u64 {
+    let layers: u64 = workload
+        .layers()
+        .iter()
+        .map(|layer| {
+            (std::mem::size_of_val(layer.weight_values())
+                + std::mem::size_of_val(layer.normalized_abs_values())) as u64
+                + 256
+        })
+        .sum();
+    layers + 256
+}
+
+/// Estimated resident size of a generated accelerator. Accelerators are
+/// configuration trees without bulk arrays, so their serialized length is a
+/// good (and cheap) proxy.
+fn accelerator_bytes(accel: &Accelerator) -> u64 {
+    serde_json::to_string(accel).map_or(4096, |json| json.len() as u64)
+}
+
 /// The distinct artifacts of one shard of sweep points, built once and shared
 /// across the executor threads.
 ///
-/// Construction is fallible *per key*, not per store: a failing artifact is
+/// Construction is fallible *per key*, not per shard: a failing artifact is
 /// recorded as that key's error and only fails the points that need it — the
 /// rest of the shard still simulates (and caches), honouring the engine's
 /// partial-progress contract.
 #[derive(Default)]
-pub(crate) struct ArtifactStore {
+pub(crate) struct ShardArtifacts {
     workloads: HashMap<WorkloadKey, std::result::Result<Arc<ModelWorkload>, SimError>>,
     accelerators: HashMap<ArchKey, std::result::Result<Arc<Accelerator>, SimError>>,
 }
 
-impl ArtifactStore {
+impl ShardArtifacts {
     /// Extracts/generates every distinct artifact of `points` (both kinds in
-    /// parallel over their distinct keys). Artifacts already built by
-    /// `previous` — the preceding shard's store — are reused via `Arc` clone
-    /// instead of rebuilt, so workloads and accelerators that stay live
-    /// across a shard boundary are only ever constructed once per sweep.
-    fn build(points: &[&SweepPoint], previous: &ArtifactStore) -> Self {
-        let mut store = ArtifactStore::default();
+    /// parallel over their distinct keys). Artifacts already resident in
+    /// `store` are reused via `Arc` clone instead of rebuilt; fresh successes
+    /// are published back (subject to the store's budget), so artifacts that
+    /// stay live across shard — or sweep — boundaries are only ever
+    /// constructed once. The store lock is held only around the index
+    /// consultation and the publish, never across the builds themselves.
+    fn build(points: &[&SweepPoint], store: &std::sync::Mutex<ArtifactStore>) -> Self {
+        let mut shard = ShardArtifacts::default();
         let mut workload_reps: Vec<&SweepPoint> = Vec::new();
         let mut arch_reps: Vec<&SweepPoint> = Vec::new();
         let mut workload_keys: HashSet<WorkloadKey> = HashSet::new();
         let mut arch_keys: HashSet<ArchKey> = HashSet::new();
-        for &point in points {
-            let workload_key = point.workload_key();
-            if workload_keys.insert(workload_key.clone()) {
-                match previous.workloads.get(&workload_key) {
-                    Some(Ok(live)) => {
-                        store.workloads.insert(workload_key, Ok(Arc::clone(live)));
+        {
+            let mut resident = store.lock().expect("artifact store lock");
+            for &point in points {
+                let workload_key = point.workload_key();
+                if workload_keys.insert(workload_key.clone()) {
+                    match resident.lookup_workload(&workload_key) {
+                        Some(live) => {
+                            shard.workloads.insert(workload_key, Ok(live));
+                        }
+                        None => workload_reps.push(point),
                     }
-                    // Failed keys are retried: a previous shard's error may be
-                    // transient from the cache's point of view, and rebuilding
-                    // keeps error attribution local to this shard.
-                    _ => workload_reps.push(point),
                 }
-            }
-            let arch_key = point.arch_key();
-            if arch_keys.insert(arch_key) {
-                match previous.accelerators.get(&arch_key) {
-                    Some(Ok(live)) => {
-                        store.accelerators.insert(arch_key, Ok(Arc::clone(live)));
+                let arch_key = point.arch_key();
+                if arch_keys.insert(arch_key) {
+                    match resident.lookup_accelerator(&arch_key) {
+                        Some(live) => {
+                            shard.accelerators.insert(arch_key, Ok(live));
+                        }
+                        None => arch_reps.push(point),
                     }
-                    _ => arch_reps.push(point),
                 }
             }
         }
@@ -372,7 +631,7 @@ impl ArtifactStore {
             .map(|point| extract_workload(point))
             .collect();
         for (point, result) in workload_reps.iter().zip(extracted) {
-            store
+            shard
                 .workloads
                 .insert(point.workload_key(), result.map(Arc::new));
         }
@@ -382,12 +641,31 @@ impl ArtifactStore {
             .map(|point| build_accelerator(point))
             .collect();
         for (point, result) in arch_reps.iter().zip(generated) {
-            store
+            shard
                 .accelerators
                 .insert(point.arch_key(), result.map(Arc::new));
         }
 
-        store
+        // Publish fresh successes for the next shard (or the next request of
+        // a resident server). Failures stay shard-local and are re-attempted
+        // by whoever needs the key next.
+        {
+            let mut resident = store.lock().expect("artifact store lock");
+            for point in &workload_reps {
+                let key = point.workload_key();
+                if let Some(Ok(value)) = shard.workloads.get(&key) {
+                    resident.insert_workload(key, Arc::clone(value));
+                }
+            }
+            for point in &arch_reps {
+                let key = point.arch_key();
+                if let Some(Ok(value)) = shard.accelerators.get(&key) {
+                    resident.insert_accelerator(key, Arc::clone(value));
+                }
+            }
+        }
+
+        shard
     }
 
     fn simulate(&self, point: &SweepPoint) -> SimResult<SimulationReport> {
@@ -399,6 +677,23 @@ impl ArtifactStore {
             .map_err(SimError::clone)?;
         simulate_point_with(point, accel, workload)
     }
+}
+
+/// Simulates one fully-bound configuration through a resident
+/// [`ArtifactStore`]: artifacts already resident are reused (and
+/// LRU-touched); anything missing is built and published back. Produces
+/// bit-identical reports to [`simulate_point`] — artifact construction is a
+/// pure function of the point's keys — while a warm store skips it entirely.
+///
+/// # Errors
+///
+/// Propagates architecture-generation, workload-extraction and simulation
+/// errors.
+pub fn simulate_point_shared(
+    store: &std::sync::Mutex<ArtifactStore>,
+    point: &SweepPoint,
+) -> SimResult<SimulationReport> {
+    ShardArtifacts::build(&[point], store).simulate(point)
 }
 
 /// A record ready for the I/O stage. Fresh simulations carry their cache
@@ -424,15 +719,15 @@ pub(crate) struct ComputedShard {
 /// Runs one shard's compute stage: point expansion, batched (parallel) cache
 /// lookups, artifact construction, parallel simulation, and record/cache-entry
 /// serialization — everything up to, but not including, durability I/O.
-/// `carried` is replaced with this shard's artifact store when the shard built
-/// one, so live artifacts flow across shard boundaries.
+/// `artifacts` is the resident store live artifacts flow through across shard
+/// (and sweep) boundaries.
 pub(crate) fn compute_shard(
     spec: &SweepSpec,
     cache: Option<&dyn CacheBackend>,
     shard: usize,
     start: usize,
     end: usize,
-    carried: &mut ArtifactStore,
+    artifacts: &std::sync::Mutex<ArtifactStore>,
 ) -> Result<(ComputedShard, Vec<PointFailure>)> {
     let shard_points = end - start;
     let mut points: Vec<Option<SweepPoint>> =
@@ -478,7 +773,9 @@ pub(crate) fn compute_shard(
 
     // A fully-warm shard is done: no artifacts to build, nothing to
     // simulate. (Skipping the empty plumbing below keeps the per-shard cost
-    // of warm sweeps down to the lookups themselves.)
+    // of warm sweeps down to the lookups themselves — and the resident store
+    // keeps whatever it holds, so a warm stretch in the middle of a sweep
+    // never drops live artifacts.)
     if miss_indices.is_empty() {
         return Ok((
             ComputedShard {
@@ -500,14 +797,14 @@ pub(crate) fn compute_shard(
         .iter()
         .map(|&slot| points[slot].take().expect("miss slot holds its point"))
         .collect();
-    let artifacts = {
+    let shard_artifacts = {
         let missed_refs: Vec<&SweepPoint> = missed.iter().collect();
-        ArtifactStore::build(&missed_refs, carried)
+        ShardArtifacts::build(&missed_refs, artifacts)
     };
     type PointResult = std::result::Result<PreparedRecord, PointFailure>;
     let computed: Vec<Result<PointResult>> = missed
         .into_par_iter()
-        .map(|point| match artifacts.simulate(&point) {
+        .map(|point| match shard_artifacts.simulate(&point) {
             Ok(report) => {
                 let record = SweepRecord::from_report(point, &report);
                 let key = content_key(&record.point);
@@ -540,12 +837,6 @@ pub(crate) fn compute_shard(
             }
         }
     }
-
-    // Next shard reuses whatever artifacts stay live across the boundary.
-    // (A fully-cache-hit shard returned early above and so kept the previous
-    // carry — a warm stretch in the middle of a sweep must not drop every
-    // live Arc and force the next cold shard to rebuild them.)
-    *carried = artifacts;
 
     Ok((
         ComputedShard {
@@ -683,6 +974,9 @@ struct PendingShard {
 struct SweepRun<'a> {
     spec: &'a SweepSpec,
     cache: Option<&'a dyn CacheBackend>,
+    /// The resident artifact store live artifacts flow through — shared
+    /// across shards, and (via [`SharedArtifactStore`]) across sweeps.
+    artifacts: &'a std::sync::Mutex<ArtifactStore>,
     policy: ErrorPolicy,
     retry: RetryPolicy,
     shard_size: usize,
@@ -744,12 +1038,11 @@ impl SweepRun<'_> {
         progress: &mut dyn FnMut(&ShardProgress),
         mut checkpoint: Option<&mut Checkpoint>,
     ) -> Result<()> {
-        let mut carried = ArtifactStore::default();
         let mut emitted = self.emitted;
         for shard in self.first..self.shards {
             let (start, end) = self.shard_range(shard);
             let (computed, shard_failures) =
-                compute_shard(self.spec, self.cache, shard, start, end, &mut carried)?;
+                compute_shard(self.spec, self.cache, shard, start, end, self.artifacts)?;
             let first_error = self.absorb(&computed, shard_failures);
             let meta = PendingShard {
                 shard,
@@ -871,7 +1164,6 @@ impl SweepRun<'_> {
             let mut writer_error: Option<ExploreError> = None;
             let mut compute_error: Option<ExploreError> = None;
             let mut first_error: Option<ExploreError> = None;
-            let mut carried = ArtifactStore::default();
 
             for shard in self.first..self.shards {
                 // Surface progress notes between shards so callbacks stay
@@ -884,7 +1176,7 @@ impl SweepRun<'_> {
                 }
                 let (start, end) = self.shard_range(shard);
                 let (computed, shard_failures) =
-                    match compute_shard(self.spec, self.cache, shard, start, end, &mut carried) {
+                    match compute_shard(self.spec, self.cache, shard, start, end, self.artifacts) {
                         Ok(result) => result,
                         Err(e) => {
                             compute_error = Some(e);
@@ -954,6 +1246,7 @@ pub(crate) fn execute(
     sink: &mut dyn RecordSink,
     progress: &mut dyn FnMut(&ShardProgress),
     checkpoint: Option<&mut Checkpoint>,
+    artifacts: &std::sync::Mutex<ArtifactStore>,
 ) -> Result<StreamOutcome> {
     spec.validate()?;
     let total = spec.point_count()?;
@@ -969,6 +1262,7 @@ pub(crate) fn execute(
     let mut run = SweepRun {
         spec,
         cache,
+        artifacts,
         policy: options.error_policy,
         retry: options.retry,
         shard_size,
@@ -1320,5 +1614,97 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.shards, 1);
         assert_eq!(piped_sink.records(), serial_sink.records());
+    }
+
+    #[test]
+    fn shared_artifact_store_makes_reruns_warm() {
+        let store = ArtifactStore::shared(ArtifactBudget::default());
+        let spec = SweepSpec::new("shared-store").with_wavelengths(vec![1, 2]);
+        let cold = ExploreSession::new(&spec)
+            .artifact_store(Arc::clone(&store))
+            .run_collect()
+            .unwrap();
+        let after_cold = store.lock().unwrap().stats();
+        // 1 distinct workload + 2 distinct accelerators, all fresh builds.
+        assert_eq!(after_cold.entries, 3);
+        assert_eq!(after_cold.misses, 3);
+        assert_eq!(after_cold.evictions, 0);
+        assert!(after_cold.bytes > 0);
+
+        let warm = ExploreSession::new(&spec)
+            .artifact_store(Arc::clone(&store))
+            .run_collect()
+            .unwrap();
+        assert_eq!(warm.records, cold.records, "sharing never changes output");
+        let after_warm = store.lock().unwrap().stats();
+        assert_eq!(
+            after_warm.misses, after_cold.misses,
+            "the warm run built nothing"
+        );
+        assert_eq!(after_warm.hits, after_cold.hits + 3);
+    }
+
+    #[test]
+    fn artifact_store_enforces_its_entry_budget_lru() {
+        // 4 wavelengths → 1 workload + 4 accelerators = 5 distinct
+        // artifacts, against a budget of 2 entries: the store must evict and
+        // never exceed the cap, while the sweep's output stays correct.
+        let store = ArtifactStore::shared(ArtifactBudget {
+            max_entries: 2,
+            max_bytes: 0,
+        });
+        let spec = SweepSpec::new("lru").with_wavelengths(vec![1, 2, 4, 8]);
+        let bounded = ExploreSession::new(&spec)
+            .chunk_size(1)
+            .artifact_store(Arc::clone(&store))
+            .run_collect()
+            .unwrap();
+        let stats = store.lock().unwrap().stats();
+        assert!(stats.entries <= 2, "budget held: {} entries", stats.entries);
+        assert!(stats.evictions >= 3, "evicted down to the cap");
+        let unbounded = ExploreSession::new(&spec)
+            .chunk_size(1)
+            .artifact_budget(ArtifactBudget::unbounded())
+            .run_collect()
+            .unwrap();
+        assert_eq!(bounded.records, unbounded.records);
+    }
+
+    #[test]
+    fn artifact_store_enforces_its_byte_budget() {
+        // A 1-byte budget can hold nothing: every insert immediately evicts,
+        // so the resident set stays empty but simulation still succeeds (the
+        // shard owns its Arcs regardless of residency).
+        let store = ArtifactStore::shared(ArtifactBudget {
+            max_entries: 0,
+            max_bytes: 1,
+        });
+        let spec = SweepSpec::new("byte-budget").with_wavelengths(vec![1, 2]);
+        let outcome = ExploreSession::new(&spec)
+            .artifact_store(Arc::clone(&store))
+            .run_collect()
+            .unwrap();
+        assert_eq!(outcome.records.len(), 2);
+        let stats = store.lock().unwrap().stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(stats.evictions, 3);
+    }
+
+    #[test]
+    fn simulate_point_shared_matches_cold_simulation() {
+        let store = ArtifactStore::shared(ArtifactBudget::default());
+        let spec = SweepSpec::new("shared-point").with_wavelengths(vec![2]);
+        let point = spec.expand().unwrap().remove(0);
+        let cold = simulate_point(&point).unwrap();
+        let first = simulate_point_shared(&store, &point).unwrap();
+        assert_eq!(format!("{first}"), format!("{cold}"));
+        let before = store.lock().unwrap().stats();
+        assert_eq!(before.misses, 2);
+        let second = simulate_point_shared(&store, &point).unwrap();
+        assert_eq!(format!("{second}"), format!("{cold}"));
+        let after = store.lock().unwrap().stats();
+        assert_eq!(after.misses, before.misses, "second call was fully warm");
+        assert_eq!(after.hits, before.hits + 2);
     }
 }

@@ -43,8 +43,8 @@ use crate::error::Result;
 use crate::lease::{execute_coexec, LeaseConfig, LeaseLedger};
 use crate::retry::RetryPolicy;
 use crate::runner::{
-    effective_shard_size, execute, ErrorPolicy, ShardProgress, StreamOptions, StreamOutcome,
-    SweepOutcome,
+    effective_shard_size, execute, ArtifactBudget, ArtifactStore, ErrorPolicy, ShardProgress,
+    SharedArtifactStore, StreamOptions, StreamOutcome, SweepOutcome,
 };
 use crate::sink::{RecordSink, VecSink};
 use crate::spec::SweepSpec;
@@ -64,6 +64,8 @@ pub struct ExploreSession<'a> {
     checkpoint: Option<PathBuf>,
     lease_dir: Option<PathBuf>,
     lease: LeaseConfig,
+    artifacts: Option<SharedArtifactStore>,
+    artifact_budget: ArtifactBudget,
 }
 
 impl<'a> ExploreSession<'a> {
@@ -81,7 +83,33 @@ impl<'a> ExploreSession<'a> {
             checkpoint: None,
             lease_dir: None,
             lease: LeaseConfig::default(),
+            artifacts: None,
+            artifact_budget: ArtifactBudget::default(),
         }
+    }
+
+    /// Shares a resident [`ArtifactStore`] with this sweep: artifacts it
+    /// already holds are reused instead of rebuilt, and artifacts this sweep
+    /// builds stay resident (subject to the store's budget) for whoever runs
+    /// next. This is how a long-lived process — the `simphony-cli serve`
+    /// daemon — amortizes workload extraction and accelerator generation
+    /// across requests. Without it each run uses a private store bounded by
+    /// [`artifact_budget`](Self::artifact_budget).
+    #[must_use]
+    pub fn artifact_store(mut self, store: SharedArtifactStore) -> Self {
+        self.artifacts = Some(store);
+        self
+    }
+
+    /// Caps the session-private artifact store (when no
+    /// [`artifact_store`](Self::artifact_store) is shared in). Default:
+    /// [`ArtifactBudget::default`] — 256 entries / 512 MiB, so a sweep over
+    /// thousands of distinct workloads no longer grows its store without
+    /// bound.
+    #[must_use]
+    pub fn artifact_budget(mut self, budget: ArtifactBudget) -> Self {
+        self.artifact_budget = budget;
+        self
     }
 
     /// Attaches a result-cache backend (see [`CacheBackend`]); hits skip
@@ -289,7 +317,17 @@ impl<'a> ExploreSession<'a> {
             checkpoint,
             lease_dir,
             lease,
+            artifacts,
+            artifact_budget,
         } = self;
+        let local_store;
+        let artifacts: &std::sync::Mutex<ArtifactStore> = match &artifacts {
+            Some(shared) => shared,
+            None => {
+                local_store = std::sync::Mutex::new(ArtifactStore::new(artifact_budget));
+                &local_store
+            }
+        };
         let mut checkpoint = match checkpoint {
             Some(path) => {
                 // Validate before computing the header, so the checkpoint is
@@ -318,6 +356,7 @@ impl<'a> ExploreSession<'a> {
                 &mut callback,
                 checkpoint.as_mut(),
                 &ledger,
+                artifacts,
             );
         }
         execute(
@@ -327,6 +366,7 @@ impl<'a> ExploreSession<'a> {
             sink,
             &mut callback,
             checkpoint.as_mut(),
+            artifacts,
         )
     }
 }
