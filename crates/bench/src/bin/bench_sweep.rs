@@ -28,6 +28,14 @@
 //!   a shard-lease directory: the primary session plus a second in-process
 //!   [`join_sweep`] worker standing in for a second process (identical
 //!   protocol: same manifest, leases and part files, plus the merge pass);
+//! * `dist_2worker_cold` — the same sweep distributed over two resident
+//!   worker daemons on loopback (`sweep --workers`): shard ranges out over
+//!   TCP, part payloads back, merged in expansion order. Must beat
+//!   `coexec_2proc_cold` — same worker count, but no fsynced lease files,
+//!   no part-file re-reads and no polling on the claim path (asserted);
+//! * `dist_worker_kill_recover` — the distributed sweep with one of the two
+//!   workers shut down mid-run: re-dispatch, reconnect refusal and the
+//!   survivor absorbing the queue, end to end;
 //! * `slow_sink_serial`/`slow_sink_overlap` — the cold sharded sweep against
 //!   a sink whose per-shard flush costs a fixed sleep (a stand-in for a slow
 //!   filesystem): serially the sweep pays every flush in full, pipelined all
@@ -59,12 +67,13 @@ use std::time::{Duration, Instant};
 use simphony_bench::fig9_style_sweep;
 use simphony_onn::SplitMix64;
 
+use simphony_explore::StreamOptions;
 use simphony_explore::{
     join_sweep, pareto_front, simulate_point, CacheBackend, DirCache, ExploreSession, LeaseConfig,
     Objective, PackedSegmentCache, RecordSink, RetryPolicy, ShardedDirCache, SweepPoint,
     SweepRecord, VecSink,
 };
-use simphony_serve::{request, Client, ServeConfig, Server};
+use simphony_serve::{distribute_sweep, request, Client, DistConfig, ServeConfig, Server};
 use simphony_traffic::{
     run_engine, run_serving_collect, ArrivalKind, Discipline, EngineConfig, ServiceCost,
     ServiceDistribution, ServingSpec,
@@ -262,6 +271,98 @@ fn main() {
         std::fs::remove_dir_all(&dir).ok();
     });
     eprintln!("session, 2-worker co-execution (cold): {coexec_2proc_cold_ms:.1} ms");
+
+    // The same sweep distributed over two resident worker daemons on
+    // loopback: shard ranges out over TCP, part payloads back, merged in
+    // expansion order. The fleet persists across repetitions (that is the
+    // deployment model — workers are long-running daemons), so the timed
+    // body is dispatch + remote compute + merge, with no lease-file fsyncs
+    // or part-file re-reads on the critical path.
+    let dist_fleet: Vec<Server> = (0..2)
+        .map(|_| {
+            Server::start(
+                ServeConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    ..ServeConfig::default()
+                },
+                None,
+            )
+            .expect("dist worker starts")
+        })
+        .collect();
+    let dist_config = DistConfig {
+        workers: dist_fleet
+            .iter()
+            .map(|w| w.local_addr().to_string())
+            .collect(),
+        ..DistConfig::default()
+    };
+    let dist_options = StreamOptions::chunked(16).keep_going();
+    let dist_2worker_cold_ms = time_ms(|| {
+        let mut sink = VecSink::new();
+        distribute_sweep(
+            &spec,
+            &dist_options,
+            &dist_config,
+            &mut sink,
+            &mut |_| {},
+            None,
+        )
+        .expect("distributed sweep runs");
+        assert_eq!(sink.records().len(), 64, "distribution covers every point");
+    });
+    eprintln!("session, 2-worker distributed (cold):  {dist_2worker_cold_ms:.1} ms");
+    for worker in dist_fleet {
+        worker.shutdown();
+        worker.join();
+    }
+
+    // Chaos variant: one of the two workers is shut down as soon as the
+    // first shards merge; the sweep must re-dispatch its work and finish on
+    // the survivor. Fresh fleet per repetition (one member dies each time).
+    let dist_worker_kill_recover_ms = time_ms(|| {
+        let start_worker = || {
+            Server::start(
+                ServeConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    ..ServeConfig::default()
+                },
+                None,
+            )
+            .expect("dist worker starts")
+        };
+        let survivor = start_worker();
+        let victim = start_worker();
+        let config = DistConfig {
+            workers: vec![
+                survivor.local_addr().to_string(),
+                victim.local_addr().to_string(),
+            ],
+            shard_deadline_ms: 2_000,
+            retry: RetryPolicy::new(2),
+        };
+        let victim = std::sync::Mutex::new(Some(victim));
+        let mut sink = VecSink::new();
+        distribute_sweep(
+            &spec,
+            &dist_options,
+            &config,
+            &mut sink,
+            &mut |progress| {
+                if progress.done >= 16 {
+                    if let Some(server) = victim.lock().unwrap().take() {
+                        server.shutdown();
+                    }
+                }
+            },
+            None,
+        )
+        .expect("distributed sweep survives the kill");
+        assert_eq!(sink.records().len(), 64, "recovery covers every point");
+        survivor.shutdown();
+        survivor.join();
+    });
+    eprintln!("session, 2-worker dist + worker kill:  {dist_worker_kill_recover_ms:.1} ms");
 
     // Warm re-runs against each cache backend: the same 64 points, all hits.
     let warm_run = |label: &str, open: &dyn Fn(&std::path::Path) -> Box<dyn CacheBackend>| {
@@ -499,11 +600,20 @@ fn main() {
          (cold {serve_cold_run_ms:.2} ms, warm {serve_warm_request_ms:.2} ms)"
     );
 
+    let dist_speedup = coexec_2proc_cold_ms / dist_2worker_cold_ms;
+    eprintln!("2-worker distribution vs co-execution:  {dist_speedup:.2}x");
+    assert!(
+        dist_2worker_cold_ms < coexec_2proc_cold_ms,
+        "socket-fed distribution must beat lease-file co-execution at the same worker \
+         count (dist {dist_2worker_cold_ms:.2} ms, coexec {coexec_2proc_cold_ms:.2} ms): \
+         no fsynced lease files, no part-file re-reads, no polling on the claim path"
+    );
+
     let speedup = per_point_ms / shared_cold_ms;
     eprintln!("cold-cache speedup vs per-point engine: {speedup:.2}x");
 
     let json = format!(
-        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"streaming_chunk16_ms\": {streaming_chunk16_ms:.3},\n  \"pipelined_cold_ms\": {pipelined_cold_ms:.3},\n  \"retry_overhead_clean_ms\": {retry_overhead_clean_ms:.3},\n  \"coexec_2proc_cold_ms\": {coexec_2proc_cold_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"sharded_warm_ms\": {sharded_warm_ms:.3},\n  \"packed_warm_ms\": {packed_warm_ms:.3},\n  \"pipelined_warm_ms\": {pipelined_warm_ms:.3},\n  \"slow_sink_flush_ms\": {SLOW_FLUSH_MS},\n  \"slow_sink_serial_ms\": {slow_sink_serial_ms:.3},\n  \"slow_sink_overlap_ms\": {slow_sink_overlap_ms:.3},\n  \"slow_sink_serial_chunk8_ms\": {slow_sink_serial_chunk8_ms:.3},\n  \"slow_sink_overlap_chunk8_ms\": {slow_sink_overlap_chunk8_ms:.3},\n  \"pareto_100k_ms\": {pareto_100k_ms:.3},\n  \"serve_sim_10k_reqs_ms\": {serve_sim_10k_reqs_ms:.3},\n  \"serve_sweep_cold_ms\": {serve_sweep_cold_ms:.3},\n  \"serve_cold_run_ms\": {serve_cold_run_ms:.3},\n  \"serve_warm_request_ms\": {serve_warm_request_ms:.3},\n  \"serve_warm_speedup\": {serve_warm_speedup:.3},\n  \"serve_batched_sweep_ms\": {serve_batched_sweep_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
+        "{{\n  \"sweep\": \"{name}\",\n  \"points\": {points},\n  \"distinct_workloads\": {distinct_workloads},\n  \"distinct_architectures\": {distinct_architectures},\n  \"reps\": {reps},\n  \"per_point_cold_ms\": {per_point_ms:.3},\n  \"shared_cold_ms\": {shared_cold_ms:.3},\n  \"streaming_chunk16_ms\": {streaming_chunk16_ms:.3},\n  \"pipelined_cold_ms\": {pipelined_cold_ms:.3},\n  \"retry_overhead_clean_ms\": {retry_overhead_clean_ms:.3},\n  \"coexec_2proc_cold_ms\": {coexec_2proc_cold_ms:.3},\n  \"dist_2worker_cold_ms\": {dist_2worker_cold_ms:.3},\n  \"dist_worker_kill_recover_ms\": {dist_worker_kill_recover_ms:.3},\n  \"shared_warm_ms\": {shared_warm_ms:.3},\n  \"sharded_warm_ms\": {sharded_warm_ms:.3},\n  \"packed_warm_ms\": {packed_warm_ms:.3},\n  \"pipelined_warm_ms\": {pipelined_warm_ms:.3},\n  \"slow_sink_flush_ms\": {SLOW_FLUSH_MS},\n  \"slow_sink_serial_ms\": {slow_sink_serial_ms:.3},\n  \"slow_sink_overlap_ms\": {slow_sink_overlap_ms:.3},\n  \"slow_sink_serial_chunk8_ms\": {slow_sink_serial_chunk8_ms:.3},\n  \"slow_sink_overlap_chunk8_ms\": {slow_sink_overlap_chunk8_ms:.3},\n  \"pareto_100k_ms\": {pareto_100k_ms:.3},\n  \"serve_sim_10k_reqs_ms\": {serve_sim_10k_reqs_ms:.3},\n  \"serve_sweep_cold_ms\": {serve_sweep_cold_ms:.3},\n  \"serve_cold_run_ms\": {serve_cold_run_ms:.3},\n  \"serve_warm_request_ms\": {serve_warm_request_ms:.3},\n  \"serve_warm_speedup\": {serve_warm_speedup:.3},\n  \"serve_batched_sweep_ms\": {serve_batched_sweep_ms:.3},\n  \"cold_speedup\": {speedup:.3}\n}}\n",
         name = spec.name,
         points = points.len(),
         reps = REPS,

@@ -34,6 +34,13 @@
 //!   result cache, admission control, responses byte-identical to the
 //!   equivalent CLI invocations; `serve --check ADDR` health-checks a
 //!   running daemon (exit 0 live, 1 dead);
+//! * `worker` — run a distributed-sweep worker daemon: the serve protocol's
+//!   `compute-shard` verb with a worker-local result cache; a coordinator
+//!   (`sweep --workers host:port,...`) fans shards out over a fleet of
+//!   these, re-dispatches shards of dead or slow workers past
+//!   `--shard-deadline`, and merges the streamed part payloads strictly in
+//!   expansion order — outputs are byte-identical to a local run at any
+//!   worker count;
 //! * `spec` — print an example sweep spec to start from (`--serving` for a
 //!   serving spec).
 //!
@@ -52,12 +59,12 @@ use clap::{Arg, ArgAction, Command};
 
 use simphony_explore::{
     join_sweep, migrate_cache, pareto_front, read_records, read_records_as, to_csv, write_json,
-    ArchFamily, BackendKind, CacheBackend, Checkpoint, CsvRecord, CsvSink, ExploreError,
-    ExploreSession, FaultInjector, FaultPlan, FaultyCache, FaultySink, JsonFileSink, JsonlSink,
-    LeaseConfig, MultiSink, Objective, RetryPolicy, ShardProgress, StreamOutcome, SweepSpec,
-    VecSink, WorkloadSpec,
+    ArchFamily, BackendKind, CacheBackend, Checkpoint, CheckpointHeader, CsvRecord, CsvSink,
+    ExploreError, ExploreSession, FaultInjector, FaultPlan, FaultyCache, FaultySink, JsonFileSink,
+    JsonlSink, LeaseConfig, MultiSink, Objective, RetryPolicy, ShardProgress, StreamOptions,
+    StreamOutcome, SweepSpec, VecSink, WorkloadSpec,
 };
-use simphony_serve::{ServeConfig, Server, PROTOCOL_VERSION};
+use simphony_serve::{distribute_sweep, DistConfig, ServeConfig, Server, PROTOCOL_VERSION};
 use simphony_traffic::{run_serving_with, Discipline, ServingRecord, ServingSpec};
 
 fn arch_family_list() -> String {
@@ -212,6 +219,30 @@ fn cli() -> Command {
                         ),
                 )
                 .arg(lease_timeout_arg())
+                .arg(
+                    Arg::new("workers")
+                        .long("workers")
+                        .value_name("ADDR,ADDR,...")
+                        .help(
+                            "Distribute the sweep over a fleet of `worker` daemons \
+                             (comma-separated host:port list): shards are dispatched over \
+                             TCP, computed remotely, and merged here in expansion order — \
+                             output is byte-identical to a local run (requires \
+                             --keep-going; workers own the result caches)",
+                        ),
+                )
+                .arg(
+                    Arg::new("shard-deadline")
+                        .long("shard-deadline")
+                        .value_name("MS")
+                        .default_value("10000")
+                        .help(
+                            "With --workers: milliseconds an assigned shard may stay \
+                             outstanding before the coordinator re-dispatches it to \
+                             another worker (duplicate results are discarded — first \
+                             landed wins)",
+                        ),
+                )
                 .arg(retries_arg())
                 .arg(fault_plan_arg())
                 .arg(no_pipeline_arg())
@@ -526,6 +557,39 @@ fn cli() -> Command {
                 ),
         )
         .subcommand(
+            Command::new("worker")
+                .about("Run a distributed-sweep worker daemon (serves `compute-shard`)")
+                .arg(
+                    Arg::new("addr")
+                        .long("addr")
+                        .value_name("ADDR")
+                        .default_value("127.0.0.1:0")
+                        .help(
+                            "Bind address; the default ephemeral port is printed on start \
+                             for the coordinator's --workers list",
+                        ),
+                )
+                .arg(Arg::new("cache").long("cache").value_name("DIR").help(
+                    "Worker-local content-hash result cache (created if missing); \
+                             with --workers the cache lives on each worker, not the \
+                             coordinator",
+                ))
+                .arg(backend_arg(
+                    "Cache backend: dir, sharded, packed, or auto (detect from the directory)",
+                ))
+                .arg(
+                    Arg::new("max-points")
+                        .long("max-points")
+                        .value_name("N")
+                        .default_value("65536")
+                        .help(
+                            "Per-request point budget: bigger shard requests are rejected \
+                             as usage errors (0 = unlimited)",
+                        ),
+                )
+                .arg(fault_plan_arg()),
+        )
+        .subcommand(
             Command::new("run")
                 .about("Simulate one configuration and print the full report")
                 .arg(
@@ -632,6 +696,7 @@ fn main() -> ExitCode {
         },
         Some(("serve-sim", sub)) => cmd_serve_sim(sub).map(|()| ExitCode::SUCCESS),
         Some(("serve", sub)) => cmd_serve(sub).map(|()| ExitCode::SUCCESS),
+        Some(("worker", sub)) => cmd_worker(sub).map(|()| ExitCode::SUCCESS),
         Some(("pareto", sub)) => cmd_pareto(sub).map(|()| ExitCode::SUCCESS),
         Some(("run", sub)) => cmd_run(sub).map(|()| ExitCode::SUCCESS),
         Some(("spec", sub)) => cmd_spec(sub).map(|()| ExitCode::SUCCESS),
@@ -798,18 +863,9 @@ fn outcome_exit(outcome: &StreamOutcome) -> ExitCode {
     }
 }
 
-fn cmd_sweep(matches: &clap::ArgMatches) -> Result<ExitCode, ExploreError> {
-    let spec = load_spec(matches)?;
-
-    let injector = load_fault_injector(matches)?;
-    let cache = match matches.get_one::<String>("cache") {
-        Some(dir) => Some(open_backend(&dir, matches.get_one("backend"))?),
-        None => None,
-    };
-    let cache = maybe_faulty_cache(cache, injector.as_ref());
-    let chunk_size: usize = matches.get_one("chunk-size").expect("has default");
-    let quiet = matches.get_flag("quiet");
-
+/// Validates the `--checkpoint` flag combination shared by the local and
+/// distributed sweep paths, returning the checkpoint path when one was given.
+fn checkpoint_flag(matches: &clap::ArgMatches) -> Result<Option<String>, ExploreError> {
     let checkpoint: Option<String> = matches.get_one("checkpoint");
     if let Some(path) = &checkpoint {
         // `resume` re-emits nothing for shards the checkpoint records as
@@ -839,6 +895,26 @@ fn cmd_sweep(matches: &clap::ArgMatches) -> Result<ExitCode, ExploreError> {
             }
         }
     }
+    Ok(checkpoint)
+}
+
+fn cmd_sweep(matches: &clap::ArgMatches) -> Result<ExitCode, ExploreError> {
+    let spec = load_spec(matches)?;
+
+    if let Some(workers) = matches.get_one::<String>("workers") {
+        return cmd_sweep_distributed(matches, &spec, &workers);
+    }
+
+    let injector = load_fault_injector(matches)?;
+    let cache = match matches.get_one::<String>("cache") {
+        Some(dir) => Some(open_backend(&dir, matches.get_one("backend"))?),
+        None => None,
+    };
+    let cache = maybe_faulty_cache(cache, injector.as_ref());
+    let chunk_size: usize = matches.get_one("chunk-size").expect("has default");
+    let quiet = matches.get_flag("quiet");
+
+    let checkpoint = checkpoint_flag(matches)?;
 
     // File outputs stream shard by shard; stdout CSV (the no-file fallback)
     // needs the full record list, so only then do records stay in memory.
@@ -910,6 +986,126 @@ fn cmd_sweep(matches: &clap::ArgMatches) -> Result<ExitCode, ExploreError> {
         print_outcome(&spec, &outcome, quiet);
         Ok(outcome_exit(&outcome))
     }
+}
+
+/// `sweep --workers host:port,...`: coordinate the sweep over a fleet of
+/// `worker` daemons. Shards are dispatched over TCP, computed remotely
+/// against each worker's local cache, and merged here strictly in expansion
+/// order, so every output is byte-identical to the local executors'.
+fn cmd_sweep_distributed(
+    matches: &clap::ArgMatches,
+    spec: &SweepSpec,
+    workers: &str,
+) -> Result<ExitCode, ExploreError> {
+    if matches.get_one::<String>("lease-dir").is_some() {
+        return Err(ExploreError::invalid_spec(
+            "--workers and --lease-dir are two different executors for the same sweep \
+             (socket-fed fleet vs shared-filesystem co-execution); pick one",
+        ));
+    }
+    if matches.get_one::<String>("cache").is_some() {
+        return Err(ExploreError::invalid_spec(
+            "--cache does not apply with --workers: the result cache lives on each \
+             worker (start them with `simphony-cli worker --cache DIR`); the \
+             coordinator only merges pre-rendered records",
+        ));
+    }
+
+    let chunk_size: usize = matches.get_one("chunk-size").expect("has default");
+    let quiet = matches.get_flag("quiet");
+    let injector = load_fault_injector(matches)?;
+    let checkpoint_path = checkpoint_flag(matches)?;
+
+    let mut options = StreamOptions::chunked(chunk_size).retry(retry_policy(matches));
+    if matches.get_flag("keep-going") {
+        // Fail-fast is refused inside distribute_sweep with a pointed message.
+        options = options.keep_going();
+    }
+
+    // Reconnect/re-dispatch policy: `--retries N` when given; without it the
+    // distributed default stands — a fleet that gave up on the first TCP
+    // hiccup would defeat the point of having spare workers.
+    let retry = match retry_policy(matches) {
+        policy if policy.retries() => policy,
+        _ => DistConfig::default().retry,
+    };
+    let config = DistConfig {
+        workers: workers
+            .split(',')
+            .map(|addr| addr.trim().to_string())
+            .filter(|addr| !addr.is_empty())
+            .collect(),
+        shard_deadline_ms: matches.get_one("shard-deadline").expect("has default"),
+        retry,
+    };
+
+    let mut checkpoint = match &checkpoint_path {
+        Some(path) => {
+            let total = spec.point_count()?;
+            let header = CheckpointHeader::for_sweep(spec, &options, total);
+            Some(Checkpoint::resume(path, &header)?)
+        }
+        None => None,
+    };
+
+    let mut progress = |shard: &ShardProgress| {
+        if !quiet && shard.shards > 1 {
+            print_shard_progress(shard);
+        }
+    };
+
+    let out = matches.get_one::<String>("out");
+    let csv = matches.get_one::<String>("csv");
+    let jsonl = matches.get_one::<String>("jsonl");
+    if out.is_none() && csv.is_none() && jsonl.is_none() {
+        // No output file: records go to stdout as CSV, like a local sweep.
+        let mut sink = VecSink::new();
+        let outcome = distribute_sweep(
+            spec,
+            &options,
+            &config,
+            &mut sink,
+            &mut progress,
+            checkpoint.as_mut(),
+        )?;
+        print!("{}", to_csv(sink.records()));
+        print_outcome(spec, &outcome, quiet);
+        return Ok(outcome_exit(&outcome));
+    }
+
+    let mut sink = MultiSink::new();
+    if let Some(path) = out {
+        sink.push(Box::new(JsonFileSink::create(path)?));
+    }
+    if let Some(path) = csv {
+        sink.push(Box::new(CsvSink::create(path)?));
+    }
+    if let Some(path) = jsonl {
+        sink.push(Box::new(JsonlSink::create(path)?));
+    }
+    let outcome = match &injector {
+        Some(injector) => {
+            let mut faulty = FaultySink::new(&mut sink, Arc::clone(injector));
+            distribute_sweep(
+                spec,
+                &options,
+                &config,
+                &mut faulty,
+                &mut progress,
+                checkpoint.as_mut(),
+            )?
+        }
+        None => distribute_sweep(
+            spec,
+            &options,
+            &config,
+            &mut sink,
+            &mut progress,
+            checkpoint.as_mut(),
+        )?,
+    };
+    print_outcome(spec, &outcome, quiet);
+    Ok(outcome_exit(&outcome))
 }
 
 fn cmd_join(matches: &clap::ArgMatches) -> Result<ExitCode, ExploreError> {
@@ -1245,6 +1441,51 @@ fn cmd_serve(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
     server.join();
     // Best-effort farewell: whoever captured stdout may be gone by now.
     let _ = writeln!(std::io::stdout(), "simphony-serve: shutdown complete");
+    Ok(())
+}
+
+/// `worker`: a distributed-sweep worker is the serve daemon under a
+/// different banner — same protocol, same handlers — tuned for shard
+/// traffic: a coordinator (`sweep --workers`) sends `compute-shard`
+/// requests, the worker computes them against its own local cache and
+/// artifact store, and streams back the lease part-file payload.
+/// `--fault-plan` wraps the local cache in the deterministic fault
+/// injector so chaos drills can kill or degrade one worker of a fleet.
+fn cmd_worker(matches: &clap::ArgMatches) -> Result<(), ExploreError> {
+    let injector = load_fault_injector(matches)?;
+    let cache = match matches.get_one::<String>("cache") {
+        Some(dir) => Some(open_backend(&dir, matches.get_one("backend"))?),
+        None => {
+            if injector.is_some() {
+                return Err(ExploreError::invalid_spec(
+                    "--fault-plan without --cache has nothing to inject into: a \
+                     worker's fault schedule lives in its cache's durability chain",
+                ));
+            }
+            None
+        }
+    };
+    let cache: Option<Arc<dyn CacheBackend>> =
+        maybe_faulty_cache(cache, injector.as_ref()).map(Arc::from);
+    let config = ServeConfig {
+        addr: matches.get_one::<String>("addr").expect("has default"),
+        max_points: matches.get_one("max-points").expect("has default"),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config, cache)?;
+    // The resolved address (port 0 becomes a real port) goes to stdout so
+    // the coordinator's --workers list can be scripted.
+    println!(
+        "simphony-worker listening on {} (protocol {PROTOCOL_VERSION})",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    std::io::stdout()
+        .flush()
+        .map_err(|e| ExploreError::io_at("stdout", e))?;
+    // Blocks until a client sends a `shutdown` request.
+    server.join();
+    let _ = writeln!(std::io::stdout(), "simphony-worker: shutdown complete");
     Ok(())
 }
 

@@ -92,8 +92,13 @@ pub struct CacheStats {
 /// [`CacheBackend::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BackendStats {
-    /// Number of complete entries currently stored on disk or pending
-    /// publication.
+    /// Number of complete entries durably stored on disk. In-flight staged
+    /// writes (a packed batch buffered before `flush` publishes its
+    /// segment) are *not* counted: `cache stats` reporting must describe
+    /// what would survive a crash, and a distributed worker polled
+    /// mid-shard would otherwise report entries that do not exist yet.
+    /// [`CacheBackend::len`] is the read-visibility count and does include
+    /// them, since `get` already serves staged entries.
     pub entries: usize,
     /// Bytes of published (durable) cache data on disk.
     pub bytes: u64,
@@ -742,13 +747,11 @@ impl CacheBackend for PackedSegmentCache {
 
     fn stats(&self) -> Result<BackendStats> {
         let state = self.lock();
-        let unpublished = state
-            .pending_map
-            .keys()
-            .filter(|key| !state.index.contains_key(*key))
-            .count();
+        // Durable entries only — the staged pending batch is visible to
+        // `get`/`len` but has no segment yet, so it must not inflate the
+        // size report (see [`BackendStats::entries`]).
         Ok(BackendStats {
-            entries: state.index.len() + unpublished,
+            entries: state.index.len(),
             bytes: state.segment_bytes,
             segments: state.segments.len(),
             shadowed: state.shadowed,
@@ -1405,6 +1408,30 @@ mod tests {
         assert_eq!((flat_stats.segments, flat_stats.shadowed), (0, 0));
         fs::remove_dir_all(&dir).ok();
         fs::remove_dir_all(&flat_dir).ok();
+    }
+
+    #[test]
+    fn packed_cache_stats_exclude_staged_unflushed_entries() {
+        let dir = scratch("packed-staged");
+        let records = sample_records(3);
+        let cache = PackedSegmentCache::open(&dir).unwrap();
+        cache.put(&records[0]).unwrap();
+        cache.flush().unwrap();
+        // Two entries staged but not yet published: readable through the
+        // handle (`get`/`len`), yet absent from the durable size report —
+        // a `cache stats` probe mid-shard must not count segments that do
+        // not exist on disk yet.
+        cache.put(&records[1]).unwrap();
+        cache.put(&records[2]).unwrap();
+        assert_eq!(cache.len().unwrap(), 3, "staged entries stay readable");
+        let staged = cache.stats().unwrap();
+        assert_eq!(staged.entries, 1, "only the published entry is durable");
+        assert_eq!(staged.segments, 1);
+        cache.flush().unwrap();
+        let flushed = cache.stats().unwrap();
+        assert_eq!(flushed.entries, 3, "flush publishes the staged batch");
+        assert_eq!(flushed.segments, 2);
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

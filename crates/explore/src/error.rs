@@ -69,6 +69,18 @@ pub enum ExploreError {
     },
     /// Encoding or decoding JSON failed.
     Json(serde_json::Error),
+    /// A client's connection to a serve daemon (or a distributed-sweep
+    /// worker fleet) was lost mid-request and could not be transparently
+    /// re-established. Non-idempotent request kinds are never replayed, so
+    /// they surface this immediately; idempotent kinds surface it only after
+    /// reconnect attempts are exhausted.
+    ConnectionLost {
+        /// Address of the peer (daemon address, or a fleet description).
+        addr: String,
+        /// What happened: the request kind involved and the underlying
+        /// cause, rendered for the operator.
+        reason: String,
+    },
 }
 
 impl ExploreError {
@@ -98,6 +110,14 @@ impl ExploreError {
         ExploreError::Io {
             path: Some(path.as_ref().display().to_string()),
             source,
+        }
+    }
+
+    /// Creates an [`ExploreError::ConnectionLost`].
+    pub fn connection_lost(addr: impl Into<String>, reason: impl Into<String>) -> Self {
+        ExploreError::ConnectionLost {
+            addr: addr.into(),
+            reason: reason.into(),
         }
     }
 }
@@ -139,6 +159,9 @@ impl fmt::Display for ExploreError {
             } => write!(f, "I/O error at `{path}`: {source}"),
             ExploreError::Io { path: None, source } => write!(f, "I/O error: {source}"),
             ExploreError::Json(e) => write!(f, "JSON error: {e}"),
+            ExploreError::ConnectionLost { addr, reason } => {
+                write!(f, "lost connection to `{addr}`: {reason}")
+            }
         }
     }
 }
@@ -153,7 +176,8 @@ impl std::error::Error for ExploreError {
             | ExploreError::MissingObjective { .. }
             | ExploreError::NonFiniteMetric { .. }
             | ExploreError::Cache { .. }
-            | ExploreError::Checkpoint { .. } => None,
+            | ExploreError::Checkpoint { .. }
+            | ExploreError::ConnectionLost { .. } => None,
         }
     }
 }

@@ -53,12 +53,14 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheBackend, CacheStats};
 use crate::checkpoint::{spec_fingerprint, Checkpoint, ShardCheckpoint};
+use crate::dispatch::{
+    compute_shard_part, merge_shard_source, AdaptiveBackoff, ComputedPart, ShardSource,
+};
 use crate::error::{ExploreError, Result};
 use crate::record::SweepRecord;
 use crate::retry::RetryPolicy;
 use crate::runner::{
-    compute_shard, effective_shard_size, ArtifactStore, ErrorPolicy, FailureCause, PointFailure,
-    ShardProgress, StreamOptions, StreamOutcome,
+    effective_shard_size, ArtifactStore, ErrorPolicy, ShardProgress, StreamOptions, StreamOutcome,
 };
 use crate::sink::RecordSink;
 use crate::spec::SweepSpec;
@@ -608,11 +610,11 @@ fn claim_available(
     Ok(None)
 }
 
-/// Computes one claimed shard and publishes its part: cache writes (under
-/// `retry`, degrading on exhaustion — co-execution implies `KeepGoing`),
-/// then the staged/fsynced/renamed part file. Fresh records reuse the JSON
-/// already rendered for their cache entry, so the part's record lines are
-/// the exact bytes a [`JsonlSink`](crate::JsonlSink) would write.
+/// Computes one claimed shard and publishes its part: the shared
+/// [`compute_shard_part`] path (cache writes under `retry`, degrading on
+/// exhaustion — co-execution implies `KeepGoing`), then the
+/// staged/fsynced/renamed part file. Returns the computed part so the caller
+/// can merge it from memory without reading its own bytes back.
 fn compute_and_publish(
     spec: &SweepSpec,
     cache: Option<&dyn CacheBackend>,
@@ -621,46 +623,76 @@ fn compute_and_publish(
     shard: usize,
     points: std::ops::Range<usize>,
     artifacts: &std::sync::Mutex<ArtifactStore>,
-) -> Result<ShardCheckpoint> {
-    let (computed, _live_failures) =
-        compute_shard(spec, cache, shard, points.start, points.end, artifacts)?;
-    let mut cache_degraded = 0usize;
-    if let Some(cache) = cache {
-        for prepared in computed.slots.iter().flatten() {
-            if let Some((key, json)) = &prepared.cache_entry {
-                if retry
-                    .run(|| cache.put_serialized(key, json, &prepared.record))
-                    .is_err()
-                {
-                    cache_degraded += 1;
+) -> Result<ComputedPart> {
+    let part = compute_shard_part(spec, cache, retry, shard, points, artifacts)?;
+    ledger.publish_part(shard, &part.meta, &part.body)?;
+    Ok(part)
+}
+
+/// The lease ledger as a [`ShardSource`]: the merging primary's side of the
+/// co-execution protocol. Each `next_part` either merges a shard this
+/// process already computed (kept in memory, sparing the read-back), merges
+/// a part the fleet published, or claims and computes an open shard —
+/// backing off adaptively (microseconds while parts are landing, up to
+/// [`poll_ms`](LeaseConfig::poll_ms) while idle) when everything claimable
+/// is leased elsewhere.
+struct LeaseSource<'a> {
+    spec: &'a SweepSpec,
+    cache: Option<&'a dyn CacheBackend>,
+    retry: RetryPolicy,
+    ledger: &'a LeaseLedger,
+    artifacts: &'a std::sync::Mutex<ArtifactStore>,
+    total: usize,
+    shard_size: usize,
+    shards: usize,
+    /// Shards this process computed ahead of the merge cursor (a later shard
+    /// claimed while an earlier one was leased to a slow worker).
+    computed: std::collections::HashMap<usize, (ShardCheckpoint, Vec<SweepRecord>)>,
+    backoff: AdaptiveBackoff,
+}
+
+impl ShardSource for LeaseSource<'_> {
+    fn next_part(&mut self, shard: usize) -> Result<(ShardCheckpoint, Vec<SweepRecord>)> {
+        loop {
+            if let Some(part) = self.computed.remove(&shard) {
+                self.backoff.reset();
+                return Ok(part);
+            }
+            if self.ledger.part_exists(shard) {
+                self.backoff.reset();
+                return self.ledger.read_part(shard);
+            }
+            // Compute: claim the lowest open shard (preferring the one
+            // blocking the merge) and publish its part.
+            match claim_available(self.ledger, shard, self.shards)? {
+                Some((claimed, guard)) => {
+                    let start = claimed * self.shard_size;
+                    let end = (start + self.shard_size).min(self.total);
+                    let part = compute_and_publish(
+                        self.spec,
+                        self.cache,
+                        self.retry,
+                        self.ledger,
+                        claimed,
+                        start..end,
+                        self.artifacts,
+                    )?;
+                    drop(guard);
+                    self.backoff.reset();
+                    if claimed == shard {
+                        return Ok((part.meta, part.records));
+                    }
+                    self.computed.insert(claimed, (part.meta, part.records));
+                }
+                None => {
+                    // Everything claimable is leased elsewhere and no part
+                    // is ready: wait for the fleet (or for a lease to go
+                    // stale), backing off while nothing lands.
+                    self.backoff.wait();
                 }
             }
         }
-        if retry.run(|| cache.flush()).is_err() {
-            cache_degraded += 1;
-        }
     }
-    let mut body = String::new();
-    let mut emitted = 0usize;
-    for prepared in computed.slots.iter().flatten() {
-        match &prepared.cache_entry {
-            Some((_, json)) => body.push_str(json),
-            None => body.push_str(&serde_json::to_string(&prepared.record)?),
-        }
-        body.push('\n');
-        emitted += 1;
-    }
-    let meta = ShardCheckpoint {
-        shard,
-        points: computed.points,
-        hits: computed.hits,
-        misses: computed.points - computed.hits,
-        emitted,
-        failures: computed.checkpoint_failures,
-        cache_degraded,
-    };
-    ledger.publish_part(shard, &meta, &body)?;
-    Ok(meta)
 }
 
 /// The co-executing primary: claims and computes shards like any worker, and
@@ -669,8 +701,9 @@ fn compute_and_publish(
 /// is merged, however many workers computed them.
 ///
 /// Failures computed by the fleet surface in [`StreamOutcome::failures`] as
-/// [`FailureCause::Recorded`] (the part file carries rendered messages, not
-/// live simulator errors); only checkpoint-replayed ones count toward
+/// [`FailureCause::Recorded`](crate::FailureCause::Recorded) (the part file
+/// carries rendered messages, not live simulator errors); only
+/// checkpoint-replayed ones count toward
 /// [`StreamOutcome::replayed_failures`]. [`StreamOutcome::stats`] accounts
 /// the whole fleet's hits and misses. The pipelining option is ignored —
 /// claiming, computing and merging already overlap across processes.
@@ -681,7 +714,7 @@ pub(crate) fn execute_coexec(
     options: &StreamOptions,
     sink: &mut dyn RecordSink,
     progress: &mut dyn FnMut(&ShardProgress),
-    mut checkpoint: Option<&mut Checkpoint>,
+    checkpoint: Option<&mut Checkpoint>,
     ledger: &LeaseLedger,
     artifacts: &std::sync::Mutex<ArtifactStore>,
 ) -> Result<StreamOutcome> {
@@ -703,133 +736,19 @@ pub(crate) fn execute_coexec(
         total_points: total,
     })?;
 
-    let completed_shards = checkpoint.as_ref().map_or(0, |c| c.completed().len());
-    if completed_shards > shards {
-        return Err(ExploreError::checkpoint(format!(
-            "checkpoint records {completed_shards} shards but the sweep only has {shards}"
-        )));
-    }
-    let retry = options.retry;
-    let mut stats = CacheStats::default();
-    let mut failures: Vec<PointFailure> = Vec::new();
-    let mut replayed_failures = 0usize;
-    let mut skipped_points = 0usize;
-    let mut cache_degraded = 0usize;
-    let mut done = 0usize;
-    let mut emitted = checkpoint.as_ref().map_or(0, |c| c.emitted());
-
-    // Checkpoint-replay mirrors the single-process executor: recorded shards
-    // are already durable in the primary's sink, so they are neither
-    // re-merged nor re-computed.
-    for shard in 0..completed_shards {
-        let start = shard * shard_size;
-        let shard_points = (start + shard_size).min(total) - start;
-        let recorded = checkpoint
-            .as_ref()
-            .expect("completed_shards > 0 implies a checkpoint")
-            .completed()[shard]
-            .clone();
-        for failure in &recorded.failures {
-            failures.push(PointFailure {
-                index: failure.index,
-                label: failure.label.clone(),
-                error: FailureCause::Recorded(failure.error.clone()),
-            });
-        }
-        replayed_failures += recorded.failures.len();
-        skipped_points += shard_points;
-        done += shard_points;
-        progress(&ShardProgress {
-            shard,
-            shards,
-            points: shard_points,
-            hits: 0,
-            failures: recorded.failures.len(),
-            skipped: shard_points,
-            done,
-            total,
-        });
-    }
-
-    let mut next_merge = completed_shards;
-    while next_merge < shards {
-        let mut progressed = false;
-        // Merge every part that is ready, strictly in shard order.
-        while next_merge < shards && ledger.part_exists(next_merge) {
-            let shard = next_merge;
-            let (meta, records) = ledger.read_part(shard)?;
-            for record in records {
-                sink.accept(record)?;
-            }
-            retry.run(|| sink.flush_shard())?;
-            emitted += meta.emitted;
-            stats.hits += meta.hits;
-            stats.misses += meta.misses;
-            cache_degraded += meta.cache_degraded;
-            for failure in &meta.failures {
-                failures.push(PointFailure {
-                    index: failure.index,
-                    label: failure.label.clone(),
-                    error: FailureCause::Recorded(failure.error.clone()),
-                });
-            }
-            let failed = meta.failures.len();
-            if let Some(ckpt) = checkpoint.as_deref_mut() {
-                retry.run(|| sink.sync())?;
-                ckpt.record_shard(ShardCheckpoint {
-                    shard,
-                    points: meta.points,
-                    hits: meta.hits,
-                    misses: meta.misses,
-                    // Cumulative in the checkpoint, shard-local in the part.
-                    emitted,
-                    failures: meta.failures,
-                    cache_degraded: meta.cache_degraded,
-                })?;
-            }
-            done += meta.points;
-            progress(&ShardProgress {
-                shard,
-                shards,
-                points: meta.points,
-                hits: meta.hits,
-                failures: failed,
-                skipped: 0,
-                done,
-                total,
-            });
-            next_merge += 1;
-            progressed = true;
-        }
-        if next_merge >= shards {
-            break;
-        }
-        // Compute: claim the lowest open shard (preferring the one blocking
-        // the merge) and publish its part.
-        if let Some((shard, guard)) = claim_available(ledger, next_merge, shards)? {
-            let start = shard * shard_size;
-            let end = (start + shard_size).min(total);
-            compute_and_publish(spec, cache, retry, ledger, shard, start..end, artifacts)?;
-            drop(guard);
-            progressed = true;
-        }
-        if !progressed {
-            // Everything claimable is leased elsewhere and no part is ready:
-            // wait for the fleet (or for a lease to go stale).
-            std::thread::sleep(Duration::from_millis(ledger.config.poll_ms));
-        }
-    }
-    sink.finish()?;
-
-    Ok(StreamOutcome {
-        stats,
-        failures,
-        replayed_failures,
+    let mut source = LeaseSource {
+        spec,
+        cache,
+        retry: options.retry,
+        ledger,
+        artifacts,
+        total,
+        shard_size,
         shards,
-        total_points: total,
-        skipped_points,
-        cache_degraded,
-    })
+        computed: std::collections::HashMap::new(),
+        backoff: AdaptiveBackoff::new(ledger.config.poll_ms),
+    };
+    merge_shard_source(spec, options, sink, progress, checkpoint, &mut source)
 }
 
 /// What a joining worker did for the sweep.
@@ -890,6 +809,7 @@ pub fn join_sweep(
     };
     let artifacts = std::sync::Mutex::new(ArtifactStore::default());
     let mut done = 0usize;
+    let mut backoff = AdaptiveBackoff::new(ledger.config.poll_ms);
     loop {
         if (0..shards).all(|shard| ledger.part_exists(shard)) {
             return Ok(outcome);
@@ -898,7 +818,7 @@ pub fn join_sweep(
             Some((shard, guard)) => {
                 let start = shard * shard_size;
                 let end = (start + shard_size).min(total);
-                let meta = compute_and_publish(
+                let part = compute_and_publish(
                     spec,
                     cache,
                     retry,
@@ -908,6 +828,8 @@ pub fn join_sweep(
                     &artifacts,
                 )?;
                 drop(guard);
+                backoff.reset();
+                let meta = &part.meta;
                 outcome.shards_computed += 1;
                 outcome.points_computed += meta.points;
                 outcome.stats.hits += meta.hits;
@@ -926,7 +848,9 @@ pub fn join_sweep(
                 });
             }
             None => {
-                std::thread::sleep(Duration::from_millis(ledger.config.poll_ms));
+                // Everything claimable is leased elsewhere: back off while
+                // the fleet computes, never sleeping past `poll_ms`.
+                backoff.wait();
             }
         }
     }

@@ -108,6 +108,7 @@
 
 mod cache;
 mod checkpoint;
+mod dispatch;
 mod error;
 mod fault;
 mod lease;
@@ -126,6 +127,9 @@ pub use cache::{
 pub use checkpoint::{
     spec_fingerprint, Checkpoint, CheckpointFailure, CheckpointHeader, ShardCheckpoint,
 };
+pub use dispatch::{
+    compute_shard_part, merge_shard_source, AdaptiveBackoff, ComputedPart, ShardSource,
+};
 pub use error::{ExploreError, Result};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultyCache, FaultySink, PlannedFault};
 pub use lease::{join_sweep, CoexecManifest, JoinOutcome, LeaseConfig, LeaseGuard, LeaseLedger};
@@ -136,10 +140,10 @@ pub use record::{
 };
 pub use retry::RetryPolicy;
 pub use runner::{
-    build_accelerator, extract_workload, simulate_point, simulate_point_shared,
-    simulate_point_with, ArtifactBudget, ArtifactStore, ArtifactStoreStats, ErrorPolicy,
-    FailureCause, PointFailure, ShardProgress, SharedArtifactStore, StreamOptions, StreamOutcome,
-    SweepOutcome,
+    build_accelerator, effective_shard_size, extract_workload, simulate_point,
+    simulate_point_shared, simulate_point_with, ArtifactBudget, ArtifactStore, ArtifactStoreStats,
+    ErrorPolicy, FailureCause, PointFailure, ShardProgress, SharedArtifactStore, StreamOptions,
+    StreamOutcome, SweepOutcome,
 };
 pub use session::ExploreSession;
 pub use sink::{CsvSink, JsonFileSink, JsonlSink, MultiSink, RecordSink, VecSink};

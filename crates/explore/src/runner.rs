@@ -154,8 +154,12 @@ impl StreamOptions {
     }
 }
 
-/// The effective points-per-shard a sweep of `total` points runs with.
-pub(crate) fn effective_shard_size(options: &StreamOptions, total: usize) -> usize {
+/// The effective points-per-shard a sweep of `total` points runs with:
+/// [`chunk_size`](StreamOptions::chunk_size) when set and non-zero, else one
+/// shard spanning the whole expansion. Public so out-of-crate executors
+/// (e.g. a distributed coordinator) derive the exact shard geometry the
+/// in-process executors use.
+pub fn effective_shard_size(options: &StreamOptions, total: usize) -> usize {
     match options.chunk_size {
         Some(size) if size > 0 => size,
         _ => total.max(1),

@@ -32,6 +32,15 @@
 //! `simphony-cli serve` hosts the daemon; `simphony-cli serve --check`
 //! runs [`check`] against one.
 //!
+//! The same daemon doubles as a **distributed-sweep worker**: the
+//! `compute-shard` request computes one shard and streams back the lease
+//! protocol's part-file payload, and [`distribute_sweep`] (the coordinator
+//! behind `sweep --workers host:port,...`) fans a sweep's shards out over a
+//! fleet of such daemons and merges the parts — strictly in expansion
+//! order — into normal sinks, byte-identical to a local run at any worker
+//! count. See [`dist`] for the fault model (shard re-dispatch deadlines,
+//! transparent reconnects, first-landed-wins duplicate handling).
+//!
 //! # Example
 //!
 //! ```
@@ -57,9 +66,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dist;
 pub mod protocol;
 mod server;
 
+pub use dist::{distribute_sweep, DistConfig, DEFAULT_SHARD_DEADLINE_MS};
 pub use protocol::{
     parse_request, Request, RequestError, EXIT_HARD, EXIT_OK, EXIT_RECORDED_FAILURES, EXIT_USAGE,
     PROTOCOL_VERSION,

@@ -16,6 +16,7 @@
 //! {"kind":"serve-sim","spec":{...ServingSpec...},"chunk_size":64}
 //! {"kind":"pareto","records":[...],"objectives":"energy,latency"}
 //! {"kind":"cache-stats"}
+//! {"kind":"compute-shard","spec":{...SweepSpec...},"shard":3,"start":48,"end":64}
 //! ```
 //!
 //! An optional `"version": N` field pins the protocol; a mismatch is
@@ -36,6 +37,17 @@
 //! {"frame":"report","text":"..."}                       // `run` output, JSON-escaped
 //! {"frame":"failure","index":3,"label":"...","error":"..."}
 //! {"frame":"cache-stats","backend":{...}|null,"artifacts":{...}}
+//! {"frame":"part","meta":{...ShardCheckpoint...}}          // `compute-shard` header
+//! ```
+//!
+//! A `compute-shard` response is the lease protocol's part-file payload on
+//! the wire: the `part` frame carries the shard-local
+//! [`ShardCheckpoint`](simphony_explore::ShardCheckpoint) meta (the part
+//! file's first line), followed by exactly `meta.emitted` bare record lines
+//! — the same bytes a part file holds after its meta line — and then the
+//! terminal summary:
+//!
+//! ```text
 //! {"frame":"summary","kind":"sweep","exit_code":0,...}  // terminal, per request
 //! {"frame":"error","exit_code":1|2,"message":"..."}     // terminal, per request
 //! ```
@@ -109,6 +121,22 @@ pub enum Request {
     },
     /// Report result-cache and resident-artifact-store statistics.
     CacheStats,
+    /// Compute one sweep shard and stream back its part-file payload (the
+    /// `part` frame plus bare record lines) — the worker side of a
+    /// distributed sweep. Idempotent: shard bytes are a deterministic pure
+    /// function of `(spec, shard range)`, so a coordinator may re-dispatch
+    /// or replay the request freely.
+    ComputeShard {
+        /// The full sweep the shard belongs to (workers expand lazily; only
+        /// `start..end` is simulated).
+        spec: SweepSpec,
+        /// Shard index, stamped into the returned meta.
+        shard: usize,
+        /// First point of the shard (inclusive), in expansion order.
+        start: usize,
+        /// One past the last point of the shard.
+        end: usize,
+    },
 }
 
 /// A request that could not be parsed or validated: carries the exit code
@@ -214,9 +242,22 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             })
         }
         "cache-stats" => Ok(Request::CacheStats),
+        "compute-shard" => {
+            let require = |key: &str| {
+                usize_field(&value, key)?.ok_or_else(|| {
+                    RequestError::usage(format!("`compute-shard` request is missing `{key}`"))
+                })
+            };
+            Ok(Request::ComputeShard {
+                spec: spec_field(&value, "compute-shard")?,
+                shard: require("shard")?,
+                start: require("start")?,
+                end: require("end")?,
+            })
+        }
         other => Err(RequestError::usage(format!(
             "unknown request kind `{other}` (expected ping, shutdown, run, sweep, \
-             serve-sim, pareto, or cache-stats)"
+             serve-sim, pareto, cache-stats, or compute-shard)"
         ))),
     }
 }
@@ -318,6 +359,29 @@ pub fn cache_stats_summary_frame() -> String {
     format!("{{\"frame\":\"summary\",\"kind\":\"cache-stats\",\"exit_code\":{EXIT_OK}}}")
 }
 
+/// Header frame of a `compute-shard` response: the part-file meta line
+/// (shard-local [`ShardCheckpoint`](simphony_explore::ShardCheckpoint) as
+/// serialized JSON) wrapped in a frame. The `meta.emitted` record lines that
+/// follow it are the part file's body, byte for byte.
+pub fn part_frame(meta_json: &str) -> String {
+    format!("{{\"frame\":\"part\",\"meta\":{meta_json}}}")
+}
+
+/// Terminal frame of a completed `compute-shard` request. Mirrors the sweep
+/// contract: exit 0 when the shard computed cleanly, 3 when it recorded
+/// point failures (which the meta line itemizes).
+pub fn compute_shard_summary_frame(shard: usize, emitted: usize, failures: usize) -> String {
+    let exit_code = if failures == 0 {
+        EXIT_OK
+    } else {
+        EXIT_RECORDED_FAILURES
+    };
+    format!(
+        "{{\"frame\":\"summary\",\"kind\":\"compute-shard\",\"exit_code\":{exit_code},\
+         \"shard\":{shard},\"emitted\":{emitted},\"failures\":{failures}}}"
+    )
+}
+
 /// The `cache-stats` payload: result-cache backend statistics (null when
 /// the server runs without a cache) plus resident artifact-store counters.
 pub fn cache_stats_frame(backend: Option<&BackendStats>, artifacts: &ArtifactStoreStats) -> String {
@@ -387,6 +451,23 @@ mod tests {
             }
             other => panic!("wrong request: {other:?}"),
         }
+        let shard_req = parse_request(&format!(
+            "{{\"kind\":\"compute-shard\",\"spec\":{spec_json},\"shard\":3,\
+             \"start\":48,\"end\":64}}"
+        ))
+        .expect("parses");
+        match shard_req {
+            Request::ComputeShard {
+                spec,
+                shard,
+                start,
+                end,
+            } => {
+                assert_eq!(spec.name, "s");
+                assert_eq!((shard, start, end), (3, 48, 64));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
     }
 
     #[test]
@@ -400,6 +481,7 @@ mod tests {
             "{\"kind\":\"sweep\",\"spec\":{\"name\":\"s\"}}",
             "{\"kind\":\"pareto\"}",
             "{\"kind\":\"ping\",\"version\":99}",
+            "{\"kind\":\"compute-shard\",\"spec\":{\"name\":\"s\"},\"shard\":0,\"start\":0}",
         ] {
             let err = parse_request(bad).expect_err("must be rejected");
             assert_eq!(err.exit_code, EXIT_USAGE, "line: {bad}");
@@ -427,6 +509,9 @@ mod tests {
             serving_summary_frame(4, 2),
             pareto_summary_frame(2, 10),
             cache_stats_summary_frame(),
+            part_frame("{\"shard\":3,\"points\":16,\"hits\":0,\"misses\":16,\"emitted\":16,\"failures\":[],\"cache_degraded\":0}"),
+            compute_shard_summary_frame(3, 16, 0),
+            compute_shard_summary_frame(3, 14, 2),
         ] {
             let parsed: serde_json::Value = serde_json::from_str(&frame).expect("valid JSON");
             assert!(parsed.get("frame").is_some(), "frame: {frame}");
@@ -434,6 +519,9 @@ mod tests {
         }
         assert!(is_terminal_frame(&run_summary_frame()));
         assert!(is_terminal_frame(&error_frame(EXIT_HARD, "x")));
+        assert!(is_terminal_frame(&compute_shard_summary_frame(0, 4, 0)));
+        assert!(is_terminal_frame(&compute_shard_summary_frame(0, 3, 1)));
+        assert!(!is_terminal_frame(&part_frame("{\"shard\":0}")));
         assert!(!is_terminal_frame(&pong_frame()));
         assert!(!is_control_frame("{\"arch\":\"tempo\"}"));
     }

@@ -10,8 +10,9 @@ use std::time::Duration;
 
 use serde_json::Value;
 use simphony_explore::{
-    pareto_front, simulate_point_shared, ArtifactBudget, ArtifactStore, CacheBackend, ExploreError,
-    ExploreSession, Objective, RecordSink, Result, SharedArtifactStore, SweepRecord, SweepSpec,
+    compute_shard_part, pareto_front, simulate_point_shared, ArtifactBudget, ArtifactStore,
+    CacheBackend, ExploreError, ExploreSession, Objective, RecordSink, Result, RetryPolicy,
+    SharedArtifactStore, SweepRecord, SweepSpec,
 };
 use simphony_traffic::{run_serving_with, ServingRecord, ServingSpec};
 
@@ -356,6 +357,12 @@ fn handle_request(
                     objectives,
                 } => pareto_request(&records, &objectives, out)?,
                 Request::CacheStats => cache_stats_request(state, out)?,
+                Request::ComputeShard {
+                    spec,
+                    shard,
+                    start,
+                    end,
+                } => compute_shard_request(state, &spec, shard, start, end, out)?,
                 Request::Ping | Request::Shutdown => unreachable!("handled above"),
             }
             Ok(Flow::Continue)
@@ -621,6 +628,76 @@ fn cache_stats_request(state: &ServerState, out: &mut BufWriter<TcpStream>) -> i
     send_frame(out, &protocol::cache_stats_summary_frame())
 }
 
+/// The worker side of a distributed sweep: computes `start..end` of `spec`
+/// as shard `shard` through the shared [`compute_shard_part`] path (the
+/// daemon's resident artifact store and optional cache backend included) and
+/// streams the part-file payload back — a `part` frame carrying the
+/// shard-local meta, then the pre-rendered record lines, then the terminal
+/// summary. Byte determinism makes the request idempotent, so coordinators
+/// re-dispatch and replay it freely.
+fn compute_shard_request(
+    state: &ServerState,
+    spec: &SweepSpec,
+    shard: usize,
+    start: usize,
+    end: usize,
+    out: &mut BufWriter<TcpStream>,
+) -> io::Result<()> {
+    let total = match spec.point_count() {
+        Ok(total) => total,
+        Err(e) => return send_frame(out, &protocol::error_frame(EXIT_HARD, &e.to_string())),
+    };
+    if start >= end || end > total {
+        return send_frame(
+            out,
+            &protocol::error_frame(
+                EXIT_USAGE,
+                &format!(
+                    "shard {shard} range {start}..{end} is not a non-empty slice of the \
+                     {total}-point expansion"
+                ),
+            ),
+        );
+    }
+    let points = end - start;
+    let budget = effective_budget(state.config.max_points, None);
+    if !check_budget(points, budget, out)? {
+        return Ok(());
+    }
+    let _lane = bulk_lane(state, points);
+    // Cache writes retry locally before degrading; the coordinator only
+    // sees the degraded count in the meta, exactly like a lease worker.
+    let computed = compute_shard_part(
+        spec,
+        state.cache.as_deref(),
+        RetryPolicy::new(3),
+        shard,
+        start..end,
+        &state.artifacts,
+    );
+    match computed {
+        Ok(part) => {
+            let meta_json = match serde_json::to_string(&part.meta) {
+                Ok(json) => json,
+                Err(e) => {
+                    return send_frame(out, &protocol::error_frame(EXIT_HARD, &e.to_string()))
+                }
+            };
+            write_line(out, &protocol::part_frame(&meta_json))?;
+            out.write_all(part.body.as_bytes())?;
+            send_frame(
+                out,
+                &protocol::compute_shard_summary_frame(
+                    shard,
+                    part.meta.emitted,
+                    part.meta.failures.len(),
+                ),
+            )
+        }
+        Err(e) => send_frame(out, &protocol::error_frame(EXIT_HARD, &e.to_string())),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Client side: health check and one-shot requests (used by `serve --check`,
 // the test suites, and scriptable shell clients).
@@ -700,6 +777,20 @@ pub fn check(addr: &str, timeout: Duration) -> Result<()> {
     }
 }
 
+/// Request kinds a client may transparently replay on a fresh connection:
+/// read-only probes and deterministic computations whose response depends
+/// only on the request. `run`/`sweep`/`serve-sim` streams may already have
+/// been partially consumed by the caller, and `shutdown` is a state change —
+/// none of those are safe to reissue blind.
+fn idempotent_kind(line: &str) -> Option<String> {
+    let value: Value = serde_json::from_str(line).ok()?;
+    let kind = value.get("kind")?.as_str()?;
+    match kind {
+        "ping" | "cache-stats" | "pareto" | "compute-shard" => Some(kind.to_string()),
+        _ => None,
+    }
+}
+
 /// A persistent connection to a running daemon.
 ///
 /// [`Client::connect`] performs the version handshake once; [`Client::send`]
@@ -707,45 +798,112 @@ pub fn check(addr: &str, timeout: Duration) -> Result<()> {
 /// clients (notebooks, dashboards, REPL loops) should hold a `Client` open —
 /// repeated requests skip the connect and handshake cost entirely, and the
 /// daemon's resident artifact store keeps their configurations warm.
+///
+/// A broken connection mid-request no longer poisons the client: for
+/// *idempotent* request kinds (`ping`, `cache-stats`, `pareto`,
+/// `compute-shard`) the client transparently reconnects — full handshake
+/// included — on its [`RetryPolicy`] schedule and replays the request. For
+/// non-replayable kinds (`run`, `sweep`, `serve-sim`, `shutdown`) it surfaces
+/// a typed [`ExploreError::ConnectionLost`] instead of a raw I/O error, so
+/// callers can distinguish "the daemon went away" from local I/O failures.
 pub struct Client {
     addr: String,
+    timeout: Duration,
+    reconnect: RetryPolicy,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
 impl Client {
     /// Connects, validates the hello handshake, and returns a client ready
-    /// to issue requests.
+    /// to issue requests. Mid-session reconnects default to
+    /// [`RetryPolicy::new(3)`](RetryPolicy::new); tune with
+    /// [`reconnect_policy`](Self::reconnect_policy).
     ///
     /// # Errors
     ///
     /// Returns an error on connection failure or handshake mismatch.
     pub fn connect(addr: &str, timeout: Duration) -> Result<Client> {
-        let stream = connect(addr, timeout)?;
-        let mut reader = BufReader::new(
-            stream
-                .try_clone()
-                .map_err(|e| ExploreError::io_at(addr, e))?,
-        );
-        let writer = BufWriter::new(stream);
-        read_hello(addr, &mut reader)?;
+        let (reader, writer) = open_session(addr, timeout)?;
         Ok(Client {
             addr: addr.to_string(),
+            timeout,
+            reconnect: RetryPolicy::new(3),
             reader,
             writer,
         })
     }
 
+    /// Sets the retry schedule used for transparent mid-session reconnects
+    /// ([`RetryPolicy::none`] disables them).
+    #[must_use]
+    pub fn reconnect_policy(mut self, policy: RetryPolicy) -> Client {
+        self.reconnect = policy;
+        self
+    }
+
     /// Sends one request line and collects every response line through the
-    /// terminal frame (`summary`/`error`, or `pong`/`bye` for probes).
+    /// terminal frame (`summary`/`error`, or `pong`/`bye` for probes). A
+    /// dead connection is retried transparently for idempotent request
+    /// kinds; see the type docs.
     ///
     /// # Errors
     ///
-    /// Returns an error on stream failure or when the server closes the
-    /// stream before a terminal frame.
+    /// Returns [`ExploreError::ConnectionLost`] when the connection broke
+    /// and could not be (or must not be) recovered; other errors for local
+    /// I/O and handshake failures.
     pub fn send(&mut self, line: &str) -> Result<Vec<String>> {
+        let line = line.trim();
+        let first_try = self.exchange(line);
+        let Err(first_err) = first_try else {
+            return first_try;
+        };
+        let Some(kind) = idempotent_kind(line) else {
+            return Err(ExploreError::connection_lost(
+                &self.addr,
+                format!(
+                    "request failed mid-stream ({first_err}); its kind is not idempotent, \
+                     so it was not replayed — reconnect and decide whether to reissue"
+                ),
+            ));
+        };
+        // Transparent reconnect-with-handshake on the retry schedule, then
+        // replay from scratch: responses are collected whole (through the
+        // terminal frame), so nothing from the dead stream leaks into the
+        // replayed one.
+        let mut last_err = first_err;
+        let schedule = self.reconnect.schedule();
+        let attempts = schedule.len();
+        for sleep_ms in schedule {
+            if sleep_ms > 0 {
+                std::thread::sleep(Duration::from_millis(sleep_ms));
+            }
+            match open_session(&self.addr, self.timeout) {
+                Ok((reader, writer)) => {
+                    self.reader = reader;
+                    self.writer = writer;
+                }
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            }
+            match self.exchange(line) {
+                Ok(lines) => return Ok(lines),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(ExploreError::connection_lost(
+            &self.addr,
+            format!("`{kind}` still failing after {attempts} reconnect attempts: {last_err}"),
+        ))
+    }
+
+    /// One request/response exchange over the current stream, with no
+    /// recovery.
+    fn exchange(&mut self, line: &str) -> Result<Vec<String>> {
         let addr = &self.addr;
-        write_line(&mut self.writer, line.trim())
+        write_line(&mut self.writer, line)
             .and_then(|()| self.writer.flush())
             .map_err(|e| ExploreError::io_at(addr, e))?;
         let mut lines = Vec::new();
@@ -774,6 +932,23 @@ impl Client {
             }
         }
     }
+}
+
+/// Connect + handshake: the shared front half of [`Client::connect`] and
+/// every transparent reconnect.
+fn open_session(
+    addr: &str,
+    timeout: Duration,
+) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
+    let stream = connect(addr, timeout)?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| ExploreError::io_at(addr, e))?,
+    );
+    let writer = BufWriter::new(stream);
+    read_hello(addr, &mut reader)?;
+    Ok((reader, writer))
 }
 
 /// One-shot client: connects, validates the hello handshake, sends a single
